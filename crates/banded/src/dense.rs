@@ -1,0 +1,124 @@
+//! Dense LU with partial pivoting — the correctness oracle for the banded
+//! solvers (never used in the DNS hot path).
+
+use crate::scalar::Scalar;
+use crate::LinalgError;
+
+/// Dense row-major matrix factorisation `PA = LU`.
+pub struct DenseLu<T: Scalar> {
+    n: usize,
+    lu: Vec<T>,
+    piv: Vec<usize>,
+}
+
+impl<T: Scalar> DenseLu<T> {
+    /// Factor an `n x n` row-major matrix.
+    pub fn factor(n: usize, a: &[T]) -> Result<Self, LinalgError> {
+        assert_eq!(a.len(), n * n);
+        let mut lu = a.to_vec();
+        let mut piv = vec![0usize; n];
+        for k in 0..n {
+            // partial pivot
+            let mut p = k;
+            let mut best = lu[k * n + k].cabs();
+            for i in k + 1..n {
+                let v = lu[i * n + k].cabs();
+                if v > best {
+                    best = v;
+                    p = i;
+                }
+            }
+            if best == 0.0 {
+                return Err(LinalgError::SingularAt(k));
+            }
+            piv[k] = p;
+            if p != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, p * n + j);
+                }
+            }
+            let pivot = lu[k * n + k];
+            for i in k + 1..n {
+                let m = lu[i * n + k] / pivot;
+                lu[i * n + k] = m;
+                for j in k + 1..n {
+                    let u = lu[k * n + j];
+                    lu[i * n + j] = lu[i * n + j] - m * u;
+                }
+            }
+        }
+        Ok(DenseLu { n, lu, piv })
+    }
+
+    /// Solve `A x = b` in place.
+    pub fn solve(&self, b: &mut [T]) {
+        let n = self.n;
+        assert_eq!(b.len(), n);
+        for k in 0..n {
+            b.swap(k, self.piv[k]);
+            let bk = b[k];
+            for i in k + 1..n {
+                b[i] = b[i] - self.lu[i * n + k] * bk;
+            }
+        }
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for j in i + 1..n {
+                s = s - self.lu[i * n + j] * b[j];
+            }
+            b[i] = s / self.lu[i * n + i];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::C64;
+
+    #[test]
+    fn solves_small_real_system() {
+        // A = [[2,1],[1,3]], b = [3,5] -> x = [0.8, 1.4]
+        let a = [2.0, 1.0, 1.0, 3.0];
+        let lu = DenseLu::factor(2, &a).unwrap();
+        let mut b = [3.0, 5.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 0.8).abs() < 1e-14);
+        assert!((b[1] - 1.4).abs() < 1e-14);
+    }
+
+    #[test]
+    fn solves_complex_system() {
+        let i = C64::new(0.0, 1.0);
+        let one = C64::new(1.0, 0.0);
+        // A = [[1, i],[-i, 2]] (Hermitian, invertible)
+        let a = [one, i, -i, one + one];
+        let lu = DenseLu::factor(2, &a).unwrap();
+        let x_true = [C64::new(1.0, 2.0), C64::new(-3.0, 0.5)];
+        let mut b = [
+            a[0] * x_true[0] + a[1] * x_true[1],
+            a[2] * x_true[0] + a[3] * x_true[1],
+        ];
+        lu.solve(&mut b);
+        assert!((b[0] - x_true[0]).norm() < 1e-13);
+        assert!((b[1] - x_true[1]).norm() < 1e-13);
+    }
+
+    #[test]
+    fn detects_singularity() {
+        let a = [1.0, 2.0, 2.0, 4.0];
+        assert!(matches!(
+            DenseLu::factor(2, &a),
+            Err(LinalgError::SingularAt(_))
+        ));
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading_diagonal() {
+        let a = [0.0, 1.0, 1.0, 0.0];
+        let lu = DenseLu::factor(2, &a).unwrap();
+        let mut b = [2.0, 3.0];
+        lu.solve(&mut b);
+        assert!((b[0] - 3.0).abs() < 1e-14 && (b[1] - 2.0).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,69 @@
+//! Minimal scalar abstraction letting one generic banded LU serve both the
+//! real (`DGBTRF`-like) and complex (`ZGBTRF`-like) comparison solvers.
+
+use crate::C64;
+
+/// Field scalar: the operations Gaussian elimination needs, plus a
+/// magnitude for partial pivoting.
+pub trait Scalar:
+    Copy
+    + std::fmt::Debug
+    + std::ops::Add<Output = Self>
+    + std::ops::Sub<Output = Self>
+    + std::ops::Mul<Output = Self>
+    + std::ops::Div<Output = Self>
+    + std::ops::Neg<Output = Self>
+    + PartialEq
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Pivoting magnitude (|.| for reals, L1-ish modulus for complexes —
+    /// LAPACK uses |re|+|im| in `ZGBTRF` for speed, and so do we).
+    fn cabs(self) -> f64;
+    /// Embed a real number.
+    fn from_f64(x: f64) -> Self;
+}
+
+impl Scalar for f64 {
+    const ZERO: Self = 0.0;
+    const ONE: Self = 1.0;
+    #[inline]
+    fn cabs(self) -> f64 {
+        self.abs()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        x
+    }
+}
+
+impl Scalar for C64 {
+    const ZERO: Self = C64 { re: 0.0, im: 0.0 };
+    const ONE: Self = C64 { re: 1.0, im: 0.0 };
+    #[inline]
+    fn cabs(self) -> f64 {
+        self.re.abs() + self.im.abs()
+    }
+    #[inline]
+    fn from_f64(x: f64) -> Self {
+        C64 { re: x, im: 0.0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_identities() {
+        assert_eq!(f64::ZERO + f64::ONE, 1.0);
+        assert_eq!(C64::ONE * C64::ONE, C64::ONE);
+        assert_eq!(C64::from_f64(2.5).re, 2.5);
+        assert!((C64::new(3.0, -4.0).cabs() - 7.0).abs() < 1e-15);
+    }
+}

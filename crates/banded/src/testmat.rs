@@ -1,0 +1,146 @@
+//! Construction of benchmark matrices with the structure of the DNS
+//! collocation operators (banded plus corner rows), used by Table 1 and
+//! by cross-solver tests.
+
+use crate::corner::CornerBanded;
+use crate::general::BandedMatrix;
+use crate::scalar::Scalar;
+use crate::C64;
+
+/// Parameters of a collocation-like test matrix.
+#[derive(Clone, Copy, Debug)]
+pub struct CollocationLike {
+    /// Matrix dimension (the paper uses 1024).
+    pub n: usize,
+    /// Half-bandwidth: the paper's "bandwidth" is `2*p + 1`.
+    pub p: usize,
+    /// Corner rows at each end (bounded by `p`).
+    pub nc: usize,
+    /// RNG seed for the off-diagonal entries.
+    pub seed: u64,
+}
+
+impl CollocationLike {
+    /// Table 1 configuration for a given odd total bandwidth (3..=15).
+    pub fn table1(bandwidth: usize) -> Self {
+        assert!(bandwidth % 2 == 1 && bandwidth >= 3);
+        CollocationLike {
+            n: 1024,
+            p: bandwidth / 2,
+            nc: 2.min(bandwidth / 2),
+            seed: bandwidth as u64,
+        }
+    }
+
+    fn entry(&self, mut state: u64, i: usize, j: usize) -> f64 {
+        // deterministic hash-based entry so every storage format sees the
+        // *same* matrix
+        state ^= (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
+        state ^= (j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(self.seed);
+        let r = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+        if i == j {
+            // dominance mimicking the I + beta*nu*dt*(k^2 + D2) operator
+            4.0 + 2.0 * self.p as f64 + r
+        } else {
+            r
+        }
+    }
+
+    /// Assemble in corner-folded storage (the custom solver's input).
+    pub fn corner(&self) -> CornerBanded {
+        let w = 2 * self.p + 1;
+        let mut m = CornerBanded::zeros(self.n, self.p, self.p, self.nc, self.nc);
+        for i in 0..self.n {
+            let ci = m.col_start(i);
+            let wide = i < self.nc || i + self.nc >= self.n;
+            for j in ci..ci + w {
+                let in_band = j + self.p >= i && j <= i + self.p;
+                if in_band || wide {
+                    m.set(i, j, self.entry(1, i, j));
+                }
+            }
+        }
+        m
+    }
+
+    /// Assemble the same matrix for the general banded solver. The band
+    /// must be inflated to `kl = ku = 2*p` so the corner entries fit —
+    /// the storage/flops overhead the paper attributes to the LAPACK
+    /// route (figure 3, centre).
+    pub fn general<T: Scalar>(&self) -> BandedMatrix<T> {
+        let corner = self.corner();
+        let kg = 2 * self.p;
+        let mut g = BandedMatrix::zeros(self.n, kg, kg, );
+        for i in 0..self.n {
+            let ci = corner.col_start(i);
+            for j in ci..(ci + corner.width()).min(self.n) {
+                let v = corner.get(i, j);
+                if v != 0.0 {
+                    g.set(i, j, T::from_f64(v));
+                }
+            }
+        }
+        g
+    }
+
+    /// A complex right-hand side (same for every solver).
+    pub fn rhs(&self) -> Vec<C64> {
+        (0..self.n)
+            .map(|i| {
+                let x = i as f64 / self.n as f64;
+                C64::new((13.0 * x).sin() + 0.3, (7.0 * x).cos() - 0.1)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corner::CornerLu;
+    use crate::general::BandedLu;
+
+    #[test]
+    fn all_three_solvers_agree_on_the_table1_matrix() {
+        for bw in [3usize, 7, 15] {
+            let cfg = CollocationLike::table1(bw);
+            let rhs = cfg.rhs();
+
+            // custom
+            let lu_c = CornerLu::factor(cfg.corner()).unwrap();
+            let mut x_custom = rhs.clone();
+            lu_c.solve_complex(&mut x_custom);
+
+            // general real + split complex solve
+            let lu_r = BandedLu::factor(&cfg.general::<f64>()).unwrap();
+            let mut x_split = rhs.clone();
+            let mut scratch = vec![0.0; 2 * cfg.n];
+            lu_r.solve_complex_split(&mut x_split, &mut scratch);
+
+            // general complex
+            let lu_z = BandedLu::factor(&cfg.general::<C64>()).unwrap();
+            let mut x_z = rhs.clone();
+            lu_z.solve(&mut x_z);
+
+            for k in 0..cfg.n {
+                assert!((x_custom[k] - x_split[k]).norm() < 1e-8, "bw={bw} k={k}");
+                assert!((x_custom[k] - x_z[k]).norm() < 1e-8, "bw={bw} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn general_band_really_is_inflated() {
+        let cfg = CollocationLike::table1(7);
+        let g = cfg.general::<f64>();
+        assert_eq!(g.kl(), 6);
+        assert_eq!(g.ku(), 6);
+        let c = cfg.corner();
+        assert_eq!(c.width(), 7);
+        // memory ratio (figure 3): general-with-fill vs corner-folded
+        let general_scalars = (2 * g.kl() + g.ku() + 1) * cfg.n;
+        let corner_scalars = c.width() * cfg.n;
+        assert!(general_scalars >= 2 * corner_scalars);
+    }
+}

@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the banded solvers (Table 1 kernels and
+//! the corner-folded vs LAPACK-style storage ablation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dns_banded::testmat::CollocationLike;
+use dns_banded::{BandedLu, CornerLu, C64};
+
+fn bench_solves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("banded_solve_n1024");
+    for bw in [3usize, 7, 15] {
+        let cfg = CollocationLike::table1(bw);
+        let rhs = cfg.rhs();
+        let lu_custom = CornerLu::factor(cfg.corner()).unwrap();
+        let lu_real = BandedLu::factor(&cfg.general::<f64>()).unwrap();
+        let lu_cplx = BandedLu::factor(&cfg.general::<C64>()).unwrap();
+
+        g.bench_with_input(BenchmarkId::new("custom", bw), &bw, |b, _| {
+            let mut x = rhs.clone();
+            b.iter(|| {
+                x.copy_from_slice(&rhs);
+                lu_custom.solve_complex(&mut x);
+                std::hint::black_box(&x);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("general_real_split", bw), &bw, |b, _| {
+            let mut x = rhs.clone();
+            let mut scratch = vec![0.0; 2 * cfg.n];
+            b.iter(|| {
+                x.copy_from_slice(&rhs);
+                lu_real.solve_complex_split(&mut x, &mut scratch);
+                std::hint::black_box(&x);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("general_complex", bw), &bw, |b, _| {
+            let mut x = rhs.clone();
+            b.iter(|| {
+                x.copy_from_slice(&rhs);
+                lu_cplx.solve(&mut x);
+                std::hint::black_box(&x);
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_factorisations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("banded_factor_n1024");
+    let cfg = CollocationLike::table1(15);
+    g.bench_function("custom_no_pivot", |b| {
+        b.iter(|| {
+            let lu = CornerLu::factor(cfg.corner()).unwrap();
+            std::hint::black_box(&lu);
+        })
+    });
+    g.bench_function("general_pivoted", |b| {
+        let m = cfg.general::<f64>();
+        b.iter(|| {
+            let lu = BandedLu::factor(&m).unwrap();
+            std::hint::black_box(&lu);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solves, bench_factorisations);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! The section 4.2 fusion ablation: "a single OpenMP threaded block
+//! spans the inverse x transform, the computation of the nonlinear terms
+//! and the forward x transform ... the data remain in cache across all
+//! three operations."
+//!
+//! `separate_passes` processes the whole batch one *stage* at a time
+//! (every line padded, then every line inverse-transformed, ...), so by
+//! the time the squaring pass starts, the early lines have been evicted.
+//! `fused_per_line` runs all five stages on one line before touching the
+//! next, exactly like the production pipeline.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dns_fft::dealias::{dealias_len, pad_full, truncate_full};
+use dns_fft::{C64, CfftPlan, Direction};
+
+fn bench_fusion(c: &mut Criterion) {
+    let n = 256usize;
+    let m = dealias_len(n);
+    // enough lines that the whole batch far exceeds L2
+    let lines = 512usize;
+    let inv = CfftPlan::new(m, Direction::Inverse);
+    let fwd = CfftPlan::new(m, Direction::Forward);
+    let spectra: Vec<C64> = (0..lines * n)
+        .map(|i| C64::new((i as f64 * 0.37).sin(), (i as f64 * 0.73).cos()))
+        .collect();
+
+    let mut g = c.benchmark_group("pad_ifft_square_fft_truncate");
+    g.throughput(Throughput::Elements((lines * n) as u64));
+    g.sample_size(20);
+
+    g.bench_function("separate_passes", |b| {
+        let mut padded = vec![C64::new(0.0, 0.0); lines * m];
+        let mut out = vec![C64::new(0.0, 0.0); lines * n];
+        let mut scratch = inv.make_scratch();
+        b.iter(|| {
+            for l in 0..lines {
+                pad_full(&spectra[l * n..(l + 1) * n], &mut padded[l * m..(l + 1) * m]);
+            }
+            for l in 0..lines {
+                inv.execute(&mut padded[l * m..(l + 1) * m], &mut scratch);
+            }
+            for v in padded.iter_mut() {
+                *v *= *v;
+            }
+            for l in 0..lines {
+                fwd.execute(&mut padded[l * m..(l + 1) * m], &mut scratch);
+            }
+            for l in 0..lines {
+                truncate_full(&padded[l * m..(l + 1) * m], &mut out[l * n..(l + 1) * n]);
+            }
+            std::hint::black_box(&out);
+        })
+    });
+
+    g.bench_function("fused_per_line", |b| {
+        let mut line = vec![C64::new(0.0, 0.0); m];
+        let mut out = vec![C64::new(0.0, 0.0); lines * n];
+        let mut scratch = inv.make_scratch();
+        b.iter(|| {
+            for l in 0..lines {
+                pad_full(&spectra[l * n..(l + 1) * n], &mut line);
+                inv.execute(&mut line, &mut scratch);
+                for v in line.iter_mut() {
+                    *v *= *v;
+                }
+                fwd.execute(&mut line, &mut scratch);
+                truncate_full(&line, &mut out[l * n..(l + 1) * n]);
+            }
+            std::hint::black_box(&out);
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fusion);
+criterion_main!(benches);

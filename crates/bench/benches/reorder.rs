@@ -1,0 +1,33 @@
+//! Criterion microbenchmarks of the on-node reorder kernel: naive vs
+//! cache-blocked, across block sizes (the Table 4 kernel and the
+//! blocked-vs-naive ablation of DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dns_pencil::reorder::{reorder_blocked, reorder_naive};
+
+fn bench_reorder(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reorder");
+    let (ni, nj, nk) = (96usize, 64usize, 96usize);
+    let a: Vec<u64> = (0..ni * nj * nk).map(|x| x as u64).collect();
+    let bytes = (a.len() * 8 * 2) as u64;
+    g.throughput(Throughput::Bytes(bytes));
+    let mut out = vec![0u64; a.len()];
+    g.bench_function("naive_96x64x96", |b| {
+        b.iter(|| {
+            reorder_naive(&a, ni, nj, nk, &mut out);
+            std::hint::black_box(&out);
+        })
+    });
+    for bs in [4usize, 8, 16, 32, 64] {
+        g.bench_with_input(BenchmarkId::new("blocked_96x64x96", bs), &bs, |b, &bs| {
+            b.iter(|| {
+                reorder_blocked(&a, ni, nj, nk, &mut out, bs);
+                std::hint::black_box(&out);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_reorder);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the DNS solver building blocks: one full RK3
+//! timestep, the per-mode wall-normal advance, and the parallel-FFT
+//! cycle with and without Nyquist elision (the section 4.4 ablation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dns_bspline::{tanh_breakpoints, BsplineBasis, CollocationOps};
+use dns_core::wallnormal::ModeSolver;
+use dns_core::{run_serial, Params, C64};
+use dns_minimpi as mpi;
+use dns_pfft::{ParallelFft, PfftConfig};
+
+fn bench_timestep(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dns_timestep");
+    g.sample_size(10);
+    g.bench_function("full_rk3_step_32x33x32", |b| {
+        b.iter(|| {
+            let steps = run_serial(Params::channel(32, 33, 32, 180.0).with_dt(1e-4), |dns| {
+                dns.set_laminar(0.2);
+                dns.add_perturbation(0.1, 1);
+                dns.step();
+                dns.state().steps
+            });
+            std::hint::black_box(steps);
+        })
+    });
+    g.finish();
+}
+
+fn bench_mode_advance(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wallnormal");
+    let basis = BsplineBasis::new(8, &tanh_breakpoints(58, 2.0));
+    let ops = CollocationOps::new(&basis);
+    let ms = ModeSolver::new(&ops, 7.3, 1.0 / 180.0, 1e-3);
+    let n = ops.n();
+    let line: Vec<C64> = (0..n)
+        .map(|j| C64::new((j as f64).sin(), (j as f64).cos()))
+        .collect();
+    let zeros = vec![C64::new(0.0, 0.0); n];
+    g.bench_function("helmholtz_advance_ny65", |b| {
+        let mut x = line.clone();
+        b.iter(|| {
+            x.copy_from_slice(&line);
+            ms.advance(&ops, 1, &mut x, &zeros, &zeros, 1.0 / 180.0, 1e-3);
+            std::hint::black_box(&x);
+        })
+    });
+    g.bench_function("v_solve_with_influence_ny65", |b| {
+        let mut phi = line.clone();
+        b.iter(|| {
+            phi.copy_from_slice(&line);
+            let v = ms.solve_v(&ops, 1, &mut phi);
+            std::hint::black_box(&v);
+        })
+    });
+    g.finish();
+}
+
+fn bench_pfft_cycle(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pfft_cycle_64x32x64");
+    g.sample_size(10);
+    for (name, baseline) in [("customized", false), ("p3dfft_like", true)] {
+        g.bench_function(name, move |b| {
+            b.iter(|| {
+                let t = mpi::run(1, move |world| {
+                    let cfg = if baseline {
+                        PfftConfig::p3dfft_baseline(64, 32, 64, 1, 1)
+                    } else {
+                        PfftConfig::customized(64, 32, 64, 1, 1)
+                    };
+                    let p = ParallelFft::new(world, cfg);
+                    let x = vec![1.0f64; p.x_pencil_len()];
+                    std::hint::black_box(p.cycle(&x)).len()
+                });
+                std::hint::black_box(t);
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_timestep, bench_mode_advance, bench_pfft_cycle);
+criterion_main!(benches);

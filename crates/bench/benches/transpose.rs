@@ -1,0 +1,38 @@
+//! Criterion benchmarks of the distributed transpose: the alltoall vs
+//! pairwise-sendrecv exchange ablation (section 4.3's FFTW-planner
+//! choice), run on the thread-backed runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dns_minimpi as mpi;
+use dns_pencil::{ExchangeStrategy, TransposePlan};
+
+fn run_cycle(p: usize, strategy: ExchangeStrategy, reps: usize) -> f64 {
+    let times = mpi::run(p, move |comm| {
+        let plan = TransposePlan::new(&comm, 8, 64, 64, strategy);
+        let input = vec![1.0f64; plan.input_len()];
+        comm.barrier();
+        let t0 = std::time::Instant::now();
+        for _ in 0..reps {
+            std::hint::black_box(plan.run(&comm, &input));
+        }
+        comm.allreduce_max(t0.elapsed().as_secs_f64())
+    });
+    times[0]
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transpose_exchange");
+    g.sample_size(10);
+    for p in [2usize, 4] {
+        g.bench_with_input(BenchmarkId::new("alltoall", p), &p, |b, &p| {
+            b.iter(|| run_cycle(p, ExchangeStrategy::AllToAll, 3))
+        });
+        g.bench_with_input(BenchmarkId::new("pairwise", p), &p, |b, &p| {
+            b.iter(|| run_cycle(p, ExchangeStrategy::Pairwise, 3))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_strategies);
+criterion_main!(benches);

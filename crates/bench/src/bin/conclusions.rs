@@ -1,0 +1,81 @@
+//! Section 7 — the paper's conclusions, quantified with the machine
+//! models: what actually limits this DNS, and what a next-generation
+//! machine would need.
+
+use dns_bench::report::Table;
+use dns_netmodel::dnscost::{aggregate_rates, timestep_phases, Grid, Parallelism};
+use dns_netmodel::sensitivity::sensitivity;
+use dns_netmodel::Machine;
+
+fn main() {
+    println!("== Section 7: conclusions, quantified ==\n");
+    let m = Machine::mira();
+    let g = Grid {
+        nx: 18432,
+        ny: 1536,
+        nz: 12288,
+    };
+
+    println!("aggregate rates at 786,432 cores (paper: 271 Tflops = 2.7% of peak");
+    println!("overall; ~906 Tflops = 9.0% counting only on-node compute):");
+    let r = aggregate_rates(&m, &g, 786_432, Parallelism::Mpi);
+    println!(
+        "  model: {:.0} Tflops total ({:.1}% of peak); {:.0} Tflops on-node ({:.1}%)\n",
+        r.total_rate / 1e12,
+        100.0 * r.total_peak_fraction,
+        r.compute_rate / 1e12,
+        100.0 * r.compute_peak_fraction
+    );
+
+    println!("speedup of one timestep from doubling a single machine resource:");
+    let mut t = Table::new(vec![
+        "configuration",
+        "2x injection",
+        "2x bisection",
+        "2x DRAM bw",
+        "2x peak flops",
+    ]);
+    for (label, machine, grid, cores) in [
+        ("Mira MPI, 131K cores", Machine::mira(), g, 131_072usize),
+        ("Mira MPI, 786K cores", Machine::mira(), g, 786_432),
+        (
+            "Blue Waters, 16K cores",
+            Machine::blue_waters(),
+            Grid {
+                nx: 2048,
+                ny: 1024,
+                nz: 2048,
+            },
+            16_384,
+        ),
+    ] {
+        let s = sensitivity(&machine, &grid, cores, Parallelism::Mpi, 2.0);
+        t.row(vec![
+            label.to_string(),
+            format!("{:.2}x", s.injection),
+            format!("{:.2}x", s.bisection),
+            format!("{:.2}x", s.dram),
+            format!("{:.2}x", s.flops),
+        ]);
+    }
+    t.print();
+
+    println!("\nreadings (matching the paper's closing claims):");
+    println!("* the interconnect, not flops, limits the DNS at scale — doubling");
+    println!("  injection bandwidth buys far more than doubling peak flops;");
+    println!("* on-node, memory bandwidth is the scarce resource (DRAM column");
+    println!("  matches or beats the flops column);");
+    println!("* on Gemini the bisection is the wall: Blue Waters gains most from");
+    println!("  a fatter cross-section.");
+
+    // the hybrid recommendation
+    println!("\nhybrid vs MPI at the production scale (524,288 cores):");
+    let mpi = timestep_phases(&m, &g, 524_288, Parallelism::Mpi);
+    let hyb = timestep_phases(&m, &g, 524_288, Parallelism::Hybrid);
+    println!(
+        "  MPI {:.2} s/step vs hybrid {:.2} s/step -> {:.0}% saved by threading",
+        mpi.total(),
+        hyb.total(),
+        100.0 * (1.0 - hyb.total() / mpi.total())
+    );
+}

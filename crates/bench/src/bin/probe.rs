@@ -1,0 +1,66 @@
+//! Diagnostic probe for the minimal-channel science run (not a paper
+//! artefact): prints energy and friction history to locate instability.
+//!
+//! Args: `dt amp scale steps [nx=nz] [ny] [re_tau] [lx] [lz] [stretch]`
+
+use dns_bench::channel_run::minimal_channel_params;
+use dns_core::run_serial;
+use dns_core::stats::{kinetic_energy, profiles};
+
+fn main() {
+    let a: Vec<String> = std::env::args().collect();
+    let get = |i: usize, d: f64| a.get(i).and_then(|s| s.parse().ok()).unwrap_or(d);
+    let dt = get(1, 1e-3);
+    let amp = get(2, 2.0);
+    let scale = get(3, 0.3);
+    let steps = get(4, 300.0) as usize;
+    let mut p = minimal_channel_params();
+    p.dt = dt;
+    if let Some(g) = a.get(5).and_then(|s| s.parse::<usize>().ok()) {
+        p.nx = g;
+        p.nz = g;
+    }
+    if let Some(ny) = a.get(6).and_then(|s| s.parse::<usize>().ok()) {
+        p.ny = ny;
+    }
+    if let Some(re) = a.get(7).and_then(|s| s.parse::<f64>().ok()) {
+        p.nu = 1.0 / re;
+    }
+    p.lx = get(8, p.lx);
+    p.lz = get(9, p.lz);
+    p.grid_stretch = get(10, p.grid_stretch);
+    if scale == 0.0 {
+        p.forcing = dns_core::Forcing::None;
+        p.nu = 1e-12;
+    }
+    eprintln!(
+        "probe: {}x{}x{} re={} lx={} lz={} stretch={} dt={} amp={} scale={}",
+        p.nx, p.ny, p.nz, 1.0 / p.nu, p.lx, p.lz, p.grid_stretch, p.dt, amp, scale
+    );
+    run_serial(p, move |dns| {
+        if scale < 0.0 {
+            dns.set_turbulent_mean(1.0);
+        } else {
+            dns.set_laminar(scale);
+        }
+        dns.add_perturbation(amp, 2024);
+        println!("step 0: KE = {:.4}", kinetic_energy(dns));
+        for s in 1..=steps {
+            dns.step();
+            if s % 10 == 0 || s < 10 {
+                let pr = profiles(dns);
+                let ke = kinetic_energy(dns);
+                let umax = pr.u_mean.iter().cloned().fold(0.0f64, f64::max);
+                let uu = pr.uu.iter().cloned().fold(0.0f64, f64::max);
+                println!(
+                    "step {s}: KE = {ke:.4}  u_mean_max = {umax:.2}  uu_max = {uu:.3}  u_tau = {:.3}",
+                    pr.u_tau
+                );
+                if !ke.is_finite() {
+                    println!("blow-up detected");
+                    break;
+                }
+            }
+        }
+    });
+}

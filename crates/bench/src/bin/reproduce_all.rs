@@ -1,0 +1,47 @@
+//! Run every table reproduction in sequence and write the reports to
+//! `target/reports/` — the one-command regeneration of the paper's
+//! quantitative artefacts (the figure binaries are separate because they
+//! run the real DNS for minutes each).
+//!
+//! ```text
+//! cargo run --release -p dns-bench --bin reproduce_all
+//! ```
+
+use std::path::Path;
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table1", "table2", "table3", "table4", "table5", "table6", "table9", "table10",
+        "table11", "conclusions",
+    ];
+    let out_dir = Path::new("target/reports");
+    std::fs::create_dir_all(out_dir).expect("create report directory");
+    // locate sibling binaries next to this executable
+    let me = std::env::current_exe().expect("current exe");
+    let bin_dir = me.parent().expect("bin dir");
+    let mut failed = Vec::new();
+    for b in bins {
+        print!("running {b:>12} ... ");
+        use std::io::Write;
+        std::io::stdout().flush().ok();
+        let exe = bin_dir.join(b);
+        let output = Command::new(&exe)
+            .output()
+            .unwrap_or_else(|e| panic!("launch {}: {e}", exe.display()));
+        let path = out_dir.join(format!("{b}.txt"));
+        std::fs::write(&path, &output.stdout).expect("write report");
+        if output.status.success() {
+            println!("ok -> {}", path.display());
+        } else {
+            println!("FAILED (exit {:?})", output.status.code());
+            failed.push(b);
+        }
+    }
+    if failed.is_empty() {
+        println!("\nall table reproductions complete; see EXPERIMENTS.md for the");
+        println!("paper-vs-model commentary and target/reports/ for the raw rows.");
+    } else {
+        panic!("failed: {failed:?}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Table 6 — strong scaling of the parallel FFT: the customized kernel
+//! vs the P3DFFT-equivalent baseline on all four machines.
+//!
+//! At-scale numbers come from the machine models (including the "N/A:
+//! inadequate memory" gate that P3DFFT's 3x buffers trip); the two
+//! kernels also run *for real* on the thread-backed runtime at laptop
+//! scale, demonstrating the Nyquist-elision and planning differences
+//! functionally.
+
+use dns_bench::paper::{self, T6Row};
+use dns_bench::report::{opt_secs, pct, Table};
+use dns_minimpi as mpi;
+use dns_netmodel::dnscost::{pfft_cycle, Grid};
+use dns_netmodel::Machine;
+use dns_pfft::{ParallelFft, PfftConfig};
+
+fn section(name: &str, m: &Machine, g: Grid, rows: &[T6Row]) {
+    println!("\n{name} (grid {} x {} x {}):", g.nx, g.ny, g.nz);
+    let mut t = Table::new(vec![
+        "cores",
+        "P3DFFT model",
+        "P3DFFT paper",
+        "custom model",
+        "custom paper",
+        "ratio model",
+        "ratio paper",
+        "custom eff (model)",
+    ]);
+    let base_cores = rows[0].0;
+    let base_custom = pfft_cycle(m, &g, base_cores, true);
+    for &(cores, p_p3d, p_custom) in rows {
+        let c = pfft_cycle(m, &g, cores, true);
+        let p = pfft_cycle(m, &g, cores, false);
+        let ratio_model = match (p, c) {
+            (Some(p), Some(c)) => format!("{:.2}", p / c),
+            _ => "N/A".into(),
+        };
+        let ratio_paper = match (p_p3d, p_custom) {
+            (Some(p), Some(c)) => format!("{:.2}", p / c),
+            _ => "N/A".into(),
+        };
+        let eff = match (base_custom, c) {
+            (Some(b), Some(c)) => pct(b * base_cores as f64 / (c * cores as f64)),
+            _ => "-".into(),
+        };
+        t.row(vec![
+            format!("{cores}"),
+            opt_secs(p),
+            p_p3d.map(|x| format!("{x}")).unwrap_or_else(|| "N/A".into()),
+            opt_secs(c),
+            p_custom.map(|x| format!("{x}")).unwrap_or_else(|| "N/A".into()),
+            ratio_model,
+            ratio_paper,
+            eff,
+        ]);
+    }
+    t.print();
+}
+
+fn main() {
+    println!("== Table 6: parallel FFT strong scaling, customized vs P3DFFT ==");
+    section(
+        "Mira (small grid)",
+        &Machine::mira(),
+        Grid { nx: 2048, ny: 1024, nz: 1024 },
+        paper::TABLE6_MIRA1,
+    );
+    section(
+        "Mira (large grid)",
+        &Machine::mira(),
+        Grid { nx: 18432, ny: 12288, nz: 12288 },
+        paper::TABLE6_MIRA2,
+    );
+    section(
+        "Lonestar",
+        &Machine::lonestar(),
+        Grid { nx: 768, ny: 768, nz: 768 },
+        paper::TABLE6_LONESTAR,
+    );
+    section(
+        "Stampede",
+        &Machine::stampede(),
+        Grid { nx: 1024, ny: 1024, nz: 1024 },
+        paper::TABLE6_STAMPEDE,
+    );
+
+    println!("\nshape checks: P3DFFT cannot fit the large cases (N/A rows);");
+    println!("it wins at small core counts on the Xeon fat-tree machines and");
+    println!("loses at scale everywhere; the customized kernel wins at every");
+    println!("count on Mira, where its threading exploits the 4 hardware threads.");
+
+    // real measured cycle at laptop scale (both kernels, 4 rank threads)
+    println!("\nhost measurement (4 ranks, 64 x 32 x 64, one full cycle):");
+    for (label, baseline) in [("customized", false), ("p3dfft-like", true)] {
+        let times = mpi::run(4, move |world| {
+            let cfg = if baseline {
+                PfftConfig::p3dfft_baseline(64, 32, 64, 2, 2)
+            } else {
+                PfftConfig::customized(64, 32, 64, 2, 2)
+            };
+            let p = ParallelFft::new(world, cfg);
+            let x = vec![1.0f64; p.x_pencil_len()];
+            p.comm_a().barrier();
+            let t0 = std::time::Instant::now();
+            let reps = 10;
+            for _ in 0..reps {
+                std::hint::black_box(p.cycle(&x));
+            }
+            let dt = t0.elapsed().as_secs_f64() / reps as f64;
+            let dt = p.comm_a().allreduce_max(dt);
+            (p.comm_b().allreduce_max(dt), p.buffer_bytes())
+        });
+        println!(
+            "  {label:12}: {:.2} ms per cycle, {} buffer bytes per rank",
+            times[0].0 * 1e3,
+            times[0].1
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Shared infrastructure for the table/figure reproduction binaries.
+//!
+//! Every binary regenerates one table or figure of Lee, Malaya & Moser
+//! (SC'13) and prints the paper's published values next to this
+//! reproduction's numbers. Values measured on the four petascale
+//! machines come from the `dns-netmodel` performance models (see
+//! DESIGN.md's substitution table); numerical kernels additionally run
+//! for real on the host.
+
+#![warn(missing_docs)]
+// Indexed loops mirror the textbook statements of the numerical
+// algorithms (banded elimination, butterflies, stencils); iterator
+// rewrites of these kernels obscure the maths without helping codegen.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::type_complexity)]
+
+pub mod channel_run;
+pub mod paper;
+pub mod report;
+
+/// Crude wall-clock measurement: run `f` repeatedly for at least
+/// `min_time` seconds (and at least `min_iters` times), return seconds
+/// per iteration.
+pub fn time_it<F: FnMut()>(min_time: f64, min_iters: usize, mut f: F) -> f64 {
+    // warm-up
+    f();
+    let start = std::time::Instant::now();
+    let mut iters = 0usize;
+    loop {
+        f();
+        iters += 1;
+        let t = start.elapsed().as_secs_f64();
+        if t >= min_time && iters >= min_iters {
+            return t / iters as f64;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn time_it_returns_positive_duration() {
+        let mut x = 0u64;
+        let t = super::time_it(0.01, 3, || {
+            x = x.wrapping_add(1);
+            std::hint::black_box(x);
+        });
+        assert!(t > 0.0 && t < 1.0);
+    }
+}

@@ -1,0 +1,122 @@
+//! Plain-text table rendering for the reproduction reports.
+
+/// A simple right-aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>>(headers: Vec<S>) -> Table {
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append one row (must match the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: Vec<S>) -> &mut Self {
+        let cells: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut width = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            width[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                width[i] = width[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], width: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(width)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        out.push_str(&fmt_row(&self.headers, &width));
+        out.push('\n');
+        out.push_str(&"-".repeat(width.iter().sum::<usize>() + 2 * (ncol - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &width));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format seconds with three significant digits (paper style).
+pub fn secs(t: f64) -> String {
+    if t == 0.0 {
+        return "0".into();
+    }
+    if t >= 100.0 {
+        format!("{t:.0}")
+    } else if t >= 10.0 {
+        format!("{t:.1}")
+    } else if t >= 1.0 {
+        format!("{t:.2}")
+    } else if t >= 1e-3 {
+        format!("{t:.3}")
+    } else {
+        format!("{:.1}us", t * 1e6)
+    }
+}
+
+/// Format a parallel efficiency as a percentage.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", 100.0 * x)
+}
+
+/// Format an optional time, using the paper's "N/A" for `None`.
+pub fn opt_secs(t: Option<f64>) -> String {
+    t.map(secs).unwrap_or_else(|| "N/A".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(vec!["a", "bbb"]);
+        t.row(vec!["1", "2"]).row(vec!["10", "20000"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("bbb"));
+        assert!(lines[3].ends_with("20000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn wrong_arity_panics() {
+        Table::new(vec!["a"]).row(vec!["1", "2"]);
+    }
+
+    #[test]
+    fn number_formats() {
+        assert_eq!(secs(123.4), "123");
+        assert_eq!(secs(12.34), "12.3");
+        assert_eq!(secs(1.234), "1.23");
+        assert_eq!(secs(0.1234), "0.123");
+        assert_eq!(pct(0.915), "91.5%");
+        assert_eq!(opt_secs(None), "N/A");
+    }
+}

@@ -1,0 +1,324 @@
+//! Clamped B-spline basis: knot construction, evaluation and derivatives
+//! via the Cox-de Boor recursion (Piegl & Tiller algorithms A2.1-A2.3,
+//! following DeBoor's "A Practical Guide to Splines" as cited by the
+//! paper).
+
+/// A clamped B-spline basis of a given order on a breakpoint sequence.
+///
+/// Order `k` means polynomial degree `k - 1` (the paper's "7th-order
+/// basis splines" are order 8). With `m` breakpoint intervals the basis
+/// has `m + k - 1` functions.
+#[derive(Clone, Debug)]
+pub struct BsplineBasis {
+    order: usize,
+    /// Full clamped knot vector: first/last breakpoints repeated `order`
+    /// times, interior breakpoints once.
+    knots: Vec<f64>,
+}
+
+impl BsplineBasis {
+    /// Build the basis from strictly increasing breakpoints.
+    ///
+    /// # Panics
+    /// If `order < 2`, fewer than two breakpoints, or non-increasing
+    /// breakpoints.
+    pub fn new(order: usize, breakpoints: &[f64]) -> Self {
+        assert!(order >= 2, "order must be at least 2 (linear splines)");
+        assert!(breakpoints.len() >= 2, "need at least one interval");
+        for w in breakpoints.windows(2) {
+            assert!(w[1] > w[0], "breakpoints must strictly increase");
+        }
+        let mut knots = Vec::with_capacity(breakpoints.len() + 2 * (order - 1));
+        for _ in 0..order - 1 {
+            knots.push(breakpoints[0]);
+        }
+        knots.extend_from_slice(breakpoints);
+        for _ in 0..order - 1 {
+            knots.push(*breakpoints.last().unwrap());
+        }
+        BsplineBasis { order, knots }
+    }
+
+    /// Spline order `k` (degree + 1).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Polynomial degree `k - 1`.
+    pub fn degree(&self) -> usize {
+        self.order - 1
+    }
+
+    /// Number of basis functions.
+    pub fn len(&self) -> usize {
+        self.knots.len() - self.order
+    }
+
+    /// The basis is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Domain of definition `[a, b]`.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.knots[0], *self.knots.last().unwrap())
+    }
+
+    /// Full clamped knot vector.
+    pub fn knots(&self) -> &[f64] {
+        &self.knots
+    }
+
+    /// Knot span index `i` with `knots[i] <= x < knots[i+1]`
+    /// (right-closed at the domain end), `degree <= i <= len()-1`.
+    pub fn find_span(&self, x: f64) -> usize {
+        let p = self.degree();
+        let n = self.len() - 1; // max basis index
+        let (a, b) = self.domain();
+        assert!(x >= a - 1e-12 && x <= b + 1e-12, "x={x} outside [{a},{b}]");
+        if x >= self.knots[n + 1] {
+            return n;
+        }
+        // binary search in knots[p..=n+1]
+        let mut lo = p;
+        let mut hi = n + 1;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            if x < self.knots[mid] {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        lo
+    }
+
+    /// Evaluate the `order` non-vanishing basis functions at `x`.
+    /// Returns `(first, values)` where `values[j] = B_{first+j}(x)`.
+    pub fn eval_nonzero(&self, x: f64) -> (usize, Vec<f64>) {
+        let span = self.find_span(x);
+        let p = self.degree();
+        let mut n = vec![0.0; p + 1];
+        let mut left = vec![0.0; p + 1];
+        let mut right = vec![0.0; p + 1];
+        n[0] = 1.0;
+        for j in 1..=p {
+            left[j] = x - self.knots[span + 1 - j];
+            right[j] = self.knots[span + j] - x;
+            let mut saved = 0.0;
+            for r in 0..j {
+                let temp = n[r] / (right[r + 1] + left[j - r]);
+                n[r] = saved + right[r + 1] * temp;
+                saved = left[j - r] * temp;
+            }
+            n[j] = saved;
+        }
+        (span - p, n)
+    }
+
+    /// Evaluate the non-vanishing basis functions and their derivatives up
+    /// to order `nd` at `x`. Returns `(first, ders)` with
+    /// `ders[d][j] = d^d/dx^d B_{first+j}(x)`.
+    pub fn eval_derivs(&self, x: f64, nd: usize) -> (usize, Vec<Vec<f64>>) {
+        let span = self.find_span(x);
+        let p = self.degree();
+        let nd = nd.min(p); // higher derivatives of a degree-p spline vanish
+        // ndu[j][r]: basis functions and knot differences (A2.3)
+        let mut ndu = vec![vec![0.0; p + 1]; p + 1];
+        let mut left = vec![0.0; p + 1];
+        let mut right = vec![0.0; p + 1];
+        ndu[0][0] = 1.0;
+        for j in 1..=p {
+            left[j] = x - self.knots[span + 1 - j];
+            right[j] = self.knots[span + j] - x;
+            let mut saved = 0.0;
+            for r in 0..j {
+                ndu[j][r] = right[r + 1] + left[j - r];
+                let temp = ndu[r][j - 1] / ndu[j][r];
+                ndu[r][j] = saved + right[r + 1] * temp;
+                saved = left[j - r] * temp;
+            }
+            ndu[j][j] = saved;
+        }
+        let mut ders = vec![vec![0.0; p + 1]; nd + 1];
+        for j in 0..=p {
+            ders[0][j] = ndu[j][p];
+        }
+        let mut a = vec![vec![0.0; p + 1]; 2];
+        for r in 0..=p {
+            let mut s1 = 0;
+            let mut s2 = 1;
+            a[0][0] = 1.0;
+            for k in 1..=nd {
+                let mut d = 0.0;
+                let rk = r as isize - k as isize;
+                let pk = p - k;
+                if r >= k {
+                    a[s2][0] = a[s1][0] / ndu[pk + 1][rk as usize];
+                    d = a[s2][0] * ndu[rk as usize][pk];
+                }
+                let j1 = if rk >= -1 { 1 } else { (-rk) as usize };
+                let j2 = if r as isize - 1 <= pk as isize {
+                    k - 1
+                } else {
+                    p - r
+                };
+                for j in j1..=j2 {
+                    a[s2][j] =
+                        (a[s1][j] - a[s1][j - 1]) / ndu[pk + 1][(rk + j as isize) as usize];
+                    d += a[s2][j] * ndu[(rk + j as isize) as usize][pk];
+                }
+                if r <= pk {
+                    a[s2][k] = -a[s1][k - 1] / ndu[pk + 1][r];
+                    d += a[s2][k] * ndu[r][pk];
+                }
+                ders[k][r] = d;
+                std::mem::swap(&mut s1, &mut s2);
+            }
+        }
+        // multiply by degree factors p!/(p-k)!
+        let mut f = p as f64;
+        for k in 1..=nd {
+            for v in ders[k].iter_mut() {
+                *v *= f;
+            }
+            f *= (p - k) as f64;
+        }
+        (span - p, ders)
+    }
+
+    /// Greville abscissae: the canonical collocation points
+    /// `xi_i = (t_{i+1} + ... + t_{i+k-1}) / (k-1)`, one per basis
+    /// function, strictly increasing for clamped knots.
+    pub fn greville(&self) -> Vec<f64> {
+        let p = self.degree();
+        (0..self.len())
+            .map(|i| self.knots[i + 1..i + 1 + p].iter().sum::<f64>() / p as f64)
+            .collect()
+    }
+
+    /// Evaluate a spline with coefficients `coef` at `x`.
+    pub fn eval(&self, coef: &[f64], x: f64) -> f64 {
+        assert_eq!(coef.len(), self.len());
+        let (first, vals) = self.eval_nonzero(x);
+        vals.iter()
+            .enumerate()
+            .map(|(j, v)| v * coef[first + j])
+            .sum()
+    }
+
+    /// Evaluate the `d`-th derivative of a spline at `x`.
+    pub fn eval_deriv(&self, coef: &[f64], x: f64, d: usize) -> f64 {
+        assert_eq!(coef.len(), self.len());
+        let (first, ders) = self.eval_derivs(x, d);
+        if d >= ders.len() {
+            return 0.0;
+        }
+        ders[d]
+            .iter()
+            .enumerate()
+            .map(|(j, v)| v * coef[first + j])
+            .sum()
+    }
+
+    /// Integral of each basis function over the domain:
+    /// `int B_i = (t_{i+k} - t_i) / k`.
+    pub fn basis_integrals(&self) -> Vec<f64> {
+        let k = self.order;
+        (0..self.len())
+            .map(|i| (self.knots[i + k] - self.knots[i]) / k as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{tanh_breakpoints, uniform_breakpoints};
+
+    #[test]
+    fn counts_and_domain() {
+        let b = BsplineBasis::new(8, &uniform_breakpoints(16));
+        assert_eq!(b.len(), 16 + 8 - 1);
+        assert_eq!(b.degree(), 7);
+        assert_eq!(b.domain(), (-1.0, 1.0));
+    }
+
+    #[test]
+    fn partition_of_unity() {
+        let b = BsplineBasis::new(8, &tanh_breakpoints(12, 2.0));
+        for i in 0..=200 {
+            let x = -1.0 + 2.0 * i as f64 / 200.0;
+            let (_, vals) = b.eval_nonzero(x);
+            let s: f64 = vals.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "x={x} sum={s}");
+            assert!(vals.iter().all(|&v| v >= -1e-12), "negative basis value");
+        }
+    }
+
+    #[test]
+    fn derivative_of_partition_of_unity_vanishes() {
+        let b = BsplineBasis::new(6, &uniform_breakpoints(9));
+        for i in 1..40 {
+            let x = -1.0 + 2.0 * i as f64 / 40.0;
+            let (_, ders) = b.eval_derivs(x, 2);
+            let d1: f64 = ders[1].iter().sum();
+            let d2: f64 = ders[2].iter().sum();
+            assert!(d1.abs() < 1e-9 && d2.abs() < 1e-8, "x={x}");
+        }
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let b = BsplineBasis::new(8, &tanh_breakpoints(10, 1.5));
+        let coef: Vec<f64> = (0..b.len()).map(|i| ((i * i) as f64 * 0.13).sin()).collect();
+        let h = 1e-6;
+        for &x in &[-0.7, -0.2, 0.15, 0.6, 0.93] {
+            let d_exact = b.eval_deriv(&coef, x, 1);
+            let d_fd = (b.eval(&coef, x + h) - b.eval(&coef, x - h)) / (2.0 * h);
+            assert!((d_exact - d_fd).abs() < 1e-5, "x={x}: {d_exact} vs {d_fd}");
+            let d2_exact = b.eval_deriv(&coef, x, 2);
+            let d2_fd =
+                (b.eval(&coef, x + h) - 2.0 * b.eval(&coef, x) + b.eval(&coef, x - h)) / (h * h);
+            assert!((d2_exact - d2_fd).abs() < 1e-3, "x={x}");
+        }
+    }
+
+    #[test]
+    fn greville_points_are_increasing_and_span_domain() {
+        let b = BsplineBasis::new(8, &tanh_breakpoints(24, 2.2));
+        let g = b.greville();
+        assert_eq!(g.len(), b.len());
+        assert!((g[0] + 1.0).abs() < 1e-14);
+        assert!((g[g.len() - 1] - 1.0).abs() < 1e-14);
+        for w in g.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn clamped_ends_interpolate_first_and_last_coefficients() {
+        let b = BsplineBasis::new(5, &uniform_breakpoints(7));
+        let coef: Vec<f64> = (0..b.len()).map(|i| i as f64).collect();
+        assert!((b.eval(&coef, -1.0) - coef[0]).abs() < 1e-13);
+        assert!((b.eval(&coef, 1.0) - coef[coef.len() - 1]).abs() < 1e-13);
+    }
+
+    #[test]
+    fn basis_integrals_sum_to_domain_length() {
+        let b = BsplineBasis::new(8, &tanh_breakpoints(15, 2.0));
+        let s: f64 = b.basis_integrals().iter().sum();
+        assert!((s - 2.0).abs() < 1e-12); // partition of unity integrates to |domain|
+    }
+
+    #[test]
+    fn spans_cover_every_evaluation_point() {
+        let b = BsplineBasis::new(4, &uniform_breakpoints(5));
+        for i in 0..=100 {
+            let x = -1.0 + 2.0 * i as f64 / 100.0;
+            let span = b.find_span(x);
+            assert!(b.knots()[span] <= x + 1e-14);
+            assert!(x <= b.knots()[span + 1] + 1e-14);
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Galerkin (weak-form) operators: exact Gauss-Legendre quadrature per
+//! knot span, the mass matrix `M[i][j] = int B_i B_j dy` and the
+//! stiffness matrix `K[i][j] = int B_i' B_j' dy`.
+//!
+//! The paper's formulation is Fourier-*Galerkin* in the horizontal
+//! directions and collocation in y; these weak-form y-operators support
+//! the energy diagnostics and provide the symmetric-positive-definite
+//! alternative discretisation that collocation is usually checked
+//! against.
+
+use crate::basis::BsplineBasis;
+use dns_banded::general::BandedMatrix;
+
+/// Gauss-Legendre nodes and weights on [-1, 1] (orders 1..=8 supported).
+fn gauss_legendre(n: usize) -> (Vec<f64>, Vec<f64>) {
+    // Newton iteration on Legendre polynomials — exact to machine
+    // precision for the small orders needed here.
+    let mut nodes = vec![0.0; n];
+    let mut weights = vec![0.0; n];
+    for i in 0..n {
+        // Chebyshev initial guess
+        let mut x = (std::f64::consts::PI * (i as f64 + 0.75) / (n as f64 + 0.5)).cos();
+        for _ in 0..100 {
+            // evaluate P_n and P_n' via recurrence
+            let (mut p0, mut p1) = (1.0, x);
+            for k in 2..=n {
+                let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+                p0 = p1;
+                p1 = p2;
+            }
+            let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+            let dx = p1 / dp;
+            x -= dx;
+            if dx.abs() < 1e-15 {
+                break;
+            }
+        }
+        nodes[i] = x;
+        // recompute P_n' at the converged node
+        let (mut p0, mut p1) = (1.0, x);
+        for k in 2..=n {
+            let p2 = ((2 * k - 1) as f64 * x * p1 - (k - 1) as f64 * p0) / k as f64;
+            p0 = p1;
+            p1 = p2;
+        }
+        let dp = n as f64 * (x * p1 - p0) / (x * x - 1.0);
+        weights[i] = 2.0 / ((1.0 - x * x) * dp * dp);
+    }
+    (nodes, weights)
+}
+
+/// Assemble the Galerkin operator
+/// `A[i][j] = int B_i^(da) B_j^(db) dy` with derivative orders
+/// `da`, `db` (mass: 0,0; stiffness: 1,1), exactly integrated.
+pub fn galerkin_matrix(basis: &BsplineBasis, da: usize, db: usize) -> BandedMatrix<f64> {
+    let n = basis.len();
+    let p = basis.degree();
+    let mut a = BandedMatrix::zeros(n, p, p);
+    // quadrature order: integrand degree <= 2p, needs ceil((2p+1)/2) pts
+    let q = p + 1;
+    let (gx, gw) = gauss_legendre(q);
+    let knots = basis.knots();
+    // iterate distinct non-empty spans
+    for s in p..(knots.len() - p - 1) {
+        let (a0, b0) = (knots[s], knots[s + 1]);
+        if b0 <= a0 {
+            continue;
+        }
+        let half = 0.5 * (b0 - a0);
+        let mid = 0.5 * (a0 + b0);
+        for (xg, wg) in gx.iter().zip(&gw) {
+            let y = mid + half * xg;
+            let w = wg * half;
+            let (first, ders) = basis.eval_derivs(y, da.max(db));
+            let va = &ders[da];
+            let vb = &ders[db];
+            for i in 0..=p {
+                for j in 0..=p {
+                    a.add(first + i, first + j, w * va[i] * vb[j]);
+                }
+            }
+        }
+    }
+    a
+}
+
+/// Mass matrix `int B_i B_j`.
+pub fn mass_matrix(basis: &BsplineBasis) -> BandedMatrix<f64> {
+    galerkin_matrix(basis, 0, 0)
+}
+
+/// Stiffness matrix `int B_i' B_j'`.
+pub fn stiffness_matrix(basis: &BsplineBasis) -> BandedMatrix<f64> {
+    galerkin_matrix(basis, 1, 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{tanh_breakpoints, uniform_breakpoints};
+    use crate::operators::CollocationOps;
+
+    #[test]
+    fn gauss_legendre_integrates_polynomials_exactly() {
+        for n in 1..=8usize {
+            let (x, w) = gauss_legendre(n);
+            // exact for degree 2n-1
+            for d in 0..2 * n {
+                let got: f64 = x.iter().zip(&w).map(|(&xi, &wi)| wi * xi.powi(d as i32)).sum();
+                let want = if d % 2 == 0 { 2.0 / (d as f64 + 1.0) } else { 0.0 };
+                assert!((got - want).abs() < 1e-13, "n={n} d={d}: {got} vs {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn mass_matrix_row_sums_are_basis_integrals() {
+        // sum_j M[i][j] = int B_i * (sum_j B_j) = int B_i (partition of
+        // unity)
+        let basis = BsplineBasis::new(8, &tanh_breakpoints(10, 2.0));
+        let m = mass_matrix(&basis);
+        let ints = basis.basis_integrals();
+        let n = basis.len();
+        for i in 0..n {
+            let row_sum: f64 = (0..n).map(|j| m.get(i, j)).sum();
+            assert!((row_sum - ints[i]).abs() < 1e-13, "row {i}");
+        }
+    }
+
+    #[test]
+    fn mass_matrix_is_symmetric_positive() {
+        let basis = BsplineBasis::new(6, &uniform_breakpoints(9));
+        let m = mass_matrix(&basis);
+        let n = basis.len();
+        for i in 0..n {
+            assert!(m.get(i, i) > 0.0);
+            for j in 0..n {
+                assert!((m.get(i, j) - m.get(j, i)).abs() < 1e-14);
+            }
+        }
+    }
+
+    #[test]
+    fn stiffness_annihilates_constants() {
+        // K c = 0 when c represents a constant function (all-ones
+        // coefficients under partition of unity)
+        let basis = BsplineBasis::new(7, &tanh_breakpoints(8, 1.4));
+        let k = stiffness_matrix(&basis);
+        let ones = vec![1.0; basis.len()];
+        let mut out = vec![0.0; basis.len()];
+        k.matvec(&ones, &mut out);
+        for v in out {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn galerkin_energy_matches_analytic_integral() {
+        // for f = sin(2y): int f^2 over [-1,1] and int f'^2, through
+        // interpolated coefficients and the Galerkin matrices
+        let basis = BsplineBasis::new(8, &uniform_breakpoints(16));
+        let ops = CollocationOps::new(&basis);
+        let vals: Vec<f64> = ops.points().iter().map(|&y| (2.0 * y).sin()).collect();
+        let c = ops.interpolate(&vals);
+        let m = mass_matrix(&basis);
+        let k = stiffness_matrix(&basis);
+        let n = basis.len();
+        let quad = |a: &BandedMatrix<f64>| -> f64 {
+            let mut out = vec![0.0; n];
+            a.matvec(&c, &mut out);
+            c.iter().zip(&out).map(|(x, y)| x * y).sum()
+        };
+        // int sin^2(2y) dy = 1 - sin(4)/4 ; int (2cos 2y)^2 = 4(1 + sin(4)/4)
+        let want_m = 1.0 - (4.0f64).sin() / 4.0;
+        let want_k = 4.0 * (1.0 + (4.0f64).sin() / 4.0);
+        assert!((quad(&m) - want_m).abs() < 1e-8, "{} vs {want_m}", quad(&m));
+        assert!((quad(&k) - want_k).abs() < 1e-6, "{} vs {want_k}", quad(&k));
+    }
+
+    #[test]
+    fn stiffness_equals_minus_mass_weighted_second_derivative() {
+        // integration by parts with clamped boundaries: c^T K c =
+        // -int f f'' when f vanishes at the ends
+        let basis = BsplineBasis::new(8, &uniform_breakpoints(14));
+        let ops = CollocationOps::new(&basis);
+        let vals: Vec<f64> = ops
+            .points()
+            .iter()
+            .map(|&y| (std::f64::consts::PI * (y + 1.0)).sin())
+            .collect();
+        let c = ops.interpolate(&vals);
+        let k = stiffness_matrix(&basis);
+        let n = basis.len();
+        let mut kc = vec![0.0; n];
+        k.matvec(&c, &mut kc);
+        let lhs: f64 = c.iter().zip(&kc).map(|(a, b)| a * b).sum();
+        // analytic: int (pi cos(pi(y+1)))^2 = pi^2
+        assert!((lhs - std::f64::consts::PI.powi(2)).abs() < 1e-6, "{lhs}");
+    }
+}

@@ -1,0 +1,78 @@
+//! Breakpoint distributions for the wall-normal grid of the channel
+//! `y in [-1, 1]`.
+
+/// `m + 1` uniformly spaced breakpoints on `[-1, 1]`.
+pub fn uniform_breakpoints(m: usize) -> Vec<f64> {
+    assert!(m >= 1);
+    (0..=m).map(|j| -1.0 + 2.0 * j as f64 / m as f64).collect()
+}
+
+/// Hyperbolic-tangent stretched breakpoints clustering towards both walls,
+/// the standard channel-DNS distribution: larger `s` clusters harder.
+/// `s -> 0` recovers the uniform grid.
+pub fn tanh_breakpoints(m: usize, s: f64) -> Vec<f64> {
+    assert!(m >= 1 && s > 0.0);
+    let denom = s.tanh();
+    (0..=m)
+        .map(|j| {
+            let xi = -1.0 + 2.0 * j as f64 / m as f64;
+            (s * xi).tanh() / denom
+        })
+        .collect()
+}
+
+/// Gauss-Lobatto-like (cosine) breakpoints, useful for comparisons with
+/// Chebyshev-based channel codes (Kim, Moin & Moser 1987).
+pub fn chebyshev_like_breakpoints(m: usize) -> Vec<f64> {
+    assert!(m >= 1);
+    (0..=m)
+        .map(|j| -(std::f64::consts::PI * j as f64 / m as f64).cos())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_valid(b: &[f64]) {
+        assert!((b[0] + 1.0).abs() < 1e-14);
+        assert!((b[b.len() - 1] - 1.0).abs() < 1e-14);
+        for w in b.windows(2) {
+            assert!(w[1] > w[0], "breakpoints must increase");
+        }
+    }
+
+    #[test]
+    fn all_distributions_span_the_channel() {
+        check_valid(&uniform_breakpoints(16));
+        check_valid(&tanh_breakpoints(16, 2.3));
+        check_valid(&chebyshev_like_breakpoints(16));
+    }
+
+    #[test]
+    fn tanh_clusters_near_walls() {
+        let b = tanh_breakpoints(32, 2.5);
+        let wall_spacing = b[1] - b[0];
+        let centre_spacing = b[17] - b[16];
+        assert!(wall_spacing < 0.4 * centre_spacing);
+    }
+
+    #[test]
+    fn tanh_small_s_is_nearly_uniform() {
+        let b = tanh_breakpoints(8, 1e-4);
+        let u = uniform_breakpoints(8);
+        for (a, c) in b.iter().zip(&u) {
+            assert!((a - c).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn grids_are_symmetric_about_the_centreline() {
+        for b in [tanh_breakpoints(20, 2.0), chebyshev_like_breakpoints(20)] {
+            let m = b.len();
+            for j in 0..m {
+                assert!((b[j] + b[m - 1 - j]).abs() < 1e-13);
+            }
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Production-style command-line driver for the channel DNS.
+//!
+//! ```text
+//! dns-run [--nx N] [--ny N] [--nz N] [--re RE_TAU] [--lx L] [--lz L]
+//!             [--dt DT] [--steps N] [--stretch S]
+//!             [--flux BULK | --gradient G]
+//!             [--stats-every N] [--checkpoint-every N] [--ckpt STEM]
+//!             [--resume STEM] [--out DIR] [--turbulent-ic AMP]
+//! ```
+//!
+//! Runs the simulation, prints live statistics, writes profile/spectra
+//! CSVs and (optionally) checkpoints.
+
+use std::path::PathBuf;
+
+use dns_core::stats::{profiles, RunningStats};
+use dns_core::{checkpoint, io, run_serial, spectra, Forcing, Params};
+
+struct Args {
+    params: Params,
+    steps: usize,
+    stats_every: usize,
+    ckpt_every: usize,
+    ckpt: Option<PathBuf>,
+    resume: Option<PathBuf>,
+    out: PathBuf,
+    turb_ic: Option<f64>,
+}
+
+fn parse_args() -> Args {
+    let mut params = Params::channel(32, 65, 32, 180.0).with_dt(5e-4);
+    params.lx = 2.0;
+    params.lz = 0.8;
+    params.grid_stretch = 1.9;
+    let mut args = Args {
+        params,
+        steps: 1000,
+        stats_every: 100,
+        ckpt_every: 0,
+        ckpt: None,
+        resume: None,
+        out: PathBuf::from("target/channel-dns"),
+        turb_ic: Some(0.5),
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i)
+            .unwrap_or_else(|| panic!("{} needs a value", argv[*i - 1]))
+            .clone()
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--nx" => args.params.nx = take(&mut i).parse().expect("--nx"),
+            "--ny" => args.params.ny = take(&mut i).parse().expect("--ny"),
+            "--nz" => args.params.nz = take(&mut i).parse().expect("--nz"),
+            "--re" => args.params.nu = 1.0 / take(&mut i).parse::<f64>().expect("--re"),
+            "--lx" => args.params.lx = take(&mut i).parse().expect("--lx"),
+            "--lz" => args.params.lz = take(&mut i).parse().expect("--lz"),
+            "--dt" => args.params.dt = take(&mut i).parse().expect("--dt"),
+            "--stretch" => args.params.grid_stretch = take(&mut i).parse().expect("--stretch"),
+            "--steps" => args.steps = take(&mut i).parse().expect("--steps"),
+            "--stats-every" => args.stats_every = take(&mut i).parse().expect("--stats-every"),
+            "--checkpoint-every" => args.ckpt_every = take(&mut i).parse().expect("--checkpoint-every"),
+            "--ckpt" => args.ckpt = Some(PathBuf::from(take(&mut i))),
+            "--resume" => args.resume = Some(PathBuf::from(take(&mut i))),
+            "--out" => args.out = PathBuf::from(take(&mut i)),
+            "--flux" => {
+                args.params.forcing = Forcing::ConstantMassFlux {
+                    bulk: take(&mut i).parse().expect("--flux"),
+                }
+            }
+            "--gradient" => {
+                args.params.forcing =
+                    Forcing::PressureGradient(take(&mut i).parse().expect("--gradient"))
+            }
+            "--turbulent-ic" => args.turb_ic = Some(take(&mut i).parse().expect("--turbulent-ic")),
+            "--laminar-ic" => args.turb_ic = None,
+            "--help" | "-h" => {
+                println!("see the module docs at the top of dns-run.rs for usage");
+                std::process::exit(0);
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        i += 1;
+    }
+    args
+}
+
+fn main() {
+    let a = parse_args();
+    a.params.validate();
+    std::fs::create_dir_all(&a.out).expect("create output directory");
+    println!(
+        "channel DNS: {} x {} x {} modes, box {:.2} x 2 x {:.2}, Re_tau target {:.0}, dt {}",
+        a.params.nx,
+        a.params.ny,
+        a.params.nz,
+        a.params.lx,
+        a.params.lz,
+        1.0 / a.params.nu,
+        a.params.dt
+    );
+    let params = a.params.clone();
+    run_serial(params, move |dns| {
+        if let Some(stem) = &a.resume {
+            checkpoint::load(dns, stem).expect("load checkpoint");
+            println!(
+                "resumed from step {} (t = {:.3})",
+                dns.state().steps,
+                dns.state().time
+            );
+        } else {
+            match a.turb_ic {
+                Some(amp) => {
+                    dns.set_turbulent_mean(1.0);
+                    dns.add_perturbation(amp, 2024);
+                }
+                None => dns.set_laminar(1.0),
+            }
+        }
+        println!("initial CFL = {:.3}", dns.cfl());
+        let mut acc = RunningStats::new();
+        let t0 = std::time::Instant::now();
+        for s in 1..=a.steps {
+            dns.step();
+            if s % a.stats_every == 0 {
+                let p = profiles(dns);
+                acc.add(&p);
+                println!(
+                    "step {s:6}  t = {:7.3}  u_tau = {:.3}  Re_tau = {:6.1}  bulk = {:6.2}  CFL = {:.2}",
+                    dns.state().time,
+                    p.u_tau,
+                    p.re_tau,
+                    p.bulk_velocity,
+                    dns.cfl(),
+                );
+            }
+            if a.ckpt_every > 0 && s % a.ckpt_every == 0 {
+                let stem = a.ckpt.clone().unwrap_or_else(|| a.out.join("state"));
+                checkpoint::save(dns, &stem).expect("write checkpoint");
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "\n{} steps in {:.1} s ({:.0} ms/step)",
+            a.steps,
+            wall,
+            wall / a.steps as f64 * 1e3
+        );
+
+        // final data products
+        let p = if acc.count() > 0 { acc.mean() } else { profiles(dns) };
+        let yp = p.y_plus();
+        let up = p.u_plus();
+        io::write_csv(
+            &a.out.join("profiles.csv"),
+            &[
+                ("y", &p.y[..]),
+                ("y_plus", &yp[..]),
+                ("u_mean", &p.u_mean[..]),
+                ("u_plus", &up[..]),
+                ("uu", &p.uu[..]),
+                ("vv", &p.vv[..]),
+                ("ww", &p.ww[..]),
+                ("uv", &p.uv[..]),
+            ],
+        )
+        .expect("write profiles");
+        let sp = spectra::spectra(dns);
+        let kx: Vec<f64> = sp.kx.iter().map(|&k| k as f64).collect();
+        io::write_csv(
+            &a.out.join("spectra_kx.csv"),
+            &[
+                ("kx", &kx[..]),
+                ("euu", &sp.euu_kx[..]),
+                ("evv", &sp.evv_kx[..]),
+                ("eww", &sp.eww_kx[..]),
+            ],
+        )
+        .expect("write spectra");
+        if let Some(f) = io::gather_physical(dns, dns.state().u()) {
+            let (w, h, slice) = f.slice_xy(f.nz / 2);
+            io::write_pgm(&a.out.join("u_slice.pgm"), w, h, &slice).expect("write slice");
+        }
+        println!("wrote {}/profiles.csv, spectra_kx.csv, u_slice.pgm", a.out.display());
+    });
+}

@@ -1,0 +1,162 @@
+//! Turbulent-kinetic-energy budget diagnostics: the production and
+//! dissipation profiles that, together with the figures-5/6 statistics,
+//! make up the reference data products of channel DNS (Kim, Moin &
+//! Moser 1987; Lee & Moser 2015).
+//!
+//! For statistically steady channel flow the integrated budget closes:
+//! total production equals total dissipation, and both equal the work
+//! done by the pressure gradient on the fluctuating field.
+
+use crate::solver::ChannelDns;
+use crate::wallnormal::dy_coefficients;
+use crate::C64;
+use dns_bspline::integration_weights;
+
+/// TKE budget profiles at the collocation points.
+#[derive(Clone, Debug)]
+pub struct Budget {
+    /// Collocation points.
+    pub y: Vec<f64>,
+    /// Production `P(y) = -<u'v'> d<u>/dy`.
+    pub production: Vec<f64>,
+    /// Pseudo-dissipation `eps(y) = nu <du_i'/dx_j du_i'/dx_j>`.
+    pub dissipation: Vec<f64>,
+    /// y-integrated production.
+    pub total_production: f64,
+    /// y-integrated dissipation.
+    pub total_dissipation: f64,
+}
+
+/// Compute the production and dissipation profiles (collective).
+pub fn budget(dns: &ChannelDns) -> Budget {
+    let ny = dns.params().ny;
+    let nu = dns.params().nu;
+    let ops = dns.ops();
+
+    // accumulators: uv, du/dy-mean coefficients handled after reduce;
+    // dissipation accumulates nu * sum |ikx u|^2 + |du/dy|^2 + |ikz u|^2
+    // over components and modes
+    let mut acc = vec![0.0f64; 3 * ny]; // [uv, eps, u_mean]
+    let mut vals = vec![C64::new(0.0, 0.0); ny];
+    let mut vals_v = vec![C64::new(0.0, 0.0); ny];
+    for m in 0..dns.local_modes() {
+        if dns.is_nyquist(m) {
+            continue;
+        }
+        let r = dns.line_range(m);
+        if dns.is_mean(m) {
+            ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals);
+            for j in 0..ny {
+                acc[2 * ny + j] += vals[j].re;
+            }
+            continue;
+        }
+        let (ikx, ikz, _) = dns.mode_wavenumbers(m);
+        let w = dns.mode_weight(m);
+        // <u'v'>
+        ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals);
+        ops.b0().matvec_complex(&dns.state().v()[r.clone()], &mut vals_v);
+        for j in 0..ny {
+            acc[j] += w * (vals[j] * vals_v[j].conj()).re;
+        }
+        // dissipation: all nine gradient components, mode by mode
+        for field in [dns.state().u(), dns.state().v(), dns.state().w()] {
+            let line = &field[r.clone()];
+            ops.b0().matvec_complex(line, &mut vals);
+            let ddy = dy_coefficients(ops, line);
+            ops.b0().matvec_complex(&ddy, &mut vals_v);
+            for j in 0..ny {
+                let gx = (ikx * vals[j]).norm_sqr();
+                let gz = (ikz * vals[j]).norm_sqr();
+                let gy = vals_v[j].norm_sqr();
+                acc[ny + j] += w * nu * (gx + gy + gz);
+            }
+        }
+    }
+    let acc = dns.pfft().comm_a().allreduce(&acc, |a, b| a + b);
+    let acc = dns.pfft().comm_b().allreduce(&acc, |a, b| a + b);
+
+    let uv = &acc[..ny];
+    let eps = acc[ny..2 * ny].to_vec();
+    let u_mean = &acc[2 * ny..];
+    // d<u>/dy at the collocation points
+    let mean_coef = ops.interpolate(u_mean);
+    let mut dudy = vec![0.0; ny];
+    ops.b1().matvec(&mean_coef, &mut dudy);
+    let production: Vec<f64> = uv.iter().zip(&dudy).map(|(&uv, &s)| -uv * s).collect();
+
+    let wts = integration_weights(ops);
+    let total_production: f64 = production.iter().zip(&wts).map(|(p, w)| p * w).sum();
+    let total_dissipation: f64 = eps.iter().zip(&wts).map(|(e, w)| e * w).sum();
+    Budget {
+        y: ops.points().to_vec(),
+        production,
+        dissipation: eps,
+        total_production,
+        total_dissipation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::solver::run_serial;
+
+    #[test]
+    fn laminar_flow_has_no_turbulent_budget() {
+        let p = Params::channel(16, 25, 16, 50.0);
+        let b = run_serial(p, |dns| {
+            dns.set_laminar(1.0);
+            budget(dns)
+        });
+        assert!(b.total_production.abs() < 1e-18);
+        assert!(b.total_dissipation.abs() < 1e-18);
+    }
+
+    #[test]
+    fn dissipation_is_positive_and_production_tracks_shear() {
+        let p = Params::channel(16, 33, 16, 120.0).with_dt(5e-4);
+        let b = run_serial(p, |dns| {
+            dns.set_laminar(0.4);
+            dns.add_perturbation(0.3, 17);
+            for _ in 0..50 {
+                dns.step();
+            }
+            budget(dns)
+        });
+        assert!(b.dissipation.iter().all(|&e| e >= 0.0));
+        assert!(b.total_dissipation > 0.0);
+        // with shear and growing streaks, net production is positive
+        assert!(b.total_production > 0.0, "P = {}", b.total_production);
+    }
+
+    #[test]
+    fn dissipation_rate_matches_energy_decay_in_unforced_flow() {
+        // without forcing or mean flow, dE/dt = -integral(eps): check the
+        // identity numerically over a short window
+        let mut p = Params::channel(16, 33, 16, 30.0).with_dt(2.5e-4);
+        p.forcing = crate::params::Forcing::None;
+        let (de_dt, eps) = run_serial(p, |dns| {
+            dns.add_perturbation(0.3, 5);
+            // settle one step so the state is solver-consistent
+            dns.step();
+            let e0 = crate::stats::kinetic_energy(dns);
+            let b0 = budget(dns);
+            let n = 4;
+            for _ in 0..n {
+                dns.step();
+            }
+            let e1 = crate::stats::kinetic_energy(dns);
+            let b1 = budget(dns);
+            (
+                (e1 - e0) / (n as f64 * dns.params().dt),
+                -0.5 * (b0.total_dissipation + b1.total_dissipation),
+            )
+        });
+        assert!(
+            (de_dt - eps).abs() < 0.05 * eps.abs(),
+            "dE/dt = {de_dt}, -eps = {eps}"
+        );
+    }
+}

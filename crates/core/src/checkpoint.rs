@@ -1,0 +1,188 @@
+//! Checkpoint/restart: binary snapshots of the spectral state, one file
+//! per rank — the restart capability any 650,000-step production run
+//! (section 6 of the paper) depends on.
+//!
+//! Format (little-endian): magic, grid signature, time, step count,
+//! then the five coefficient fields as raw `f64` pairs.
+
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+
+use crate::solver::ChannelDns;
+use crate::C64;
+
+const MAGIC: u64 = 0x434E_4453_4B50_5431; // "CNDSKPT1"
+
+/// Per-rank checkpoint path: `<stem>.r<a>x<b>.ckpt`.
+pub fn rank_path(stem: &Path, dns: &ChannelDns) -> PathBuf {
+    let a = dns.pfft().comm_a().rank();
+    let b = dns.pfft().comm_b().rank();
+    stem.with_extension(format!("r{a}x{b}.ckpt"))
+}
+
+fn put_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn put_f64(w: &mut impl Write, v: f64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+fn get_u64(r: &mut impl Read) -> std::io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+fn get_f64(r: &mut impl Read) -> std::io::Result<f64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(f64::from_le_bytes(b))
+}
+
+fn put_field(w: &mut impl Write, f: &[C64]) -> std::io::Result<()> {
+    put_u64(w, f.len() as u64)?;
+    for c in f {
+        put_f64(w, c.re)?;
+        put_f64(w, c.im)?;
+    }
+    Ok(())
+}
+
+fn get_field(r: &mut impl Read, expect: usize) -> std::io::Result<Vec<C64>> {
+    let n = get_u64(r)? as usize;
+    if n != expect {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("field length {n}, expected {expect}"),
+        ));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        let re = get_f64(r)?;
+        let im = get_f64(r)?;
+        out.push(C64::new(re, im));
+    }
+    Ok(out)
+}
+
+/// Write this rank's state to `<stem>.r<a>x<b>.ckpt`.
+pub fn save(dns: &ChannelDns, stem: &Path) -> std::io::Result<()> {
+    let path = rank_path(stem, dns);
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let p = dns.params();
+    put_u64(&mut w, MAGIC)?;
+    for v in [p.nx, p.ny, p.nz, p.pa, p.pb] {
+        put_u64(&mut w, v as u64)?;
+    }
+    put_f64(&mut w, dns.state().time)?;
+    put_u64(&mut w, dns.state().steps)?;
+    for f in [
+        dns.state().u(),
+        dns.state().v(),
+        dns.state().w(),
+        dns.state().omega_y(),
+        dns.state().phi(),
+    ] {
+        put_field(&mut w, f)?;
+    }
+    w.flush()
+}
+
+/// Load this rank's state from `<stem>.r<a>x<b>.ckpt`; the grid and
+/// process layout must match the running configuration.
+pub fn load(dns: &mut ChannelDns, stem: &Path) -> std::io::Result<()> {
+    let path = rank_path(stem, dns);
+    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
+    if get_u64(&mut r)? != MAGIC {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "not a channel-dns checkpoint",
+        ));
+    }
+    let p = dns.params().clone();
+    for want in [p.nx, p.ny, p.nz, p.pa, p.pb] {
+        let got = get_u64(&mut r)? as usize;
+        if got != want {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("grid mismatch: {got} vs {want}"),
+            ));
+        }
+    }
+    let time = get_f64(&mut r)?;
+    let steps = get_u64(&mut r)?;
+    let len = dns.field_len();
+    let u = get_field(&mut r, len)?;
+    let v = get_field(&mut r, len)?;
+    let w = get_field(&mut r, len)?;
+    let o = get_field(&mut r, len)?;
+    let phi = get_field(&mut r, len)?;
+    dns.restore_state(u, v, w, o, phi, time, steps);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::solver::run_parallel;
+    use crate::stats::profiles;
+
+    #[test]
+    fn checkpoint_roundtrip_resumes_bit_identically() {
+        let dir = std::env::temp_dir().join("dns_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("state");
+        let p = Params::channel(16, 25, 16, 80.0).with_dt(1e-3).with_grid(2, 2);
+
+        // run 6 steps straight through
+        let reference = run_parallel(p.clone(), |dns| {
+            dns.set_laminar(0.5);
+            dns.add_perturbation(0.3, 21);
+            for _ in 0..6 {
+                dns.step();
+            }
+            profiles(dns).u_mean
+        });
+
+        // run 3 steps, checkpoint, reload into a fresh solver, run 3 more
+        let stem2 = stem.clone();
+        let p2 = p.clone();
+        let resumed = run_parallel(p, move |dns| {
+            dns.set_laminar(0.5);
+            dns.add_perturbation(0.3, 21);
+            for _ in 0..3 {
+                dns.step();
+            }
+            save(dns, &stem2).unwrap();
+        });
+        drop(resumed);
+        let stem3 = stem.clone();
+        let resumed = run_parallel(p2, move |dns| {
+            load(dns, &stem3).unwrap();
+            assert_eq!(dns.state().steps, 3);
+            for _ in 0..3 {
+                dns.step();
+            }
+            profiles(dns).u_mean
+        });
+
+        for (a, b) in reference[0].iter().zip(&resumed[0]) {
+            assert!((a - b).abs() < 1e-14, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn grid_mismatch_is_rejected() {
+        let dir = std::env::temp_dir().join("dns_ckpt_test2");
+        std::fs::create_dir_all(&dir).unwrap();
+        let stem = dir.join("state");
+        let stem2 = stem.clone();
+        crate::solver::run_serial(Params::channel(16, 25, 16, 80.0), move |dns| {
+            save(dns, &stem2).unwrap();
+        });
+        let stem3 = stem.clone();
+        crate::solver::run_serial(Params::channel(32, 25, 16, 80.0), move |dns| {
+            let err = load(dns, &stem3).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+        });
+    }
+}

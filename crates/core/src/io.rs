@@ -1,0 +1,271 @@
+//! Field output for the paper's flow visualisations (figures 7-8):
+//! physical-space gathering, spanwise-vorticity evaluation, and simple
+//! portable-graymap / CSV writers.
+
+use std::io::Write;
+use std::path::Path;
+
+use crate::solver::ChannelDns;
+use crate::wallnormal::dy_coefficients;
+use crate::C64;
+
+/// A gathered physical-space scalar field with layout `[y][z][x]` on the
+/// dealiased grid.
+pub struct PhysicalField {
+    /// Grid extents.
+    pub ny: usize,
+    /// Spanwise physical points.
+    pub nz: usize,
+    /// Streamwise physical points.
+    pub nx: usize,
+    /// Row-major `[y][z][x]` data.
+    pub data: Vec<f64>,
+}
+
+impl PhysicalField {
+    /// Value at `(y, z, x)`.
+    pub fn at(&self, y: usize, z: usize, x: usize) -> f64 {
+        self.data[(y * self.nz + z) * self.nx + x]
+    }
+
+    /// Extract an x-y slice at spanwise index `z` (rows = y).
+    pub fn slice_xy(&self, z: usize) -> (usize, usize, Vec<f64>) {
+        let mut out = Vec::with_capacity(self.ny * self.nx);
+        for y in 0..self.ny {
+            for x in 0..self.nx {
+                out.push(self.at(y, z, x));
+            }
+        }
+        (self.nx, self.ny, out)
+    }
+
+    /// Extract an x-z slice at wall-normal index `y` (rows = z).
+    pub fn slice_xz(&self, y: usize) -> (usize, usize, Vec<f64>) {
+        let mut out = Vec::with_capacity(self.nz * self.nx);
+        for z in 0..self.nz {
+            for x in 0..self.nx {
+                out.push(self.at(y, z, x));
+            }
+        }
+        (self.nx, self.nz, out)
+    }
+}
+
+/// Inverse-transform a spectral coefficient field and gather the full
+/// physical field on world rank (0, 0) of the process grid (collective;
+/// returns `None` on other ranks). Intended for laptop-scale grids.
+pub fn gather_physical(dns: &ChannelDns, coef_field: &[C64]) -> Option<PhysicalField> {
+    let pfft = dns.pfft();
+    let vals = dns.field_values(coef_field);
+    let local = pfft.inverse(&vals); // x-pencil: [y_loc][z_loc][px]
+    let px = pfft.config().px();
+    let pz = pfft.config().pz();
+    let ny = dns.params().ny;
+    // gather z-blocks within CommA
+    let a_parts = pfft.comm_a().gather(0, local);
+    let yz_local: Option<Vec<f64>> = a_parts.map(|parts| {
+        // parts[r] has [y_loc][zb_r][px]; interleave into [y_loc][z][px]
+        let nyl = pfft.y_block().len;
+        let mut out = vec![0.0; nyl * pz * px];
+        for (r, part) in parts.iter().enumerate() {
+            let zb = dns_pencil::Block::of(pz, pfft.config().pa, r);
+            for yl in 0..nyl {
+                for zl in 0..zb.len {
+                    let src = (yl * zb.len + zl) * px;
+                    let dst = (yl * pz + zb.start + zl) * px;
+                    out[dst..dst + px].copy_from_slice(&part[src..src + px]);
+                }
+            }
+        }
+        out
+    });
+    // gather y-blocks within CommB (only CommA-rank-0 column participates
+    // meaningfully, but gather is collective on CommB for all)
+    let payload = yz_local.unwrap_or_default();
+    let b_parts = pfft.comm_b().gather(0, payload);
+    match b_parts {
+        Some(parts) if pfft.comm_a().rank() == 0 => {
+            let mut data = vec![0.0; ny * pz * px];
+            for (r, part) in parts.iter().enumerate() {
+                let yb = dns_pencil::Block::of(ny, pfft.config().pb, r);
+                debug_assert_eq!(part.len(), yb.len * pz * px);
+                for yl in 0..yb.len {
+                    let src = yl * pz * px;
+                    let dst = (yb.start + yl) * pz * px;
+                    data[dst..dst + pz * px].copy_from_slice(&part[src..src + pz * px]);
+                }
+            }
+            Some(PhysicalField {
+                ny,
+                nz: pz,
+                nx: px,
+                data,
+            })
+        }
+        _ => None,
+    }
+}
+
+/// Spectral coefficients of the spanwise vorticity
+/// `omega_z = dv/dx - du/dy`.
+pub fn omega_z_coefficients(dns: &ChannelDns) -> Vec<C64> {
+    let ny = dns.params().ny;
+    let mut out = vec![C64::new(0.0, 0.0); dns.field_len()];
+    for m in 0..dns.local_modes() {
+        let (ikx, _, _) = dns.mode_wavenumbers(m);
+        let r = dns.line_range(m);
+        let cu_y = dy_coefficients(dns.ops(), &dns.state().u()[r.clone()]);
+        for j in 0..ny {
+            out[r.start + j] = ikx * dns.state().v()[r.start + j] - cu_y[j];
+        }
+    }
+    out
+}
+
+/// Write a 2D scalar as an 8-bit PGM image, min-max normalised.
+pub fn write_pgm(path: &Path, width: usize, height: usize, data: &[f64]) -> std::io::Result<()> {
+    assert_eq!(data.len(), width * height);
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-300);
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "P5\n{width} {height}\n255")?;
+    let bytes: Vec<u8> = data
+        .iter()
+        .map(|&v| (255.0 * (v - lo) / span).round() as u8)
+        .collect();
+    f.write_all(&bytes)?;
+    f.flush()
+}
+
+/// Write named columns as CSV.
+pub fn write_csv(path: &Path, columns: &[(&str, &[f64])]) -> std::io::Result<()> {
+    let n = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
+    for (name, c) in columns {
+        assert_eq!(c.len(), n, "column {name} length mismatch");
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    let header: Vec<&str> = columns.iter().map(|(n, _)| *n).collect();
+    writeln!(f, "{}", header.join(","))?;
+    for i in 0..n {
+        let row: Vec<String> = columns.iter().map(|(_, c)| format!("{:.8e}", c[i])).collect();
+        writeln!(f, "{}", row.join(","))?;
+    }
+    f.flush()
+}
+
+/// Render a 2D scalar as coarse ASCII art (terminal visualisation used by
+/// the figure-7/8 harnesses next to the PGM output).
+pub fn ascii_art(width: usize, height: usize, data: &[f64], cols: usize, rows: usize) -> String {
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for &v in data {
+        lo = lo.min(v);
+        hi = hi.max(v);
+    }
+    let span = (hi - lo).max(1e-300);
+    let mut s = String::with_capacity((cols + 1) * rows);
+    for r in 0..rows {
+        for c in 0..cols {
+            let x = c * width / cols;
+            let y = r * height / rows;
+            let v = (data[y * width + x] - lo) / span;
+            let idx = ((v * (SHADES.len() - 1) as f64).round() as usize).min(SHADES.len() - 1);
+            s.push(SHADES[idx] as char);
+        }
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::solver::run_parallel;
+
+    #[test]
+    fn gather_reconstructs_a_known_field() {
+        // set a mean-only field: u = (1 - y^2); gathered physical u must
+        // equal the profile at every (z, x)
+        let p = Params::channel(16, 25, 16, 10.0).with_grid(2, 2);
+        let fields = run_parallel(p, |dns| {
+            dns.set_laminar(1.0);
+            let pf = gather_physical(dns, dns.state().u());
+            let pts = dns.ops().points().to_vec();
+            (pf.map(|f| (f.ny, f.nz, f.nx, f.data)), pts, dns.params().nu)
+        });
+        let found: Vec<_> = fields.into_iter().filter(|(f, _, _)| f.is_some()).collect();
+        assert_eq!(found.len(), 1, "exactly one rank gathers");
+        let (f, pts, nu) = &found[0];
+        let (ny, nz, nx, data) = f.as_ref().unwrap();
+        assert_eq!(*ny, pts.len());
+        for (yj, &y) in pts.iter().enumerate() {
+            let want = (1.0 - y * y) / (2.0 * nu);
+            for z in [0usize, nz / 2, nz - 1] {
+                for x in [0usize, nx / 3, nx - 1] {
+                    let got = data[(yj * nz + z) * nx + x];
+                    assert!(
+                        (got - want).abs() < 1e-8 * want.abs().max(1.0),
+                        "y={y} z={z} x={x}: {got} vs {want}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn omega_z_of_poiseuille_is_minus_dudy() {
+        let p = Params::channel(16, 25, 16, 10.0);
+        let ok = crate::solver::run_serial(p, |dns| {
+            dns.set_laminar(1.0);
+            let oz = omega_z_coefficients(dns);
+            // mean mode: omega_z = -du/dy = -(-2y * Umax) = y / nu
+            let mut ok = true;
+            for m in 0..dns.local_modes() {
+                if !dns.is_mean(m) {
+                    continue;
+                }
+                let r = dns.line_range(m);
+                let coef: Vec<f64> = oz[r].iter().map(|c| c.re).collect();
+                for &y in &[-0.8, 0.0, 0.5] {
+                    let got = dns.ops().basis().eval(&coef, y);
+                    let want = y / dns.params().nu;
+                    if (got - want).abs() > 1e-7 * want.abs().max(1.0) {
+                        ok = false;
+                    }
+                }
+            }
+            ok
+        });
+        assert!(ok);
+    }
+
+    #[test]
+    fn pgm_and_csv_roundtrip_to_disk() {
+        let dir = std::env::temp_dir().join("dns_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let data: Vec<f64> = (0..12).map(|i| i as f64).collect();
+        let pgm = dir.join("t.pgm");
+        write_pgm(&pgm, 4, 3, &data).unwrap();
+        let bytes = std::fs::read(&pgm).unwrap();
+        assert!(bytes.starts_with(b"P5\n4 3\n255\n"));
+        assert_eq!(bytes.len(), 11 + 12);
+        let csv = dir.join("t.csv");
+        write_csv(&csv, &[("a", &data[..3]), ("b", &data[3..6])]).unwrap();
+        let text = std::fs::read_to_string(&csv).unwrap();
+        assert!(text.starts_with("a,b\n"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn ascii_art_shapes() {
+        let data = vec![0.0, 1.0, 1.0, 0.0];
+        let art = ascii_art(2, 2, &data, 4, 2);
+        assert_eq!(art.lines().count(), 2);
+        assert!(art.contains('@') && art.contains(' '));
+    }
+}

@@ -1,0 +1,198 @@
+//! Dealiased pseudo-spectral evaluation of the nonlinear terms — the
+//! paper's section 2.3 pipeline, steps (a) through (h).
+//!
+//! Starting from spectral velocity coefficients in the y-pencil layout,
+//! the three velocity components are inverse-transformed to the
+//! 3/2-padded physical grid (two global transposes each), the quadratic
+//! products are formed pointwise, the products travel back (two more
+//! transposes each), and the right-hand sides of the `omega_y`/`phi`
+//! equations are assembled per wavenumber:
+//!
+//! ```text
+//! H_i = -d/dx_j (u_i u_j)
+//! h_g = dH_x/dz - dH_z/dx
+//! h_v = -d/dy (dH_x/dx + dH_z/dz) + (dxx + dzz) H_y
+//! ```
+//!
+//! The paper transposes five product fields; this implementation carries
+//! all six quadratic products (`vv` included) for clarity — see
+//! DESIGN.md for the accounting note.
+
+use crate::solver::ChannelDns;
+use crate::C64;
+
+/// The spectral convective-flux divergences `H_i = -d/dx_j (u_i u_j)` as
+/// values at the collocation points, for every locally-owned wavenumber
+/// (y-pencil layout). Shared by the `omega_y`/`phi` right-hand sides and
+/// the pressure Poisson solve.
+pub struct HFields {
+    /// Streamwise component `H_x`.
+    pub hx: Vec<C64>,
+    /// Wall-normal component `H_y`.
+    pub hy: Vec<C64>,
+    /// Spanwise component `H_z`.
+    pub hz: Vec<C64>,
+}
+
+/// Nonlinear right-hand sides, as *values at the y collocation points*
+/// for every locally-owned wavenumber (same y-pencil layout as the
+/// state), plus the mean-flow terms on the rank owning mode (0,0).
+pub struct NlTerms {
+    /// RHS of the `omega_y` equation.
+    pub h_g: Vec<C64>,
+    /// RHS of the `phi` equation.
+    pub h_v: Vec<C64>,
+    /// `H_x(0,0)(y) = -d<uv>/dy` (streamwise mean forcing by the
+    /// turbulence), on the owner of mode (0,0); empty elsewhere.
+    pub mean_hx: Vec<f64>,
+    /// `H_z(0,0)(y) = -d<vw>/dy`.
+    pub mean_hz: Vec<f64>,
+}
+
+impl NlTerms {
+    /// All-zero terms with the layout of `dns` (used for the linearised
+    /// runs and as the `zeta_1 = 0` previous-substep placeholder).
+    pub fn zeros(dns: &ChannelDns) -> NlTerms {
+        let len = dns.field_len();
+        NlTerms {
+            h_g: vec![C64::new(0.0, 0.0); len],
+            h_v: vec![C64::new(0.0, 0.0); len],
+            mean_hx: vec![0.0; dns.ops().n()],
+            mean_hz: vec![0.0; dns.ops().n()],
+        }
+    }
+}
+
+/// Evaluate the convective-flux divergences `H_i` for the current state
+/// (the physical-space pipeline: steps (a)-(h) of section 2.3).
+pub fn quadratic_h(dns: &ChannelDns) -> HFields {
+    let ops = dns.ops();
+    let ny = ops.n();
+    let pfft = dns.pfft();
+
+    // (a)-(f): velocities to the physical grid; the three fields share
+    // their transposes (one aggregated exchange per hop — larger, fewer
+    // messages, the same economics the paper exploits in hybrid mode)
+    let vals_u = dns.field_values(dns.state().u());
+    let vals_v = dns.field_values(dns.state().v());
+    let vals_w = dns.field_values(dns.state().w());
+    let mut phys = pfft.inverse_batch(&[&vals_u, &vals_v, &vals_w]);
+    let phys_w = phys.pop().expect("w");
+    let phys_v = phys.pop().expect("v");
+    let phys_u = phys.pop().expect("u");
+
+    // (g): quadratic products on the dealiased grid
+    let npts = phys_u.len();
+    let mut uu = vec![0.0; npts];
+    let mut uv = vec![0.0; npts];
+    let mut uw = vec![0.0; npts];
+    let mut vv = vec![0.0; npts];
+    let mut vw = vec![0.0; npts];
+    let mut ww = vec![0.0; npts];
+    for i in 0..npts {
+        let (u, v, w) = (phys_u[i], phys_v[i], phys_w[i]);
+        uu[i] = u * u;
+        uv[i] = u * v;
+        uw[i] = u * w;
+        vv[i] = v * v;
+        vw[i] = v * w;
+        ww[i] = w * w;
+    }
+
+    // (h): products back to spectral space (truncation dealiases); all
+    // six products aggregated into one exchange per hop
+    let mut spec = pfft.forward_batch(&[&uu, &uv, &uw, &vv, &vw, &ww]);
+    let s_ww = spec.pop().expect("ww");
+    let s_vw = spec.pop().expect("vw");
+    let s_vv = spec.pop().expect("vv");
+    let s_uw = spec.pop().expect("uw");
+    let s_uv = spec.pop().expect("uv");
+    let s_uu = spec.pop().expect("uu");
+
+    let len = dns.field_len();
+    let mut h = HFields {
+        hx: vec![C64::new(0.0, 0.0); len],
+        hy: vec![C64::new(0.0, 0.0); len],
+        hz: vec![C64::new(0.0, 0.0); len],
+    };
+    let mut dy_vals = vec![C64::new(0.0, 0.0); ny];
+    for mode in 0..dns.local_modes() {
+        let line = dns.line_range(mode);
+        let (ikx, ikz, _) = dns.mode_wavenumbers(mode);
+        if dns.is_nyquist(mode) {
+            continue;
+        }
+        // y-derivative of a product line: interpolate values to spline
+        // coefficients, then apply B1
+        let dy_of = |vals: &[C64], out: &mut [C64]| {
+            let coef = ops.interpolate_complex(vals);
+            ops.b1().matvec_complex(&coef, out);
+        };
+        // H_x = -(ikx uu + d/dy uv + ikz uw)
+        dy_of(&s_uv[line.clone()], &mut dy_vals);
+        for j in 0..ny {
+            h.hx[line.start + j] =
+                -(ikx * s_uu[line.start + j] + dy_vals[j] + ikz * s_uw[line.start + j]);
+        }
+        // H_y = -(ikx uv + d/dy vv + ikz vw)
+        dy_of(&s_vv[line.clone()], &mut dy_vals);
+        for j in 0..ny {
+            h.hy[line.start + j] =
+                -(ikx * s_uv[line.start + j] + dy_vals[j] + ikz * s_vw[line.start + j]);
+        }
+        // H_z = -(ikx uw + d/dy vw + ikz ww)
+        dy_of(&s_vw[line.clone()], &mut dy_vals);
+        for j in 0..ny {
+            h.hz[line.start + j] =
+                -(ikx * s_uw[line.start + j] + dy_vals[j] + ikz * s_ww[line.start + j]);
+        }
+    }
+    h
+}
+
+/// Evaluate the nonlinear terms for the current state of `dns`.
+pub fn compute(dns: &ChannelDns) -> NlTerms {
+    if !dns.params().nonlinear {
+        return NlTerms::zeros(dns);
+    }
+    let ops = dns.ops();
+    let ny = ops.n();
+    let h = quadratic_h(dns);
+
+    let len = dns.field_len();
+    let mut out = NlTerms {
+        h_g: vec![C64::new(0.0, 0.0); len],
+        h_v: vec![C64::new(0.0, 0.0); len],
+        mean_hx: vec![0.0; ny],
+        mean_hz: vec![0.0; ny],
+    };
+    let mut dy_vals = vec![C64::new(0.0, 0.0); ny];
+    for mode in 0..dns.local_modes() {
+        let line = dns.line_range(mode);
+        let (ikx, ikz, k2) = dns.mode_wavenumbers(mode);
+        if dns.is_nyquist(mode) {
+            continue;
+        }
+        if dns.is_mean(mode) {
+            for j in 0..ny {
+                out.mean_hx[j] = h.hx[line.start + j].re;
+                out.mean_hz[j] = h.hz[line.start + j].re;
+            }
+            continue;
+        }
+        // h_g = ikz H_x - ikx H_z
+        for j in 0..ny {
+            out.h_g[line.start + j] = ikz * h.hx[line.start + j] - ikx * h.hz[line.start + j];
+        }
+        // h_v = -d/dy (ikx H_x + ikz H_z) - k^2 H_y
+        let g_vals: Vec<C64> = (0..ny)
+            .map(|j| ikx * h.hx[line.start + j] + ikz * h.hz[line.start + j])
+            .collect();
+        let coef = ops.interpolate_complex(&g_vals);
+        ops.b1().matvec_complex(&coef, &mut dy_vals);
+        for j in 0..ny {
+            out.h_v[line.start + j] = -dy_vals[j] - k2 * h.hy[line.start + j];
+        }
+    }
+    out
+}

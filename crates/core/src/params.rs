@@ -1,0 +1,150 @@
+//! Simulation parameters.
+
+/// How the mean flow is driven.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Forcing {
+    /// Constant streamwise pressure gradient `-dP/dx` (in friction units
+    /// `-dP/dx = 1` gives `u_tau = 1`).
+    PressureGradient(f64),
+    /// Constant mass flux: a feedback-controlled body force keeps the
+    /// bulk velocity at the target (the other standard way to drive
+    /// channel DNS; the friction velocity becomes an output).
+    ConstantMassFlux {
+        /// Target bulk (volume-averaged) streamwise velocity.
+        bulk: f64,
+    },
+    /// No forcing (decaying flow; used by validation tests).
+    None,
+}
+
+/// Physical and numerical configuration of a channel DNS.
+#[derive(Clone, Debug)]
+pub struct Params {
+    /// Streamwise Fourier modes (multiple of 4: the 3/2-rule grid must
+    /// stay even).
+    pub nx: usize,
+    /// Wall-normal B-spline collocation points.
+    pub ny: usize,
+    /// Spanwise Fourier modes (multiple of 4).
+    pub nz: usize,
+    /// Streamwise domain length (the paper's boxes are `O(10 pi)` long).
+    pub lx: f64,
+    /// Spanwise domain length.
+    pub lz: f64,
+    /// Kinematic viscosity. With `Forcing::PressureGradient(1.0)` and
+    /// half-height 1 the friction Reynolds number is `1 / nu`.
+    pub nu: f64,
+    /// Time step.
+    pub dt: f64,
+    /// Mean-flow driving.
+    pub forcing: Forcing,
+    /// Spline order (8 in the paper: 7th-degree B-splines).
+    pub spline_order: usize,
+    /// Wall-clustering strength of the tanh breakpoint grid.
+    pub grid_stretch: f64,
+    /// Evaluate the nonlinear terms (false linearises about rest, used by
+    /// the Stokes validation tests).
+    pub nonlinear: bool,
+    /// Process grid (CommA x CommB); `pa * pb` ranks are required.
+    pub pa: usize,
+    /// Second process-grid extent.
+    pub pb: usize,
+}
+
+impl Params {
+    /// A small, fully-resolved laptop-scale configuration at friction
+    /// Reynolds number `re_tau` (the paper's production run is the same
+    /// code at `Re_tau = 5200` on 10240 x 1536 x 7680 modes).
+    pub fn channel(nx: usize, ny: usize, nz: usize, re_tau: f64) -> Params {
+        Params {
+            nx,
+            ny,
+            nz,
+            lx: 2.0 * std::f64::consts::PI,
+            lz: std::f64::consts::PI,
+            nu: 1.0 / re_tau,
+            dt: 1e-3,
+            forcing: Forcing::PressureGradient(1.0),
+            spline_order: 8,
+            grid_stretch: 2.0,
+            nonlinear: true,
+            pa: 1,
+            pb: 1,
+        }
+    }
+
+    /// Set the time step.
+    pub fn with_dt(mut self, dt: f64) -> Params {
+        self.dt = dt;
+        self
+    }
+
+    /// Set the process grid.
+    pub fn with_grid(mut self, pa: usize, pb: usize) -> Params {
+        self.pa = pa;
+        self.pb = pb;
+        self
+    }
+
+    /// Validate the configuration.
+    ///
+    /// # Panics
+    /// On inconsistent sizes.
+    pub fn validate(&self) {
+        assert!(self.nx.is_multiple_of(4) && self.nz.is_multiple_of(4), "nx, nz must be multiples of 4");
+        assert!(self.ny >= self.spline_order + 2, "ny too small for the spline order");
+        assert!(self.spline_order >= 4, "spline order must be at least 4");
+        assert!(self.nu > 0.0 && self.dt > 0.0);
+        assert!(self.lx > 0.0 && self.lz > 0.0);
+    }
+
+    /// Pressure-gradient magnitude (0 when unforced or flux-driven —
+    /// the flux controller supplies its own force).
+    pub fn pressure_gradient(&self) -> f64 {
+        match self.forcing {
+            Forcing::PressureGradient(g) => g,
+            Forcing::ConstantMassFlux { .. } | Forcing::None => 0.0,
+        }
+    }
+
+    /// Fundamental streamwise wavenumber `2 pi / Lx`.
+    pub fn alpha(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.lx
+    }
+
+    /// Fundamental spanwise wavenumber `2 pi / Lz`.
+    pub fn beta(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.lz
+    }
+
+    /// Degrees of freedom as counted by the paper.
+    pub fn dof(&self) -> f64 {
+        2.0 * self.nx as f64 * self.ny as f64 * self.nz as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_preset_is_valid() {
+        let p = Params::channel(32, 33, 32, 180.0);
+        p.validate();
+        assert!((p.nu - 1.0 / 180.0).abs() < 1e-15);
+        assert_eq!(p.pressure_gradient(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 4")]
+    fn odd_grids_rejected() {
+        Params::channel(30, 33, 32, 180.0).validate();
+    }
+
+    #[test]
+    fn wavenumber_fundamentals() {
+        let p = Params::channel(32, 33, 32, 180.0);
+        assert!((p.alpha() - 1.0).abs() < 1e-15);
+        assert!((p.beta() - 2.0).abs() < 1e-15);
+    }
+}

@@ -1,0 +1,250 @@
+//! Wall-normal grid refinement: transfer a running state onto a solver
+//! with a different y resolution (the standard production workflow:
+//! equilibrate cheap, refine, continue — the Re_tau = 5200 campaign was
+//! seeded exactly this way from lower-resolution fields).
+
+use crate::solver::ChannelDns;
+use dns_bspline::resample_complex;
+
+/// Transfer `src`'s state onto `dst`, resampling every mode's y-line
+/// onto `dst`'s spline space. Horizontal resolutions and the process
+/// grid must match; only `ny` (and the y grid) may differ.
+///
+/// # Panics
+/// If the horizontal mode layouts differ.
+pub fn transfer_y(src: &ChannelDns, dst: &mut ChannelDns) {
+    let (ps, pd) = (src.params(), dst.params());
+    assert_eq!(
+        (ps.nx, ps.nz, ps.pa, ps.pb),
+        (pd.nx, pd.nz, pd.pa, pd.pb),
+        "only the wall-normal grid may change"
+    );
+    let src_basis = src.ops().basis().clone();
+    let (sny, dny) = (ps.ny, pd.ny);
+    let modes = src.local_modes();
+    assert_eq!(modes, dst.local_modes());
+    let mut fields = Vec::with_capacity(5);
+    for field in [
+        src.state().u(),
+        src.state().v(),
+        src.state().w(),
+        src.state().omega_y(),
+        src.state().phi(),
+    ] {
+        let mut out = vec![crate::C64::new(0.0, 0.0); modes * dny];
+        for m in 0..modes {
+            let line = &field[m * sny..(m + 1) * sny];
+            let res = resample_complex(&src_basis, line, dst.ops());
+            out[m * dny..(m + 1) * dny].copy_from_slice(&res);
+        }
+        fields.push(out);
+    }
+    let phi = fields.pop().unwrap();
+    let om = fields.pop().unwrap();
+    let w = fields.pop().unwrap();
+    let v = fields.pop().unwrap();
+    let u = fields.pop().unwrap();
+    dst.restore_state(u, v, w, om, phi, src.state().time, src.state().steps);
+}
+
+/// Transfer `src`'s state onto `dst` allowing *any* resolution change
+/// (nx, ny, nz), single-rank solvers only: modes shared by both spectral
+/// bases are copied (resampled in y), new modes start at zero, dropped
+/// modes are truncated — spectral grid refinement for restarts.
+///
+/// # Panics
+/// If either solver is distributed (`pa * pb > 1`).
+pub fn transfer(src: &ChannelDns, dst: &mut ChannelDns) {
+    let (ps, pd) = (src.params(), dst.params());
+    assert_eq!(
+        (ps.pa, ps.pb, pd.pa, pd.pb),
+        (1, 1, 1, 1),
+        "horizontal refinement is a single-rank (post-processing) operation"
+    );
+    let src_basis = src.ops().basis().clone();
+    let (sny, dny) = (ps.ny, pd.ny);
+    let (ssx, dsx) = (ps.nx / 2, pd.nx / 2);
+
+    // map a destination mode to the matching source mode, if any
+    let src_mode_of = |kx: usize, kz_signed: i64| -> Option<usize> {
+        if kx >= ssx {
+            return None;
+        }
+        let snz = ps.nz as i64;
+        if kz_signed.abs() >= snz / 2 {
+            return None;
+        }
+        let kz_idx = ((kz_signed + snz) % snz) as usize;
+        Some(kz_idx * ssx + kx)
+    };
+
+    let fields_src = [
+        src.state().u(),
+        src.state().v(),
+        src.state().w(),
+        src.state().omega_y(),
+        src.state().phi(),
+    ];
+    let mut fields_dst = Vec::with_capacity(5);
+    let dst_modes = dst.local_modes();
+    for field in fields_src {
+        let mut out = vec![crate::C64::new(0.0, 0.0); dst_modes * dny];
+        for m in 0..dst_modes {
+            let kx = m % dsx;
+            let kz_idx = m / dsx;
+            let dnz = pd.nz as i64;
+            let kz_signed = if (kz_idx as i64) < dnz / 2 {
+                kz_idx as i64
+            } else if kz_idx as i64 == dnz / 2 {
+                continue; // Nyquist slot stays zero
+            } else {
+                kz_idx as i64 - dnz
+            };
+            if let Some(sm) = src_mode_of(kx, kz_signed) {
+                let line = &field[sm * sny..(sm + 1) * sny];
+                let res = resample_complex(&src_basis, line, dst.ops());
+                out[m * dny..(m + 1) * dny].copy_from_slice(&res);
+            }
+        }
+        fields_dst.push(out);
+    }
+    let phi = fields_dst.pop().unwrap();
+    let om = fields_dst.pop().unwrap();
+    let w = fields_dst.pop().unwrap();
+    let v = fields_dst.pop().unwrap();
+    let u = fields_dst.pop().unwrap();
+    dst.restore_state(u, v, w, om, phi, src.state().time, src.state().steps);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::stats::profiles;
+    use dns_minimpi as mpi;
+
+    #[test]
+    fn refined_state_represents_the_same_flow() {
+        // run coarse, refine in y, verify profiles and wall behaviour
+        let coarse = Params::channel(16, 25, 16, 80.0).with_dt(1e-3);
+        let fine = Params::channel(16, 37, 16, 80.0).with_dt(1e-3);
+        let out = mpi::run(1, move |world| {
+            let mut src = ChannelDns::new(world.dup(), coarse.clone());
+            src.set_laminar(0.5);
+            src.add_perturbation(0.3, 61);
+            for _ in 0..3 {
+                src.step();
+            }
+            let p_src = profiles(&src);
+            let mut dst = ChannelDns::new(world, fine.clone());
+            transfer_y(&src, &mut dst);
+            let p_dst = profiles(&dst);
+            // compare the mean profile at shared physical locations via
+            // centreline and bulk integrals
+            let bulk_err = (p_src.bulk_velocity - p_dst.bulk_velocity).abs();
+            // the refined solver must remain integrable: take a step
+            dst.step();
+            let p_after = profiles(&dst);
+            (
+                bulk_err,
+                p_src.u_tau,
+                p_dst.u_tau,
+                p_after.u_mean.iter().all(|x| x.is_finite()),
+                dst.state().steps,
+            )
+        });
+        let (bulk_err, utau_src, utau_dst, finite, steps) = out[0].clone();
+        assert!(bulk_err < 1e-6, "bulk changed by {bulk_err}");
+        assert!(
+            (utau_src - utau_dst).abs() < 1e-4 * utau_src.max(1e-30),
+            "u_tau changed: {utau_src} vs {utau_dst}"
+        );
+        assert!(finite, "refined run must stay finite");
+        assert_eq!(steps, 4, "step counter carried over");
+    }
+
+    #[test]
+    fn horizontal_refinement_preserves_the_spectrum() {
+        use crate::stats::kinetic_energy;
+        let coarse = Params::channel(16, 25, 16, 80.0).with_dt(1e-3);
+        let fine = Params::channel(32, 25, 48, 80.0).with_dt(1e-3);
+        let out = mpi::run(1, move |world| {
+            let mut src = ChannelDns::new(world.dup(), coarse.clone());
+            src.set_laminar(0.5);
+            src.add_perturbation(0.3, 71);
+            for _ in 0..2 {
+                src.step();
+            }
+            let e_src = kinetic_energy(&src);
+            let mut dst = ChannelDns::new(world, fine.clone());
+            transfer(&src, &mut dst);
+            let e_dst = kinetic_energy(&dst);
+            dst.step();
+            let e_after = kinetic_energy(&dst);
+            (e_src, e_dst, e_after)
+        });
+        let (e_src, e_dst, e_after) = out[0];
+        // all source modes fit in the finer basis: energy is conserved
+        // up to y-resampling error
+        assert!(
+            (e_src - e_dst).abs() < 1e-8 * e_src,
+            "energy changed: {e_src} vs {e_dst}"
+        );
+        assert!(e_after.is_finite() && e_after > 0.0);
+    }
+
+    #[test]
+    fn coarsening_truncates_high_modes_only() {
+        let fine = Params::channel(32, 25, 32, 80.0).with_dt(1e-3);
+        let coarse = Params::channel(16, 25, 16, 80.0).with_dt(1e-3);
+        let ok = mpi::run(1, move |world| {
+            let mut src = ChannelDns::new(world.dup(), fine.clone());
+            src.set_laminar(0.5);
+            src.add_perturbation(0.3, 73);
+            for _ in 0..2 {
+                src.step();
+            }
+            let mut dst = ChannelDns::new(world, coarse.clone());
+            transfer(&src, &mut dst);
+            // the retained low modes agree: compare mode (1, +1) u-line
+            // at a midpoint via the spline evaluation
+            let find = |dns: &ChannelDns, kx: usize, kz: i64| -> crate::C64 {
+                for m in 0..dns.local_modes() {
+                    let (ikx, ikz, _) = dns.mode_wavenumbers(m);
+                    let a = dns.params().alpha();
+                    let b = dns.params().beta();
+                    if (ikx.im - a * kx as f64).abs() < 1e-12
+                        && (ikz.im - b * kz as f64).abs() < 1e-12
+                        && !dns.is_nyquist(m)
+                    {
+                        let r = dns.line_range(m);
+                        let line = &dns.state().u()[r];
+                        let re: Vec<f64> = line.iter().map(|c| c.re).collect();
+                        let im: Vec<f64> = line.iter().map(|c| c.im).collect();
+                        return crate::C64::new(
+                            dns.ops().basis().eval(&re, 0.37),
+                            dns.ops().basis().eval(&im, 0.37),
+                        );
+                    }
+                }
+                panic!("mode not found");
+            };
+            let a = find(&src, 1, 1);
+            let b = find(&dst, 1, 1);
+            (a - b).norm() < 1e-10 * (1.0 + a.norm())
+        });
+        assert!(ok[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "only the wall-normal grid may change")]
+    fn horizontal_mismatch_is_rejected() {
+        let a = Params::channel(16, 25, 16, 80.0);
+        let b = Params::channel(32, 25, 16, 80.0);
+        mpi::run(1, move |world| {
+            let src = ChannelDns::new(world.dup(), a.clone());
+            let mut dst = ChannelDns::new(world, b.clone());
+            transfer_y(&src, &mut dst);
+        });
+    }
+}

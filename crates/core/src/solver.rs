@@ -1,0 +1,824 @@
+//! The channel-flow DNS driver: state, mode bookkeeping and the RK3
+//! timestep (section 2.3's steps (a)-(j)).
+
+use std::ops::Range;
+
+use dns_bspline::{integration_weights, tanh_breakpoints, BsplineBasis, CollocationOps};
+use dns_minimpi::Communicator;
+use dns_pfft::{ParallelFft, PfftConfig};
+
+use crate::nonlinear::{self, NlTerms};
+use crate::params::Params;
+use crate::rk3;
+use crate::wallnormal::{dy_coefficients, MeanSolver, ModeSolver};
+use crate::C64;
+
+/// Classification of a locally-owned horizontal wavenumber.
+enum ModeKind {
+    /// `(kx, kz) = (0, 0)`: the mean flow.
+    Mean,
+    /// The structurally-zero spanwise Nyquist slot.
+    NyquistZ,
+    /// A regular mode with its factored wall-normal operators.
+    Normal(Box<ModeSolver>),
+}
+
+/// Prognostic and derived spectral fields, stored as B-spline
+/// *coefficients* in the y-pencil layout `[kz_loc][kx_loc][ny]`.
+/// Mode `(0,0)` of `u`/`w` carries the mean flow; `omega_y`/`phi` are
+/// unused there.
+pub struct State {
+    u: Vec<C64>,
+    v: Vec<C64>,
+    w: Vec<C64>,
+    omega_y: Vec<C64>,
+    phi: Vec<C64>,
+    /// Simulated time.
+    pub time: f64,
+    /// Completed timesteps.
+    pub steps: u64,
+}
+
+impl State {
+    /// Streamwise velocity coefficients.
+    pub fn u(&self) -> &[C64] {
+        &self.u
+    }
+    /// Wall-normal velocity coefficients.
+    pub fn v(&self) -> &[C64] {
+        &self.v
+    }
+    /// Spanwise velocity coefficients.
+    pub fn w(&self) -> &[C64] {
+        &self.w
+    }
+    /// Wall-normal vorticity coefficients.
+    pub fn omega_y(&self) -> &[C64] {
+        &self.omega_y
+    }
+    /// `phi = laplacian(v)` coefficients.
+    pub fn phi(&self) -> &[C64] {
+        &self.phi
+    }
+}
+
+/// Wall-clock accumulators for the paper's three timestep phases.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimers {
+    /// Global transposes (from the parallel-FFT layer).
+    pub transpose: f64,
+    /// Serial FFT work (from the parallel-FFT layer).
+    pub fft: f64,
+    /// Wall-normal solves and RHS assembly.
+    pub ns_advance: f64,
+}
+
+/// A distributed channel DNS bound to one rank of a `pa x pb` grid.
+pub struct ChannelDns {
+    params: Params,
+    pfft: ParallelFft,
+    ops: CollocationOps,
+    modes: Vec<ModeKind>,
+    mean: MeanSolver,
+    state: State,
+    ns_seconds: f64,
+    /// Quadrature weights for y integrals (flux control, diagnostics).
+    y_weights: Vec<f64>,
+    /// Body force currently applied by the mass-flux controller.
+    dyn_force: f64,
+    /// Integral term of the flux controller (the learned steady drag).
+    flux_integral: f64,
+}
+
+impl ChannelDns {
+    /// Collectively construct the solver (all ranks of `world` call this
+    /// with identical parameters; `world.size() == pa * pb`).
+    pub fn new(world: Communicator, params: Params) -> ChannelDns {
+        params.validate();
+        let cfg = PfftConfig::customized(params.nx, params.ny, params.nz, params.pa, params.pb)
+            .with_dealias();
+        let pfft = ParallelFft::new(world, cfg);
+        let breaks = tanh_breakpoints(params.ny - params.spline_order + 1, params.grid_stretch);
+        let basis = BsplineBasis::new(params.spline_order, &breaks);
+        let ops = CollocationOps::new(&basis);
+        assert_eq!(ops.n(), params.ny, "basis size must equal ny");
+
+        let kxb = pfft.kx_block();
+        let kzb = pfft.kz_block();
+        let mut modes = Vec::with_capacity(kxb.len * kzb.len);
+        for kzl in 0..kzb.len {
+            let kz_g = kzb.global(kzl);
+            for kxl in 0..kxb.len {
+                let kx_g = kxb.global(kxl);
+                let kind = if kz_g == params.nz / 2 {
+                    ModeKind::NyquistZ
+                } else if kx_g == 0 && kz_g == 0 {
+                    ModeKind::Mean
+                } else {
+                    let kx = params.alpha() * kx_g as f64;
+                    let kz = params.beta() * signed(kz_g, params.nz) as f64;
+                    let k2 = kx * kx + kz * kz;
+                    ModeKind::Normal(Box::new(ModeSolver::new(&ops, k2, params.nu, params.dt)))
+                };
+                modes.push(kind);
+            }
+        }
+        let mean = MeanSolver::new(&ops, params.nu, params.dt);
+        let y_weights = integration_weights(&ops);
+        let dyn_force = match params.forcing {
+            crate::params::Forcing::ConstantMassFlux { .. } => 1.0,
+            _ => params.pressure_gradient(),
+        };
+        let len = kxb.len * kzb.len * params.ny;
+        let zero = vec![C64::new(0.0, 0.0); len];
+        ChannelDns {
+            params,
+            pfft,
+            ops,
+            modes,
+            mean,
+            state: State {
+                u: zero.clone(),
+                v: zero.clone(),
+                w: zero.clone(),
+                omega_y: zero.clone(),
+                phi: zero,
+                time: 0.0,
+                steps: 0,
+            },
+            ns_seconds: 0.0,
+            y_weights,
+            dyn_force,
+            flux_integral: dyn_force,
+        }
+    }
+
+    /// The body force currently driving the mean flow (the configured
+    /// pressure gradient, or the mass-flux controller's output).
+    pub fn current_force(&self) -> f64 {
+        self.dyn_force
+    }
+
+    /// Simulation parameters.
+    pub fn params(&self) -> &Params {
+        &self.params
+    }
+    /// The wall-normal collocation apparatus.
+    pub fn ops(&self) -> &CollocationOps {
+        &self.ops
+    }
+    /// The parallel transform pipeline.
+    pub fn pfft(&self) -> &ParallelFft {
+        &self.pfft
+    }
+    /// Current state.
+    pub fn state(&self) -> &State {
+        &self.state
+    }
+
+    /// Length of one spectral field on this rank.
+    pub fn field_len(&self) -> usize {
+        self.state.u.len()
+    }
+
+    /// Number of locally-owned horizontal wavenumbers.
+    pub fn local_modes(&self) -> usize {
+        self.modes.len()
+    }
+
+    /// Index range of mode `m`'s y-line within a spectral field.
+    pub fn line_range(&self, m: usize) -> Range<usize> {
+        let ny = self.params.ny;
+        m * ny..(m + 1) * ny
+    }
+
+    /// `(i kx, i kz, k^2)` of local mode `m`.
+    pub fn mode_wavenumbers(&self, m: usize) -> (C64, C64, f64) {
+        let kxlen = self.pfft.kx_block().len;
+        let kx_g = self.pfft.kx_block().global(m % kxlen);
+        let kz_g = self.pfft.kz_block().global(m / kxlen);
+        let kx = self.params.alpha() * kx_g as f64;
+        let kz = self.params.beta() * signed(kz_g, self.params.nz) as f64;
+        (
+            C64::new(0.0, kx),
+            C64::new(0.0, kz),
+            kx * kx + kz * kz,
+        )
+    }
+
+    /// Whether local mode `m` is the spanwise Nyquist slot.
+    pub fn is_nyquist(&self, m: usize) -> bool {
+        matches!(self.modes[m], ModeKind::NyquistZ)
+    }
+
+    /// Whether local mode `m` is the mean mode (0,0).
+    pub fn is_mean(&self, m: usize) -> bool {
+        matches!(self.modes[m], ModeKind::Mean)
+    }
+
+    /// Weight of mode `m` in statistics sums (2 for `kx > 0`, whose
+    /// conjugate partner is not stored; 1 on the `kx = 0` plane).
+    pub fn mode_weight(&self, m: usize) -> f64 {
+        let kxlen = self.pfft.kx_block().len;
+        if self.pfft.kx_block().global(m % kxlen) > 0 {
+            2.0
+        } else {
+            1.0
+        }
+    }
+
+    /// Evaluate a coefficient field at the collocation points, line by
+    /// line (`B0 c`).
+    pub fn field_values(&self, coef: &[C64]) -> Vec<C64> {
+        let ny = self.params.ny;
+        let mut out = vec![C64::new(0.0, 0.0); coef.len()];
+        for (cl, ol) in coef.chunks_exact(ny).zip(out.chunks_exact_mut(ny)) {
+            self.ops.b0().matvec_complex(cl, ol);
+        }
+        out
+    }
+
+    /// Set the mean flow to the laminar Poiseuille equilibrium of the
+    /// configured pressure gradient: `u = F (1 - y^2) / (2 nu)` scaled by
+    /// `scale` (1.0 = exact balance).
+    pub fn set_laminar(&mut self, scale: f64) {
+        let f = self.params.pressure_gradient();
+        let nu = self.params.nu;
+        let prof: Vec<f64> = self
+            .ops
+            .points()
+            .iter()
+            .map(|&y| scale * f * (1.0 - y * y) / (2.0 * nu))
+            .collect();
+        let coef = self.ops.interpolate(&prof);
+        for m in 0..self.local_modes() {
+            if self.is_mean(m) {
+                let r = self.line_range(m);
+                for (slot, &c) in self.state.u[r].iter_mut().zip(&coef) {
+                    *slot = C64::new(c, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Set the mean flow to the Reichardt composite turbulent profile
+    /// with friction velocity `u_tau` at the configured `1/nu` friction
+    /// Reynolds number — the right starting mean for turbulent runs
+    /// (the laminar equilibrium at the same pressure gradient is ~6x
+    /// faster and violates any practical CFL limit).
+    pub fn set_turbulent_mean(&mut self, u_tau: f64) {
+        let re_tau = u_tau / self.params.nu;
+        let prof: Vec<f64> = self
+            .ops
+            .points()
+            .iter()
+            .map(|&y| {
+                let y_plus = (1.0 - y.abs()) * re_tau;
+                u_tau * crate::stats::reichardt_u_plus(y_plus)
+            })
+            .collect();
+        let coef = self.ops.interpolate(&prof);
+        for m in 0..self.local_modes() {
+            if self.is_mean(m) {
+                let r = self.line_range(m);
+                for (slot, &c) in self.state.u[r].iter_mut().zip(&coef) {
+                    *slot = C64::new(c, 0.0);
+                }
+            }
+        }
+    }
+
+    /// Add divergence-free perturbations in the low wavenumbers:
+    /// per mode, `v ~ (1-y^2)^2` and `omega_y ~ (1-y^2)` with
+    /// deterministic pseudo-random complex amplitudes (conjugate-
+    /// symmetric on the `kx = 0` plane so physical fields stay real).
+    pub fn add_perturbation(&mut self, amplitude: f64, seed: u64) {
+        let shape_v: Vec<f64> = self
+            .ops
+            .points()
+            .iter()
+            .map(|&y| (1.0 - y * y).powi(2))
+            .collect();
+        let shape_o: Vec<f64> = self.ops.points().iter().map(|&y| 1.0 - y * y).collect();
+        let cv_shape = self.ops.interpolate(&shape_v);
+        let co_shape = self.ops.interpolate(&shape_o);
+        let nz = self.params.nz;
+        let kxlen = self.pfft.kx_block().len;
+        for m in 0..self.local_modes() {
+            if !matches!(self.modes[m], ModeKind::Normal(_)) {
+                continue;
+            }
+            let kx_g = self.pfft.kx_block().global(m % kxlen);
+            let kz_g = self.pfft.kz_block().global(m / kxlen);
+            let kzs = signed(kz_g, nz);
+            if kx_g > 3 || kzs.unsigned_abs() as usize > 3 {
+                continue;
+            }
+            // conjugate symmetry on the kx=0 plane: derive both partners
+            // from the same key, conjugating the negative-kz one
+            let (key_kz, flip) = if kx_g == 0 && kzs < 0 {
+                (-kzs, true)
+            } else {
+                (kzs, false)
+            };
+            let mut rv = rand_c(seed, kx_g as u64, key_kz as u64, 0);
+            let mut ro = rand_c(seed, kx_g as u64, key_kz as u64, 1);
+            if flip {
+                rv = rv.conj();
+                // omega_y of a real field obeys the same conjugate rule
+                ro = ro.conj();
+            }
+            let r = self.line_range(m);
+            let ny = self.params.ny;
+            for j in 0..ny {
+                self.state.v[r.start + j] += amplitude * rv * cv_shape[j];
+                self.state.omega_y[r.start + j] += amplitude * ro * co_shape[j];
+            }
+            // phi = (D2 - k^2) v, interpolated back to coefficients
+            let (_, _, k2) = self.mode_wavenumbers(m);
+            let cv = &self.state.v[r.clone()];
+            let mut vals = vec![C64::new(0.0, 0.0); ny];
+            let mut b0v = vec![C64::new(0.0, 0.0); ny];
+            self.ops.b2().matvec_complex(cv, &mut vals);
+            self.ops.b0().matvec_complex(cv, &mut b0v);
+            for j in 0..ny {
+                vals[j] -= k2 * b0v[j];
+            }
+            let cphi = self.ops.interpolate_complex(&vals);
+            self.state.phi[r.clone()].copy_from_slice(&cphi);
+            self.recover_uw(m);
+        }
+    }
+
+    /// Seed one horizontal mode `(kx, kz_signed)` with prescribed
+    /// wall-normal velocity and vorticity spline coefficients (adding to
+    /// whatever is there): `phi` is derived from `v`, and `u`, `w` are
+    /// recovered from continuity — the entry point for eigenfunction
+    /// initial conditions. Ranks not owning the mode do nothing.
+    pub fn seed_mode(&mut self, kx: usize, kz_signed: i64, c_v: &[C64], c_omega: &[C64]) {
+        let ny = self.params.ny;
+        assert_eq!(c_v.len(), ny);
+        assert_eq!(c_omega.len(), ny);
+        let kxlen = self.pfft.kx_block().len;
+        let nz = self.params.nz;
+        for m in 0..self.local_modes() {
+            if !matches!(self.modes[m], ModeKind::Normal(_)) {
+                continue;
+            }
+            let kx_g = self.pfft.kx_block().global(m % kxlen);
+            let kz_g = self.pfft.kz_block().global(m / kxlen);
+            if kx_g != kx || signed(kz_g, nz) != kz_signed {
+                continue;
+            }
+            let r = self.line_range(m);
+            for j in 0..ny {
+                self.state.v[r.start + j] += c_v[j];
+                self.state.omega_y[r.start + j] += c_omega[j];
+            }
+            // phi = (D2 - k^2) v, interpolated back to coefficients
+            let (_, _, k2) = self.mode_wavenumbers(m);
+            let cv = &self.state.v[r.clone()];
+            let mut vals = vec![C64::new(0.0, 0.0); ny];
+            let mut b0v = vec![C64::new(0.0, 0.0); ny];
+            self.ops.b2().matvec_complex(cv, &mut vals);
+            self.ops.b0().matvec_complex(cv, &mut b0v);
+            for j in 0..ny {
+                vals[j] -= k2 * b0v[j];
+            }
+            let cphi = self.ops.interpolate_complex(&vals);
+            self.state.phi[r.clone()].copy_from_slice(&cphi);
+            self.recover_uw(m);
+        }
+    }
+
+    /// Recompute `u`, `w` of mode `m` from `v` and `omega_y` (continuity
+    /// plus the vorticity definition).
+    fn recover_uw(&mut self, m: usize) {
+        let (ikx, ikz, k2) = self.mode_wavenumbers(m);
+        let r = self.line_range(m);
+        let c_vy = dy_coefficients(&self.ops, &self.state.v[r.clone()]);
+        let ny = self.params.ny;
+        for j in 0..ny {
+            let vy = c_vy[j];
+            let om = self.state.omega_y[r.start + j];
+            self.state.u[r.start + j] = (ikx * vy - ikz * om) / k2;
+            self.state.w[r.start + j] = (ikz * vy + ikx * om) / k2;
+        }
+    }
+
+    /// Advance one full RK3 timestep.
+    pub fn step(&mut self) {
+        let dt = self.params.dt;
+        let mut n_old = NlTerms::zeros(self);
+        for i in 0..3 {
+            let nl = nonlinear::compute(self);
+            let t0 = std::time::Instant::now();
+            self.advance_substep(i, &nl, &n_old);
+            self.ns_seconds += t0.elapsed().as_secs_f64();
+            n_old = nl;
+            self.state.time += (rk3::ALPHA[i] + rk3::BETA[i]) * dt;
+        }
+        self.state.steps += 1;
+    }
+
+    fn advance_substep(&mut self, i: usize, nl: &NlTerms, n_old: &NlTerms) {
+        let ny = self.params.ny;
+        let nu = self.params.nu;
+        let dt = self.params.dt;
+        // mass-flux feedback: only the rank owning the mean mode uses the
+        // force, so the controller needs no communication
+        if let crate::params::Forcing::ConstantMassFlux { bulk } = self.params.forcing {
+            for (m, kind) in self.modes.iter().enumerate() {
+                if matches!(kind, ModeKind::Mean) {
+                    let r = m * ny..(m + 1) * ny;
+                    let coef: Vec<f64> = self.state.u[r].iter().map(|c| c.re).collect();
+                    let mut vals = vec![0.0; ny];
+                    self.ops.b0().matvec(&coef, &mut vals);
+                    let current: f64 = vals
+                        .iter()
+                        .zip(&self.y_weights)
+                        .map(|(u, w)| u * w)
+                        .sum::<f64>()
+                        / 2.0;
+                    // PI controller: the proportional part closes most
+                    // of the gap within a step; the small integral part
+                    // learns the steady drag without overshoot
+                    let gap = (bulk - current) / dt;
+                    self.flux_integral = (self.flux_integral + 0.02 * gap).clamp(-100.0, 100.0);
+                    self.dyn_force = (self.flux_integral + 0.4 * gap).clamp(-100.0, 100.0);
+                }
+            }
+        }
+        let f = self.dyn_force;
+        let ops = &self.ops;
+        let state = &mut self.state;
+        for (m, kind) in self.modes.iter().enumerate() {
+            let r = m * ny..(m + 1) * ny;
+            match kind {
+                ModeKind::NyquistZ => {}
+                ModeKind::Mean => {
+                    // <u>: forced by the pressure gradient and -d<uv>/dy
+                    let mut cu: Vec<f64> = state.u[r.clone()].iter().map(|c| c.re).collect();
+                    let nnew: Vec<f64> = nl.mean_hx.iter().map(|h| h + f).collect();
+                    let nold: Vec<f64> = n_old.mean_hx.iter().map(|h| h + f).collect();
+                    self.mean.advance(ops, i, &mut cu, &nnew, &nold, nu, dt);
+                    for (slot, &c) in state.u[r.clone()].iter_mut().zip(&cu) {
+                        *slot = C64::new(c, 0.0);
+                    }
+                    // <w>: unforced
+                    let mut cw: Vec<f64> = state.w[r.clone()].iter().map(|c| c.re).collect();
+                    self.mean
+                        .advance(ops, i, &mut cw, &nl.mean_hz, &n_old.mean_hz, nu, dt);
+                    for (slot, &c) in state.w[r].iter_mut().zip(&cw) {
+                        *slot = C64::new(c, 0.0);
+                    }
+                }
+                ModeKind::Normal(ms) => {
+                    ms.advance(
+                        ops,
+                        i,
+                        &mut state.omega_y[r.clone()],
+                        &nl.h_g[r.clone()],
+                        &n_old.h_g[r.clone()],
+                        nu,
+                        dt,
+                    );
+                    ms.advance(
+                        ops,
+                        i,
+                        &mut state.phi[r.clone()],
+                        &nl.h_v[r.clone()],
+                        &n_old.h_v[r.clone()],
+                        nu,
+                        dt,
+                    );
+                    let c_v = ms.solve_v(ops, i, &mut state.phi[r.clone()]);
+                    state.v[r.clone()].copy_from_slice(&c_v);
+                    // u, w recovery
+                    let (ikx, ikz, k2) = {
+                        let kxlen = self.pfft.kx_block().len;
+                        let kx_g = self.pfft.kx_block().global(m % kxlen);
+                        let kz_g = self.pfft.kz_block().global(m / kxlen);
+                        let kx = self.params.alpha() * kx_g as f64;
+                        let kz = self.params.beta() * signed(kz_g, self.params.nz) as f64;
+                        (C64::new(0.0, kx), C64::new(0.0, kz), kx * kx + kz * kz)
+                    };
+                    let c_vy = dy_coefficients(ops, &c_v);
+                    for j in 0..ny {
+                        let om = state.omega_y[r.start + j];
+                        state.u[r.start + j] = (ikx * c_vy[j] - ikz * om) / k2;
+                        state.w[r.start + j] = (ikz * c_vy[j] + ikx * om) / k2;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Phase timers accumulated since the last reset (transpose/FFT from
+    /// the transform layer, N-S advance measured here).
+    pub fn timers(&self) -> PhaseTimers {
+        let t = self.pfft.timers();
+        PhaseTimers {
+            transpose: t.transpose,
+            fft: t.fft,
+            ns_advance: self.ns_seconds,
+        }
+    }
+
+    /// Zero the phase timers.
+    pub fn reset_timers(&mut self) {
+        self.pfft.reset_timers();
+        self.ns_seconds = 0.0;
+    }
+
+    /// Replace the spectral state wholesale (checkpoint restart).
+    ///
+    /// # Panics
+    /// If any field length differs from this rank's layout.
+    #[allow(clippy::too_many_arguments)]
+    pub fn restore_state(
+        &mut self,
+        u: Vec<C64>,
+        v: Vec<C64>,
+        w: Vec<C64>,
+        omega_y: Vec<C64>,
+        phi: Vec<C64>,
+        time: f64,
+        steps: u64,
+    ) {
+        let len = self.field_len();
+        for f in [&u, &v, &w, &omega_y, &phi] {
+            assert_eq!(f.len(), len, "restored field length mismatch");
+        }
+        self.state.u = u;
+        self.state.v = v;
+        self.state.w = w;
+        self.state.omega_y = omega_y;
+        self.state.phi = phi;
+        self.state.time = time;
+        self.state.steps = steps;
+    }
+
+    /// Advective CFL number of the current state (collective):
+    /// `dt * max(|u|/dx + |v|/dy_local + |w|/dz)` over the dealiased
+    /// grid. Keep it comfortably below ~1.7 (the RK3 stability limit on
+    /// the imaginary axis) — above that the run will go unstable.
+    pub fn cfl(&self) -> f64 {
+        let phys_u = self.pfft.inverse(&self.field_values(self.state.u()));
+        let phys_v = self.pfft.inverse(&self.field_values(self.state.v()));
+        let phys_w = self.pfft.inverse(&self.field_values(self.state.w()));
+        let px = self.pfft.config().px();
+        let pzn = self.pfft.config().pz();
+        let dx = self.params.lx / px as f64;
+        let dz = self.params.lz / pzn as f64;
+        // local wall-normal spacing at each collocation point
+        let pts = self.ops.points();
+        let dy: Vec<f64> = (0..pts.len())
+            .map(|j| {
+                let lo = if j > 0 { pts[j] - pts[j - 1] } else { pts[1] - pts[0] };
+                let hi = if j + 1 < pts.len() {
+                    pts[j + 1] - pts[j]
+                } else {
+                    pts[j] - pts[j - 1]
+                };
+                lo.min(hi)
+            })
+            .collect();
+        let zpl = self.pfft.zphys_block().len;
+        let mut worst = 0.0f64;
+        let mut idx = 0;
+        for yl in 0..self.pfft.y_block().len {
+            let dyj = dy[self.pfft.y_block().global(yl)];
+            for _z in 0..zpl {
+                for _x in 0..px {
+                    let c = phys_u[idx].abs() / dx
+                        + phys_v[idx].abs() / dyj
+                        + phys_w[idx].abs() / dz;
+                    worst = worst.max(c);
+                    idx += 1;
+                }
+            }
+        }
+        let worst = self.pfft.comm_a().allreduce_max(worst);
+        let worst = self.pfft.comm_b().allreduce_max(worst);
+        worst * self.params.dt
+    }
+}
+
+/// Signed spanwise wavenumber index of FFT-ordered slot `g`.
+fn signed(g: usize, nz: usize) -> i64 {
+    if g < nz / 2 {
+        g as i64
+    } else if g == nz / 2 {
+        0
+    } else {
+        g as i64 - nz as i64
+    }
+}
+
+/// Deterministic unit-magnitude-ish complex amplitude from a hash.
+fn rand_c(seed: u64, a: u64, b: u64, c: u64) -> C64 {
+    let mut s = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xC2B2AE3D27D4EB4F)
+        ^ c.wrapping_mul(0x165667B19E3779F9);
+    let mut next = move || {
+        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    C64::new(next(), next())
+}
+
+/// Run a function on a freshly built DNS on `pa * pb` rank threads;
+/// returns the per-rank results.
+pub fn run_parallel<F, R>(params: Params, f: F) -> Vec<R>
+where
+    F: Fn(&mut ChannelDns) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    let n = params.pa * params.pb;
+    dns_minimpi::run(n, move |world| {
+        let mut dns = ChannelDns::new(world, params.clone());
+        f(&mut dns)
+    })
+}
+
+/// Single-rank convenience wrapper around [`run_parallel`].
+pub fn run_serial<F, R>(params: Params, f: F) -> R
+where
+    F: Fn(&mut ChannelDns) -> R + Send + Sync + 'static,
+    R: Send + 'static,
+{
+    assert_eq!(params.pa * params.pb, 1, "run_serial needs a 1x1 grid");
+    run_parallel(params, f).pop().expect("one rank")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    fn tiny_params() -> Params {
+        Params::channel(16, 25, 16, 50.0).with_dt(2e-3)
+    }
+
+    #[test]
+    fn laminar_poiseuille_is_a_steady_state_of_the_full_solver() {
+        let prof = run_serial(tiny_params(), |dns| {
+            dns.set_laminar(1.0);
+            let before = stats::profiles(dns);
+            for _ in 0..5 {
+                dns.step();
+            }
+            let after = stats::profiles(dns);
+            (before, after)
+        });
+        let (before, after) = prof;
+        for (a, b) in before.u_mean.iter().zip(&after.u_mean) {
+            assert!((a - b).abs() < 1e-8 * before.u_mean[12].abs().max(1.0), "{a} vs {b}");
+        }
+        // fluctuations remain zero
+        assert!(after.uu.iter().all(|&x| x.abs() < 1e-16));
+    }
+
+    #[test]
+    fn perturbed_field_is_divergence_free_and_stays_so() {
+        use crate::stats::max_divergence;
+        let max_div = run_serial(tiny_params(), |dns| {
+            dns.set_laminar(1.0);
+            dns.add_perturbation(0.05, 7);
+            let d0 = max_divergence(dns);
+            for _ in 0..3 {
+                dns.step();
+            }
+            (d0, max_divergence(dns))
+        });
+        assert!(max_div.0 < 1e-10, "initial divergence {}", max_div.0);
+        assert!(max_div.1 < 1e-8, "evolved divergence {}", max_div.1);
+    }
+
+    #[test]
+    fn no_slip_walls_hold_for_all_velocity_components() {
+        let worst = run_serial(tiny_params(), |dns| {
+            dns.set_laminar(1.0);
+            dns.add_perturbation(0.05, 3);
+            for _ in 0..3 {
+                dns.step();
+            }
+            let mut worst = 0.0f64;
+            let basis = dns.ops().basis().clone();
+            for m in 0..dns.local_modes() {
+                if dns.is_nyquist(m) {
+                    continue;
+                }
+                let r = dns.line_range(m);
+                for field in [dns.state().u(), dns.state().v(), dns.state().w()] {
+                    let line = &field[r.clone()];
+                    for part in [
+                        line.iter().map(|c| c.re).collect::<Vec<_>>(),
+                        line.iter().map(|c| c.im).collect::<Vec<_>>(),
+                    ] {
+                        worst = worst.max(basis.eval(&part, -1.0).abs());
+                        worst = worst.max(basis.eval(&part, 1.0).abs());
+                    }
+                }
+            }
+            worst
+        });
+        assert!(worst < 1e-9, "wall velocity {worst}");
+    }
+
+    #[test]
+    fn mean_momentum_grows_at_the_forced_rate_from_rest() {
+        // from rest, d(bulk u)/dt = F exactly until shear develops
+        let (u0, u1, dtn) = run_serial(tiny_params().with_dt(1e-3), |dns| {
+            let b0 = stats::profiles(dns).bulk_velocity;
+            for _ in 0..5 {
+                dns.step();
+            }
+            (b0, stats::profiles(dns).bulk_velocity, dns.state().time)
+        });
+        // the wall shear reduces the growth slightly; allow 10%
+        let want = dtn * 1.0;
+        assert!(u0.abs() < 1e-14);
+        assert!((u1 - want).abs() < 0.1 * want, "{u1} vs {want}");
+    }
+
+    #[test]
+    fn inviscid_energy_is_conserved_by_the_nonlinear_terms() {
+        // nu tiny, no forcing: the dealiased divergence-form convection
+        // must not create energy; drift per step should be tiny.
+        let mut p = tiny_params().with_dt(5e-4);
+        p.nu = 1e-8;
+        p.forcing = crate::params::Forcing::None;
+        let (e0, e1) = run_serial(p, |dns| {
+            dns.add_perturbation(0.2, 11);
+            let e0 = stats::kinetic_energy(dns);
+            for _ in 0..10 {
+                dns.step();
+            }
+            (e0, stats::kinetic_energy(dns))
+        });
+        let drift = (e1 - e0).abs() / e0;
+        assert!(drift < 2e-3, "energy drift {drift} (e0={e0}, e1={e1})");
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_run() {
+        let run = |pa: usize, pb: usize| -> Vec<f64> {
+            let p = tiny_params().with_grid(pa, pb);
+            let mut outs = run_parallel(p, |dns| {
+                dns.set_laminar(1.0);
+                dns.add_perturbation(0.05, 5);
+                for _ in 0..2 {
+                    dns.step();
+                }
+                stats::profiles(dns).uu
+            });
+            outs.pop().unwrap()
+        };
+        let serial = run(1, 1);
+        let par = run(2, 2);
+        assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            assert!((a - b).abs() < 1e-12 * (1.0 + a.abs()), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn mass_flux_controller_reaches_and_holds_the_target() {
+        let mut p = tiny_params().with_dt(2e-3);
+        p.forcing = crate::params::Forcing::ConstantMassFlux { bulk: 1.5 };
+        let history = run_serial(p, |dns| {
+            let mut hist = Vec::new();
+            for _ in 0..60 {
+                dns.step();
+                hist.push(stats::profiles(dns).bulk_velocity);
+            }
+            (hist, dns.current_force())
+        });
+        let (hist, force) = history;
+        let last = *hist.last().unwrap();
+        assert!((last - 1.5).abs() < 0.01, "bulk = {last}");
+        // held, not just crossed: the last 10 samples all near target
+        for &b in &hist[hist.len() - 10..] {
+            assert!((b - 1.5).abs() < 0.02, "bulk wanders: {b}");
+        }
+        // the controller found a positive driving force
+        assert!(force > 0.0);
+    }
+
+    #[test]
+    fn turbulent_like_run_stays_finite_and_produces_fluctuations() {
+        let prof = run_serial(Params::channel(16, 25, 16, 100.0).with_dt(1e-3), |dns| {
+            dns.set_laminar(1.0);
+            dns.add_perturbation(0.5, 42);
+            for _ in 0..20 {
+                dns.step();
+            }
+            stats::profiles(dns)
+        });
+        assert!(prof.u_mean.iter().all(|x| x.is_finite()));
+        let peak_uu = prof.uu.iter().cloned().fold(0.0, f64::max);
+        assert!(peak_uu > 0.0 && peak_uu.is_finite());
+        assert!(prof.u_tau > 0.0);
+    }
+}

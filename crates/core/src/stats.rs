@@ -1,0 +1,294 @@
+//! Turbulence statistics (the content of the paper's figures 5 and 6) and
+//! the law-of-the-wall reference curves they are compared against.
+//!
+//! Channel flow is statistically stationary and homogeneous in x and z,
+//! so one-point statistics are functions of `y` alone and are computed as
+//! plane averages directly from the spectral representation:
+//! `<a'b'>(y) = sum_k w_k Re(a_k(y) conj(b_k(y)))` with `w_k = 2` for the
+//! modes whose conjugate partners are not stored.
+
+use crate::solver::ChannelDns;
+use crate::C64;
+use dns_bspline::integration_weights;
+
+/// One-point profiles at the collocation points.
+#[derive(Clone, Debug)]
+pub struct Profiles {
+    /// Collocation points in `[-1, 1]`.
+    pub y: Vec<f64>,
+    /// Mean streamwise velocity `<u>(y)`.
+    pub u_mean: Vec<f64>,
+    /// Streamwise velocity variance `<u'u'>`.
+    pub uu: Vec<f64>,
+    /// Wall-normal variance `<v'v'>`.
+    pub vv: Vec<f64>,
+    /// Spanwise variance `<w'w'>`.
+    pub ww: Vec<f64>,
+    /// Reynolds shear stress `<u'v'>`.
+    pub uv: Vec<f64>,
+    /// Friction velocity from the lower-wall mean shear.
+    pub u_tau: f64,
+    /// Friction Reynolds number `u_tau / nu` (half-height 1).
+    pub re_tau: f64,
+    /// Bulk (volume-averaged) streamwise velocity.
+    pub bulk_velocity: f64,
+}
+
+impl Profiles {
+    /// `y+` coordinate of each collocation point measured from the lower
+    /// wall.
+    pub fn y_plus(&self) -> Vec<f64> {
+        self.y.iter().map(|&y| (1.0 + y) * self.re_tau).collect()
+    }
+
+    /// Mean velocity in wall units.
+    pub fn u_plus(&self) -> Vec<f64> {
+        self.u_mean.iter().map(|&u| u / self.u_tau.max(1e-300)).collect()
+    }
+}
+
+/// Compute instantaneous profiles (collective: all ranks must call).
+pub fn profiles(dns: &ChannelDns) -> Profiles {
+    let ny = dns.params().ny;
+    let ops = dns.ops();
+    // local accumulators: u_mean, uu, vv, ww, uv
+    let mut acc = vec![0.0f64; 5 * ny];
+    let mut vals_u = vec![C64::new(0.0, 0.0); ny];
+    let mut vals_v = vec![C64::new(0.0, 0.0); ny];
+    let mut vals_w = vec![C64::new(0.0, 0.0); ny];
+    for m in 0..dns.local_modes() {
+        if dns.is_nyquist(m) {
+            continue;
+        }
+        let r = dns.line_range(m);
+        ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals_u);
+        ops.b0().matvec_complex(&dns.state().v()[r.clone()], &mut vals_v);
+        ops.b0().matvec_complex(&dns.state().w()[r], &mut vals_w);
+        if dns.is_mean(m) {
+            for j in 0..ny {
+                acc[j] += vals_u[j].re;
+            }
+            continue;
+        }
+        let w = dns.mode_weight(m);
+        for j in 0..ny {
+            acc[ny + j] += w * vals_u[j].norm_sqr();
+            acc[2 * ny + j] += w * vals_v[j].norm_sqr();
+            acc[3 * ny + j] += w * vals_w[j].norm_sqr();
+            acc[4 * ny + j] += w * (vals_u[j] * vals_v[j].conj()).re;
+        }
+    }
+    // reduce across the process grid
+    let acc = dns.pfft().comm_a().allreduce(&acc, |a, b| a + b);
+    let acc = dns.pfft().comm_b().allreduce(&acc, |a, b| a + b);
+
+    let u_mean = acc[..ny].to_vec();
+    let mean_coef = ops.interpolate(&u_mean);
+    let dudy_wall = ops.basis().eval_deriv(&mean_coef, -1.0, 1);
+    let u_tau = (dns.params().nu * dudy_wall.abs()).sqrt();
+    let weights = integration_weights(ops);
+    let bulk: f64 = u_mean
+        .iter()
+        .zip(&weights)
+        .map(|(&u, &w)| u * w)
+        .sum::<f64>()
+        / 2.0;
+    Profiles {
+        y: ops.points().to_vec(),
+        u_mean,
+        uu: acc[ny..2 * ny].to_vec(),
+        vv: acc[2 * ny..3 * ny].to_vec(),
+        ww: acc[3 * ny..4 * ny].to_vec(),
+        uv: acc[4 * ny..5 * ny].to_vec(),
+        u_tau,
+        re_tau: u_tau / dns.params().nu,
+        bulk_velocity: bulk,
+    }
+}
+
+/// Maximum pointwise spectral divergence `|ikx u + dv/dy + ikz w|` over
+/// all locally-owned modes and collocation points — the continuity
+/// check; the solver's construction keeps this at rounding level.
+pub fn max_divergence(dns: &ChannelDns) -> f64 {
+    use crate::wallnormal::dy_coefficients;
+    let ny = dns.params().ny;
+    let ops = dns.ops();
+    let mut worst = 0.0f64;
+    let mut vals_u = vec![C64::new(0.0, 0.0); ny];
+    let mut vals_w = vec![C64::new(0.0, 0.0); ny];
+    let mut vals_vy = vec![C64::new(0.0, 0.0); ny];
+    for m in 0..dns.local_modes() {
+        if dns.is_nyquist(m) || dns.is_mean(m) {
+            continue;
+        }
+        let (ikx, ikz, _) = dns.mode_wavenumbers(m);
+        let r = dns.line_range(m);
+        let cvy = dy_coefficients(ops, &dns.state().v()[r.clone()]);
+        ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals_u);
+        ops.b0().matvec_complex(&dns.state().w()[r.clone()], &mut vals_w);
+        ops.b0().matvec_complex(&cvy, &mut vals_vy);
+        for j in 0..ny {
+            let div = ikx * vals_u[j] + vals_vy[j] + ikz * vals_w[j];
+            worst = worst.max(div.norm());
+        }
+    }
+    worst
+}
+
+/// Total kinetic energy `(1/2) int (u^2 + v^2 + w^2) dV / (Lx Lz)`
+/// (collective).
+pub fn kinetic_energy(dns: &ChannelDns) -> f64 {
+    let p = profiles(dns);
+    let weights = integration_weights(dns.ops());
+    let mut e = 0.0;
+    for j in 0..p.y.len() {
+        e += 0.5 * weights[j] * (p.u_mean[j] * p.u_mean[j] + p.uu[j] + p.vv[j] + p.ww[j]);
+    }
+    e
+}
+
+/// Running time average of profiles.
+#[derive(Default)]
+pub struct RunningStats {
+    n: usize,
+    sum: Option<Profiles>,
+}
+
+impl RunningStats {
+    /// Empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one snapshot.
+    pub fn add(&mut self, p: &Profiles) {
+        self.n += 1;
+        match &mut self.sum {
+            None => self.sum = Some(p.clone()),
+            Some(s) => {
+                for (a, b) in s.u_mean.iter_mut().zip(&p.u_mean) {
+                    *a += b;
+                }
+                for (a, b) in s.uu.iter_mut().zip(&p.uu) {
+                    *a += b;
+                }
+                for (a, b) in s.vv.iter_mut().zip(&p.vv) {
+                    *a += b;
+                }
+                for (a, b) in s.ww.iter_mut().zip(&p.ww) {
+                    *a += b;
+                }
+                for (a, b) in s.uv.iter_mut().zip(&p.uv) {
+                    *a += b;
+                }
+                s.u_tau += p.u_tau;
+                s.re_tau += p.re_tau;
+                s.bulk_velocity += p.bulk_velocity;
+            }
+        }
+    }
+
+    /// Number of accumulated snapshots.
+    pub fn count(&self) -> usize {
+        self.n
+    }
+
+    /// The averaged profiles.
+    ///
+    /// # Panics
+    /// If no snapshots were added.
+    pub fn mean(&self) -> Profiles {
+        let s = self.sum.as_ref().expect("no snapshots accumulated");
+        let inv = 1.0 / self.n as f64;
+        let scale = |v: &[f64]| v.iter().map(|x| x * inv).collect::<Vec<_>>();
+        Profiles {
+            y: s.y.clone(),
+            u_mean: scale(&s.u_mean),
+            uu: scale(&s.uu),
+            vv: scale(&s.vv),
+            ww: scale(&s.ww),
+            uv: scale(&s.uv),
+            u_tau: s.u_tau * inv,
+            re_tau: s.re_tau * inv,
+            bulk_velocity: s.bulk_velocity * inv,
+        }
+    }
+}
+
+/// The Reichardt composite law-of-the-wall profile, the standard
+/// reference shape for figure 5's mean velocity:
+/// viscous sublayer `u+ = y+`, log region `u+ = ln(y+)/kappa + B`.
+pub fn reichardt_u_plus(y_plus: f64) -> f64 {
+    const KAPPA: f64 = 0.41;
+    (1.0 + KAPPA * y_plus).ln() / KAPPA
+        + 7.8 * (1.0 - (-y_plus / 11.0).exp() - (y_plus / 11.0) * (-y_plus / 3.0).exp())
+}
+
+/// The logarithmic law `u+ = ln(y+)/0.41 + 5.2` (overlap region).
+pub fn log_law_u_plus(y_plus: f64) -> f64 {
+    y_plus.ln() / 0.41 + 5.2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reichardt_limits() {
+        // viscous sublayer: u+ ~ y+
+        for yp in [0.1, 0.5, 1.0] {
+            let r = reichardt_u_plus(yp);
+            assert!((r - yp).abs() < 0.12 * yp.max(0.3), "y+={yp}: {r}");
+        }
+        // log region: close to the log law
+        for yp in [100.0, 300.0] {
+            let r = reichardt_u_plus(yp);
+            let l = log_law_u_plus(yp);
+            assert!((r - l).abs() < 0.6, "y+={yp}: {r} vs {l}");
+        }
+    }
+
+    #[test]
+    fn running_stats_averages() {
+        let base = Profiles {
+            y: vec![0.0],
+            u_mean: vec![1.0],
+            uu: vec![2.0],
+            vv: vec![0.0],
+            ww: vec![0.0],
+            uv: vec![-1.0],
+            u_tau: 1.0,
+            re_tau: 180.0,
+            bulk_velocity: 15.0,
+        };
+        let mut other = base.clone();
+        other.u_mean[0] = 3.0;
+        other.u_tau = 2.0;
+        let mut rs = RunningStats::new();
+        rs.add(&base);
+        rs.add(&other);
+        let m = rs.mean();
+        assert_eq!(rs.count(), 2);
+        assert!((m.u_mean[0] - 2.0).abs() < 1e-15);
+        assert!((m.u_tau - 1.5).abs() < 1e-15);
+        assert!((m.uu[0] - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn laminar_profile_statistics() {
+        use crate::params::Params;
+        use crate::solver::run_serial;
+        // Poiseuille: u = (1-y^2)/(2 nu) * F; u_tau = sqrt(nu * |u'(-1)|)
+        // with u'(-1) = 1/nu -> u_tau = 1; bulk = (2/3) u_max.
+        let p = Params::channel(16, 25, 16, 20.0);
+        let prof = run_serial(p, |dns| {
+            dns.set_laminar(1.0);
+            profiles(dns)
+        });
+        assert!((prof.u_tau - 1.0).abs() < 1e-8, "u_tau {}", prof.u_tau);
+        assert!((prof.re_tau - 20.0).abs() < 1e-5);
+        let u_max = 20.0 / 2.0;
+        assert!((prof.bulk_velocity - 2.0 / 3.0 * u_max).abs() < 1e-8);
+        assert!(prof.uv.iter().all(|&x| x.abs() < 1e-18));
+    }
+}

@@ -1,0 +1,192 @@
+//! Vorticity fields and vorticity statistics — classic channel-DNS data
+//! products (Kim, Moin & Moser 1987 report all three r.m.s. vorticity
+//! profiles), and the source of figure 8's visualised field.
+//!
+//! All three components are evaluated spectrally from the velocity
+//! coefficients:
+//!
+//! ```text
+//! omega_x = dw/dy - dv/dz = d/dy w - ikz v
+//! omega_y = du/dz - dw/dx = ikz u - ikx w      (the prognostic variable)
+//! omega_z = dv/dx - du/dy = ikx v - d/dy u
+//! ```
+
+use crate::solver::ChannelDns;
+use crate::wallnormal::dy_coefficients;
+use crate::C64;
+
+/// Spline-coefficient fields of the three vorticity components.
+pub struct VorticityFields {
+    /// Streamwise vorticity coefficients.
+    pub omega_x: Vec<C64>,
+    /// Wall-normal vorticity coefficients (copied from the state).
+    pub omega_y: Vec<C64>,
+    /// Spanwise vorticity coefficients.
+    pub omega_z: Vec<C64>,
+}
+
+/// Evaluate all vorticity components for the current state.
+pub fn vorticity(dns: &ChannelDns) -> VorticityFields {
+    let ny = dns.params().ny;
+    let len = dns.field_len();
+    let mut out = VorticityFields {
+        omega_x: vec![C64::new(0.0, 0.0); len],
+        omega_y: dns.state().omega_y().to_vec(),
+        omega_z: vec![C64::new(0.0, 0.0); len],
+    };
+    for m in 0..dns.local_modes() {
+        if dns.is_nyquist(m) {
+            continue;
+        }
+        let r = dns.line_range(m);
+        let (ikx, ikz, _) = dns.mode_wavenumbers(m);
+        let cw_y = dy_coefficients(dns.ops(), &dns.state().w()[r.clone()]);
+        let cu_y = dy_coefficients(dns.ops(), &dns.state().u()[r.clone()]);
+        for j in 0..ny {
+            out.omega_x[r.start + j] = cw_y[j] - ikz * dns.state().v()[r.start + j];
+            out.omega_z[r.start + j] = ikx * dns.state().v()[r.start + j] - cu_y[j];
+        }
+        if dns.is_mean(m) {
+            // the prognostic omega_y is unused at the mean mode; the true
+            // mean wall-normal vorticity is zero
+            for j in 0..ny {
+                out.omega_y[r.start + j] = C64::new(0.0, 0.0);
+            }
+        }
+    }
+    out
+}
+
+/// R.m.s. vorticity-fluctuation profiles (collective).
+pub struct VorticityProfiles {
+    /// Collocation points.
+    pub y: Vec<f64>,
+    /// `<omega_x'^2>(y)`.
+    pub wx2: Vec<f64>,
+    /// `<omega_y'^2>(y)`.
+    pub wy2: Vec<f64>,
+    /// `<omega_z'^2>(y)` (fluctuating part; the mean `-d<u>/dy` is
+    /// reported separately).
+    pub wz2: Vec<f64>,
+    /// Mean spanwise vorticity `<omega_z>(y) = -d<u>/dy`.
+    pub wz_mean: Vec<f64>,
+}
+
+/// Compute vorticity statistics (collective).
+pub fn vorticity_profiles(dns: &ChannelDns) -> VorticityProfiles {
+    let f = vorticity(dns);
+    let ny = dns.params().ny;
+    let ops = dns.ops();
+    let mut acc = vec![0.0f64; 4 * ny];
+    let mut vals = vec![C64::new(0.0, 0.0); ny];
+    for m in 0..dns.local_modes() {
+        if dns.is_nyquist(m) {
+            continue;
+        }
+        let r = dns.line_range(m);
+        if dns.is_mean(m) {
+            ops.b0().matvec_complex(&f.omega_z[r.clone()], &mut vals);
+            for j in 0..ny {
+                acc[3 * ny + j] += vals[j].re;
+            }
+            continue;
+        }
+        let w = dns.mode_weight(m);
+        for (c, field) in [&f.omega_x, &f.omega_y, &f.omega_z].into_iter().enumerate() {
+            ops.b0().matvec_complex(&field[r.clone()], &mut vals);
+            for j in 0..ny {
+                acc[c * ny + j] += w * vals[j].norm_sqr();
+            }
+        }
+    }
+    let acc = dns.pfft().comm_a().allreduce(&acc, |a, b| a + b);
+    let acc = dns.pfft().comm_b().allreduce(&acc, |a, b| a + b);
+    VorticityProfiles {
+        y: ops.points().to_vec(),
+        wx2: acc[..ny].to_vec(),
+        wy2: acc[ny..2 * ny].to_vec(),
+        wz2: acc[2 * ny..3 * ny].to_vec(),
+        wz_mean: acc[3 * ny..].to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::solver::run_serial;
+
+    #[test]
+    fn laminar_vorticity_is_mean_shear_only() {
+        let p = Params::channel(16, 25, 16, 40.0);
+        let v = run_serial(p, |dns| {
+            dns.set_laminar(1.0);
+            vorticity_profiles(dns)
+        });
+        // no fluctuations
+        assert!(v.wx2.iter().all(|&x| x.abs() < 1e-20));
+        assert!(v.wy2.iter().all(|&x| x.abs() < 1e-20));
+        assert!(v.wz2.iter().all(|&x| x.abs() < 1e-20));
+        // <omega_z> = -du/dy = y * Re for the Poiseuille profile
+        for (&y, &wz) in v.y.iter().zip(&v.wz_mean) {
+            let want = y * 40.0;
+            assert!((wz - want).abs() < 1e-6 * (1.0 + want.abs()), "y={y}");
+        }
+    }
+
+    #[test]
+    fn vorticity_is_consistent_with_the_prognostic_omega_y() {
+        // the derived omega_y (from u, w) must equal the evolved one
+        let p = Params::channel(16, 25, 16, 80.0).with_dt(1e-3);
+        let worst = run_serial(p, |dns| {
+            dns.set_laminar(0.5);
+            dns.add_perturbation(0.3, 19);
+            for _ in 0..3 {
+                dns.step();
+            }
+            let ny = dns.params().ny;
+            let mut worst = 0.0f64;
+            for m in 0..dns.local_modes() {
+                if dns.is_nyquist(m) || dns.is_mean(m) {
+                    continue;
+                }
+                let r = dns.line_range(m);
+                let (ikx, ikz, _) = dns.mode_wavenumbers(m);
+                for j in 0..ny {
+                    let derived = ikz * dns.state().u()[r.start + j]
+                        - ikx * dns.state().w()[r.start + j];
+                    let evolved = dns.state().omega_y()[r.start + j];
+                    worst = worst.max((derived - evolved).norm());
+                }
+            }
+            worst
+        });
+        assert!(worst < 1e-10, "omega_y consistency {worst}");
+    }
+
+    #[test]
+    fn enstrophy_relates_to_dissipation_for_homogeneous_parts() {
+        // in fully periodic flow, nu*<|omega|^2> equals the dissipation;
+        // with walls they differ by a boundary flux, but both must be
+        // positive and of the same magnitude for a developed field
+        let p = Params::channel(16, 33, 16, 120.0).with_dt(5e-4);
+        let (ens, eps) = run_serial(p, |dns| {
+            dns.set_laminar(0.4);
+            dns.add_perturbation(0.4, 57);
+            for _ in 0..30 {
+                dns.step();
+            }
+            let v = vorticity_profiles(dns);
+            let w = dns_bspline::integration_weights(dns.ops());
+            let nu = dns.params().nu;
+            let ens: f64 = (0..v.y.len())
+                .map(|j| nu * w[j] * (v.wx2[j] + v.wy2[j] + v.wz2[j]))
+                .sum();
+            let b = crate::budget::budget(dns);
+            (ens, b.total_dissipation)
+        });
+        assert!(ens > 0.0 && eps > 0.0);
+        let ratio = ens / eps;
+        assert!((0.3..3.0).contains(&ratio), "enstrophy/dissipation {ratio}");
+    }
+}

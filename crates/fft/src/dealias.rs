@@ -1,0 +1,143 @@
+//! 3/2-rule zero padding and truncation for dealiased quadratic products
+//! (Orszag 1971), used around every inverse/forward transform pair of the
+//! nonlinear-term evaluation (steps (b)/(e) of the paper's section 2.3).
+//!
+//! Spectra come in two layouts:
+//!
+//! * **Full complex** (the spanwise z direction): length-`n` spectra in
+//!   standard FFT order `k = 0..n/2-1, [nyquist], -n/2+1..-1`. The solution
+//!   carries modes `|k| <= n/2 - 1`; the Nyquist slot is structurally zero.
+//! * **Half complex** (the streamwise x direction after the real
+//!   transform): `k = 0..len-1`, non-negative wavenumbers only.
+
+use crate::C64;
+
+/// Zero-pad a full-complex spectrum of length `n` into a larger spectrum
+/// of length `m > n`, preserving wavenumber identity (positive modes stay
+/// at the front, negative modes move to the tail). The source Nyquist slot
+/// (index `n/2`, meaningless in the dealiased basis) is discarded.
+///
+/// # Panics
+/// If `m < n` or either length is odd.
+pub fn pad_full(src: &[C64], dst: &mut [C64]) {
+    let n = src.len();
+    let m = dst.len();
+    assert!(m >= n && n.is_multiple_of(2) && m.is_multiple_of(2), "bad pad sizes {n} -> {m}");
+    let half = n / 2;
+    dst[..half].copy_from_slice(&src[..half]);
+    for d in dst[half..m - (half - 1)].iter_mut() {
+        *d = C64::new(0.0, 0.0);
+    }
+    if half >= 1 {
+        // negative wavenumbers -1..-(half-1): src index n-j -> dst index m-j
+        for j in 1..half {
+            dst[m - j] = src[n - j];
+        }
+    }
+}
+
+/// Truncate a full-complex spectrum of length `m` down to length `n < m`,
+/// keeping modes `|k| <= n/2 - 1` and zeroing the destination Nyquist slot.
+pub fn truncate_full(src: &[C64], dst: &mut [C64]) {
+    let m = src.len();
+    let n = dst.len();
+    assert!(m >= n && n.is_multiple_of(2) && m.is_multiple_of(2), "bad truncate sizes {m} -> {n}");
+    let half = n / 2;
+    dst[..half].copy_from_slice(&src[..half]);
+    dst[half] = C64::new(0.0, 0.0);
+    for j in 1..half {
+        dst[n - j] = src[m - j];
+    }
+}
+
+/// Zero-pad a half-complex spectrum (non-negative wavenumbers only) into a
+/// longer one: copy the head, zero the tail.
+pub fn pad_half(src: &[C64], dst: &mut [C64]) {
+    assert!(dst.len() >= src.len());
+    dst[..src.len()].copy_from_slice(src);
+    for d in dst[src.len()..].iter_mut() {
+        *d = C64::new(0.0, 0.0);
+    }
+}
+
+/// Truncate a half-complex spectrum: keep the lowest `dst.len()` modes.
+pub fn truncate_half(src: &[C64], dst: &mut [C64]) {
+    assert!(src.len() >= dst.len());
+    dst.copy_from_slice(&src[..dst.len()]);
+}
+
+/// Number of quadrature points required to dealias quadratic products of
+/// `n` Fourier modes by the 3/2 rule.
+pub fn dealias_len(n: usize) -> usize {
+    3 * n / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{CfftPlan, Direction};
+
+    #[test]
+    fn dealias_len_is_three_halves() {
+        assert_eq!(dealias_len(8), 12);
+        assert_eq!(dealias_len(64), 96);
+    }
+
+    #[test]
+    fn pad_then_truncate_is_identity_without_nyquist() {
+        let n = 8;
+        let mut src: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        src[n / 2] = C64::new(0.0, 0.0); // dealiased basis carries no Nyquist
+        let mut padded = vec![C64::new(9.0, 9.0); dealias_len(n)];
+        pad_full(&src, &mut padded);
+        let mut back = vec![C64::new(0.0, 0.0); n];
+        truncate_full(&padded, &mut back);
+        for (a, b) in back.iter().zip(&src) {
+            assert!((a - b).norm() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn padding_preserves_the_represented_signal() {
+        // A band-limited signal sampled on n points, padded to m points,
+        // must interpolate the same trigonometric polynomial: compare
+        // physical values at the coincident sample locations.
+        let n = 8usize;
+        let m = 12usize;
+        // signal: 1 + 2cos(x) + sin(2x) represented exactly with |k|<=2
+        let f = |x: f64| 1.0 + 2.0 * x.cos() + (2.0 * x).sin();
+        let xs_n: Vec<f64> = (0..n).map(|j| 2.0 * std::f64::consts::PI * j as f64 / n as f64).collect();
+        let mut grid: Vec<C64> = xs_n.iter().map(|&x| C64::new(f(x), 0.0)).collect();
+        let fwd_n = CfftPlan::new(n, Direction::Forward);
+        let mut scratch = fwd_n.make_scratch();
+        fwd_n.execute(&mut grid, &mut scratch);
+        for g in grid.iter_mut() {
+            *g /= n as f64; // normalised coefficients
+        }
+        let mut padded = vec![C64::new(0.0, 0.0); m];
+        pad_full(&grid, &mut padded);
+        let inv_m = CfftPlan::new(m, Direction::Inverse);
+        let mut scratch_m = inv_m.make_scratch();
+        inv_m.execute(&mut padded, &mut scratch_m);
+        for j in 0..m {
+            let x = 2.0 * std::f64::consts::PI * j as f64 / m as f64;
+            assert!(
+                (padded[j].re - f(x)).abs() < 1e-10 && padded[j].im.abs() < 1e-10,
+                "j={j}: {} vs {}",
+                padded[j].re,
+                f(x)
+            );
+        }
+    }
+
+    #[test]
+    fn half_layout_roundtrip() {
+        let src: Vec<C64> = (0..5).map(|i| C64::new(i as f64, 1.0)).collect();
+        let mut padded = vec![C64::new(7.0, 7.0); 9];
+        pad_half(&src, &mut padded);
+        assert!(padded[5..].iter().all(|c| c.norm() == 0.0));
+        let mut back = vec![C64::new(0.0, 0.0); 5];
+        truncate_half(&padded, &mut back);
+        assert_eq!(back, src);
+    }
+}

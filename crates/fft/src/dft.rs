@@ -1,0 +1,83 @@
+//! Naive discrete Fourier transform, used as the correctness reference for
+//! every fast algorithm in this crate (and as the O(n^2) comparison point
+//! in the microbenchmarks).
+
+use crate::C64;
+
+/// Direct evaluation of the DFT definition:
+/// `X[k] = sum_j x[j] * exp(sign * 2*pi*i * j*k / n)`.
+///
+/// `sign = -1` is the forward (analysis) transform, `sign = +1` the
+/// unnormalised inverse. O(n^2); only use for tests and tiny sizes.
+pub fn dft(input: &[C64], sign: f64) -> Vec<C64> {
+    let n = input.len();
+    let mut out = vec![C64::new(0.0, 0.0); n];
+    if n == 0 {
+        return out;
+    }
+    let base = sign * 2.0 * std::f64::consts::PI / n as f64;
+    for (k, o) in out.iter_mut().enumerate() {
+        let mut acc = C64::new(0.0, 0.0);
+        for (j, &x) in input.iter().enumerate() {
+            // Reduce j*k modulo n before forming the angle so that large
+            // products do not lose precision.
+            let ang = base * ((j * k) % n) as f64;
+            acc += x * C64::new(ang.cos(), ang.sin());
+        }
+        *o = acc;
+    }
+    out
+}
+
+/// Forward DFT of a real sequence, returning the `n/2 + 1` half-complex
+/// coefficients (DC .. Nyquist). Reference for [`crate::RfftPlan`].
+pub fn rdft(input: &[f64]) -> Vec<C64> {
+    let n = input.len();
+    let full: Vec<C64> = input.iter().map(|&x| C64::new(x, 0.0)).collect();
+    let spec = dft(&full, -1.0);
+    spec[..n / 2 + 1].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dft_of_delta_is_flat() {
+        let mut x = vec![C64::new(0.0, 0.0); 8];
+        x[0] = C64::new(1.0, 0.0);
+        let y = dft(&x, -1.0);
+        for v in y {
+            assert!((v - C64::new(1.0, 0.0)).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_roundtrip_recovers_input() {
+        let x: Vec<C64> = (0..12)
+            .map(|i| C64::new(i as f64, (2 * i) as f64))
+            .collect();
+        let y = dft(&x, -1.0);
+        let z = dft(&y, 1.0);
+        for (a, b) in x.iter().zip(z.iter()) {
+            assert!((a * 12.0 - b).norm() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rdft_of_cosine_has_single_peak() {
+        let n = 16;
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * 3.0 * i as f64 / n as f64).cos())
+            .collect();
+        let s = rdft(&x);
+        assert_eq!(s.len(), n / 2 + 1);
+        for (k, v) in s.iter().enumerate() {
+            let expect = if k == 3 { n as f64 / 2.0 } else { 0.0 };
+            assert!(
+                (v.re - expect).abs() < 1e-9 && v.im.abs() < 1e-9,
+                "k={k} v={v}"
+            );
+        }
+    }
+}

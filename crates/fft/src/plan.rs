@@ -1,0 +1,355 @@
+//! Complex FFT plans: factorisation, twiddle precomputation, execution.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::bluestein::Bluestein;
+use crate::radix::{factorize, Stage};
+use crate::C64;
+
+/// Transform direction. Forward uses the `exp(-2*pi*i*jk/n)` kernel;
+/// Inverse uses `exp(+2*pi*i*jk/n)` and is **unnormalised** (a
+/// forward+inverse roundtrip scales the data by `n`), matching FFTW's
+/// convention, which the DNS absorbs into its quadrature weights.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Physical space to spectral space (sign = -1).
+    Forward,
+    /// Spectral space to physical space (sign = +1), unnormalised.
+    Inverse,
+}
+
+impl Direction {
+    pub(crate) fn sign(self) -> f64 {
+        match self {
+            Direction::Forward => -1.0,
+            Direction::Inverse => 1.0,
+        }
+    }
+}
+
+enum Algorithm {
+    /// Trivial length-0/1 transform.
+    Identity,
+    /// Recursive Stockham autosort over the given stages.
+    Stockham(Vec<Stage>),
+    /// Chirp-z fallback for lengths with large prime factors.
+    Bluestein(Box<Bluestein>),
+}
+
+/// A reusable plan for a one-dimensional complex-to-complex FFT of a fixed
+/// length and direction. Immutable after construction (`Send + Sync`).
+pub struct CfftPlan {
+    n: usize,
+    direction: Direction,
+    alg: Algorithm,
+}
+
+impl CfftPlan {
+    /// Plan a transform of length `n`. Any `n` is supported.
+    pub fn new(n: usize, direction: Direction) -> Self {
+        let alg = if n <= 1 {
+            Algorithm::Identity
+        } else if let Some(radices) = factorize(n) {
+            let mut stages = Vec::with_capacity(radices.len());
+            let mut n_cur = n;
+            for &r in &radices {
+                let m = n_cur / r;
+                stages.push(Stage::new(r, m, direction.sign()));
+                n_cur = m;
+            }
+            Algorithm::Stockham(stages)
+        } else {
+            Algorithm::Bluestein(Box::new(Bluestein::new(n, direction.sign())))
+        };
+        CfftPlan { n, direction, alg }
+    }
+
+    /// Transform length.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate zero-length plan.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Planned direction.
+    pub fn direction(&self) -> Direction {
+        self.direction
+    }
+
+    /// Number of scratch elements [`CfftPlan::execute`] requires.
+    pub fn scratch_len(&self) -> usize {
+        match &self.alg {
+            Algorithm::Identity => 0,
+            Algorithm::Stockham(_) => self.n,
+            Algorithm::Bluestein(b) => b.scratch_len(),
+        }
+    }
+
+    /// Allocate a correctly-sized scratch buffer for this plan.
+    pub fn make_scratch(&self) -> Vec<C64> {
+        vec![C64::new(0.0, 0.0); self.scratch_len()]
+    }
+
+    /// Execute the transform in place on one line of `n` values.
+    ///
+    /// # Panics
+    /// If `data.len() != n` or `scratch.len() < scratch_len()`.
+    pub fn execute(&self, data: &mut [C64], scratch: &mut [C64]) {
+        assert_eq!(data.len(), self.n, "data length mismatch");
+        match &self.alg {
+            Algorithm::Identity => {}
+            Algorithm::Stockham(stages) => {
+                let scratch = &mut scratch[..self.n];
+                // Ping-pong between `data` and `scratch`; the stage list
+                // encodes the recursion fft0(n,s,eo,x,y) -> stage ->
+                // fft0(m, r*s, !eo, y, x).
+                let mut s = 1usize;
+                let mut in_data = true;
+                for st in stages {
+                    if in_data {
+                        st.apply(s, data, scratch);
+                    } else {
+                        st.apply(s, scratch, data);
+                    }
+                    in_data = !in_data;
+                    s *= st.radix;
+                }
+                if !in_data {
+                    data.copy_from_slice(scratch);
+                }
+            }
+            Algorithm::Bluestein(b) => b.execute(data, scratch),
+        }
+    }
+
+    /// Execute one line stored with a stride: element `i` of the
+    /// transform lives at `data[offset + i * stride]`.
+    ///
+    /// Gather/scatter through scratch makes this correct for any stride,
+    /// but the strided memory traffic is exactly why the production
+    /// pipeline *reorders* pencils so transforms always run on
+    /// contiguous lines (section 4.2) — see the `fft` bench's
+    /// `strided_vs_contiguous` comparison.
+    ///
+    /// Scratch requirement: `n + scratch_len()`.
+    pub fn execute_strided(
+        &self,
+        data: &mut [C64],
+        offset: usize,
+        stride: usize,
+        scratch: &mut [C64],
+    ) {
+        assert!(stride >= 1);
+        assert!(
+            offset + (self.n.max(1) - 1) * stride < data.len() || self.n == 0,
+            "strided line exceeds the buffer"
+        );
+        assert!(scratch.len() >= self.n + self.scratch_len());
+        let (line, inner) = scratch.split_at_mut(self.n);
+        for (i, l) in line.iter_mut().enumerate() {
+            *l = data[offset + i * stride];
+        }
+        self.execute(line, inner);
+        for (i, l) in line.iter().enumerate() {
+            data[offset + i * stride] = *l;
+        }
+    }
+
+    /// Execute over `count` contiguous lines of length `n` stored
+    /// back-to-back in `data` (the batched layout produced by the pencil
+    /// reorder, where the transform direction is the fastest index).
+    pub fn execute_many(&self, data: &mut [C64], scratch: &mut [C64]) {
+        assert!(
+            self.n == 0 || data.len().is_multiple_of(self.n),
+            "batched data must be a whole number of lines"
+        );
+        if self.n == 0 {
+            return;
+        }
+        for line in data.chunks_exact_mut(self.n) {
+            self.execute(line, scratch);
+        }
+    }
+}
+
+/// A cache of complex plans keyed by `(n, direction)`, the analogue of
+/// FFTW's plan reuse. Cloning the cache shares the underlying plans.
+#[derive(Default, Clone)]
+pub struct PlanCache {
+    plans: Arc<parking_lot_free::Mutex<HashMap<(usize, Direction), Arc<CfftPlan>>>>,
+}
+
+/// Minimal internal mutex shim so this crate keeps zero non-numeric
+/// dependencies; `std::sync::Mutex` is fine for a create-once cache.
+mod parking_lot_free {
+    pub use std::sync::Mutex;
+}
+
+impl PlanCache {
+    /// Create an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch (or create and memoise) the plan for `(n, direction)`.
+    pub fn plan(&self, n: usize, direction: Direction) -> Arc<CfftPlan> {
+        let mut guard = self.plans.lock().expect("plan cache poisoned");
+        guard
+            .entry((n, direction))
+            .or_insert_with(|| Arc::new(CfftPlan::new(n, direction)))
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::dft;
+
+    fn max_err(a: &[C64], b: &[C64]) -> f64 {
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).norm())
+            .fold(0.0, f64::max)
+    }
+
+    fn random_signal(n: usize, seed: u64) -> Vec<C64> {
+        // Tiny deterministic LCG; no rand dependency needed in-unit.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                let mut next = || {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+                };
+                C64::new(next(), next())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_dft_for_many_lengths() {
+        for n in [1usize, 2, 3, 4, 5, 6, 8, 9, 12, 15, 16, 20, 24, 27, 30, 32, 45, 48, 49, 60, 64, 96, 100, 128] {
+            let x = random_signal(n, n as u64);
+            let want = dft(&x, -1.0);
+            let plan = CfftPlan::new(n, Direction::Forward);
+            let mut got = x.clone();
+            let mut scratch = plan.make_scratch();
+            plan.execute(&mut got, &mut scratch);
+            let tol = 1e-9 * (n as f64).max(1.0);
+            assert!(max_err(&got, &want) < tol, "n={n} err={}", max_err(&got, &want));
+        }
+    }
+
+    #[test]
+    fn inverse_matches_naive_inverse() {
+        for n in [4usize, 6, 10, 36, 50] {
+            let x = random_signal(n, 7 + n as u64);
+            let want = dft(&x, 1.0);
+            let plan = CfftPlan::new(n, Direction::Inverse);
+            let mut got = x.clone();
+            let mut scratch = plan.make_scratch();
+            plan.execute(&mut got, &mut scratch);
+            assert!(max_err(&got, &want) < 1e-9 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn prime_lengths_use_bluestein_and_agree() {
+        for n in [67usize, 97, 101, 257] {
+            let x = random_signal(n, n as u64);
+            let want = dft(&x, -1.0);
+            let plan = CfftPlan::new(n, Direction::Forward);
+            assert!(matches!(plan.alg, Algorithm::Bluestein(_)));
+            let mut got = x.clone();
+            let mut scratch = plan.make_scratch();
+            plan.execute(&mut got, &mut scratch);
+            assert!(max_err(&got, &want) < 1e-8 * n as f64, "n={n}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_scales_by_n() {
+        let n = 96;
+        let x = random_signal(n, 3);
+        let fwd = CfftPlan::new(n, Direction::Forward);
+        let inv = CfftPlan::new(n, Direction::Inverse);
+        let mut data = x.clone();
+        let mut scratch = fwd.make_scratch();
+        fwd.execute(&mut data, &mut scratch);
+        inv.execute(&mut data, &mut scratch);
+        for (a, b) in data.iter().zip(&x) {
+            assert!((a / n as f64 - b).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let n = 60;
+        let x = random_signal(n, 11);
+        let time_energy: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let plan = CfftPlan::new(n, Direction::Forward);
+        let mut spec = x;
+        let mut scratch = plan.make_scratch();
+        plan.execute(&mut spec, &mut scratch);
+        let freq_energy: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((time_energy - freq_energy).abs() < 1e-9 * time_energy.max(1.0));
+    }
+
+    #[test]
+    fn execute_many_transforms_each_line_independently() {
+        let n = 16;
+        let lines = 5;
+        let plan = CfftPlan::new(n, Direction::Forward);
+        let mut scratch = plan.make_scratch();
+        let mut batch = Vec::new();
+        let mut singles = Vec::new();
+        for l in 0..lines {
+            let x = random_signal(n, 100 + l as u64);
+            let mut y = x.clone();
+            plan.execute(&mut y, &mut scratch);
+            singles.extend(y);
+            batch.extend(x);
+        }
+        plan.execute_many(&mut batch, &mut scratch);
+        assert!(max_err(&batch, &singles) < 1e-12);
+    }
+
+    #[test]
+    fn strided_execution_matches_contiguous() {
+        let n = 24;
+        let stride = 5;
+        let plan = CfftPlan::new(n, Direction::Forward);
+        // a strided matrix of 5 interleaved lines
+        let mut data = random_signal(n * stride, 42);
+        let reference = data.clone();
+        let mut scratch = vec![C64::new(0.0, 0.0); n + plan.scratch_len()];
+        for line in 0..stride {
+            plan.execute_strided(&mut data, line, stride, &mut scratch);
+        }
+        // compare against gathering each line by hand
+        let mut inner = plan.make_scratch();
+        for line in 0..stride {
+            let mut gathered: Vec<C64> =
+                (0..n).map(|i| reference[line + i * stride]).collect();
+            plan.execute(&mut gathered, &mut inner);
+            for (i, want) in gathered.iter().enumerate() {
+                assert!((data[line + i * stride] - want).norm() < 1e-13);
+            }
+        }
+    }
+
+    #[test]
+    fn plan_cache_reuses_plans() {
+        let cache = PlanCache::new();
+        let a = cache.plan(64, Direction::Forward);
+        let b = cache.plan(64, Direction::Forward);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.plan(64, Direction::Inverse);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+}

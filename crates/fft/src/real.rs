@@ -1,0 +1,248 @@
+//! Real-to-halfcomplex transforms via the packed half-length complex FFT.
+//!
+//! The streamwise (x) direction of the DNS transforms real grid data; a
+//! length-`n` real transform is computed as a length-`n/2` complex
+//! transform of packed even/odd samples plus an O(n) split pass.
+//!
+//! Two spectrum layouts are supported, reproducing the paper's section
+//! 4.4 distinction between P3DFFT and the customized kernel:
+//!
+//! * [`RealLayout::WithNyquist`]: `n/2 + 1` coefficients (DC..Nyquist),
+//!   the conventional FFTW/P3DFFT layout.
+//! * [`RealLayout::ElideNyquist`]: `n/2` coefficients. The Nyquist mode is
+//!   not representable in the dealiased Fourier basis of the solution, so
+//!   it is neither stored nor communicated; the inverse treats it as zero.
+
+use crate::plan::{CfftPlan, Direction};
+use crate::C64;
+
+/// Spectrum storage convention for real transforms.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RealLayout {
+    /// Keep all `n/2 + 1` half-complex coefficients.
+    WithNyquist,
+    /// Store only `n/2` coefficients, dropping the (zero) Nyquist mode.
+    ElideNyquist,
+}
+
+/// Plan for a real transform of fixed even length `n`.
+///
+/// Scaling follows the FFTW convention: `inverse(forward(x)) == n * x`.
+pub struct RfftPlan {
+    n: usize,
+    h: usize,
+    layout: RealLayout,
+    fwd: CfftPlan,
+    inv: CfftPlan,
+    /// `w[k] = exp(-2*pi*i*k/n)` for `k in 0..=h/2` plus symmetric use.
+    w: Vec<C64>,
+}
+
+impl RfftPlan {
+    /// Plan a real transform of even length `n >= 2`.
+    pub fn new(n: usize, layout: RealLayout) -> Self {
+        assert!(n >= 2 && n.is_multiple_of(2), "real transform length must be even, got {n}");
+        let h = n / 2;
+        let w = (0..=h)
+            .map(|k| {
+                let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+                C64::new(ang.cos(), ang.sin())
+            })
+            .collect();
+        RfftPlan {
+            n,
+            h,
+            layout,
+            fwd: CfftPlan::new(h, Direction::Forward),
+            inv: CfftPlan::new(h, Direction::Inverse),
+            w,
+        }
+    }
+
+    /// Real (physical-space) line length `n`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Never empty (length >= 2 enforced at construction).
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Chosen spectrum layout.
+    pub fn layout(&self) -> RealLayout {
+        self.layout
+    }
+
+    /// Number of complex coefficients produced by [`RfftPlan::forward`].
+    pub fn spectrum_len(&self) -> usize {
+        match self.layout {
+            RealLayout::WithNyquist => self.h + 1,
+            RealLayout::ElideNyquist => self.h,
+        }
+    }
+
+    /// Scratch length required by either direction.
+    pub fn scratch_len(&self) -> usize {
+        self.h + self.fwd.scratch_len().max(self.inv.scratch_len())
+    }
+
+    /// Allocate scratch for this plan.
+    pub fn make_scratch(&self) -> Vec<C64> {
+        vec![C64::new(0.0, 0.0); self.scratch_len()]
+    }
+
+    /// Analysis: real `input` (length n) to half-complex `output`
+    /// (length [`RfftPlan::spectrum_len`]).
+    pub fn forward(&self, input: &[f64], output: &mut [C64], scratch: &mut [C64]) {
+        assert_eq!(input.len(), self.n);
+        assert_eq!(output.len(), self.spectrum_len());
+        let h = self.h;
+        let (z, inner) = scratch.split_at_mut(h);
+        for (j, zj) in z.iter_mut().enumerate() {
+            *zj = C64::new(input[2 * j], input[2 * j + 1]);
+        }
+        self.fwd.execute(z, inner);
+        // Split: X[k] = E[k] + w^k * O[k], with
+        // E[k] = (Z[k] + conj(Z[h-k]))/2, O[k] = (Z[k] - conj(Z[h-k]))/(2i).
+        let nyquist = C64::new(z[0].re - z[0].im, 0.0);
+        output[0] = C64::new(z[0].re + z[0].im, 0.0);
+        for k in 1..h {
+            let zk = z[k];
+            let zc = z[h - k].conj();
+            let e = 0.5 * (zk + zc);
+            let o = 0.5 * (zk - zc);
+            // w^k * (o / i) == -i * w^k * o
+            let rot = self.w[k] * o;
+            output[k] = e + C64::new(rot.im, -rot.re);
+        }
+        if self.layout == RealLayout::WithNyquist {
+            output[h] = nyquist;
+        }
+    }
+
+    /// Synthesis: half-complex `input` to real `output` (length n),
+    /// unnormalised (`inverse(forward(x)) == n * x`). With
+    /// [`RealLayout::ElideNyquist`] the missing Nyquist mode is zero.
+    pub fn inverse(&self, input: &[C64], output: &mut [f64], scratch: &mut [C64]) {
+        assert_eq!(input.len(), self.spectrum_len());
+        assert_eq!(output.len(), self.n);
+        let h = self.h;
+        let (z, inner) = scratch.split_at_mut(h);
+        let nyq = match self.layout {
+            RealLayout::WithNyquist => input[h].re,
+            RealLayout::ElideNyquist => 0.0,
+        };
+        // Recover the packed spectrum Z[k] = E[k] + i*O[k], using
+        // E[k] = (X[k] + conj(X[h-k]))/2 and
+        // O[k] = (X[k] - conj(X[h-k]))/2 * conj(w^k)
+        // (conjugate symmetry of E and O, and conj(w^(h-k)) = -w^k).
+        z[0] = C64::new(0.5 * (input[0].re + nyq), 0.5 * (input[0].re - nyq));
+        for k in 1..h {
+            let xk = input[k];
+            let xc = input[h - k].conj();
+            let e = 0.5 * (xk + xc);
+            let o = 0.5 * (xk - xc) * self.w[k].conj();
+            // Z[k] = E[k] + i*O[k]
+            z[k] = e + C64::new(-o.im, o.re);
+        }
+        self.inv.execute(z, inner);
+        // inv gives h * z_packed; desired output is n*x = 2h*x, so double.
+        for (j, zj) in z.iter().enumerate() {
+            output[2 * j] = 2.0 * zj.re;
+            output[2 * j + 1] = 2.0 * zj.im;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dft::rdft;
+
+    fn rand_reals(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn forward_matches_naive_rdft() {
+        for n in [2usize, 4, 6, 8, 12, 16, 24, 48, 96, 128] {
+            let x = rand_reals(n, n as u64);
+            let want = rdft(&x);
+            let plan = RfftPlan::new(n, RealLayout::WithNyquist);
+            let mut out = vec![C64::new(0.0, 0.0); plan.spectrum_len()];
+            let mut scratch = plan.make_scratch();
+            plan.forward(&x, &mut out, &mut scratch);
+            for (k, (a, b)) in out.iter().zip(&want).enumerate() {
+                assert!((a - b).norm() < 1e-9 * n as f64, "n={n} k={k} {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn roundtrip_scales_by_n() {
+        for layout in [RealLayout::WithNyquist, RealLayout::ElideNyquist] {
+            let n = 64;
+            let mut x = rand_reals(n, 5);
+            if layout == RealLayout::ElideNyquist {
+                // Remove the Nyquist component so elision is lossless: the
+                // Nyquist mode of a real signal is sum_j (-1)^j x_j / n.
+                let nyq: f64 = x.iter().enumerate().map(|(j, &v)| if j % 2 == 0 { v } else { -v }).sum::<f64>() / n as f64;
+                for (j, v) in x.iter_mut().enumerate() {
+                    *v -= nyq * if j % 2 == 0 { 1.0 } else { -1.0 };
+                }
+            }
+            let plan = RfftPlan::new(n, layout);
+            let mut spec = vec![C64::new(0.0, 0.0); plan.spectrum_len()];
+            let mut back = vec![0.0; n];
+            let mut scratch = plan.make_scratch();
+            plan.forward(&x, &mut spec, &mut scratch);
+            plan.inverse(&spec, &mut back, &mut scratch);
+            for (a, b) in back.iter().zip(&x) {
+                assert!((a / n as f64 - b).abs() < 1e-12, "{layout:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn elided_layout_drops_exactly_the_nyquist_mode() {
+        let n = 32;
+        let x = rand_reals(n, 9);
+        let full = RfftPlan::new(n, RealLayout::WithNyquist);
+        let elided = RfftPlan::new(n, RealLayout::ElideNyquist);
+        let mut sf = vec![C64::new(0.0, 0.0); full.spectrum_len()];
+        let mut se = vec![C64::new(0.0, 0.0); elided.spectrum_len()];
+        let mut scratch = full.make_scratch();
+        full.forward(&x, &mut sf, &mut scratch);
+        elided.forward(&x, &mut se, &mut scratch);
+        assert_eq!(se.len() + 1, sf.len());
+        for (a, b) in se.iter().zip(&sf) {
+            assert!((a - b).norm() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn single_mode_synthesis() {
+        // inverse of a unit coefficient at k=2 must be 2*cos(2*pi*2*j/n)
+        // under the unnormalised convention (coefficient + its conjugate).
+        let n = 16;
+        let plan = RfftPlan::new(n, RealLayout::WithNyquist);
+        let mut spec = vec![C64::new(0.0, 0.0); plan.spectrum_len()];
+        spec[2] = C64::new(1.0, 0.0);
+        let mut out = vec![0.0; n];
+        let mut scratch = plan.make_scratch();
+        plan.inverse(&spec, &mut out, &mut scratch);
+        for (j, &v) in out.iter().enumerate() {
+            let want = 2.0 * (2.0 * std::f64::consts::PI * 2.0 * j as f64 / n as f64).cos();
+            assert!((v - want).abs() < 1e-12, "j={j}");
+        }
+    }
+}

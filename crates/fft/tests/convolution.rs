@@ -1,0 +1,170 @@
+//! Integration tests: the convolution theorem and dealiased products —
+//! the serial foundation of the solver's nonlinear-term evaluation.
+
+use dns_fft::dealias::{dealias_len, pad_full, truncate_full};
+use dns_fft::{C64, CfftPlan, Direction};
+
+/// Signed wavenumber of FFT-ordered index `i` on an `n` grid.
+fn signed(i: usize, n: usize) -> i64 {
+    if i <= n / 2 {
+        i as i64
+    } else {
+        i as i64 - n as i64
+    }
+}
+
+/// True *linear* convolution of two coefficient spectra over their signed
+/// wavenumbers, folded back to FFT ordering with out-of-range products
+/// dropped — exactly what a perfectly dealiased quadratic product is.
+fn true_convolution(a: &[C64], b: &[C64]) -> Vec<C64> {
+    let n = a.len();
+    let mut out = vec![C64::new(0.0, 0.0); n];
+    for i in 0..n {
+        for j in 0..n {
+            let k = signed(i, n) + signed(j, n);
+            // keep only retained solution modes |k| <= n/2 - 1
+            if k.unsigned_abs() as usize >= n / 2 {
+                continue;
+            }
+            let idx = ((k + n as i64) % n as i64) as usize;
+            out[idx] += a[i] * b[j];
+        }
+    }
+    out
+}
+
+fn normalised_forward(grid: &mut [C64]) {
+    let n = grid.len();
+    let plan = CfftPlan::new(n, Direction::Forward);
+    let mut scratch = plan.make_scratch();
+    plan.execute(grid, &mut scratch);
+    for g in grid.iter_mut() {
+        *g /= n as f64;
+    }
+}
+
+/// Band-limited spectrum with modes only below the dealias cutoff.
+fn band_limited_spectrum(n: usize, seed: u64) -> Vec<C64> {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut spec = vec![C64::new(0.0, 0.0); n];
+    // keep |k| <= n/3 so the quadratic product is fully representable on
+    // the 3/2 grid
+    let kmax = n / 3;
+    spec[0] = C64::new(next(), 0.0);
+    for k in 1..=kmax {
+        let c = C64::new(next(), next());
+        spec[k] = c;
+        spec[n - k] = c.conj(); // real signal
+    }
+    spec
+}
+
+#[test]
+fn dealiased_pseudo_spectral_product_equals_direct_convolution() {
+    let n = 24usize;
+    let a = band_limited_spectrum(n, 3);
+    let b = band_limited_spectrum(n, 17);
+
+    // reference: the true (alias-free) convolution on the retained modes
+    let want = true_convolution(&a, &b);
+
+    // pseudo-spectral with the 3/2 rule: pad, inverse, multiply, forward,
+    // truncate
+    let m = dealias_len(n);
+    let inv = CfftPlan::new(m, Direction::Inverse);
+    let mut scratch = inv.make_scratch();
+    let mut ga = vec![C64::new(0.0, 0.0); m];
+    let mut gb = vec![C64::new(0.0, 0.0); m];
+    pad_full(&a, &mut ga);
+    pad_full(&b, &mut gb);
+    inv.execute(&mut ga, &mut scratch);
+    inv.execute(&mut gb, &mut scratch);
+    let mut prod: Vec<C64> = ga.iter().zip(&gb).map(|(x, y)| x * y).collect();
+    normalised_forward(&mut prod);
+    let mut got = vec![C64::new(0.0, 0.0); n];
+    truncate_full(&prod, &mut got);
+
+    for k in 0..n {
+        if k == n / 2 {
+            continue; // Nyquist slot is structurally zero after truncation
+        }
+        assert!(
+            (got[k] - want[k]).norm() < 1e-12,
+            "k={k}: {} vs {}",
+            got[k],
+            want[k]
+        );
+    }
+}
+
+#[test]
+fn undealiased_product_aliases_but_dealiased_does_not() {
+    // with modes near the grid Nyquist, the product on the *unpadded*
+    // grid aliases into low wavenumbers; the 3/2 rule removes the error
+    let n = 16usize;
+    let mut a = vec![C64::new(0.0, 0.0); n];
+    // a = cos(7x): modes +-7; product a*a has modes 0 and +-14, and 14
+    // aliases onto -2 on the unpadded grid
+    a[7] = C64::new(0.5, 0.0);
+    a[n - 7] = C64::new(0.5, 0.0);
+
+    // unpadded product
+    let inv = CfftPlan::new(n, Direction::Inverse);
+    let mut scratch = inv.make_scratch();
+    let mut g = a.clone();
+    inv.execute(&mut g, &mut scratch);
+    let mut prod: Vec<C64> = g.iter().map(|x| x * x).collect();
+    normalised_forward(&mut prod);
+    let aliased = prod[2].norm() + prod[n - 2].norm();
+    assert!(aliased > 0.1, "premise: aliasing occurs, got {aliased}");
+
+    // dealiased product
+    let m = dealias_len(n);
+    let invm = CfftPlan::new(m, Direction::Inverse);
+    let mut scratchm = invm.make_scratch();
+    let mut gm = vec![C64::new(0.0, 0.0); m];
+    pad_full(&a, &mut gm);
+    invm.execute(&mut gm, &mut scratchm);
+    let mut prodm: Vec<C64> = gm.iter().map(|x| x * x).collect();
+    normalised_forward(&mut prodm);
+    let mut clean = vec![C64::new(0.0, 0.0); n];
+    truncate_full(&prodm, &mut clean);
+    let res = clean[2].norm() + clean[n - 2].norm();
+    assert!(res < 1e-13, "dealiased residue {res}");
+    // and the mean is exact: cos^2 has mean 1/2; the cos(14x) part lies
+    // beyond the retained band and is correctly discarded, not aliased
+    assert!((clean[0].re - 0.5).abs() < 1e-13);
+}
+
+#[test]
+fn convolution_theorem_holds_for_full_spectra() {
+    // without padding, the grid product equals the *circular* convolution
+    let n = 20usize;
+    let a = band_limited_spectrum(n, 5);
+    let b = band_limited_spectrum(n, 9);
+    let mut want = vec![C64::new(0.0, 0.0); n];
+    for k in 0..n {
+        let mut acc = C64::new(0.0, 0.0);
+        for m in 0..n {
+            acc += a[m] * b[(n + k - m) % n];
+        }
+        want[k] = acc;
+    }
+    let inv = CfftPlan::new(n, Direction::Inverse);
+    let mut scratch = inv.make_scratch();
+    let mut ga = a.clone();
+    let mut gb = b.clone();
+    inv.execute(&mut ga, &mut scratch);
+    inv.execute(&mut gb, &mut scratch);
+    let mut prod: Vec<C64> = ga.iter().zip(&gb).map(|(x, y)| x * y).collect();
+    normalised_forward(&mut prod);
+    for k in 0..n {
+        assert!((prod[k] - want[k]).norm() < 1e-12, "k={k}");
+    }
+}

@@ -1,0 +1,901 @@
+//! A thread-backed message-passing runtime with MPI semantics.
+//!
+//! The paper's communication layer is MPI: two sub-communicators created
+//! with `MPI_cart_create`/`MPI_cart_sub` (CommA and CommB, section 4.3)
+//! carry the all-to-all traffic of the global transposes. No MPI is
+//! available here, so this crate reproduces the *semantics* on OS threads:
+//! each rank is a thread, point-to-point messages travel over crossbeam
+//! channels, and the collectives (barrier, bcast, gather, allreduce,
+//! alltoall, alltoallv) are built on the point-to-point layer exactly as
+//! a textbook MPI would build them.
+//!
+//! The crate also counts every message and byte per communicator
+//! ([`Communicator::stats`]); the network performance model in
+//! `dns-netmodel` consumes those counts to predict timings at core counts
+//! no laptop can host.
+//!
+//! Deadlock hygiene: receives time out after [`RECV_TIMEOUT`] and panic
+//! with a diagnostic instead of hanging the test suite; sends are
+//! buffered (unbounded channels), so the usual "send then receive"
+//! collective patterns cannot deadlock.
+//!
+//! # Example
+//!
+//! ```
+//! // four ranks on a 2x2 Cartesian grid, as the paper's CommA x CommB
+//! let sums = dns_minimpi::run(4, |world| {
+//!     let cart = dns_minimpi::CartComm::new(world, &[2, 2]);
+//!     let comm_a = cart.sub(0);
+//!     comm_a.allreduce_sum(cart.coords[1] as f64)
+//! });
+//! // each CommA couples the two ranks sharing a B coordinate
+//! assert_eq!(sums, vec![0.0, 2.0, 0.0, 2.0]);
+//! ```
+
+#![warn(missing_docs)]
+// Indexed loops mirror the textbook statements of the numerical
+// algorithms (banded elimination, butterflies, stencils); iterator
+// rewrites of these kernels obscure the maths without helping codegen.
+#![allow(clippy::needless_range_loop)]
+#![allow(clippy::type_complexity)]
+
+use std::any::Any;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, VecDeque};
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+/// How long a blocking receive waits before declaring a deadlock.
+pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+type Payload = Box<dyn Any + Send>;
+
+struct Envelope {
+    src: usize,
+    comm: u64,
+    tag: u64,
+    bytes: usize,
+    payload: Payload,
+}
+
+/// Shared transport: one inbound channel per rank, senders cloned to all.
+struct Mesh {
+    senders: Vec<Sender<Envelope>>,
+}
+
+/// Per-rank context: this thread's identity, its inbound channel, and the
+/// out-of-order message buffer.
+struct RankCtx {
+    me: usize,
+    world_size: usize,
+    mesh: Arc<Mesh>,
+    inbox: Receiver<Envelope>,
+    pending: RefCell<HashMap<(usize, u64, u64), VecDeque<(usize, Payload)>>>,
+}
+
+impl RankCtx {
+    fn post(&self, dest: usize, env: Envelope) {
+        self.mesh.senders[dest]
+            .send(env)
+            .expect("destination rank hung up");
+    }
+
+    fn fetch(&self, src: usize, comm: u64, tag: u64) -> (usize, Payload) {
+        let key = (src, comm, tag);
+        if let Some(q) = self.pending.borrow_mut().get_mut(&key) {
+            if let Some(p) = q.pop_front() {
+                return p;
+            }
+        }
+        loop {
+            let env = self
+                .inbox
+                .recv_timeout(RECV_TIMEOUT)
+                .unwrap_or_else(|_| {
+                    panic!(
+                        "rank {}: receive (src={src}, comm={comm:#x}, tag={tag}) timed out — deadlock?",
+                        self.me
+                    )
+                });
+            if env.src == src && env.comm == comm && env.tag == tag {
+                return (env.bytes, env.payload);
+            }
+            self.pending
+                .borrow_mut()
+                .entry((env.src, env.comm, env.tag))
+                .or_default()
+                .push_back((env.bytes, env.payload));
+        }
+    }
+}
+
+/// Traffic counters for one communicator (local rank's contribution).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CommStats {
+    /// Messages this rank sent on the communicator (self-sends excluded).
+    pub messages_sent: u64,
+    /// Payload bytes this rank sent (self-sends excluded).
+    pub bytes_sent: u64,
+}
+
+/// An MPI-like communicator: an ordered group of ranks with isolated
+/// message matching and its own traffic counters.
+pub struct Communicator {
+    ctx: Rc<RankCtx>,
+    id: u64,
+    /// Global (world) rank of each member, indexed by communicator rank.
+    members: Arc<Vec<usize>>,
+    /// This rank's index within `members`.
+    rank: usize,
+    /// Deterministic per-communicator split counter (collective calls
+    /// happen in the same order on every member, so derived communicator
+    /// ids agree without global coordination).
+    splits: Cell<u64>,
+    stats: Cell<CommStats>,
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    // splitmix-style mixing for derived communicator ids
+    let mut z = a ^ b.wrapping_mul(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl Communicator {
+    /// Rank of the calling thread within this communicator.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in this communicator.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World rank of communicator rank `r`.
+    pub fn world_rank(&self, r: usize) -> usize {
+        self.members[r]
+    }
+
+    /// Local traffic counters.
+    pub fn stats(&self) -> CommStats {
+        self.stats.get()
+    }
+
+    /// Reset the local traffic counters.
+    pub fn reset_stats(&self) {
+        self.stats.set(CommStats::default());
+    }
+
+    fn note_send(&self, bytes: usize) {
+        let mut s = self.stats.get();
+        s.messages_sent += 1;
+        s.bytes_sent += bytes as u64;
+        self.stats.set(s);
+    }
+
+    /// Send a vector to communicator rank `dest` with a user tag.
+    /// Buffered: returns immediately.
+    pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, data: Vec<T>) {
+        let bytes = data.len() * std::mem::size_of::<T>();
+        if dest == self.rank {
+            // self-delivery goes straight to the pending buffer
+            self.ctx
+                .pending
+                .borrow_mut()
+                .entry((self.rank, self.id, tag))
+                .or_default()
+                .push_back((bytes, Box::new(data)));
+            return;
+        }
+        self.note_send(bytes);
+        self.ctx.post(
+            self.members[dest],
+            Envelope {
+                src: self.rank,
+                comm: self.id,
+                tag,
+                bytes,
+                payload: Box::new(data),
+            },
+        );
+    }
+
+    /// Blocking receive of a vector from communicator rank `src`.
+    ///
+    /// # Panics
+    /// On element-type mismatch with the matching send, or on timeout.
+    pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
+        let (_bytes, payload) = self.ctx.fetch(src, self.id, tag);
+        *payload
+            .downcast::<Vec<T>>()
+            .expect("message element type mismatch")
+    }
+
+    /// Non-blocking receive: returns the message from `src` with `tag`
+    /// if one has already arrived (draining the inbox into the pending
+    /// buffer), `None` otherwise.
+    pub fn try_recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Option<Vec<T>> {
+        // drain whatever is in flight
+        while let Ok(env) = self.ctx.inbox.try_recv() {
+            self.ctx
+                .pending
+                .borrow_mut()
+                .entry((env.src, env.comm, env.tag))
+                .or_default()
+                .push_back((env.bytes, env.payload));
+        }
+        let key = (src, self.id, tag);
+        let payload = self.ctx.pending.borrow_mut().get_mut(&key)?.pop_front()?;
+        Some(*payload.1.downcast::<Vec<T>>().expect("message element type mismatch"))
+    }
+
+    /// Combined send+receive (safe in any order thanks to buffering).
+    pub fn sendrecv<T: Send + 'static>(
+        &self,
+        dest: usize,
+        src: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> Vec<T> {
+        self.send(dest, tag, data);
+        self.recv(src, tag)
+    }
+
+    /// Synchronise all ranks of this communicator (gather-then-release).
+    pub fn barrier(&self) {
+        const TAG: u64 = u64::MAX - 1;
+        if self.rank == 0 {
+            for r in 1..self.size() {
+                let _: Vec<u8> = self.recv(r, TAG);
+            }
+            for r in 1..self.size() {
+                self.send::<u8>(r, TAG, Vec::new());
+            }
+        } else {
+            self.send::<u8>(0, TAG, Vec::new());
+            let _: Vec<u8> = self.recv(0, TAG);
+        }
+    }
+
+    /// Broadcast `data` from `root` to every rank; returns the payload on
+    /// all ranks.
+    pub fn bcast<T: Clone + Send + 'static>(&self, root: usize, data: Option<Vec<T>>) -> Vec<T> {
+        const TAG: u64 = u64::MAX - 2;
+        if self.rank == root {
+            let data = data.expect("root must supply the broadcast payload");
+            for r in 0..self.size() {
+                if r != root {
+                    self.send(r, TAG, data.clone());
+                }
+            }
+            data
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+
+    /// Gather one vector per rank at `root` (None elsewhere).
+    pub fn gather<T: Send + 'static>(&self, root: usize, data: Vec<T>) -> Option<Vec<Vec<T>>> {
+        const TAG: u64 = u64::MAX - 3;
+        if self.rank == root {
+            let mut out: Vec<Option<Vec<T>>> = (0..self.size()).map(|_| None).collect();
+            out[root] = Some(data);
+            for r in 0..self.size() {
+                if r != root {
+                    out[r] = Some(self.recv(r, TAG));
+                }
+            }
+            Some(out.into_iter().map(Option::unwrap).collect())
+        } else {
+            self.send(root, TAG, data);
+            None
+        }
+    }
+
+    /// All-reduce a slice of f64 element-wise with `op` (gather at rank 0,
+    /// reduce, broadcast).
+    pub fn allreduce(&self, data: &[f64], op: fn(f64, f64) -> f64) -> Vec<f64> {
+        let gathered = self.gather(0, data.to_vec());
+        if self.rank == 0 {
+            let parts = gathered.unwrap();
+            let mut acc = parts[0].clone();
+            for part in &parts[1..] {
+                for (a, &b) in acc.iter_mut().zip(part) {
+                    *a = op(*a, b);
+                }
+            }
+            self.bcast(0, Some(acc))
+        } else {
+            self.bcast::<f64>(0, None)
+        }
+    }
+
+    /// Sum-all-reduce of a single scalar.
+    pub fn allreduce_sum(&self, x: f64) -> f64 {
+        self.allreduce(&[x], |a, b| a + b)[0]
+    }
+
+    /// Max-all-reduce of a single scalar.
+    pub fn allreduce_max(&self, x: f64) -> f64 {
+        self.allreduce(&[x], f64::max)[0]
+    }
+
+    /// Scatter: `root` distributes one vector per rank; returns this
+    /// rank's part (`MPI_Scatter`).
+    pub fn scatter<T: Send + 'static>(&self, root: usize, data: Option<Vec<Vec<T>>>) -> Vec<T> {
+        const TAG: u64 = u64::MAX - 7;
+        if self.rank == root {
+            let mut data = data.expect("root must supply the scatter payload");
+            assert_eq!(data.len(), self.size());
+            let mine = std::mem::take(&mut data[root]);
+            for (r, part) in data.into_iter().enumerate() {
+                if r != root {
+                    self.send(r, TAG, part);
+                }
+            }
+            mine
+        } else {
+            self.recv(root, TAG)
+        }
+    }
+
+    /// All-gather: every rank contributes one vector and receives all of
+    /// them, ordered by rank (`MPI_Allgather`).
+    pub fn allgather<T: Clone + Send + 'static>(&self, data: Vec<T>) -> Vec<Vec<T>> {
+        let gathered = self.gather(0, data);
+        if self.rank == 0 {
+            let parts = gathered.unwrap();
+            let flat: Vec<T> = parts.iter().flat_map(|p| p.iter().cloned()).collect();
+            let counts: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+            let lens = self.bcast(0, Some(counts.iter().map(|&c| c as u64).collect::<Vec<u64>>()));
+            let flat = self.bcast(0, Some(flat));
+            split_by(&flat, &lens)
+        } else {
+            let lens = self.bcast::<u64>(0, None);
+            let flat = self.bcast::<T>(0, None);
+            split_by(&flat, &lens)
+        }
+    }
+
+    /// Reduce to `root` with `op` (element-wise over f64 slices).
+    pub fn reduce(&self, root: usize, data: &[f64], op: fn(f64, f64) -> f64) -> Option<Vec<f64>> {
+        let gathered = self.gather(root, data.to_vec());
+        gathered.map(|parts| {
+            let mut acc = parts[0].clone();
+            for part in &parts[1..] {
+                for (a, &b) in acc.iter_mut().zip(part) {
+                    *a = op(*a, b);
+                }
+            }
+            acc
+        })
+    }
+
+    /// All-to-all: rank `i` sends `send[j]` to rank `j`; returns the
+    /// vector received from each rank. This is the pattern of the global
+    /// transpose (`MPI_alltoall`).
+    pub fn alltoall<T: Send + 'static>(&self, send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        const TAG: u64 = u64::MAX - 4;
+        assert_eq!(send.len(), self.size());
+        for (dest, data) in send.into_iter().enumerate() {
+            self.send(dest, TAG, data);
+        }
+        (0..self.size()).map(|src| self.recv::<T>(src, TAG)).collect()
+    }
+
+    /// Pairwise-exchange all-to-all: the `MPI_sendrecv` strategy FFTW's
+    /// transpose planner also considers (section 4.3). Identical result to
+    /// [`Communicator::alltoall`], different message schedule: `size - 1`
+    /// rounds of `sendrecv` with a rotating partner.
+    pub fn alltoall_pairwise<T: Send + 'static>(&self, mut send: Vec<Vec<T>>) -> Vec<Vec<T>> {
+        const TAG: u64 = u64::MAX - 1000;
+        assert_eq!(send.len(), self.size());
+        let p = self.size();
+        let mut recv: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+        // self exchange
+        recv[self.rank] = Some(std::mem::take(&mut send[self.rank]));
+        for round in 1..p {
+            let partner = (self.rank + round) % p;
+            let from = (self.rank + p - round) % p;
+            self.send(partner, TAG + round as u64, std::mem::take(&mut send[partner]));
+            recv[from] = Some(self.recv(from, TAG + round as u64));
+        }
+        recv.into_iter().map(Option::unwrap).collect()
+    }
+
+    /// Variable-size all-to-all over a flat buffer: `send` is partitioned
+    /// by `send_counts`; returns the flat receive buffer and its counts.
+    pub fn alltoallv<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+    ) -> (Vec<T>, Vec<usize>) {
+        const TAG: u64 = u64::MAX - 6;
+        assert_eq!(send_counts.len(), self.size());
+        assert_eq!(send.len(), send_counts.iter().sum::<usize>());
+        let mut off = 0usize;
+        for (dest, &cnt) in send_counts.iter().enumerate() {
+            self.send(dest, TAG, send[off..off + cnt].to_vec());
+            off += cnt;
+        }
+        let mut out = Vec::new();
+        let mut counts = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            let part: Vec<T> = self.recv(src, TAG);
+            counts.push(part.len());
+            out.extend(part);
+        }
+        (out, counts)
+    }
+
+    /// Split into disjoint sub-communicators by `color`, ordered by `key`
+    /// (ties broken by parent rank) — `MPI_Comm_split`.
+    pub fn split(&self, color: u64, key: u64) -> Communicator {
+        // collective metadata exchange through rank 0
+        let my = vec![(color, key, self.rank as u64)];
+        let gathered = self.gather(0, my);
+        let table: Vec<(u64, u64, u64)> = if self.rank == 0 {
+            let mut t: Vec<(u64, u64, u64)> = gathered.unwrap().into_iter().flatten().collect();
+            t.sort();
+            self.bcast(0, Some(t))
+        } else {
+            self.bcast(0, None)
+        };
+        let split_seq = self.splits.get();
+        self.splits.set(split_seq + 1);
+        let members: Vec<usize> = table
+            .iter()
+            .filter(|&&(c, _, _)| c == color)
+            .map(|&(_, _, r)| self.members[r as usize])
+            .collect();
+        let rank = members
+            .iter()
+            .position(|&w| w == self.ctx.me)
+            .expect("caller must belong to its own split");
+        Communicator {
+            ctx: Rc::clone(&self.ctx),
+            id: mix(mix(self.id, split_seq), color),
+            members: Arc::new(members),
+            rank,
+            splits: Cell::new(0),
+            stats: Cell::new(CommStats::default()),
+        }
+    }
+
+    /// Duplicate this communicator with an independent message space.
+    pub fn dup(&self) -> Communicator {
+        self.split(0, self.rank as u64)
+    }
+}
+
+/// A Cartesian process grid over a communicator —
+/// `MPI_cart_create` + `MPI_cart_sub` for the two-axis pencil grids.
+pub struct CartComm {
+    /// Grid extents (row-major; the paper's CommA x CommB is `[pa, pb]`).
+    pub dims: Vec<usize>,
+    /// This rank's coordinates.
+    pub coords: Vec<usize>,
+    comm: Communicator,
+}
+
+impl CartComm {
+    /// Create a Cartesian topology; `dims` must multiply to `comm.size()`.
+    pub fn new(comm: Communicator, dims: &[usize]) -> Self {
+        assert_eq!(
+            dims.iter().product::<usize>(),
+            comm.size(),
+            "grid {dims:?} does not tile {} ranks",
+            comm.size()
+        );
+        let mut rem = comm.rank();
+        let mut coords = vec![0; dims.len()];
+        for ax in (0..dims.len()).rev() {
+            coords[ax] = rem % dims[ax];
+            rem /= dims[ax];
+        }
+        CartComm {
+            dims: dims.to_vec(),
+            coords,
+            comm,
+        }
+    }
+
+    /// The full communicator of the grid.
+    pub fn comm(&self) -> &Communicator {
+        &self.comm
+    }
+
+    /// Sub-communicator keeping `axis` free and fixing all other
+    /// coordinates (`MPI_cart_sub` with one retained dimension). Ranks are
+    /// ordered by their coordinate along `axis`.
+    pub fn sub(&self, axis: usize) -> Communicator {
+        let mut color = 0u64;
+        for (ax, (&c, &d)) in self.coords.iter().zip(&self.dims).enumerate() {
+            if ax != axis {
+                color = color * d as u64 + c as u64;
+            }
+        }
+        self.comm.split(color, self.coords[axis] as u64)
+    }
+}
+
+/// The world: spawns `n` rank threads running `f` and collects their
+/// return values in rank order.
+///
+/// # Panics
+/// Propagates the first rank panic after all threads finish.
+pub fn run<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send + 'static,
+    F: Fn(Communicator) -> R + Send + Sync + 'static,
+{
+    assert!(n >= 1);
+    let mut senders = Vec::with_capacity(n);
+    let mut receivers = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (s, r) = unbounded();
+        senders.push(s);
+        receivers.push(r);
+    }
+    let mesh = Arc::new(Mesh { senders });
+    let f = Arc::new(f);
+    let members: Arc<Vec<usize>> = Arc::new((0..n).collect());
+    let mut handles = Vec::with_capacity(n);
+    for (me, inbox) in receivers.into_iter().enumerate() {
+        let mesh = Arc::clone(&mesh);
+        let f = Arc::clone(&f);
+        let members = Arc::clone(&members);
+        handles.push(
+            std::thread::Builder::new()
+                .name(format!("rank-{me}"))
+                .stack_size(8 * 1024 * 1024)
+                .spawn(move || {
+                    let ctx = Rc::new(RankCtx {
+                        me,
+                        world_size: n,
+                        mesh,
+                        inbox,
+                        pending: RefCell::new(HashMap::new()),
+                    });
+                    let world = Communicator {
+                        ctx,
+                        id: 0,
+                        members,
+                        rank: me,
+                        splits: Cell::new(0),
+                        stats: Cell::new(CommStats::default()),
+                    };
+                    f(world)
+                })
+                .expect("spawn rank thread"),
+        );
+    }
+    let mut results = Vec::with_capacity(n);
+    let mut panic: Option<Box<dyn Any + Send>> = None;
+    for h in handles {
+        match h.join() {
+            Ok(r) => results.push(r),
+            Err(e) => {
+                if panic.is_none() {
+                    panic = Some(e);
+                }
+            }
+        }
+    }
+    if let Some(p) = panic {
+        std::panic::resume_unwind(p);
+    }
+    results
+}
+
+fn split_by<T: Clone>(flat: &[T], lens: &[u64]) -> Vec<Vec<T>> {
+    let mut out = Vec::with_capacity(lens.len());
+    let mut off = 0usize;
+    for &l in lens {
+        let l = l as usize;
+        out.push(flat[off..off + l].to_vec());
+        off += l;
+    }
+    out
+}
+
+/// World size visible to a communicator's rank context (diagnostics).
+pub fn world_size_of(comm: &Communicator) -> usize {
+    comm.ctx.world_size
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_and_sizes() {
+        let got = run(4, |comm| (comm.rank(), comm.size()));
+        assert_eq!(got, vec![(0, 4), (1, 4), (2, 4), (3, 4)]);
+    }
+
+    #[test]
+    fn point_to_point_ring() {
+        let got = run(5, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let recvd = comm.sendrecv(next, prev, 7, vec![comm.rank() as u64]);
+            recvd[0]
+        });
+        assert_eq!(got, vec![4, 0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn self_send_is_delivered() {
+        let got = run(2, |comm| {
+            comm.send(comm.rank(), 1, vec![41.0_f64, 1.0]);
+            let v: Vec<f64> = comm.recv(comm.rank(), 1);
+            v.iter().sum::<f64>()
+        });
+        assert_eq!(got, vec![42.0, 42.0]);
+    }
+
+    #[test]
+    fn tags_demultiplex_out_of_order() {
+        let got = run(2, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 10, vec![1u32]);
+                comm.send(1, 20, vec![2u32]);
+                0
+            } else {
+                // receive in the opposite order of sending
+                let b: Vec<u32> = comm.recv(0, 20);
+                let a: Vec<u32> = comm.recv(0, 10);
+                (b[0] * 10 + a[0]) as i32
+            }
+        });
+        assert_eq!(got[1], 21);
+    }
+
+    #[test]
+    fn barrier_and_allreduce() {
+        let got = run(6, |comm| {
+            comm.barrier();
+            comm.allreduce_sum(comm.rank() as f64)
+        });
+        assert!(got.iter().all(|&s| s == 15.0));
+    }
+
+    #[test]
+    fn bcast_and_gather() {
+        let got = run(3, |comm| {
+            let data = if comm.rank() == 1 {
+                Some(vec![3.5f64, 4.5])
+            } else {
+                None
+            };
+            let v = comm.bcast(1, data);
+            let g = comm.gather(0, vec![comm.rank() as u64]);
+            (v[1], g.map(|rows| rows.concat()))
+        });
+        assert_eq!(got[0].0, 4.5);
+        assert_eq!(got[0].1, Some(vec![0, 1, 2]));
+        assert_eq!(got[2].1, None);
+    }
+
+    #[test]
+    fn alltoall_transposes_rank_data() {
+        let got = run(4, |comm| {
+            let send: Vec<Vec<u64>> = (0..4)
+                .map(|dest| vec![(comm.rank() * 10 + dest) as u64])
+                .collect();
+            let recv = comm.alltoall(send);
+            recv.into_iter().map(|v| v[0]).collect::<Vec<_>>()
+        });
+        // rank r receives src*10 + r from each src
+        for (r, row) in got.iter().enumerate() {
+            let want: Vec<u64> = (0..4).map(|src| (src * 10 + r) as u64).collect();
+            assert_eq!(row, &want);
+        }
+    }
+
+    #[test]
+    fn pairwise_alltoall_matches_alltoall() {
+        let got = run(5, |comm| {
+            let send: Vec<Vec<i64>> = (0..5)
+                .map(|dest| vec![comm.rank() as i64 * 100 + dest as i64, dest as i64])
+                .collect();
+            let a = comm.alltoall(send.clone());
+            let b = comm.alltoall_pairwise(send);
+            a == b
+        });
+        assert!(got.iter().all(|&ok| ok));
+    }
+
+    #[test]
+    fn alltoallv_variable_sizes() {
+        let got = run(3, |comm| {
+            let r = comm.rank();
+            // rank r sends `dest + 1` elements (value r) to each dest
+            let counts: Vec<usize> = (0..3).map(|d| d + 1).collect();
+            let send: Vec<u8> = (0..3)
+                .flat_map(|d| std::iter::repeat(r as u8).take(d + 1))
+                .collect();
+            comm.alltoallv(&send, &counts)
+        });
+        // rank r receives r+1 elements from each src, tagged by src id
+        for (r, (recv, rc)) in got.iter().enumerate() {
+            assert_eq!(rc, &vec![r + 1; 3]);
+            let want: Vec<u8> = (0..3u8)
+                .flat_map(|s| std::iter::repeat(s).take(r + 1))
+                .collect();
+            assert_eq!(recv, &want);
+        }
+    }
+
+    #[test]
+    fn split_forms_disjoint_groups() {
+        let got = run(6, |comm| {
+            let color = (comm.rank() % 2) as u64;
+            let sub = comm.split(color, comm.rank() as u64);
+            let total = sub.allreduce_sum(comm.rank() as f64);
+            (sub.size(), total)
+        });
+        // evens: 0+2+4 = 6; odds: 1+3+5 = 9
+        for (r, &(sz, total)) in got.iter().enumerate() {
+            assert_eq!(sz, 3);
+            assert_eq!(total, if r % 2 == 0 { 6.0 } else { 9.0 });
+        }
+    }
+
+    #[test]
+    fn cartesian_sub_communicators_match_paper_topology() {
+        // 8 ranks as a 4 x 2 grid: CommA spans axis 0 (size 4),
+        // CommB spans axis 1 (size 2) — figure 4's pattern.
+        let got = run(8, |comm| {
+            let cart = CartComm::new(comm, &[4, 2]);
+            let comm_a = cart.sub(0);
+            let comm_b = cart.sub(1);
+            (
+                cart.coords.clone(),
+                comm_a.size(),
+                comm_b.size(),
+                comm_a.allreduce_sum(1.0),
+                comm_b.allreduce_sum(1.0),
+            )
+        });
+        for (r, (coords, sa, sb, na, nb)) in got.iter().enumerate() {
+            assert_eq!(coords, &vec![r / 2, r % 2]);
+            assert_eq!((*sa, *sb), (4, 2));
+            assert_eq!((*na, *nb), (4.0, 2.0));
+        }
+    }
+
+    #[test]
+    fn scatter_distributes_parts() {
+        let got = run(3, |comm| {
+            let data = if comm.rank() == 1 {
+                Some((0..3).map(|r| vec![r as u64 * 10, r as u64 * 10 + 1]).collect())
+            } else {
+                None
+            };
+            comm.scatter(1, data)
+        });
+        assert_eq!(got, vec![vec![0, 1], vec![10, 11], vec![20, 21]]);
+    }
+
+    #[test]
+    fn allgather_orders_by_rank() {
+        let got = run(4, |comm| comm.allgather(vec![comm.rank() as u8; comm.rank() + 1]));
+        for rows in got {
+            assert_eq!(rows.len(), 4);
+            for (r, row) in rows.iter().enumerate() {
+                assert_eq!(row, &vec![r as u8; r + 1]);
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_applies_operator_at_root() {
+        let got = run(4, |comm| {
+            comm.reduce(2, &[comm.rank() as f64, 1.0], |a, b| a + b)
+        });
+        for (r, res) in got.into_iter().enumerate() {
+            if r == 2 {
+                assert_eq!(res, Some(vec![6.0, 4.0]));
+            } else {
+                assert_eq!(res, None);
+            }
+        }
+    }
+
+    #[test]
+    fn stats_count_messages_and_bytes() {
+        let got = run(2, |comm| {
+            comm.send(1 - comm.rank(), 3, vec![0f64; 100]);
+            let _: Vec<f64> = comm.recv(1 - comm.rank(), 3);
+            comm.stats()
+        });
+        for s in got {
+            assert_eq!(s.messages_sent, 1);
+            assert_eq!(s.bytes_sent, 800);
+        }
+    }
+
+    #[test]
+    fn try_recv_is_nonblocking_and_eventually_sees_the_message() {
+        let got = run(2, |comm| {
+            let peer = 1 - comm.rank();
+            // nothing sent yet (sends happen only after the barrier):
+            // try_recv must return None without blocking
+            let early: Option<Vec<u32>> = comm.try_recv(peer, 9);
+            assert!(early.is_none());
+            comm.barrier();
+            comm.send(peer, 9, vec![7u32]);
+            comm.barrier(); // guarantees delivery to the inbox
+            let late: Option<Vec<u32>> = comm.try_recv(peer, 9);
+            late.map(|v| v[0])
+        });
+        assert_eq!(got, vec![Some(7), Some(7)]);
+    }
+
+    #[test]
+    fn message_storm_is_delivered_in_order_per_channel() {
+        // every rank fires 200 messages at every other rank across 4
+        // interleaved tags; ordering must hold per (src, tag) stream
+        let got = run(4, |comm| {
+            let p = comm.size();
+            for dest in 0..p {
+                if dest == comm.rank() {
+                    continue;
+                }
+                for i in 0..200u64 {
+                    comm.send(dest, i % 4, vec![i]);
+                }
+            }
+            let mut ok = true;
+            for src in 0..p {
+                if src == comm.rank() {
+                    continue;
+                }
+                for tag in 0..4u64 {
+                    let mut expect = tag;
+                    for _ in 0..50 {
+                        let v: Vec<u64> = comm.recv(src, tag);
+                        if v[0] != expect {
+                            ok = false;
+                        }
+                        expect += 4;
+                    }
+                }
+            }
+            ok
+        });
+        assert!(got.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn nested_splits_stay_isolated() {
+        // split twice and verify message spaces do not collide
+        let got = run(8, |comm| {
+            let half = comm.split((comm.rank() / 4) as u64, comm.rank() as u64);
+            let quarter = half.split((half.rank() / 2) as u64, half.rank() as u64);
+            // identical tags on all three communicators simultaneously
+            let t = 5u64;
+            comm.send(comm.rank(), t, vec![1u8]);
+            half.send(half.rank(), t, vec![2u8]);
+            quarter.send(quarter.rank(), t, vec![3u8]);
+            let a: Vec<u8> = comm.recv(comm.rank(), t);
+            let b: Vec<u8> = half.recv(half.rank(), t);
+            let c: Vec<u8> = quarter.recv(quarter.rank(), t);
+            (a[0], b[0], c[0]) == (1, 2, 3)
+        });
+        assert!(got.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn world_size_is_visible() {
+        let got = run(3, |comm| world_size_of(&comm));
+        assert_eq!(got, vec![3, 3, 3]);
+    }
+}

@@ -1,0 +1,497 @@
+//! Grid-driven workload counts and end-to-end predictors for the paper's
+//! scaling tables.
+//!
+//! Everything here is derived from the algorithm of section 2.3: per RK3
+//! substep, three velocity fields travel spectral -> physical (CommB then
+//! CommA exchanges, z then x inverse transforms), five nonlinear-product
+//! fields travel back, and every retained wavenumber pays three banded
+//! solves in y. The predictors combine those counts with the node
+//! roofline ([`crate::node`]) and the interconnect model
+//! ([`crate::network`]).
+
+use crate::machines::Machine;
+use crate::network::{alltoall_time, AlltoallSpec, CommCost};
+use crate::node::{KernelCounts, NodeModel};
+
+/// Solution grid (Fourier modes in x/z, B-spline points in y).
+#[derive(Clone, Copy, Debug)]
+pub struct Grid {
+    /// Streamwise Fourier modes.
+    pub nx: usize,
+    /// Wall-normal B-spline collocation points.
+    pub ny: usize,
+    /// Spanwise Fourier modes.
+    pub nz: usize,
+}
+
+impl Grid {
+    /// Degrees of freedom, counted as the paper does (2 reals per
+    /// retained x-mode: `2 * nx * ny * nz / ... = nx*ny*nz*2/...`).
+    /// For the paper's production grid (10240 x 1536 x 7680) this gives
+    /// the quoted 242 billion.
+    pub fn dof(&self) -> f64 {
+        2.0 * self.nx as f64 * self.ny as f64 * self.nz as f64
+    }
+
+    /// Dealiased physical grid in x (3/2 rule).
+    pub fn px(&self) -> usize {
+        3 * self.nx / 2
+    }
+    /// Dealiased physical grid in z.
+    pub fn pz(&self) -> usize {
+        3 * self.nz / 2
+    }
+    /// Stored x-spectrum length (Nyquist elided).
+    pub fn sx(&self) -> usize {
+        self.nx / 2
+    }
+}
+
+/// Velocity fields inverse-transformed per substep (u, v, w).
+pub const FIELDS_DOWN: f64 = 3.0;
+/// Nonlinear-product fields forward-transformed per substep (the paper's
+/// five quadratic products; our solver carries a sixth, see DESIGN.md).
+pub const FIELDS_UP: f64 = 5.0;
+/// Runge-Kutta substeps per timestep.
+pub const RK_SUBSTEPS: f64 = 3.0;
+/// Modelled flops per mode per y-point per substep of the Navier-Stokes
+/// advance: three corner-banded solves of bandwidth 15 on complex data,
+/// right-hand-side assembly of h_g/h_v from the transformed products
+/// (spectral derivatives over five fields), the influence-matrix
+/// correction, and u,w recovery. Calibrated once against Table 9's
+/// N-S column at 131,072 cores.
+pub const NS_FLOPS_PER_POINT: f64 = 2000.0;
+/// Nominal streaming bytes per mode per y-point per substep (factored
+/// matrices + state vectors); multiplied by the machine's
+/// `ns_cache_discount` for the DRAM roof.
+pub const NS_BYTES_PER_POINT: f64 = 2800.0;
+
+/// Rank-per-core ("MPI") or rank-per-node ("Hybrid") execution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Parallelism {
+    /// One MPI rank per core; OpenMP only via hardware threads.
+    Mpi,
+    /// One MPI rank per node; all on-node parallelism via threads.
+    Hybrid,
+}
+
+/// Per-phase predicted times for one full RK3 timestep (the columns of
+/// Tables 9 and 10).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PhaseTimes {
+    /// Global transposes (the paper's "Transpose" column).
+    pub transpose: f64,
+    /// FFTs including dealias pad/truncate and the fused products.
+    pub fft: f64,
+    /// Navier-Stokes time advance (banded solves in y).
+    pub ns_advance: f64,
+}
+
+impl PhaseTimes {
+    /// Total timestep time.
+    pub fn total(&self) -> f64 {
+        self.transpose + self.fft + self.ns_advance
+    }
+}
+
+/// Choose the CommA x CommB factorisation the way the production code
+/// does: CommB pinned to the node (or its best divisor).
+pub fn choose_grid(ranks: usize, tasks_per_node: usize) -> (usize, usize) {
+    let mut pb = tasks_per_node.min(ranks).max(1);
+    while !ranks.is_multiple_of(pb) {
+        pb -= 1;
+    }
+    // hybrid runs (1 task/node) still want a 2D grid: use up to 16 on
+    // the B axis, matching the paper's localisation to torus boundaries
+    if pb == 1 && ranks >= 16 {
+        pb = 16;
+        while !ranks.is_multiple_of(pb) {
+            pb /= 2;
+        }
+    }
+    (ranks / pb, pb)
+}
+
+/// Total FFT flops for one field making one trip through both transform
+/// directions (one z pass + one x pass), machine-wide.
+fn field_fft_flops(g: &Grid) -> f64 {
+    let z_lines = (g.sx() * g.ny) as f64;
+    let x_lines = (g.pz() * g.ny) as f64;
+    z_lines * dns_fft_cfft_flops(g.pz()) + x_lines * dns_fft_rfft_flops(g.px())
+}
+
+// Local copies of the conventional flop counts (keeping this crate
+// dependency-free); must match `dns_fft::cfft_flops`.
+fn dns_fft_cfft_flops(n: usize) -> f64 {
+    5.0 * n as f64 * (n as f64).log2()
+}
+fn dns_fft_rfft_flops(n: usize) -> f64 {
+    dns_fft_cfft_flops(n / 2) + 6.0 * n as f64
+}
+
+/// Nominal DRAM bytes for one field's trip through both transform
+/// directions: each pass reads and writes the line data plus the
+/// pad/truncate staging (z: complex, 3 effective passes; x: mixed
+/// real/complex). Multiplied by the machine cache discount downstream.
+fn field_fft_bytes(g: &Grid) -> f64 {
+    let z_elems = (g.sx() * g.ny * g.pz()) as f64;
+    let x_elems = (g.pz() * g.ny * g.px()) as f64;
+    48.0 * z_elems + 30.0 * x_elems
+}
+
+/// Transpose cost of one full RK3 timestep.
+pub fn timestep_transpose(m: &Machine, g: &Grid, cores: usize, mode: Parallelism) -> CommCost {
+    let (ranks, tasks) = match mode {
+        Parallelism::Mpi => (cores, m.cores_per_node.min(cores)),
+        Parallelism::Hybrid => (m.nodes(cores), 1),
+    };
+    let (pa, pb) = choose_grid(ranks, tasks);
+    let fields = FIELDS_DOWN + FIELDS_UP;
+    // per-rank elements at the two exchange points
+    let e_b = (g.sx() * g.nz * g.ny) as f64 / ranks as f64; // y<->z (spectral)
+    let e_a = (g.sx() * g.pz() * g.ny) as f64 / ranks as f64; // z<->x (z padded)
+    let spec_a = AlltoallSpec {
+        comm_size: pa,
+        msg_bytes: 16.0 * e_a / pa as f64,
+        rank_stride: pb,
+        tasks_per_node: tasks,
+        total_ranks: ranks,
+    };
+    let spec_b = AlltoallSpec {
+        comm_size: pb,
+        msg_bytes: 16.0 * e_b / pb as f64,
+        rank_stride: 1,
+        tasks_per_node: tasks,
+        total_ranks: ranks,
+    };
+    let per_field = alltoall_time(m, &spec_a).plus(&alltoall_time(m, &spec_b));
+    per_field.scaled(fields * RK_SUBSTEPS)
+}
+
+/// On-node kernel times of one timestep (FFT+products, and the N-S
+/// advance), identical for MPI and hybrid modes (section 5.3).
+pub fn timestep_node(m: &Machine, g: &Grid, cores: usize) -> (f64, f64) {
+    let nodes = m.nodes(cores) as f64;
+    let nm = NodeModel::new(m.clone());
+    let threads = m.cores_per_node * m.hw_threads_per_core;
+    let fields = FIELDS_DOWN + FIELDS_UP;
+
+    // FFT phase, including a cache-capacity penalty when x-lines outgrow
+    // the on-chip cache (the weak-scaling FFT degradation of Table 10)
+    let fft_counts = KernelCounts {
+        flops: fields * RK_SUBSTEPS * field_fft_flops(g) / nodes,
+        dram_bytes: fields * RK_SUBSTEPS * field_fft_bytes(g) * m.ns_cache_discount / nodes,
+    };
+    let line_bytes = 16.0 * g.px() as f64;
+    // per-core cache share an x-line competes for; beyond it, the fused
+    // pad+FFT+product block loses residency (Table 10's FFT decline)
+    let cache_per_core = 64.0e3;
+    let cache_penalty = 1.0 + 0.25 * (line_bytes / cache_per_core).max(1.0).log2();
+    let t_fft = nm.kernel_time_with_eff(&fft_counts, threads, m.fft_efficiency) * cache_penalty;
+
+    let modes = (g.sx() * g.nz) as f64;
+    let ns_counts = KernelCounts {
+        flops: RK_SUBSTEPS * modes * g.ny as f64 * NS_FLOPS_PER_POINT / nodes,
+        dram_bytes: RK_SUBSTEPS * modes * g.ny as f64 * NS_BYTES_PER_POINT * m.ns_cache_discount
+            / nodes,
+    };
+    let t_ns = nm.kernel_time(&ns_counts, threads);
+    (t_fft, t_ns)
+}
+
+/// Full prediction of one RK3 timestep (a row of Table 9/10).
+pub fn timestep_phases(m: &Machine, g: &Grid, cores: usize, mode: Parallelism) -> PhaseTimes {
+    let (t_fft, t_ns) = timestep_node(m, g, cores);
+    let transpose = timestep_transpose(m, g, cores, mode);
+    PhaseTimes {
+        transpose: transpose.total(),
+        fft: t_fft,
+        ns_advance: t_ns,
+    }
+}
+
+/// Parallel-FFT cycle prediction for Table 6 (four transposes + four
+/// transform passes, no dealiasing, no y transform). Returns `None` when
+/// the kernel does not fit in memory ("N/A" in the paper's table).
+pub fn pfft_cycle(m: &Machine, g: &Grid, cores: usize, customized: bool) -> Option<f64> {
+    let nodes = m.nodes(cores);
+    // Memory gate (the paper's "N/A denotes inadequate memory"): the
+    // customized kernel needs the field plus one exchange buffer
+    // (~2.4x with plan metadata); P3DFFT stages through a buffer three
+    // times the input arrays (~6x total). The multipliers are anchored
+    // to exactly which Table 6 rows the paper marks N/A.
+    let field_bytes = 16.0 * (g.nx / 2 + usize::from(!customized)) as f64
+        * g.ny as f64
+        * g.nz as f64
+        / nodes as f64;
+    let buffers = if customized { 2.4 } else { 6.0 };
+    if field_bytes * buffers > m.mem_per_node * 0.85 {
+        return None;
+    }
+
+    let (ranks, tasks) = if customized {
+        (nodes, 1)
+    } else {
+        (cores, m.cores_per_node.min(cores))
+    };
+    let (pa, pb) = choose_grid(ranks, tasks);
+    let sx = g.nx / 2 + usize::from(!customized);
+    let e_a = (sx * g.nz * g.ny) as f64 / ranks as f64;
+    let e_b = e_a;
+    let spec_a = AlltoallSpec {
+        comm_size: pa,
+        msg_bytes: 16.0 * e_a / pa.max(1) as f64,
+        rank_stride: pb,
+        tasks_per_node: tasks,
+        total_ranks: ranks,
+    };
+    let spec_b = AlltoallSpec {
+        comm_size: pb,
+        msg_bytes: 16.0 * e_b / pb.max(1) as f64,
+        rank_stride: 1,
+        tasks_per_node: tasks,
+        total_ranks: ranks,
+    };
+    // four transposes per cycle: 2 x CommA + 2 x CommB; P3DFFT's fixed
+    // schedule pays the machine's baseline penalty
+    let sched = if customized {
+        1.0
+    } else {
+        m.baseline_comm_penalty
+    };
+    let comm = alltoall_time(m, &spec_a)
+        .plus(&alltoall_time(m, &spec_b))
+        .scaled(2.0 * sched);
+
+    // transform arithmetic: x pass + z pass, forward and inverse
+    let nm = NodeModel::new(m.clone());
+    let flops = 2.0
+        * ((sx * g.ny) as f64 * dns_fft_cfft_flops(g.nz)
+            + (g.nz * g.ny) as f64 * dns_fft_rfft_flops(g.nx))
+        / nodes as f64;
+    let bytes = 2.0 * 2.0 * 16.0 * (sx * g.ny * g.nz) as f64 / nodes as f64;
+    let counts = KernelCounts {
+        flops,
+        dram_bytes: bytes,
+    };
+    let threads = if customized {
+        m.cores_per_node * m.hw_threads_per_core
+    } else {
+        m.cores_per_node // one single-threaded rank per core: no HT boost
+    };
+    let mut t_node = nm.kernel_time_with_eff(&counts, threads, m.fft_efficiency);
+    if customized {
+        // one threaded rank spans the whole node: thread-sync overhead
+        // plus the cross-socket penalty on NUMA nodes (section 4.2.1)
+        t_node *= (1.0 + m.thread_overhead) * m.numa_thread_penalty();
+    }
+    // the reorder part of each transpose also streams through DRAM
+    let reorder_bytes = 4.0 * 2.0 * 16.0 * (sx * g.ny * g.nz) as f64 / nodes as f64;
+    let t_reorder = nm.stream_time(reorder_bytes, threads.min(m.cores_per_node));
+
+    Some(comm.total() + t_node + t_reorder)
+}
+
+/// Aggregate sustained flop rates of the full timestep (section 5.3's
+/// closing numbers: ~271 Tflops total, ~2.7% of peak, vs ~906 Tflops /
+/// ~9% counting only the on-node compute time).
+pub struct AggregateRates {
+    /// Total useful flops per timestep.
+    pub flops_per_step: f64,
+    /// Sustained rate over the whole timestep (flops / total time).
+    pub total_rate: f64,
+    /// Fraction of the partition's theoretical peak.
+    pub total_peak_fraction: f64,
+    /// Rate counting only the on-node compute time.
+    pub compute_rate: f64,
+    /// Its fraction of peak.
+    pub compute_peak_fraction: f64,
+}
+
+/// Compute the aggregate-rate summary for a configuration.
+pub fn aggregate_rates(m: &Machine, g: &Grid, cores: usize, mode: Parallelism) -> AggregateRates {
+    let p = timestep_phases(m, g, cores, mode);
+    let fields = FIELDS_DOWN + FIELDS_UP;
+    let modes = (g.sx() * g.nz) as f64;
+    let flops = fields * RK_SUBSTEPS * field_fft_flops(g)
+        + RK_SUBSTEPS * modes * g.ny as f64 * NS_FLOPS_PER_POINT;
+    let peak = cores as f64 * m.peak_flops_per_core;
+    let compute_time = p.fft + p.ns_advance;
+    AggregateRates {
+        flops_per_step: flops,
+        total_rate: flops / p.total(),
+        total_peak_fraction: flops / p.total() / peak,
+        compute_rate: flops / compute_time,
+        compute_peak_fraction: flops / compute_time / peak,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mira_grid() -> Grid {
+        Grid {
+            nx: 18432,
+            ny: 1536,
+            nz: 12288,
+        }
+    }
+
+    #[test]
+    fn paper_production_grid_dof() {
+        let g = Grid {
+            nx: 10240,
+            ny: 1536,
+            nz: 7680,
+        };
+        assert!((g.dof() - 241.6e9).abs() / 241.6e9 < 0.01);
+    }
+
+    #[test]
+    fn choose_grid_keeps_commb_on_node() {
+        assert_eq!(choose_grid(8192, 16), (512, 16));
+        assert_eq!(choose_grid(131072, 16), (8192, 16));
+        // hybrid: 4096 nodes, 1 task each
+        assert_eq!(choose_grid(4096, 1), (256, 16));
+    }
+
+    #[test]
+    fn strong_scaling_transpose_on_mira_stays_efficient() {
+        // Table 9, Mira MPI: near-perfect transpose scaling 131k -> 786k
+        let m = Machine::mira();
+        let g = mira_grid();
+        let t1 = timestep_transpose(&m, &g, 131_072, Parallelism::Mpi).total();
+        let t6 = timestep_transpose(&m, &g, 786_432, Parallelism::Mpi).total();
+        let eff = t1 / (6.0 * t6);
+        assert!(eff > 0.75, "Mira MPI transpose efficiency {eff}");
+    }
+
+    #[test]
+    fn ns_advance_scales_perfectly() {
+        let m = Machine::mira();
+        let g = mira_grid();
+        let (_, ns1) = timestep_node(&m, &g, 131_072);
+        let (_, ns6) = timestep_node(&m, &g, 786_432);
+        let eff = ns1 / (6.0 * ns6);
+        assert!((eff - 1.0).abs() < 0.05, "{eff}");
+    }
+
+    #[test]
+    fn mira_mpi_total_is_in_the_table9_ballpark() {
+        // Table 9: 131,072 cores -> 41.2 s total (26.9 transpose, 7.3
+        // FFT, 7.0 N-S). Within 2x counts as the right ballpark for a
+        // model with no per-row tuning.
+        let m = Machine::mira();
+        let g = mira_grid();
+        let p = timestep_phases(&m, &g, 131_072, Parallelism::Mpi);
+        assert!(p.transpose > 10.0 && p.transpose < 60.0, "{p:?}");
+        assert!(p.fft > 3.0 && p.fft < 16.0, "{p:?}");
+        assert!(p.ns_advance > 3.0 && p.ns_advance < 16.0, "{p:?}");
+    }
+
+    #[test]
+    fn hybrid_beats_mpi_at_mid_scale() {
+        let m = Machine::mira();
+        let g = mira_grid();
+        let mpi = timestep_phases(&m, &g, 262_144, Parallelism::Mpi).total();
+        let hyb = timestep_phases(&m, &g, 262_144, Parallelism::Hybrid).total();
+        assert!(hyb < mpi, "hybrid {hyb} vs mpi {mpi}");
+    }
+
+    #[test]
+    fn weak_scaling_fft_degrades_with_nx() {
+        // Table 10: FFT efficiency falls as Nx grows (cache capacity)
+        let m = Machine::mira();
+        let small = Grid {
+            nx: 4608,
+            ny: 1536,
+            nz: 12288,
+        };
+        let large = Grid {
+            nx: 55296,
+            ny: 1536,
+            nz: 12288,
+        };
+        let (f_small, _) = timestep_node(&m, &small, 65_536);
+        let (f_large, _) = timestep_node(&m, &large, 786_432);
+        // perfect weak scaling would keep f constant up to the log(N)
+        // factor; require measurable degradation beyond it
+        let logratio = dns_fft_rfft_flops(large.px()) / dns_fft_rfft_flops(small.px()) / 12.0;
+        assert!(f_large > f_small * logratio * 1.1, "{f_small} {f_large}");
+    }
+
+    #[test]
+    fn pfft_crossover_on_stampede() {
+        // Table 6 Stampede: P3DFFT faster at 64 cores (ratio < 1),
+        // customized faster at 4096 (ratio > 1).
+        let m = Machine::stampede();
+        let g = Grid {
+            nx: 1024,
+            ny: 1024,
+            nz: 1024,
+        };
+        let small_c = pfft_cycle(&m, &g, 64, true).unwrap();
+        let small_p = pfft_cycle(&m, &g, 64, false).unwrap();
+        let big_c = pfft_cycle(&m, &g, 4096, true).unwrap();
+        let big_p = pfft_cycle(&m, &g, 4096, false).unwrap();
+        assert!(small_p < small_c, "P3DFFT wins small: {small_p} vs {small_c}");
+        assert!(big_c < big_p, "customized wins big: {big_c} vs {big_p}");
+    }
+
+    #[test]
+    fn pfft_customized_wins_everywhere_on_mira() {
+        // Table 6 Mira^1: ratio 2.1-2.6 at every core count
+        let m = Machine::mira();
+        let g = Grid {
+            nx: 2048,
+            ny: 1024,
+            nz: 1024,
+        };
+        for cores in [128usize, 1024, 8192] {
+            let c = pfft_cycle(&m, &g, cores, true).unwrap();
+            let p = pfft_cycle(&m, &g, cores, false).unwrap();
+            let ratio = p / c;
+            assert!(ratio > 1.1, "cores={cores} ratio={ratio}");
+        }
+    }
+
+    #[test]
+    fn aggregate_rates_match_section_5_3() {
+        // paper: 271 Tflops (2.7% of peak) overall, ~906 Tflops (~9.0%)
+        // on-node, at 786,432 cores on the strong-scaling grid
+        let m = Machine::mira();
+        let g = Grid {
+            nx: 18432,
+            ny: 1536,
+            nz: 12288,
+        };
+        let r = aggregate_rates(&m, &g, 786_432, Parallelism::Mpi);
+        assert!(
+            r.total_peak_fraction > 0.015 && r.total_peak_fraction < 0.045,
+            "total fraction {}",
+            r.total_peak_fraction
+        );
+        assert!(
+            r.compute_peak_fraction > 0.06 && r.compute_peak_fraction < 0.13,
+            "compute fraction {}",
+            r.compute_peak_fraction
+        );
+        assert!(r.compute_rate > 2.0 * r.total_rate);
+    }
+
+    #[test]
+    fn pfft_memory_gate_reproduces_na_entries() {
+        // Table 6 Mira^2: P3DFFT N/A below 262,144 cores for the
+        // 18432 x 12288 x 12288 grid; customized runs from 65,536.
+        let m = Machine::mira();
+        let g = Grid {
+            nx: 18432,
+            ny: 12288,
+            nz: 12288,
+        };
+        assert!(pfft_cycle(&m, &g, 65_536, true).is_some());
+        assert!(pfft_cycle(&m, &g, 131_072, false).is_none());
+        assert!(pfft_cycle(&m, &g, 262_144, false).is_some());
+    }
+}

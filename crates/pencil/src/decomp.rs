@@ -1,0 +1,83 @@
+//! 1D block decompositions: split `n` items over `p` ranks as evenly as
+//! possible (first `n % p` ranks get one extra item), the standard pencil
+//! partitioning.
+
+/// Number of items rank `r` owns when `n` items are split over `p` ranks.
+pub fn block_len(n: usize, p: usize, r: usize) -> usize {
+    assert!(r < p);
+    n / p + usize::from(r < n % p)
+}
+
+/// First global index owned by rank `r`.
+pub fn block_start(n: usize, p: usize, r: usize) -> usize {
+    assert!(r < p);
+    r * (n / p) + r.min(n % p)
+}
+
+/// A rank's contiguous block of a decomposed axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// First global index.
+    pub start: usize,
+    /// Number of owned indices.
+    pub len: usize,
+}
+
+impl Block {
+    /// Block of rank `r` for `n` items over `p` ranks.
+    pub fn of(n: usize, p: usize, r: usize) -> Self {
+        Block {
+            start: block_start(n, p, r),
+            len: block_len(n, p, r),
+        }
+    }
+
+    /// One-past-the-end global index.
+    pub fn end(&self) -> usize {
+        self.start + self.len
+    }
+
+    /// Global index of local offset `i`.
+    pub fn global(&self, i: usize) -> usize {
+        debug_assert!(i < self.len);
+        self.start + i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_partition_exactly() {
+        for n in [1usize, 7, 16, 33, 100] {
+            for p in [1usize, 2, 3, 5, 8] {
+                let mut covered = 0;
+                for r in 0..p {
+                    let b = Block::of(n, p, r);
+                    assert_eq!(b.start, covered, "n={n} p={p} r={r}");
+                    covered = b.end();
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn block_sizes_differ_by_at_most_one() {
+        for (n, p) in [(10usize, 3usize), (17, 4), (5, 8)] {
+            let sizes: Vec<usize> = (0..p).map(|r| block_len(n, p, r)).collect();
+            let mx = *sizes.iter().max().unwrap();
+            let mn = *sizes.iter().min().unwrap();
+            assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    fn even_split_is_exact() {
+        for r in 0..4 {
+            assert_eq!(block_len(16, 4, r), 4);
+            assert_eq!(block_start(16, 4, r), 4 * r);
+        }
+    }
+}

@@ -1,0 +1,440 @@
+//! Distributed pencil transposes over a (sub-)communicator.
+//!
+//! One transpose re-orients pencils along one axis pair: the input holds
+//! `rows` independent planes of `[f_loc][t]` (axis `f` distributed, axis
+//! `t` full); the output holds `[t_loc][f]` (axis `t` distributed, axis
+//! `f` full). Pack/exchange/unpack — the exchange is all-to-all within
+//! the sub-communicator, and the unpack is the strided on-node reorder.
+//!
+//! Two exchange schedules are provided, mirroring the strategies the
+//! FFTW 3.3 transpose planner measures (section 4.3): a single
+//! `alltoallv` and a pairwise `sendrecv` rotation. [`TransposePlan::plan`]
+//! times both on the live communicator and keeps the winner, exactly like
+//! FFTW's planning stage.
+
+use crate::decomp::Block;
+use dns_minimpi::Communicator;
+
+/// Message schedule for the exchange phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExchangeStrategy {
+    /// One `alltoallv` (what FFTW usually picks for CommB on Mira).
+    AllToAll,
+    /// `p - 1` rounds of pairwise `sendrecv` with rotating partner.
+    Pairwise,
+}
+
+/// Where the untouched `rows` dimension sits in the local layout.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RowsPlacement {
+    /// Input `[rows][f_loc][t]`, output `[rows][t_loc][f]` — the x<->z
+    /// transpose layout (rows = local y count).
+    Outer,
+    /// Input `[f_loc][rows][t]`, output `[t_loc][rows][f]` — the z<->y
+    /// transpose layout (rows = local kx count).
+    Middle,
+}
+
+/// A planned transpose for fixed sizes and communicator shape.
+#[derive(Clone, Debug)]
+pub struct TransposePlan {
+    rows: usize,
+    nf: usize,
+    nt: usize,
+    p: usize,
+    f_block: Block,
+    t_block: Block,
+    strategy: ExchangeStrategy,
+    placement: RowsPlacement,
+}
+
+impl TransposePlan {
+    /// Create a plan with an explicit strategy and rows-outer layout.
+    ///
+    /// * `rows` — slow, untouched local dimension (product of everything
+    ///   not taking part in this transpose);
+    /// * `nf` — global length of the input-distributed axis;
+    /// * `nt` — global length of the input-full axis.
+    pub fn new(
+        comm: &Communicator,
+        rows: usize,
+        nf: usize,
+        nt: usize,
+        strategy: ExchangeStrategy,
+    ) -> Self {
+        Self::with_placement(comm, rows, nf, nt, strategy, RowsPlacement::Outer)
+    }
+
+    /// Create a plan with an explicit layout placement.
+    pub fn with_placement(
+        comm: &Communicator,
+        rows: usize,
+        nf: usize,
+        nt: usize,
+        strategy: ExchangeStrategy,
+        placement: RowsPlacement,
+    ) -> Self {
+        let p = comm.size();
+        let rank = comm.rank();
+        assert!(
+            nf >= p && nt >= p,
+            "axes must be at least the communicator size (nf={nf}, nt={nt}, p={p})"
+        );
+        TransposePlan {
+            rows,
+            nf,
+            nt,
+            p,
+            f_block: Block::of(nf, p, rank),
+            t_block: Block::of(nt, p, rank),
+            strategy,
+            placement,
+        }
+    }
+
+    /// FFTW-style planning: run both strategies on a synthetic buffer,
+    /// keep the faster (collectively agreed through an all-reduce so all
+    /// ranks pick the same winner).
+    pub fn plan(
+        comm: &Communicator,
+        rows: usize,
+        nf: usize,
+        nt: usize,
+        placement: RowsPlacement,
+    ) -> Self {
+        let mut best = ExchangeStrategy::AllToAll;
+        let mut best_time = f64::INFINITY;
+        for strategy in [ExchangeStrategy::AllToAll, ExchangeStrategy::Pairwise] {
+            let plan = TransposePlan::with_placement(comm, rows, nf, nt, strategy, placement);
+            let input = vec![0.0f64; plan.input_len()];
+            comm.barrier();
+            let t0 = std::time::Instant::now();
+            let _ = plan.run(comm, &input);
+            let dt = comm.allreduce_max(t0.elapsed().as_secs_f64());
+            if dt < best_time {
+                best_time = dt;
+                best = strategy;
+            }
+        }
+        TransposePlan::with_placement(comm, rows, nf, nt, best, placement)
+    }
+
+    /// The strategy this plan uses.
+    pub fn strategy(&self) -> ExchangeStrategy {
+        self.strategy
+    }
+
+    /// Expected input length: `rows * f_block.len * nt`.
+    pub fn input_len(&self) -> usize {
+        self.rows * self.f_block.len * self.nt
+    }
+
+    /// Output length: `rows * t_block.len * nf`.
+    pub fn output_len(&self) -> usize {
+        self.rows * self.t_block.len * self.nf
+    }
+
+    /// The local block of the input-distributed axis.
+    pub fn f_block(&self) -> Block {
+        self.f_block
+    }
+
+    /// The local block of the output-distributed axis.
+    pub fn t_block(&self) -> Block {
+        self.t_block
+    }
+
+    /// The inverse plan (same strategy and placement, axes swapped).
+    pub fn inverse(&self, comm: &Communicator) -> TransposePlan {
+        TransposePlan::with_placement(comm, self.rows, self.nt, self.nf, self.strategy, self.placement)
+    }
+
+    /// Execute the transpose. Layouts by placement:
+    /// `Outer`: `[rows][f_loc][t]` -> `[rows][t_loc][f]`;
+    /// `Middle`: `[f_loc][rows][t]` -> `[t_loc][rows][f]`.
+    pub fn run<T: Copy + Default + Send + 'static>(
+        &self,
+        comm: &Communicator,
+        input: &[T],
+    ) -> Vec<T> {
+        assert_eq!(input.len(), self.input_len(), "input length mismatch");
+        assert_eq!(comm.size(), self.p);
+        let rows = self.rows;
+        let nfl = self.f_block.len;
+        let nt = self.nt;
+
+        // pack: destination-major; block of `t` for dest d is contiguous.
+        // Both placements share the property that (slow1, slow2) iterate
+        // over rows x f_loc in layout order with t fastest.
+        let mut send = Vec::with_capacity(input.len());
+        let mut send_counts = Vec::with_capacity(self.p);
+        let (s1, s2) = match self.placement {
+            RowsPlacement::Outer => (rows, nfl),
+            RowsPlacement::Middle => (nfl, rows),
+        };
+        for d in 0..self.p {
+            let tb = Block::of(self.nt, self.p, d);
+            for a in 0..s1 {
+                for b in 0..s2 {
+                    let base = (a * s2 + b) * nt + tb.start;
+                    send.extend_from_slice(&input[base..base + tb.len]);
+                }
+            }
+            send_counts.push(rows * nfl * tb.len);
+        }
+
+        let (recv, recv_counts) = match self.strategy {
+            ExchangeStrategy::AllToAll => comm.alltoallv(&send, &send_counts),
+            ExchangeStrategy::Pairwise => pairwise_exchange(comm, &send, &send_counts),
+        };
+
+        let ntl = self.t_block.len;
+        let nf = self.nf;
+        let mut out = vec![T::default(); self.output_len()];
+        let mut off = 0usize;
+        for s in 0..self.p {
+            let fb = Block::of(self.nf, self.p, s);
+            debug_assert_eq!(recv_counts[s], rows * fb.len * ntl);
+            let chunk = &recv[off..off + recv_counts[s]];
+            match self.placement {
+                RowsPlacement::Outer => {
+                    // chunk [rows][f_s][t_loc] -> out[(r*ntl + t)*nf + f]
+                    for r in 0..rows {
+                        for f in 0..fb.len {
+                            let src = (r * fb.len + f) * ntl;
+                            let dst_col = fb.start + f;
+                            // strided scatter over t — the on-node reorder
+                            for t in 0..ntl {
+                                out[(r * ntl + t) * nf + dst_col] = chunk[src + t];
+                            }
+                        }
+                    }
+                }
+                RowsPlacement::Middle => {
+                    // chunk [f_s][rows][t_loc] -> out[(t*rows + r)*nf + f]
+                    for f in 0..fb.len {
+                        for r in 0..rows {
+                            let src = (f * rows + r) * ntl;
+                            let dst_col = fb.start + f;
+                            for t in 0..ntl {
+                                out[(t * rows + r) * nf + dst_col] = chunk[src + t];
+                            }
+                        }
+                    }
+                }
+            }
+            off += recv_counts[s];
+        }
+        out
+    }
+}
+
+/// Pairwise variable-count exchange: `p - 1` rounds of `sendrecv` with a
+/// rotating partner, plus the self block.
+fn pairwise_exchange<T: Copy + Send + 'static>(
+    comm: &Communicator,
+    send: &[T],
+    send_counts: &[usize],
+) -> (Vec<T>, Vec<usize>) {
+    const TAG: u64 = 0x7050_0000;
+    let p = comm.size();
+    let me = comm.rank();
+    let offsets: Vec<usize> = send_counts
+        .iter()
+        .scan(0usize, |acc, &c| {
+            let o = *acc;
+            *acc += c;
+            Some(o)
+        })
+        .collect();
+    let mut parts: Vec<Option<Vec<T>>> = (0..p).map(|_| None).collect();
+    parts[me] = Some(send[offsets[me]..offsets[me] + send_counts[me]].to_vec());
+    for round in 1..p {
+        let to = (me + round) % p;
+        let from = (me + p - round) % p;
+        let payload = send[offsets[to]..offsets[to] + send_counts[to]].to_vec();
+        let got = comm.sendrecv(to, from, TAG + round as u64, payload);
+        parts[from] = Some(got);
+    }
+    let mut counts = Vec::with_capacity(p);
+    let mut out = Vec::new();
+    for part in parts {
+        let part = part.unwrap();
+        counts.push(part.len());
+        out.extend(part);
+    }
+    (out, counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_minimpi as mpi;
+
+    /// Build the global `[rows][f][t]` tensor with recognisable entries.
+    fn global(rows: usize, nf: usize, nt: usize) -> Vec<u64> {
+        (0..rows * nf * nt).map(|x| x as u64).collect()
+    }
+
+    fn check_transpose(p: usize, rows: usize, nf: usize, nt: usize, strategy: ExchangeStrategy) {
+        let results = mpi::run(p, move |comm| {
+            let plan = TransposePlan::new(&comm, rows, nf, nt, strategy);
+            let g = global(rows, nf, nt);
+            // scatter my f-block
+            let fb = plan.f_block();
+            let mut input = Vec::with_capacity(plan.input_len());
+            for r in 0..rows {
+                for f in fb.start..fb.end() {
+                    for t in 0..nt {
+                        input.push(g[(r * nf + f) * nt + t]);
+                    }
+                }
+            }
+            let out = plan.run(&comm, &input);
+            // verify against the definition: out[r][t_loc][f] == g[r][f][t]
+            let tb = plan.t_block();
+            for r in 0..rows {
+                for (tl, t) in (tb.start..tb.end()).enumerate() {
+                    for f in 0..nf {
+                        assert_eq!(
+                            out[(r * tb.len + tl) * nf + f],
+                            g[(r * nf + f) * nt + t],
+                            "p={p} r={r} t={t} f={f}"
+                        );
+                    }
+                }
+            }
+            true
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn alltoall_transpose_even_sizes() {
+        check_transpose(4, 2, 8, 12, ExchangeStrategy::AllToAll);
+    }
+
+    #[test]
+    fn alltoall_transpose_uneven_sizes() {
+        check_transpose(3, 2, 7, 11, ExchangeStrategy::AllToAll);
+        check_transpose(5, 1, 9, 13, ExchangeStrategy::AllToAll);
+    }
+
+    #[test]
+    fn pairwise_transpose_matches_definition() {
+        check_transpose(4, 2, 8, 12, ExchangeStrategy::Pairwise);
+        check_transpose(3, 3, 10, 5, ExchangeStrategy::Pairwise);
+    }
+
+    #[test]
+    fn single_rank_transpose_is_local_reorder() {
+        check_transpose(1, 4, 6, 5, ExchangeStrategy::AllToAll);
+    }
+
+    #[test]
+    fn roundtrip_restores_input() {
+        let results = mpi::run(4, |comm| {
+            let fwd = TransposePlan::new(&comm, 3, 8, 10, ExchangeStrategy::AllToAll);
+            let inv = fwd.inverse(&comm);
+            let input: Vec<u64> = (0..fwd.input_len())
+                .map(|x| (x as u64) * 1000 + comm.rank() as u64)
+                .collect();
+            let mid = fwd.run(&comm, &input);
+            let back = inv.run(&comm, &mid);
+            back == input
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn planner_selects_a_strategy_and_runs() {
+        let results = mpi::run(2, |comm| {
+            let plan = TransposePlan::plan(&comm, 2, 4, 6, RowsPlacement::Outer);
+            let input = vec![1.5f64; plan.input_len()];
+            let out = plan.run(&comm, &input);
+            out.len() == plan.output_len() && out.iter().all(|&v| v == 1.5)
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    fn check_transpose_middle(p: usize, rows: usize, nf: usize, nt: usize) {
+        let results = mpi::run(p, move |comm| {
+            let plan = TransposePlan::with_placement(
+                &comm,
+                rows,
+                nf,
+                nt,
+                ExchangeStrategy::AllToAll,
+                RowsPlacement::Middle,
+            );
+            let g = global(rows, nf, nt); // logical [f][r][t] here
+            let fb = plan.f_block();
+            let mut input = Vec::with_capacity(plan.input_len());
+            for f in fb.start..fb.end() {
+                for r in 0..rows {
+                    for t in 0..nt {
+                        input.push(g[(f * rows + r) * nt + t]);
+                    }
+                }
+            }
+            let out = plan.run(&comm, &input);
+            let tb = plan.t_block();
+            for (tl, t) in (tb.start..tb.end()).enumerate() {
+                for r in 0..rows {
+                    for f in 0..nf {
+                        assert_eq!(
+                            out[(tl * rows + r) * nf + f],
+                            g[(f * rows + r) * nt + t],
+                            "middle p={p} r={r} t={t} f={f}"
+                        );
+                    }
+                }
+            }
+            true
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn middle_placement_matches_definition() {
+        check_transpose_middle(4, 2, 8, 12);
+        check_transpose_middle(3, 2, 7, 11);
+        check_transpose_middle(1, 3, 5, 4);
+    }
+
+    #[test]
+    fn middle_placement_roundtrip() {
+        let results = mpi::run(3, |comm| {
+            let fwd = TransposePlan::with_placement(
+                &comm,
+                4,
+                9,
+                7,
+                ExchangeStrategy::Pairwise,
+                RowsPlacement::Middle,
+            );
+            let inv = fwd.inverse(&comm);
+            let input: Vec<u64> = (0..fwd.input_len()).map(|x| x as u64 + 17).collect();
+            let back = inv.run(&comm, &fwd.run(&comm, &input));
+            back == input
+        });
+        assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn traffic_counters_reflect_off_rank_bytes() {
+        let results = mpi::run(2, |comm| {
+            comm.reset_stats();
+            let plan = TransposePlan::new(&comm, 1, 4, 4, ExchangeStrategy::AllToAll);
+            let input = vec![0.0f64; plan.input_len()];
+            let _ = plan.run(&comm, &input);
+            comm.stats()
+        });
+        for s in results {
+            // each rank sends one off-rank message: rows*nfl*(nt/2) = 1*2*2
+            // f64s = 32 bytes
+            assert_eq!(s.messages_sent, 1);
+            assert_eq!(s.bytes_sent, 32);
+        }
+    }
+}

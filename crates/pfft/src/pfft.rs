@@ -1,0 +1,1049 @@
+//! The pencil-FFT pipeline implementation.
+
+use std::cell::Cell;
+
+use dns_fft::dealias::{pad_full, pad_half, truncate_full, truncate_half};
+use dns_fft::{CfftPlan, Direction, RealLayout, RfftPlan};
+use dns_minimpi::{CartComm, Communicator};
+use dns_pencil::{Block, ExchangeStrategy, RowsPlacement, TransposePlan};
+
+use crate::C64;
+
+/// Configuration of a parallel FFT instance.
+#[derive(Clone, Copy, Debug)]
+pub struct PfftConfig {
+    /// Solution modes in x (streamwise, real direction). Multiple of 4
+    /// when `dealias` is set, even otherwise.
+    pub nx: usize,
+    /// Wall-normal points (carried through untransformed).
+    pub ny: usize,
+    /// Solution modes in z (spanwise). Multiple of 4 when `dealias` is
+    /// set, even otherwise.
+    pub nz: usize,
+    /// Process-grid extent of CommA (x<->z exchanges).
+    pub pa: usize,
+    /// Process-grid extent of CommB (z<->y exchanges).
+    pub pb: usize,
+    /// Apply the 3/2 rule: physical grids are `3nx/2 x 3nz/2`.
+    pub dealias: bool,
+    /// Drop the Nyquist mode of the x spectrum (customized kernel: true;
+    /// P3DFFT-like baseline: false).
+    pub elide_nyquist: bool,
+    /// Fixed exchange schedule, or `None` to measure both at plan time
+    /// (FFTW-style planning; the baseline uses `Some(AllToAll)`).
+    pub strategy: Option<ExchangeStrategy>,
+    /// On-node worker threads for the serial-FFT line loops (the paper's
+    /// OpenMP threading, section 4.2). 1 = serial; P3DFFT has none.
+    pub threads: usize,
+}
+
+impl PfftConfig {
+    /// The customized kernel of the paper (planned transposes, Nyquist
+    /// elision, dealiasing as requested).
+    pub fn customized(nx: usize, ny: usize, nz: usize, pa: usize, pb: usize) -> Self {
+        PfftConfig {
+            nx,
+            ny,
+            nz,
+            pa,
+            pb,
+            dealias: false,
+            elide_nyquist: true,
+            strategy: None,
+            threads: 1,
+        }
+    }
+
+    /// The P3DFFT-equivalent baseline of section 4.4: Nyquist kept, fixed
+    /// alltoall, no dealiasing support (P3DFFT 2.5.1 has none), no
+    /// threading.
+    pub fn p3dfft_baseline(nx: usize, ny: usize, nz: usize, pa: usize, pb: usize) -> Self {
+        PfftConfig {
+            nx,
+            ny,
+            nz,
+            pa,
+            pb,
+            dealias: false,
+            elide_nyquist: false,
+            strategy: Some(ExchangeStrategy::AllToAll),
+            threads: 1,
+        }
+    }
+
+    /// Enable 3/2 dealiasing (the DNS production configuration).
+    pub fn with_dealias(mut self) -> Self {
+        self.dealias = true;
+        self
+    }
+
+    /// Use `n` on-node threads for the transform line loops.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
+    }
+
+    /// Physical grid length in x.
+    pub fn px(&self) -> usize {
+        if self.dealias {
+            3 * self.nx / 2
+        } else {
+            self.nx
+        }
+    }
+
+    /// Physical grid length in z.
+    pub fn pz(&self) -> usize {
+        if self.dealias {
+            3 * self.nz / 2
+        } else {
+            self.nz
+        }
+    }
+
+    /// Stored x-spectrum length.
+    pub fn sx(&self) -> usize {
+        self.nx / 2 + usize::from(!self.elide_nyquist)
+    }
+}
+
+/// Accumulated phase timers (seconds), split the way Tables 9-10 split a
+/// timestep: exchange+reorder vs transform arithmetic.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PfftTimers {
+    /// Global transposes (pack + exchange + unpack).
+    pub transpose: f64,
+    /// Serial FFT arithmetic including pad/truncate.
+    pub fft: f64,
+}
+
+/// A planned parallel FFT bound to a `pa x pb` Cartesian process grid.
+pub struct ParallelFft {
+    cfg: PfftConfig,
+    comm_a: Communicator,
+    comm_b: Communicator,
+    /// Blocks this rank owns in each decomposed axis.
+    y_block: Block,
+    zphys_block: Block,
+    kx_block: Block,
+    kz_block: Block,
+    rfft_x: RfftPlan,
+    zfwd: CfftPlan,
+    zinv: CfftPlan,
+    t_xz: TransposePlan,
+    t_zx: TransposePlan,
+    t_zy: TransposePlan,
+    t_yz: TransposePlan,
+    pool: Option<rayon::ThreadPool>,
+    timers: Cell<PfftTimers>,
+    /// Transpose plans for batched multi-field transforms, keyed by the
+    /// batch size (same strategies as the single-field plans).
+    batch_plans: std::cell::RefCell<std::collections::HashMap<usize, BatchPlans>>,
+}
+
+/// Transpose plans sized for a `k`-field batch.
+struct BatchPlans {
+    t_xz: TransposePlan,
+    t_zx: TransposePlan,
+    t_zy: TransposePlan,
+    t_yz: TransposePlan,
+}
+
+impl ParallelFft {
+    /// Collectively construct the pipeline on `world` (all ranks must
+    /// call with identical `cfg`; `world.size()` must equal `pa * pb`).
+    pub fn new(world: Communicator, cfg: PfftConfig) -> Self {
+        assert_eq!(world.size(), cfg.pa * cfg.pb, "world size != pa*pb");
+        assert!(cfg.nx.is_multiple_of(2) && cfg.nz.is_multiple_of(2), "grid sizes must be even");
+        if cfg.dealias {
+            assert!(
+                cfg.nx.is_multiple_of(4) && cfg.nz.is_multiple_of(4),
+                "3/2-rule grids must keep the padded sizes even"
+            );
+        }
+        let cart = CartComm::new(world, &[cfg.pa, cfg.pb]);
+        let comm_a = cart.sub(0);
+        let comm_b = cart.sub(1);
+        let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
+        let y_block = Block::of(cfg.ny, cfg.pb, comm_b.rank());
+        let zphys_block = Block::of(pz, cfg.pa, comm_a.rank());
+        let kx_block = Block::of(sx, cfg.pa, comm_a.rank());
+        let kz_block = Block::of(cfg.nz, cfg.pb, comm_b.rank());
+
+        let make = |comm: &Communicator, rows, nf, nt, placement| match cfg.strategy {
+            Some(s) => TransposePlan::with_placement(comm, rows, nf, nt, s, placement),
+            None => TransposePlan::plan(comm, rows, nf, nt, placement),
+        };
+        // x->z: CommA, rows = local y, f = physical z, t = kx spectrum
+        let t_xz = make(&comm_a, y_block.len, pz, sx, RowsPlacement::Outer);
+        let t_zx = t_xz.inverse(&comm_a);
+        // z->y: CommB, rows = local kx, f = y, t = kz spectrum
+        let t_zy = make(&comm_b, kx_block.len, cfg.ny, cfg.nz, RowsPlacement::Middle);
+        let t_yz = t_zy.inverse(&comm_b);
+
+        let pool = if cfg.threads > 1 {
+            Some(
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(cfg.threads)
+                    .build()
+                    .expect("build FFT thread pool"),
+            )
+        } else {
+            None
+        };
+        ParallelFft {
+            cfg,
+            comm_a,
+            comm_b,
+            y_block,
+            zphys_block,
+            kx_block,
+            kz_block,
+            pool,
+            rfft_x: RfftPlan::new(px, RealLayout::WithNyquist),
+            zfwd: CfftPlan::new(pz, Direction::Forward),
+            zinv: CfftPlan::new(pz, Direction::Inverse),
+            t_xz,
+            t_zx,
+            t_zy,
+            t_yz,
+            timers: Cell::new(PfftTimers::default()),
+            batch_plans: std::cell::RefCell::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Plans for a `k`-field batch (constructed on first use; strategies
+    /// are inherited from the single-field planning step, so no further
+    /// collective measurement is needed).
+    fn batch_plans(&self, k: usize) -> std::cell::Ref<'_, BatchPlans> {
+        {
+            let mut map = self.batch_plans.borrow_mut();
+            map.entry(k).or_insert_with(|| {
+                let (px, pz, sx) = (self.cfg.px(), self.cfg.pz(), self.cfg.sx());
+                let _ = px;
+                let t_xz = TransposePlan::with_placement(
+                    &self.comm_a,
+                    self.y_block.len * k,
+                    pz,
+                    sx,
+                    self.t_xz.strategy(),
+                    RowsPlacement::Outer,
+                );
+                let t_zx = t_xz.inverse(&self.comm_a);
+                let t_zy = TransposePlan::with_placement(
+                    &self.comm_b,
+                    self.kx_block.len * k,
+                    self.cfg.ny,
+                    self.cfg.nz,
+                    self.t_zy.strategy(),
+                    RowsPlacement::Middle,
+                );
+                let t_yz = t_zy.inverse(&self.comm_b);
+                BatchPlans {
+                    t_xz,
+                    t_zx,
+                    t_zy,
+                    t_yz,
+                }
+            });
+        }
+        std::cell::Ref::map(self.batch_plans.borrow(), |m| &m[&k])
+    }
+
+    /// The configuration this instance was planned for.
+    pub fn config(&self) -> &PfftConfig {
+        &self.cfg
+    }
+
+    /// The CommA sub-communicator (x<->z exchanges).
+    pub fn comm_a(&self) -> &Communicator {
+        &self.comm_a
+    }
+
+    /// The CommB sub-communicator (z<->y exchanges).
+    pub fn comm_b(&self) -> &Communicator {
+        &self.comm_b
+    }
+
+    /// This rank's y block (x- and z-pencil layouts).
+    pub fn y_block(&self) -> Block {
+        self.y_block
+    }
+    /// This rank's physical-z block (x-pencil layout).
+    pub fn zphys_block(&self) -> Block {
+        self.zphys_block
+    }
+    /// This rank's kx block (z- and y-pencil layouts).
+    pub fn kx_block(&self) -> Block {
+        self.kx_block
+    }
+    /// This rank's kz block (y-pencil layout).
+    pub fn kz_block(&self) -> Block {
+        self.kz_block
+    }
+
+    /// Local length of a real x-pencil field.
+    pub fn x_pencil_len(&self) -> usize {
+        self.y_block.len * self.zphys_block.len * self.cfg.px()
+    }
+
+    /// Local length of a spectral y-pencil field.
+    pub fn y_pencil_len(&self) -> usize {
+        self.kz_block.len * self.kx_block.len * self.cfg.ny
+    }
+
+    /// Accumulated phase timers since the last [`ParallelFft::reset_timers`].
+    pub fn timers(&self) -> PfftTimers {
+        self.timers.get()
+    }
+
+    /// Zero the phase timers.
+    pub fn reset_timers(&self) {
+        self.timers.set(PfftTimers::default());
+    }
+
+    fn add_transpose(&self, dt: f64) {
+        let mut t = self.timers.get();
+        t.transpose += dt;
+        self.timers.set(t);
+    }
+
+    fn add_fft(&self, dt: f64) {
+        let mut t = self.timers.get();
+        t.fft += dt;
+        self.timers.set(t);
+    }
+
+    /// Peak communication-buffer bytes per call, the memory figure behind
+    /// the "N/A: inadequate memory" entries of Table 6: P3DFFT keeps a 3x
+    /// input-size buffer, the customized kernel 1x.
+    pub fn buffer_bytes(&self) -> usize {
+        let base = self.x_pencil_len() * std::mem::size_of::<f64>()
+            + self.y_pencil_len() * std::mem::size_of::<C64>();
+        if self.cfg.elide_nyquist {
+            base
+        } else {
+            3 * base
+        }
+    }
+
+    /// Physical x-pencil (real `[y_loc][z_loc][px]`) to spectral y-pencil
+    /// (complex `[kz_loc][kx_loc][ny]`), normalised so coefficients are
+    /// true Fourier coefficients (roundtrip with [`ParallelFft::inverse`]
+    /// is the identity for band-limited data).
+    pub fn forward(&self, xp: &[f64]) -> Vec<C64> {
+        assert_eq!(xp.len(), self.x_pencil_len());
+        let cfg = &self.cfg;
+        let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
+        let lines_x = self.y_block.len * self.zphys_block.len;
+
+        // (1) r2c in x, truncate to the solution modes, normalise by px
+        let t0 = std::time::Instant::now();
+        let mut spec_x = vec![C64::new(0.0, 0.0); lines_x * sx];
+        let inv_px = 1.0 / px as f64;
+        let rfft = &self.rfft_x;
+        self.for_each_line(&mut spec_x, sx, |l, out| {
+            let mut line_full = vec![C64::new(0.0, 0.0); px / 2 + 1];
+            let mut scratch = rfft.make_scratch();
+            rfft.forward(&xp[l * px..(l + 1) * px], &mut line_full, &mut scratch);
+            truncate_half(&line_full, out);
+            for v in out.iter_mut() {
+                *v *= inv_px;
+            }
+        });
+        self.add_fft(t0.elapsed().as_secs_f64());
+
+        // (2) CommA exchange: x-pencil -> z-pencil
+        let t0 = std::time::Instant::now();
+        let zp = self.t_xz.run(&self.comm_a, &spec_x);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+
+        // (3) c2c forward in z, truncate pz -> nz, normalise by pz
+        let t0 = std::time::Instant::now();
+        let lines_z = self.y_block.len * self.kx_block.len;
+        let mut out_z = vec![C64::new(0.0, 0.0); lines_z * cfg.nz];
+        let inv_pz = 1.0 / pz as f64;
+        let zp_ref = &zp;
+        let zfwd = &self.zfwd;
+        let nz = cfg.nz;
+        self.for_each_line(&mut out_z, nz, |l, out| {
+            let mut line: Vec<C64> = zp_ref[l * pz..(l + 1) * pz].to_vec();
+            let mut zscratch = zfwd.make_scratch();
+            zfwd.execute(&mut line, &mut zscratch);
+            for v in line.iter_mut() {
+                *v *= inv_pz;
+            }
+            truncate_full(&line, out);
+        });
+        self.add_fft(t0.elapsed().as_secs_f64());
+
+        // (4) CommB exchange: z-pencil -> y-pencil
+        let t0 = std::time::Instant::now();
+        let yp = self.t_zy.run(&self.comm_b, &out_z);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+        yp
+    }
+
+    /// Spectral y-pencil back to the physical x-pencil (unnormalised
+    /// synthesis; see [`ParallelFft::forward`]).
+    pub fn inverse(&self, yp: &[C64]) -> Vec<f64> {
+        assert_eq!(yp.len(), self.y_pencil_len());
+        let cfg = &self.cfg;
+        let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
+
+        // (1) CommB exchange: y-pencil -> z-pencil
+        let t0 = std::time::Instant::now();
+        let zp_spec = self.t_yz.run(&self.comm_b, yp);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+
+        // (2) pad nz -> pz, inverse c2c in z (pad fused with the
+        // transform pass, as in the threaded blocks of section 4.2)
+        let t0 = std::time::Instant::now();
+        let lines_z = self.y_block.len * self.kx_block.len;
+        let mut zp = vec![C64::new(0.0, 0.0); lines_z * pz];
+        let spec_ref = &zp_spec;
+        let zinv = &self.zinv;
+        let nz = cfg.nz;
+        self.for_each_line(&mut zp, pz, |l, dst| {
+            let mut zscratch = zinv.make_scratch();
+            pad_full(&spec_ref[l * nz..(l + 1) * nz], dst);
+            zinv.execute(dst, &mut zscratch);
+        });
+        self.add_fft(t0.elapsed().as_secs_f64());
+
+        // (3) CommA exchange: z-pencil -> x-pencil
+        let t0 = std::time::Instant::now();
+        let spec_x = self.t_zx.run(&self.comm_a, &zp);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+
+        // (4) pad sx -> px/2+1, c2r in x
+        let t0 = std::time::Instant::now();
+        let lines_x = self.y_block.len * self.zphys_block.len;
+        let mut out = vec![0.0f64; lines_x * px];
+        let spec_ref = &spec_x;
+        let rfft = &self.rfft_x;
+        self.for_each_line(&mut out, px, |l, dst| {
+            let mut line_full = vec![C64::new(0.0, 0.0); px / 2 + 1];
+            let mut scratch = rfft.make_scratch();
+            pad_half(&spec_ref[l * sx..(l + 1) * sx], &mut line_full);
+            rfft.inverse(&line_full, dst, &mut scratch);
+        });
+        self.add_fft(t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// One full benchmark cycle (Table 6 protocol): physical -> spectral
+    /// -> physical, i.e. four transposes and four transform passes, no y
+    /// transform.
+    pub fn cycle(&self, xp: &[f64]) -> Vec<f64> {
+        let spec = self.forward(xp);
+        self.inverse(&spec)
+    }
+
+    /// Apply `f(line_index, line)` to every `chunk`-sized output line,
+    /// serially or on the configured thread pool (the OpenMP-style
+    /// threading of section 4.2: each line is independent).
+    fn for_each_line<T: Send>(
+        &self,
+        data: &mut [T],
+        chunk: usize,
+        f: impl Fn(usize, &mut [T]) + Send + Sync,
+    ) {
+        match &self.pool {
+            None => {
+                for (l, line) in data.chunks_exact_mut(chunk).enumerate() {
+                    f(l, line);
+                }
+            }
+            Some(pool) => pool.install(|| {
+                use rayon::prelude::*;
+                data.par_chunks_exact_mut(chunk)
+                    .enumerate()
+                    .for_each(|(l, line)| f(l, line));
+            }),
+        }
+    }
+
+    /// Batched inverse: transform `k` spectral fields to physical space
+    /// with the fields aggregated into the *same* exchanges — `k` times
+    /// larger messages, `k` times fewer of them (the paper's hybrid-mode
+    /// message economics applied at the field level).
+    pub fn inverse_batch(&self, fields: &[&[C64]]) -> Vec<Vec<f64>> {
+        let k = fields.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == 1 {
+            return vec![self.inverse(fields[0])];
+        }
+        for f in fields {
+            assert_eq!(f.len(), self.y_pencil_len());
+        }
+        let cfg = &self.cfg;
+        let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
+        let (nzl, sxl, nyl, zpl) = (
+            self.kz_block.len,
+            self.kx_block.len,
+            self.y_block.len,
+            self.zphys_block.len,
+        );
+        let ny = cfg.ny;
+        let plans = self.batch_plans(k);
+
+        // stack as [kz_loc][field][kx_loc][ny] so the Middle transpose
+        // sees rows = k * kx_loc
+        let t0 = std::time::Instant::now();
+        let mut stacked = vec![C64::new(0.0, 0.0); k * self.y_pencil_len()];
+        for kz in 0..nzl {
+            for (f, field) in fields.iter().enumerate() {
+                let src = kz * sxl * ny;
+                let dst = ((kz * k + f) * sxl) * ny;
+                stacked[dst..dst + sxl * ny].copy_from_slice(&field[src..src + sxl * ny]);
+            }
+        }
+        self.add_fft(t0.elapsed().as_secs_f64());
+
+        let t0 = std::time::Instant::now();
+        let zp_spec = plans.t_yz.run(&self.comm_b, &stacked);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+
+        // [y_loc][field][kx_loc][nz] -> pad+inverse FFT in z
+        let t0 = std::time::Instant::now();
+        let lines_z = nyl * k * sxl;
+        let mut zp = vec![C64::new(0.0, 0.0); lines_z * pz];
+        let spec_ref = &zp_spec;
+        let zinv = &self.zinv;
+        let nz = cfg.nz;
+        self.for_each_line(&mut zp, pz, |l, dst| {
+            let mut zscratch = zinv.make_scratch();
+            pad_full(&spec_ref[l * nz..(l + 1) * nz], dst);
+            zinv.execute(dst, &mut zscratch);
+        });
+        self.add_fft(t0.elapsed().as_secs_f64());
+
+        // Outer transpose with rows = y_loc * field
+        let t0 = std::time::Instant::now();
+        let spec_x = plans.t_zx.run(&self.comm_a, &zp);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+
+        // [y_loc][field][z_loc][sx] -> pad + c2r in x, then unstack
+        let t0 = std::time::Instant::now();
+        let lines_x = nyl * k * zpl;
+        let mut phys = vec![0.0f64; lines_x * px];
+        let spec_ref = &spec_x;
+        let rfft = &self.rfft_x;
+        self.for_each_line(&mut phys, px, |l, dst| {
+            let mut line_full = vec![C64::new(0.0, 0.0); px / 2 + 1];
+            let mut scratch = rfft.make_scratch();
+            pad_half(&spec_ref[l * sx..(l + 1) * sx], &mut line_full);
+            rfft.inverse(&line_full, dst, &mut scratch);
+        });
+        let mut out = vec![vec![0.0f64; self.x_pencil_len()]; k];
+        for y in 0..nyl {
+            for (f, field) in out.iter_mut().enumerate() {
+                let src = ((y * k + f) * zpl) * px;
+                let dst = y * zpl * px;
+                field[dst..dst + zpl * px].copy_from_slice(&phys[src..src + zpl * px]);
+            }
+        }
+        self.add_fft(t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Batched forward: `k` physical fields to spectral space through
+    /// shared exchanges (see [`ParallelFft::inverse_batch`]).
+    pub fn forward_batch(&self, fields: &[&[f64]]) -> Vec<Vec<C64>> {
+        let k = fields.len();
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == 1 {
+            return vec![self.forward(fields[0])];
+        }
+        for f in fields {
+            assert_eq!(f.len(), self.x_pencil_len());
+        }
+        let cfg = &self.cfg;
+        let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
+        let (nzl, sxl, nyl, zpl) = (
+            self.kz_block.len,
+            self.kx_block.len,
+            self.y_block.len,
+            self.zphys_block.len,
+        );
+        let ny = cfg.ny;
+        let plans = self.batch_plans(k);
+
+        // stack physical fields as [y_loc][field][z_loc][px], r2c in x
+        let t0 = std::time::Instant::now();
+        let lines_x = nyl * k * zpl;
+        let mut stacked = vec![0.0f64; lines_x * px];
+        for y in 0..nyl {
+            for (f, field) in fields.iter().enumerate() {
+                let src = y * zpl * px;
+                let dst = ((y * k + f) * zpl) * px;
+                stacked[dst..dst + zpl * px].copy_from_slice(&field[src..src + zpl * px]);
+            }
+        }
+        let mut spec_x = vec![C64::new(0.0, 0.0); lines_x * sx];
+        let inv_px = 1.0 / px as f64;
+        let rfft = &self.rfft_x;
+        let stacked_ref = &stacked;
+        self.for_each_line(&mut spec_x, sx, |l, out_line| {
+            let mut line_full = vec![C64::new(0.0, 0.0); px / 2 + 1];
+            let mut scratch = rfft.make_scratch();
+            rfft.forward(
+                &stacked_ref[l * px..(l + 1) * px],
+                &mut line_full,
+                &mut scratch,
+            );
+            truncate_half(&line_full, out_line);
+            for v in out_line.iter_mut() {
+                *v *= inv_px;
+            }
+        });
+        self.add_fft(t0.elapsed().as_secs_f64());
+
+        let t0 = std::time::Instant::now();
+        let zp = plans.t_xz.run(&self.comm_a, &spec_x);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+
+        // [y_loc][field][kx_loc][pz]: forward z-FFT + truncate
+        let t0 = std::time::Instant::now();
+        let lines_z = nyl * k * sxl;
+        let mut out_z = vec![C64::new(0.0, 0.0); lines_z * cfg.nz];
+        let zp_ref = &zp;
+        let zfwd = &self.zfwd;
+        let nz = cfg.nz;
+        let inv_pz = 1.0 / pz as f64;
+        self.for_each_line(&mut out_z, nz, |l, out_line| {
+            let mut line: Vec<C64> = zp_ref[l * pz..(l + 1) * pz].to_vec();
+            let mut zscratch = zfwd.make_scratch();
+            zfwd.execute(&mut line, &mut zscratch);
+            for v in line.iter_mut() {
+                *v *= inv_pz;
+            }
+            truncate_full(&line, out_line);
+        });
+        self.add_fft(t0.elapsed().as_secs_f64());
+
+        let t0 = std::time::Instant::now();
+        let yp = plans.t_zy.run(&self.comm_b, &out_z);
+        self.add_transpose(t0.elapsed().as_secs_f64());
+
+        // [kz_loc][field][kx_loc][ny] -> unstack
+        let t0 = std::time::Instant::now();
+        let mut out = vec![vec![C64::new(0.0, 0.0); self.y_pencil_len()]; k];
+        for kz in 0..nzl {
+            for (f, field) in out.iter_mut().enumerate() {
+                let src = ((kz * k + f) * sxl) * ny;
+                let dst = kz * sxl * ny;
+                field[dst..dst + sxl * ny].copy_from_slice(&yp[src..src + sxl * ny]);
+            }
+        }
+        self.add_fft(t0.elapsed().as_secs_f64());
+        out
+    }
+
+    /// Signed spanwise wavenumber of global kz index `g` (FFT ordering;
+    /// the structurally-zero Nyquist slot maps to 0).
+    pub fn kz_signed(&self, g: usize) -> i64 {
+        let nz = self.cfg.nz;
+        debug_assert!(g < nz);
+        if g < nz / 2 {
+            g as i64
+        } else if g == nz / 2 {
+            0
+        } else {
+            g as i64 - nz as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_minimpi as mpi;
+    use std::f64::consts::TAU;
+
+    /// Evaluate a small band-limited test field on the physical grid.
+    fn field(x: f64, y: usize, z: f64) -> f64 {
+        1.0 + (x).cos() + 0.5 * (2.0 * x + z).sin() + 0.25 * (3.0 * z).cos() + 0.1 * y as f64
+    }
+
+    fn fill_x_pencil(p: &ParallelFft) -> Vec<f64> {
+        let cfg = *p.config();
+        let (px, pz) = (cfg.px(), cfg.pz());
+        let mut data = Vec::with_capacity(p.x_pencil_len());
+        for yl in 0..p.y_block().len {
+            let y = p.y_block().global(yl);
+            for zl in 0..p.zphys_block().len {
+                let z = TAU * p.zphys_block().global(zl) as f64 / pz as f64;
+                for xi in 0..px {
+                    let x = TAU * xi as f64 / px as f64;
+                    data.push(field(x, y, z));
+                }
+            }
+        }
+        data
+    }
+
+    fn roundtrip_case(nproc: usize, cfg_of: impl Fn(usize, usize) -> PfftConfig + Send + Sync + 'static) {
+        let results = mpi::run(nproc, move |world| {
+            let size = world.size();
+            // choose a pa x pb factorisation
+            let pa = (1..=size).rev().find(|d| size % d == 0 && *d * *d <= size * 2).unwrap_or(1);
+            let pb = size / pa;
+            let p = ParallelFft::new(world, cfg_of(pa, pb));
+            let input = fill_x_pencil(&p);
+            let output = p.cycle(&input);
+            let err = input
+                .iter()
+                .zip(&output)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            err
+        });
+        for err in results {
+            assert!(err < 1e-10, "roundtrip err = {err}");
+        }
+    }
+
+    #[test]
+    fn roundtrip_customized_no_dealias() {
+        roundtrip_case(4, |pa, pb| PfftConfig::customized(16, 6, 8, pa, pb));
+    }
+
+    #[test]
+    fn roundtrip_customized_with_dealias() {
+        roundtrip_case(4, |pa, pb| PfftConfig::customized(16, 6, 8, pa, pb).with_dealias());
+    }
+
+    #[test]
+    fn roundtrip_baseline() {
+        roundtrip_case(4, |pa, pb| PfftConfig::p3dfft_baseline(16, 6, 8, pa, pb));
+    }
+
+    #[test]
+    fn roundtrip_single_rank() {
+        roundtrip_case(1, |pa, pb| PfftConfig::customized(8, 3, 8, pa, pb).with_dealias());
+    }
+
+    #[test]
+    fn roundtrip_uneven_blocks() {
+        // ny = 7 over pb does not divide evenly; nz = 12 over pa = 3 etc.
+        roundtrip_case(6, |pa, pb| PfftConfig::customized(24, 7, 12, pa, pb).with_dealias());
+    }
+
+    #[test]
+    fn forward_finds_the_right_coefficients() {
+        // field = 1 + cos(x) + 0.5 sin(2x + z) + 0.25 cos(3z) + 0.1*y
+        // coefficients (kx, kz): (0,0): 1 + 0.1 y; (1,0): 0.5;
+        // (2,1): 0.25*(-i)... check a couple of peaks.
+        let results = mpi::run(4, |world| {
+            let p = ParallelFft::new(world, PfftConfig::customized(16, 4, 8, 2, 2).with_dealias());
+            let input = fill_x_pencil(&p);
+            let spec = p.forward(&input);
+            let mut found = Vec::new();
+            let (kxb, kzb) = (p.kx_block(), p.kz_block());
+            let ny = p.config().ny;
+            for kzl in 0..kzb.len {
+                let kz = p.kz_signed(kzb.global(kzl));
+                for kxl in 0..kxb.len {
+                    let kx = kxb.global(kxl) as i64;
+                    for y in 0..ny {
+                        let c = spec[(kzl * kxb.len + kxl) * ny + y];
+                        if c.norm() > 1e-12 {
+                            found.push((kx, kz, y, c));
+                        }
+                    }
+                }
+            }
+            found
+        });
+        let all: Vec<_> = results.into_iter().flatten().collect();
+        // mean mode (0,0) at every y: 1 + 0.1y
+        for y in 0..4 {
+            let c = all
+                .iter()
+                .find(|&&(kx, kz, yy, _)| kx == 0 && kz == 0 && yy == y)
+                .expect("mean mode present");
+            assert!((c.3.re - (1.0 + 0.1 * y as f64)).abs() < 1e-12);
+        }
+        // cos(x): coefficient 1/2 at (1, 0)
+        let c = all
+            .iter()
+            .find(|&&(kx, kz, yy, _)| kx == 1 && kz == 0 && yy == 0)
+            .expect("(1,0) mode present");
+        assert!((c.3 - C64::new(0.5, 0.0)).norm() < 1e-12, "{:?}", c.3);
+        // 0.5 sin(2x+z) = 0.25/i e^{i(2x+z)} + c.c.: coefficient at
+        // (2, +1) is 0.25 * -i
+        let c = all
+            .iter()
+            .find(|&&(kx, kz, yy, _)| kx == 2 && kz == 1 && yy == 0)
+            .expect("(2,1) mode present");
+        assert!((c.3 - C64::new(0.0, -0.25)).norm() < 1e-12, "{:?}", c.3);
+        // 0.25 cos(3z): half-spectrum x rep carries kx=0 with both kz=+-3,
+        // each 0.125
+        let c = all
+            .iter()
+            .find(|&&(kx, kz, yy, _)| kx == 0 && kz == 3 && yy == 0)
+            .expect("(0,3) mode present");
+        assert!((c.3 - C64::new(0.125, 0.0)).norm() < 1e-12, "{:?}", c.3);
+    }
+
+    #[test]
+    fn dealiased_product_is_alias_free() {
+        // Multiply two band-limited fields on the padded grid and verify
+        // the forward transform returns the exact convolution (no
+        // aliasing onto low modes). f = cos(k1 x), g = cos(k2 x) with
+        // k1 + k2 beyond the unpadded grid's Nyquist.
+        let results = mpi::run(2, |world| {
+            let nx = 16usize;
+            let p = ParallelFft::new(world, PfftConfig::customized(nx, 2, 8, 1, 2).with_dealias());
+            let px = p.config().px();
+            let (k1, k2) = (5.0, 6.0);
+            let mut prod = Vec::with_capacity(p.x_pencil_len());
+            for _yl in 0..p.y_block().len {
+                for _zl in 0..p.zphys_block().len {
+                    for xi in 0..px {
+                        let x = TAU * xi as f64 / px as f64;
+                        prod.push((k1 * x).cos() * (k2 * x).cos());
+                    }
+                }
+            }
+            let spec = p.forward(&prod);
+            // cos5x*cos6x = (cos x + cos 11x)/2; mode 11 > nx/2-1=7 is
+            // truncated; mode 1 coefficient must be exactly 1/4 and mode
+            // |5-6|=1 the only survivor below Nyquist... check kx=1 and
+            // confirm no spurious energy elsewhere below the cutoff.
+            let (kxb, kzb) = (p.kx_block(), p.kz_block());
+            let ny = p.config().ny;
+            let mut bad = 0.0f64;
+            let mut c1 = None;
+            for kzl in 0..kzb.len {
+                let kz_index = kzb.global(kzl);
+                for kxl in 0..kxb.len {
+                    let kx = kxb.global(kxl);
+                    let c = spec[(kzl * kxb.len + kxl) * ny];
+                    if kx == 1 && kz_index == 0 {
+                        c1 = Some(c);
+                    } else if c.norm() > bad {
+                        bad = c.norm();
+                    }
+                }
+            }
+            (c1, bad)
+        });
+        let mut saw_mode = false;
+        for (c1, bad) in results {
+            assert!(bad < 1e-12, "aliased energy {bad}");
+            if let Some(c) = c1 {
+                assert!((c - C64::new(0.25, 0.0)).norm() < 1e-12, "{c}");
+                saw_mode = true;
+            }
+        }
+        assert!(saw_mode);
+    }
+
+    #[test]
+    fn baseline_and_customized_agree_on_shared_modes() {
+        let run = |baseline: bool| {
+            mpi::run(2, move |world| {
+                let cfg = if baseline {
+                    PfftConfig::p3dfft_baseline(8, 3, 8, 2, 1)
+                } else {
+                    PfftConfig::customized(8, 3, 8, 2, 1)
+                };
+                let p = ParallelFft::new(world, cfg);
+                let input = fill_x_pencil(&p);
+                let spec = p.forward(&input);
+                // strip layout differences: collect (kz, kx, y) -> coeff
+                let (kxb, kzb) = (p.kx_block(), p.kz_block());
+                let ny = p.config().ny;
+                let mut flat = Vec::new();
+                for kzl in 0..kzb.len {
+                    for kxl in 0..kxb.len {
+                        let kx = kxb.global(kxl);
+                        if kx >= 4 {
+                            continue; // baseline's extra Nyquist slot
+                        }
+                        for y in 0..ny {
+                            flat.push((
+                                kzb.global(kzl),
+                                kx,
+                                y,
+                                spec[(kzl * kxb.len + kxl) * ny + y],
+                            ));
+                        }
+                    }
+                }
+                flat
+            })
+        };
+        let mut a: Vec<_> = run(false).into_iter().flatten().collect();
+        let mut b: Vec<_> = run(true).into_iter().flatten().collect();
+        let key = |t: &(usize, usize, usize, C64)| (t.0, t.1, t.2);
+        a.sort_by_key(key);
+        b.sort_by_key(key);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(key(x), key(y));
+            assert!((x.3 - y.3).norm() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn buffer_accounting_shows_3x_for_baseline() {
+        let results = mpi::run(2, |world| {
+            let p = ParallelFft::new(world, PfftConfig::p3dfft_baseline(8, 4, 8, 2, 1));
+            p.buffer_bytes()
+        });
+        let results_custom = mpi::run(2, |world| {
+            let p = ParallelFft::new(world, PfftConfig::customized(8, 4, 8, 2, 1));
+            p.buffer_bytes()
+        });
+        assert!(results[0] > 2 * results_custom[0]);
+    }
+
+    #[test]
+    fn threaded_transforms_match_serial() {
+        let run = |threads: usize| {
+            mpi::run(2, move |world| {
+                let cfg = PfftConfig::customized(16, 5, 8, 2, 1)
+                    .with_dealias()
+                    .with_threads(threads);
+                let p = ParallelFft::new(world, cfg);
+                let input = fill_x_pencil(&p);
+                p.forward(&input)
+            })
+        };
+        let serial = run(1);
+        let threaded = run(3);
+        for (a, b) in serial.iter().zip(&threaded) {
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b) {
+                assert!((x - y).norm() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn batched_transforms_match_individual_transforms() {
+        let results = mpi::run(4, |world| {
+            let p = ParallelFft::new(world, PfftConfig::customized(16, 6, 8, 2, 2).with_dealias());
+            // three distinct physical fields
+            let base = fill_x_pencil(&p);
+            let f1: Vec<f64> = base.iter().map(|v| v * 1.0).collect();
+            let f2: Vec<f64> = base.iter().map(|v| v * v).collect();
+            let f3: Vec<f64> = base.iter().map(|v| 0.5 - v).collect();
+            // individual
+            let s1 = p.forward(&f1);
+            let s2 = p.forward(&f2);
+            let s3 = p.forward(&f3);
+            // batched
+            let batch = p.forward_batch(&[&f1, &f2, &f3]);
+            let mut worst = 0.0f64;
+            for (a, b) in [(&s1, &batch[0]), (&s2, &batch[1]), (&s3, &batch[2])] {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    worst = worst.max((x - y).norm());
+                }
+            }
+            // inverse_batch must agree with the individual inverses
+            // (the originals are not band-limited, so compare against
+            // what the dealiased single-field path produces)
+            let back = p.inverse_batch(&[&batch[0], &batch[1], &batch[2]]);
+            let singles = [p.inverse(&s1), p.inverse(&s2), p.inverse(&s3)];
+            let mut worst_rt = 0.0f64;
+            for (a, b) in singles.iter().zip(&back) {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    worst_rt = worst_rt.max((x - y).abs());
+                }
+            }
+            (worst, worst_rt)
+        });
+        for (w, wr) in results {
+            assert!(w < 1e-12, "batched forward mismatch {w}");
+            assert!(wr < 1e-10, "batched roundtrip error {wr}");
+        }
+    }
+
+    #[test]
+    fn batching_cuts_the_message_count() {
+        let results = mpi::run(4, |world| {
+            let p = ParallelFft::new(world, PfftConfig::customized(16, 6, 8, 2, 2));
+            let f = fill_x_pencil(&p);
+            // warm the batch plans so their construction traffic is
+            // excluded
+            let _ = p.forward_batch(&[&f, &f, &f]);
+            p.comm_a().reset_stats();
+            p.comm_b().reset_stats();
+            let _ = p.forward(&f);
+            let _ = p.forward(&f);
+            let _ = p.forward(&f);
+            let individual =
+                p.comm_a().stats().messages_sent + p.comm_b().stats().messages_sent;
+            p.comm_a().reset_stats();
+            p.comm_b().reset_stats();
+            let _ = p.forward_batch(&[&f, &f, &f]);
+            let batched = p.comm_a().stats().messages_sent + p.comm_b().stats().messages_sent;
+            (individual, batched)
+        });
+        for (individual, batched) in results {
+            assert_eq!(
+                individual,
+                3 * batched,
+                "batching must send one third of the messages"
+            );
+        }
+    }
+
+    #[test]
+    fn timers_accumulate() {
+        let results = mpi::run(2, |world| {
+            let p = ParallelFft::new(world, PfftConfig::customized(8, 4, 8, 2, 1));
+            let input = fill_x_pencil(&p);
+            let _ = p.cycle(&input);
+            let t = p.timers();
+            p.reset_timers();
+            (t, p.timers())
+        });
+        for (t, reset) in results {
+            assert!(t.transpose > 0.0 && t.fft > 0.0);
+            assert_eq!(reset.transpose, 0.0);
+        }
+    }
+
+    #[test]
+    fn parseval_across_ranks() {
+        let results = mpi::run(4, |world| {
+            let p = ParallelFft::new(world, PfftConfig::customized(16, 4, 8, 2, 2));
+            let input = fill_x_pencil(&p);
+            // physical energy sum over the global grid (y-dependent planes)
+            let phys: f64 = input.iter().map(|v| v * v).sum();
+            let phys_tot = p.comm_a().allreduce_sum(phys);
+            let phys_tot = p.comm_b().allreduce_sum(phys_tot);
+            let spec = p.forward(&input);
+            // spectral energy: |c|^2 with kx>0 doubled (half-spectrum)
+            let (kxb, kzb) = (p.kx_block(), p.kz_block());
+            let ny = p.config().ny;
+            let mut e = 0.0;
+            for kzl in 0..kzb.len {
+                for kxl in 0..kxb.len {
+                    let w = if kxb.global(kxl) == 0 { 1.0 } else { 2.0 };
+                    for y in 0..ny {
+                        e += w * spec[(kzl * kxb.len + kxl) * ny + y].norm_sqr();
+                    }
+                }
+            }
+            let e_tot = p.comm_a().allreduce_sum(e);
+            let e_tot = p.comm_b().allreduce_sum(e_tot);
+            // Parseval: sum|f|^2 = N * sum|c|^2 with N = px*pz points per plane
+            let n = (p.config().px() * p.config().pz()) as f64;
+            (phys_tot, n * e_tot)
+        });
+        for (a, b) in results {
+            assert!((a - b).abs() < 1e-9 * a.abs().max(1.0), "{a} vs {b}");
+        }
+    }
+}

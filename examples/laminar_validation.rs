@@ -1,0 +1,68 @@
+//! Physics validation on analytically-known solutions:
+//!
+//! 1. laminar Poiseuille flow is held steady by the full nonlinear
+//!    solver (pressure gradient balances viscous stress);
+//! 2. a Stokes mode decays at its analytic rate;
+//! 3. the flow started from rest accelerates at the forcing rate.
+//!
+//! ```text
+//! cargo run --release --example laminar_validation
+//! ```
+
+use channel_dns::core_solver::stats::profiles;
+use channel_dns::core_solver::{run_serial, Forcing, Params};
+
+fn main() {
+    println!("=== 1. Poiseuille equilibrium (full nonlinear solver) ===");
+    let p = Params::channel(16, 25, 16, 40.0).with_dt(2e-3);
+    run_serial(p, |dns| {
+        dns.set_laminar(1.0);
+        let before = profiles(dns);
+        for _ in 0..100 {
+            dns.step();
+        }
+        let after = profiles(dns);
+        let drift = before
+            .u_mean
+            .iter()
+            .zip(&after.u_mean)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max);
+        println!(
+            "max |u(t=0.2) - u(0)| = {drift:.2e} (centreline u = {:.1})",
+            after.u_mean[after.u_mean.len() / 2]
+        );
+        assert!(drift < 1e-7, "Poiseuille must be steady");
+        println!("PASS: laminar equilibrium is steady\n");
+    });
+
+    println!("=== 2. Stokes decay of a perturbation (no forcing) ===");
+    let mut p = Params::channel(16, 33, 16, 40.0).with_dt(1e-3);
+    p.forcing = Forcing::None;
+    p.nonlinear = false;
+    run_serial(p, |dns| {
+        dns.add_perturbation(0.1, 3);
+        let e0 = channel_dns::core_solver::stats::kinetic_energy(dns);
+        for _ in 0..200 {
+            dns.step();
+        }
+        let e1 = channel_dns::core_solver::stats::kinetic_energy(dns);
+        println!("energy {e0:.3e} -> {e1:.3e} over t = 0.2 (monotone viscous decay)");
+        assert!(e1 < e0, "Stokes flow must decay");
+        println!("PASS: unforced linear perturbations decay\n");
+    });
+
+    println!("=== 3. Start-up from rest ===");
+    let p = Params::channel(16, 25, 16, 1000.0).with_dt(1e-3);
+    run_serial(p, |dns| {
+        for _ in 0..20 {
+            dns.step();
+        }
+        let prof = profiles(dns);
+        let want = dns.state().time; // du/dt = F = 1 away from walls
+        let got = prof.u_mean[prof.u_mean.len() / 2];
+        println!("centreline u = {got:.4} after t = {want:.3} (expected ~ F t = {want:.3})");
+        assert!((got - want).abs() < 0.05 * want);
+        println!("PASS: pressure-gradient forcing accelerates the flow correctly");
+    });
+}

@@ -1,0 +1,54 @@
+//! Quickstart: build a small channel DNS, take a few timesteps, print
+//! statistics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use channel_dns::core_solver::stats::profiles;
+use channel_dns::core_solver::{run_serial, Params};
+
+fn main() {
+    // A tiny channel at friction Reynolds number 100: 32 x 33 x 32
+    // modes, default box 2*pi x 2 x pi.
+    let params = Params::channel(32, 33, 32, 100.0).with_dt(1e-3);
+    println!(
+        "channel DNS: {} x {} x {} modes ({:.1}M DOF), Re_tau target {}",
+        params.nx,
+        params.ny,
+        params.nz,
+        params.dof() / 1e6,
+        1.0 / params.nu
+    );
+
+    run_serial(params, |dns| {
+        // start from a sub-equilibrium laminar profile plus divergence-
+        // free perturbations in the large scales
+        dns.set_laminar(0.5);
+        dns.add_perturbation(0.3, 7);
+
+        for step in 1..=50 {
+            dns.step();
+            if step % 10 == 0 {
+                let p = profiles(dns);
+                println!(
+                    "step {step:3}  t = {:.3}  u_tau = {:.3}  bulk U = {:.2}  peak <u'u'> = {:.4}",
+                    dns.state().time,
+                    p.u_tau,
+                    p.bulk_velocity,
+                    p.uu.iter().cloned().fold(0.0, f64::max),
+                );
+            }
+        }
+
+        let p = profiles(dns);
+        println!("\nmean velocity profile (wall units):");
+        for (yp, up) in p.y_plus().iter().zip(p.u_plus()).step_by(4) {
+            if *yp <= p.re_tau {
+                println!("  y+ = {yp:7.2}   u+ = {up:6.2}");
+            }
+        }
+        println!("\ndone: the full pipeline ran — spectral transforms, pencil");
+        println!("transposes, dealiased nonlinear terms, implicit wall-normal solves.");
+    });
+}

@@ -1,0 +1,58 @@
+//! Scaling study: predict the full production run on the modelled
+//! machines and measure the real code's rank scaling on this host.
+//!
+//! ```text
+//! cargo run --release --example scaling_study
+//! ```
+
+use channel_dns::core_solver::{run_parallel, Params};
+use channel_dns::netmodel::dnscost::{timestep_phases, Grid, Parallelism};
+use channel_dns::netmodel::Machine;
+
+fn main() {
+    println!("=== modelled: the paper's production run on Mira ===");
+    // Re_tau = 5200 production grid: 10240 x 1536 x 7680 modes
+    let g = Grid {
+        nx: 10240,
+        ny: 1536,
+        nz: 7680,
+    };
+    println!(
+        "grid {} x {} x {} = {:.0}e9 DOF (the paper's 242 billion)",
+        g.nx,
+        g.ny,
+        g.nz,
+        g.dof() / 1e9
+    );
+    let m = Machine::mira();
+    for cores in [131_072usize, 262_144, 524_288] {
+        let p = timestep_phases(&m, &g, cores, Parallelism::Hybrid);
+        let per_flow_through = 50_000.0 * p.total() / 3600.0;
+        println!(
+            "  {cores:>7} cores: {:.1} s/step -> {:.0} hours per flow-through (x13 needed)",
+            p.total(),
+            per_flow_through
+        );
+    }
+    println!("  (the paper budgets 260M core-hours for 650k steps on 524,288 cores)");
+
+    println!("\n=== measured: rank scaling of the real solver on this host ===");
+    println!("(single-core machine: expect no speedup, only the overhead of more ranks)");
+    for (pa, pb) in [(1usize, 1usize), (2, 1), (2, 2)] {
+        let p = Params::channel(32, 33, 32, 100.0)
+            .with_dt(5e-4)
+            .with_grid(pa, pb);
+        let t = run_parallel(p, |dns| {
+            dns.set_laminar(0.3);
+            dns.add_perturbation(0.2, 5);
+            dns.step(); // warm-up
+            let t0 = std::time::Instant::now();
+            for _ in 0..3 {
+                dns.step();
+            }
+            t0.elapsed().as_secs_f64() / 3.0
+        });
+        let slowest = t.iter().cloned().fold(0.0, f64::max);
+        println!("  {pa} x {pb} ranks: {:.0} ms/step", slowest * 1e3);
+    }
+}

@@ -1,0 +1,6 @@
+#!/bin/bash
+# Final deliverable capture (run after the figure chain completes)
+set -x
+cd /root/repo
+cargo test --workspace --release 2>&1 | tee /root/repo/test_output.txt | tail -5
+cargo bench --workspace 2>&1 | tee /root/repo/bench_output.txt | tail -5

@@ -1,0 +1,78 @@
+//! The crown validation: the *nonlinear* DNS, seeded with an
+//! infinitesimal Orr-Sommerfeld eigenfunction on the laminar base flow,
+//! must amplify it at the analytic growth rate — tying the full
+//! production pipeline (transforms, transposes, dealiased products,
+//! implicit solves, influence matrix) to linear stability theory.
+//!
+//! Setup: plane Poiseuille at centreline Reynolds number 10^4 with
+//! `alpha = 1` (so `Lx = 2 pi` in half-height units). In friction
+//! scaling with `F = 1`, the laminar equilibrium has
+//! `U_c = 1/(2 nu)`, so `Re_c = U_c / nu = 1/(2 nu^2)`. The
+//! Tollmien-Schlichting mode grows like `exp(alpha c_i U_c t)` with
+//! Orszag's `c_i = 0.00373967` (the eigenvalue is expressed in units of
+//! the centreline velocity).
+
+use channel_dns::core_solver::orrsommerfeld::{least_stable, ORSZAG_C};
+use channel_dns::core_solver::stats::profiles;
+use channel_dns::core_solver::{run_serial, Params};
+use channel_dns::fft::C64;
+use channel_dns::bspline::integration_weights;
+
+#[test]
+fn ts_wave_grows_at_the_orr_sommerfeld_rate() {
+    // nu such that Re_centerline = 1/(2 nu^2) = 10^4
+    let nu = (1.0 / (2.0e4_f64)).sqrt();
+    let u_c = 1.0 / (2.0 * nu);
+    let mut params = Params::channel(8, 81, 4, 1.0 / nu).with_dt(5.0e-4);
+    params.lx = std::f64::consts::TAU; // alpha = 1
+    params.lz = std::f64::consts::PI;
+    params.grid_stretch = 1.2;
+
+    // the eigenfunction from the stability solver
+    let eig = least_stable(96, 1.0e4, 1.0, C64::new(0.2375, 0.0037));
+    assert!((eig.c - ORSZAG_C).norm() < 1e-4);
+    let sigma = eig.c.im * u_c; // dimensional growth rate (alpha = 1)
+
+    let (measured_sigma, amp0, amp1) = run_serial(params, move |dns| {
+        dns.set_laminar(1.0);
+        // seed v at (kx = 1, kz = 0) with a tiny amplitude so the
+        // nonlinear feedback stays far below rounding relevance
+        let amp = 1e-6;
+        let vals: Vec<C64> = dns
+            .ops()
+            .points()
+            .iter()
+            .map(|&y| amp * eig.eval_v(y))
+            .collect();
+        let c_v = dns.ops().interpolate_complex(&vals);
+        let c_omega = vec![C64::new(0.0, 0.0); dns.params().ny];
+        dns.seed_mode(1, 0, &c_v, &c_omega);
+
+        // fluctuation "amplitude" = sqrt of the y-integrated v variance
+        let weights = integration_weights(dns.ops());
+        let amplitude = |dns: &channel_dns::core_solver::ChannelDns| -> f64 {
+            let p = profiles(dns);
+            p.vv.iter()
+                .zip(&weights)
+                .map(|(v, w)| v * w)
+                .sum::<f64>()
+                .sqrt()
+        };
+        let a0 = amplitude(dns);
+        let steps = 600usize;
+        for _ in 0..steps {
+            dns.step();
+        }
+        let a1 = amplitude(dns);
+        let t = steps as f64 * dns.params().dt;
+        ((a1 / a0).ln() / t, a0, a1)
+    });
+
+    assert!(amp0 > 0.0 && amp1 > amp0, "the TS wave must grow: {amp0} -> {amp1}");
+    let rel = (measured_sigma - sigma).abs() / sigma.abs();
+    assert!(
+        rel < 0.05,
+        "growth rate {measured_sigma:.5} vs Orr-Sommerfeld {sigma:.5} ({:.1}% off)",
+        100.0 * rel
+    );
+}
