@@ -202,6 +202,10 @@ impl CornerLu {
 
     /// Solve `A x = b` in place for a real right-hand side.
     pub fn solve(&self, b: &mut [f64]) {
+        let _solve = dns_telemetry::detail_span("corner_solve", dns_telemetry::Phase::NsAdvance);
+        if dns_telemetry::enabled() {
+            dns_telemetry::count(dns_telemetry::Counter::Flops, self.solve_flops());
+        }
         match (self.m.kl, self.m.ku) {
             (3, 3) => solve_kernel(&self.m, b, 3, 3),
             (7, 7) => solve_kernel(&self.m, b, 7, 7),
@@ -212,6 +216,12 @@ impl CornerLu {
     /// Solve `A x = b` in place for a complex right-hand side against the
     /// real factors — no splitting, no complex*complex products.
     pub fn solve_complex(&self, b: &mut [C64]) {
+        let _solve =
+            dns_telemetry::detail_span("corner_solve_complex", dns_telemetry::Phase::NsAdvance);
+        if dns_telemetry::enabled() {
+            // complex RHS against real factors: two real solves' worth
+            dns_telemetry::count(dns_telemetry::Counter::Flops, 2 * self.solve_flops());
+        }
         // pure tridiagonal factors with no corner rows take the classic
         // two-sweep Thomas path (no window bookkeeping at all)
         if self.m.kl == 1 && self.m.ku == 1 && self.m.nc_top == 0 && self.m.nc_bot == 0 {
@@ -232,6 +242,13 @@ impl CornerLu {
     /// Borrow the underlying factored storage (diagnostics/tests).
     pub fn factors(&self) -> &CornerBanded {
         &self.m
+    }
+
+    /// Nominal flop count of one real solve (forward + backward sweep
+    /// multiply-adds per row).
+    fn solve_flops(&self) -> u64 {
+        let per_row = 2 * self.m.kl + 2 * (self.m.kl + self.m.ku) + 1;
+        (self.m.n * per_row) as u64
     }
 
     /// Solve with one step of iterative refinement against the original
@@ -594,7 +611,7 @@ mod tests {
         let lu = CornerLu::factor(m).unwrap();
         let mut got = rhs.clone();
         lu.solve_complex(&mut got); // takes the Thomas path
-        // reference via the dense solver on split real systems
+                                    // reference via the dense solver on split real systems
         let mut re: Vec<f64> = rhs.iter().map(|c| c.re).collect();
         let mut im: Vec<f64> = rhs.iter().map(|c| c.im).collect();
         dense.solve(&mut re);

@@ -223,6 +223,13 @@ impl<T: Scalar> BandedLu<T> {
     pub fn solve(&self, b: &mut [T]) {
         let n = self.n;
         assert_eq!(b.len(), n);
+        let _solve = dns_telemetry::detail_span("banded_solve", dns_telemetry::Phase::NsAdvance);
+        if dns_telemetry::enabled() {
+            // forward elimination (2 kl) + back substitution (2 (kl+ku) + 1)
+            // multiply-adds per row, the GBTRS nominal count
+            let per_row = 2 * self.kl + 2 * (self.kl + self.ku) + 1;
+            dns_telemetry::count(dns_telemetry::Counter::Flops, (n * per_row) as u64);
+        }
         for k in 0..n {
             b.swap(k, self.piv[k]);
             let bk = b[k];
@@ -306,7 +313,13 @@ mod tests {
 
     #[test]
     fn banded_lu_matches_dense_lu() {
-        for (n, kl, ku) in [(12usize, 2usize, 3usize), (30, 4, 4), (17, 1, 5), (9, 0, 2), (8, 3, 0)] {
+        for (n, kl, ku) in [
+            (12usize, 2usize, 3usize),
+            (30, 4, 4),
+            (17, 1, 5),
+            (9, 0, 2),
+            (8, 3, 0),
+        ] {
             let a = random_banded(n, kl, ku, (n * 100 + kl * 10 + ku) as u64);
             let lu = BandedLu::factor(&a).unwrap();
             let dense = DenseLu::factor(n, &a.to_dense()).unwrap();

@@ -37,7 +37,9 @@ impl CollocationLike {
         // *same* matrix
         state ^= (i as u64).wrapping_mul(0x9E3779B97F4A7C15);
         state ^= (j as u64).wrapping_mul(0xC2B2AE3D27D4EB4F);
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(self.seed);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(self.seed);
         let r = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
         if i == j {
             // dominance mimicking the I + beta*nu*dt*(k^2 + D2) operator
@@ -71,7 +73,7 @@ impl CollocationLike {
     pub fn general<T: Scalar>(&self) -> BandedMatrix<T> {
         let corner = self.corner();
         let kg = 2 * self.p;
-        let mut g = BandedMatrix::zeros(self.n, kg, kg, );
+        let mut g = BandedMatrix::zeros(self.n, kg, kg);
         for i in 0..self.n {
             let ci = corner.col_start(i);
             for j in ci..(ci + corner.width()).min(self.n) {

@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dns_fft::dealias::{pad_full, truncate_full};
-use dns_fft::{C64, CfftPlan, Direction, RealLayout, RfftPlan};
+use dns_fft::{CfftPlan, Direction, RealLayout, RfftPlan, C64};
 
 fn bench_cfft(c: &mut Criterion) {
     let mut g = c.benchmark_group("cfft");
@@ -122,5 +122,11 @@ fn bench_strided(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_cfft, bench_rfft, bench_dealias, bench_strided);
+criterion_group!(
+    benches,
+    bench_cfft,
+    bench_rfft,
+    bench_dealias,
+    bench_strided
+);
 criterion_main!(benches);

@@ -11,7 +11,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dns_fft::dealias::{dealias_len, pad_full, truncate_full};
-use dns_fft::{C64, CfftPlan, Direction};
+use dns_fft::{CfftPlan, Direction, C64};
 
 fn bench_fusion(c: &mut Criterion) {
     let n = 256usize;
@@ -34,7 +34,10 @@ fn bench_fusion(c: &mut Criterion) {
         let mut scratch = inv.make_scratch();
         b.iter(|| {
             for l in 0..lines {
-                pad_full(&spectra[l * n..(l + 1) * n], &mut padded[l * m..(l + 1) * m]);
+                pad_full(
+                    &spectra[l * n..(l + 1) * n],
+                    &mut padded[l * m..(l + 1) * m],
+                );
             }
             for l in 0..lines {
                 inv.execute(&mut padded[l * m..(l + 1) * m], &mut scratch);

@@ -78,5 +78,10 @@ fn bench_pfft_cycle(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_timestep, bench_mode_advance, bench_pfft_cycle);
+criterion_group!(
+    benches,
+    bench_timestep,
+    bench_mode_advance,
+    bench_pfft_cycle
+);
 criterion_main!(benches);

@@ -56,7 +56,11 @@ fn main() {
     let reich: Vec<f64> = yp.iter().map(|&y| reichardt_u_plus(y)).collect();
     dns_core::io::write_csv(
         &dir.join("fig5_mean_velocity.csv"),
-        &[("y_plus", &yp[..]), ("u_plus", &up[..]), ("reichardt", &reich[..])],
+        &[
+            ("y_plus", &yp[..]),
+            ("u_plus", &up[..]),
+            ("reichardt", &reich[..]),
+        ],
     )
     .expect("write csv");
     println!("\nwrote target/figures/fig5_mean_velocity.csv");

@@ -27,6 +27,7 @@ fn main() {
     let yp = p.y_plus();
     let mut t = Table::new(vec!["y+", "<u'u'>+", "<v'v'>+", "<w'w'>+", "-<u'v'>+"]);
     let half = p.y.len() / 2;
+    #[allow(clippy::needless_range_loop)] // j indexes five parallel arrays
     for j in 0..=half {
         t.row(vec![
             format!("{:.2}", yp[j]),

@@ -1,0 +1,226 @@
+//! Measured-vs-modelled per-phase breakdown of the RK3 timestep.
+//!
+//! Runs a small channel DNS with `dns-telemetry` enabled, then prints
+//! each phase (transpose, FFT, N-S advance) twice: as measured by the
+//! span timeline, and as predicted by the `dns-netmodel::dnscost`
+//! workload model divided by host kernel rates calibrated on the spot.
+//!
+//! ```text
+//! cargo run -p dns-bench --release --bin phases
+//! cargo run -p dns-bench --release --bin phases -- --nx 48 --nz 48 --steps 20
+//! ```
+
+use dns_banded::{CornerBanded, CornerLu};
+use dns_bench::time_it;
+use dns_core::{run_serial, Params};
+use dns_fft::{rfft_flops, RealLayout, RfftPlan, C64};
+use dns_netmodel::dnscost::{step_workload, Grid};
+use dns_telemetry as telemetry;
+
+struct Opts {
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    steps: usize,
+}
+
+fn parse(argv: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        nx: 32,
+        ny: 65,
+        nz: 32,
+        steps: 10,
+    };
+    let mut i = 1;
+    while i < argv.len() {
+        let val = |i: &mut usize| -> Result<usize, String> {
+            *i += 1;
+            let flag = &argv[*i - 1];
+            argv.get(*i)
+                .ok_or_else(|| format!("{flag} needs a value"))?
+                .parse()
+                .map_err(|_| format!("{flag}: cannot parse {:?}", argv[*i]))
+        };
+        match argv[i].as_str() {
+            "--nx" => o.nx = val(&mut i)?,
+            "--ny" => o.ny = val(&mut i)?,
+            "--nz" => o.nz = val(&mut i)?,
+            "--steps" => o.steps = val(&mut i)?,
+            "--help" | "-h" => {
+                println!(
+                    "phases: measured-vs-modelled per-phase RK3 breakdown\n\n\
+                     usage: phases [--nx N] [--ny N] [--nz N] [--steps N]"
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other}")),
+        }
+        i += 1;
+    }
+    Ok(o)
+}
+
+/// Sustained host rate (flops/s) of the x-direction real FFT, measured
+/// with the same nominal flop accounting the model uses.
+fn calibrate_fft_rate(px: usize) -> f64 {
+    let plan = RfftPlan::new(px, RealLayout::ElideNyquist);
+    let mut scratch = plan.make_scratch();
+    let input: Vec<f64> = (0..px).map(|i| (i as f64 * 0.37).sin()).collect();
+    let mut out = vec![C64::new(0.0, 0.0); plan.spectrum_len()];
+    let lines = 64;
+    let t = time_it(0.1, 5, || {
+        for _ in 0..lines {
+            plan.forward(&input, &mut out, &mut scratch);
+            std::hint::black_box(&out);
+        }
+    });
+    lines as f64 * rfft_flops(px) / t
+}
+
+/// Sustained host rate (flops/s) of the wall-normal banded solves, the
+/// kernel behind the N-S advance phase.
+fn calibrate_ns_rate(ny: usize) -> f64 {
+    let (kl, ku) = (7usize, 7usize);
+    let mut m = CornerBanded::zeros(ny, kl, ku, 0, 0);
+    for i in 0..ny {
+        for j in i.saturating_sub(kl)..=(i + ku).min(ny - 1) {
+            let v = if i == j {
+                16.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            };
+            m.set(i, j, v);
+        }
+    }
+    let lu = CornerLu::factor(m).expect("well-conditioned calibration matrix");
+    let mut b: Vec<C64> = (0..ny).map(|i| C64::new(i as f64, -(i as f64))).collect();
+    let solves = 256;
+    let per_row = 2 * kl + 2 * (kl + ku) + 1;
+    let t = time_it(0.1, 5, || {
+        for _ in 0..solves {
+            lu.solve_complex(&mut b);
+            std::hint::black_box(&b);
+        }
+    });
+    // complex RHS against real factors = two real solves' worth
+    solves as f64 * 2.0 * (ny * per_row) as f64 / t
+}
+
+/// Sustained host streaming bandwidth (bytes/s, read+write) from a large
+/// out-of-cache copy, the rate behind the single-node transpose phase.
+fn calibrate_stream_bw() -> f64 {
+    let n = 8 << 20; // 64 MiB of f64, past any cache
+    let src: Vec<f64> = (0..n).map(|i| i as f64).collect();
+    let mut dst = vec![0.0f64; n];
+    let t = time_it(0.2, 3, || {
+        dst.copy_from_slice(&src);
+        std::hint::black_box(&dst);
+    });
+    2.0 * 8.0 * n as f64 / t
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let o = match parse(&argv) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("phases: {e}\n(run with --help for usage)");
+            std::process::exit(2);
+        }
+    };
+    let grid = Grid {
+        nx: o.nx,
+        ny: o.ny,
+        nz: o.nz,
+    };
+    println!(
+        "measured vs modelled RK3 phases: {} x {} x {} modes, {} steps, 1 rank",
+        o.nx, o.ny, o.nz, o.steps
+    );
+
+    // calibrate host kernel rates before telemetry switches on, so the
+    // microbenchmarks stay out of the measured snapshot
+    let fft_rate = calibrate_fft_rate(grid.px());
+    let ns_rate = calibrate_ns_rate(o.ny);
+    let stream_bw = calibrate_stream_bw();
+    println!(
+        "host calibration: fft {:.2} Gflop/s, banded solve {:.2} Gflop/s, stream {:.1} GB/s",
+        fft_rate / 1e9,
+        ns_rate / 1e9,
+        stream_bw / 1e9
+    );
+
+    let mut params = Params::channel(o.nx, o.ny, o.nz, 180.0).with_dt(5e-4);
+    params.lx = 2.0;
+    params.lz = 0.8;
+    params.grid_stretch = 1.9;
+    let steps = o.steps;
+    telemetry::set_level(telemetry::Level::Phases);
+    let wall = run_serial(params, move |dns| {
+        dns.set_turbulent_mean(1.0);
+        dns.add_perturbation(0.5, 2024);
+        // two warmup steps populate plan caches and fault in the buffers
+        dns.step();
+        dns.step();
+        telemetry::flush_thread();
+        telemetry::reset();
+        let t0 = std::time::Instant::now();
+        for _ in 0..steps {
+            dns.step();
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        telemetry::flush_thread();
+        wall
+    });
+    let snap = telemetry::snapshot();
+    let measured = snap.phase_seconds_mean();
+    let counters = snap.total_counters();
+
+    let wl = step_workload(&grid);
+    let n = steps as f64;
+    let model_fft = wl.fft_flops / fft_rate;
+    let model_ns = wl.ns_flops / ns_rate;
+    let model_transpose = wl.transpose_bytes / stream_bw;
+    let model_total = model_fft + model_ns + model_transpose;
+
+    println!(
+        "\n{:>12} {:>14} {:>14} {:>10}",
+        "phase", "modelled s", "measured s", "ratio"
+    );
+    let row = |label: &str, model: f64, meas: f64| {
+        let ratio = if model > 0.0 { meas / model } else { f64::NAN };
+        println!("{label:>12} {model:>14.6} {meas:>14.6} {ratio:>10.2}");
+    };
+    row("transpose", model_transpose, measured.transpose / n);
+    row("fft", model_fft, measured.fft / n);
+    row("ns_advance", model_ns, measured.ns_advance / n);
+    println!(
+        "{:>12} {:>14} {:>14.6} {:>10}",
+        "other",
+        "-",
+        measured.other / n,
+        "-"
+    );
+    row("total", model_total, wall / n);
+
+    let measured_flops = counters.get(telemetry::Counter::Flops) as f64 / n;
+    println!(
+        "\nflops/step: modelled {:.3e}, counted {:.3e} ({:.2}x)  [model includes the \
+         calibrated N-S assembly constant; counters tally executed kernels]",
+        wl.total_flops(),
+        measured_flops,
+        measured_flops / wl.total_flops()
+    );
+    let ddr = counters.get(telemetry::Counter::DdrBytes) as f64 / n;
+    println!(
+        "transpose bytes/step: modelled {:.3e}, counted {:.3e} ({:.2}x)",
+        wl.transpose_bytes,
+        ddr,
+        ddr / wl.transpose_bytes
+    );
+    println!(
+        "\nnotes: 1-rank run, so the transpose phase is pure on-node reorder \
+         (modelled at stream bandwidth) and comm counters are zero; span \
+         attribution is exclusive (innermost span wins)."
+    );
+}

@@ -35,7 +35,16 @@ fn main() {
     }
     eprintln!(
         "probe: {}x{}x{} re={} lx={} lz={} stretch={} dt={} amp={} scale={}",
-        p.nx, p.ny, p.nz, 1.0 / p.nu, p.lx, p.lz, p.grid_stretch, p.dt, amp, scale
+        p.nx,
+        p.ny,
+        p.nz,
+        1.0 / p.nu,
+        p.lx,
+        p.lz,
+        p.grid_stretch,
+        p.dt,
+        amp,
+        scale
     );
     run_serial(p, move |dns| {
         if scale < 0.0 {

@@ -12,8 +12,16 @@ use std::process::Command;
 
 fn main() {
     let bins = [
-        "table1", "table2", "table3", "table4", "table5", "table6", "table9", "table10",
-        "table11", "conclusions",
+        "table1",
+        "table2",
+        "table3",
+        "table4",
+        "table5",
+        "table6",
+        "table9",
+        "table10",
+        "table11",
+        "conclusions",
     ];
     let out_dir = Path::new("target/reports");
     std::fs::create_dir_all(out_dir).expect("create report directory");

@@ -9,14 +9,7 @@ use dns_netmodel::Machine;
 
 type WeakRow = (usize, usize, f64, f64, f64, f64);
 
-fn section(
-    name: &str,
-    m: &Machine,
-    ny: usize,
-    nz: usize,
-    mode: Parallelism,
-    rows: &[WeakRow],
-) {
+fn section(name: &str, m: &Machine, ny: usize, nz: usize, mode: Parallelism, rows: &[WeakRow]) {
     println!("\n{name} (Ny = {ny}, Nz = {nz}; Nx per row — Table 8 config):");
     let mut t = Table::new(vec![
         "cores",
@@ -31,7 +24,17 @@ fn section(
         "(paper)",
         "efficiency",
     ]);
-    let base = timestep_phases(m, &Grid { nx: rows[0].1, ny, nz }, rows[0].0, mode).total();
+    let base = timestep_phases(
+        m,
+        &Grid {
+            nx: rows[0].1,
+            ny,
+            nz,
+        },
+        rows[0].0,
+        mode,
+    )
+    .total();
     for &(cores, nx, p_tr, p_fft, p_ns, p_tot) in rows {
         let g = Grid { nx, ny, nz };
         let p = timestep_phases(m, &g, cores, mode);

@@ -31,14 +31,20 @@ fn main() {
         let hyb = timestep_phases(&m, &g, cores, Parallelism::Hybrid).total();
         t.row(vec![
             format!("{cores}"),
-            if p_mpi.is_some() { secs(mpi) } else { "N/A".into() },
+            if p_mpi.is_some() {
+                secs(mpi)
+            } else {
+                "N/A".into()
+            },
             secs(hyb),
             if p_mpi.is_some() {
                 format!("{:.2}", mpi / hyb)
             } else {
                 "N/A".into()
             },
-            p_mpi.map(|x| format!("{x}")).unwrap_or_else(|| "N/A".into()),
+            p_mpi
+                .map(|x| format!("{x}"))
+                .unwrap_or_else(|| "N/A".into()),
             format!("{p_hyb}"),
             p_mpi
                 .map(|x| format!("{:.2}", x / p_hyb))

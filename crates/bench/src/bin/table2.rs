@@ -28,7 +28,13 @@ fn main() {
     let plain = hpm_single_core(&m, &counts, false);
     let simd = hpm_single_core(&m, &counts, true);
 
-    let mut t = Table::new(vec!["metric", "SIMD (model)", "SIMD (paper)", "no-SIMD (model)", "no-SIMD (paper)"]);
+    let mut t = Table::new(vec![
+        "metric",
+        "SIMD (model)",
+        "SIMD (paper)",
+        "no-SIMD (model)",
+        "no-SIMD (paper)",
+    ]);
     let ps = paper::TABLE2_SIMD;
     let pn = paper::TABLE2_NOSIMD;
     t.row(vec![
@@ -61,9 +67,17 @@ fn main() {
     ]);
     t.row(vec![
         "DDR traffic (B/cycle)".to_string(),
-        format!("{:.1} ({:.0}%)", simd.ddr_bytes_per_cycle, 100.0 * simd.ddr_bytes_per_cycle / 18.0),
+        format!(
+            "{:.1} ({:.0}%)",
+            simd.ddr_bytes_per_cycle,
+            100.0 * simd.ddr_bytes_per_cycle / 18.0
+        ),
         format!("{:.1} (79%)", ps.6),
-        format!("{:.1} ({:.0}%)", plain.ddr_bytes_per_cycle, 100.0 * plain.ddr_bytes_per_cycle / 18.0),
+        format!(
+            "{:.1} ({:.0}%)",
+            plain.ddr_bytes_per_cycle,
+            100.0 * plain.ddr_bytes_per_cycle / 18.0
+        ),
         format!("{:.1} (93%)", pn.6),
     ]);
     t.row(vec![

@@ -132,13 +132,7 @@ fn main() {
             let (nx, ny, nz) = (64usize, 32usize, 64usize);
             let nyl = dns_pencil::block_len(ny, pb, comm_b.rank());
             let sxl = dns_pencil::block_len(nx / 2, pa, comm_a.rank());
-            let t_a = TransposePlan::new(
-                &comm_a,
-                nyl,
-                nz,
-                nx / 2,
-                ExchangeStrategy::AllToAll,
-            );
+            let t_a = TransposePlan::new(&comm_a, nyl, nz, nx / 2, ExchangeStrategy::AllToAll);
             let t_b = TransposePlan::with_placement(
                 &comm_b,
                 sxl,

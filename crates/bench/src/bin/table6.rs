@@ -46,9 +46,13 @@ fn section(name: &str, m: &Machine, g: Grid, rows: &[T6Row]) {
         t.row(vec![
             format!("{cores}"),
             opt_secs(p),
-            p_p3d.map(|x| format!("{x}")).unwrap_or_else(|| "N/A".into()),
+            p_p3d
+                .map(|x| format!("{x}"))
+                .unwrap_or_else(|| "N/A".into()),
             opt_secs(c),
-            p_custom.map(|x| format!("{x}")).unwrap_or_else(|| "N/A".into()),
+            p_custom
+                .map(|x| format!("{x}"))
+                .unwrap_or_else(|| "N/A".into()),
             ratio_model,
             ratio_paper,
             eff,
@@ -62,25 +66,41 @@ fn main() {
     section(
         "Mira (small grid)",
         &Machine::mira(),
-        Grid { nx: 2048, ny: 1024, nz: 1024 },
+        Grid {
+            nx: 2048,
+            ny: 1024,
+            nz: 1024,
+        },
         paper::TABLE6_MIRA1,
     );
     section(
         "Mira (large grid)",
         &Machine::mira(),
-        Grid { nx: 18432, ny: 12288, nz: 12288 },
+        Grid {
+            nx: 18432,
+            ny: 12288,
+            nz: 12288,
+        },
         paper::TABLE6_MIRA2,
     );
     section(
         "Lonestar",
         &Machine::lonestar(),
-        Grid { nx: 768, ny: 768, nz: 768 },
+        Grid {
+            nx: 768,
+            ny: 768,
+            nz: 768,
+        },
         paper::TABLE6_LONESTAR,
     );
     section(
         "Stampede",
         &Machine::stampede(),
-        Grid { nx: 1024, ny: 1024, nz: 1024 },
+        Grid {
+            nx: 1024,
+            ny: 1024,
+            nz: 1024,
+        },
         paper::TABLE6_STAMPEDE,
     );
 

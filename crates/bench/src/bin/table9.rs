@@ -56,35 +56,55 @@ fn main() {
     section(
         "Mira (MPI)",
         &Machine::mira(),
-        Grid { nx: 18432, ny: 1536, nz: 12288 },
+        Grid {
+            nx: 18432,
+            ny: 1536,
+            nz: 12288,
+        },
         Parallelism::Mpi,
         paper::TABLE9_MIRA_MPI,
     );
     section(
         "Mira (Hybrid)",
         &Machine::mira(),
-        Grid { nx: 18432, ny: 1536, nz: 12288 },
+        Grid {
+            nx: 18432,
+            ny: 1536,
+            nz: 12288,
+        },
         Parallelism::Hybrid,
         paper::TABLE9_MIRA_HYBRID,
     );
     section(
         "Lonestar",
         &Machine::lonestar(),
-        Grid { nx: 1024, ny: 384, nz: 1536 },
+        Grid {
+            nx: 1024,
+            ny: 384,
+            nz: 1536,
+        },
         Parallelism::Mpi,
         paper::TABLE9_LONESTAR,
     );
     section(
         "Stampede",
         &Machine::stampede(),
-        Grid { nx: 2048, ny: 512, nz: 4096 },
+        Grid {
+            nx: 2048,
+            ny: 512,
+            nz: 4096,
+        },
         Parallelism::Mpi,
         paper::TABLE9_STAMPEDE,
     );
     section(
         "Blue Waters",
         &Machine::blue_waters(),
-        Grid { nx: 2048, ny: 1024, nz: 2048 },
+        Grid {
+            nx: 2048,
+            ny: 1024,
+            nz: 2048,
+        },
         Parallelism::Mpi,
         paper::TABLE9_BLUEWATERS,
     );

@@ -123,7 +123,7 @@ impl BsplineBasis {
         let span = self.find_span(x);
         let p = self.degree();
         let nd = nd.min(p); // higher derivatives of a degree-p spline vanish
-        // ndu[j][r]: basis functions and knot differences (A2.3)
+                            // ndu[j][r]: basis functions and knot differences (A2.3)
         let mut ndu = vec![vec![0.0; p + 1]; p + 1];
         let mut left = vec![0.0; p + 1];
         let mut right = vec![0.0; p + 1];
@@ -164,8 +164,7 @@ impl BsplineBasis {
                     p - r
                 };
                 for j in j1..=j2 {
-                    a[s2][j] =
-                        (a[s1][j] - a[s1][j - 1]) / ndu[pk + 1][(rk + j as isize) as usize];
+                    a[s2][j] = (a[s1][j] - a[s1][j - 1]) / ndu[pk + 1][(rk + j as isize) as usize];
                     d += a[s2][j] * ndu[(rk + j as isize) as usize][pk];
                 }
                 if r <= pk {
@@ -271,7 +270,9 @@ mod tests {
     #[test]
     fn derivatives_match_finite_differences() {
         let b = BsplineBasis::new(8, &tanh_breakpoints(10, 1.5));
-        let coef: Vec<f64> = (0..b.len()).map(|i| ((i * i) as f64 * 0.13).sin()).collect();
+        let coef: Vec<f64> = (0..b.len())
+            .map(|i| ((i * i) as f64 * 0.13).sin())
+            .collect();
         let h = 1e-6;
         for &x in &[-0.7, -0.2, 0.15, 0.6, 0.93] {
             let d_exact = b.eval_deriv(&coef, x, 1);

@@ -106,8 +106,16 @@ mod tests {
             let (x, w) = gauss_legendre(n);
             // exact for degree 2n-1
             for d in 0..2 * n {
-                let got: f64 = x.iter().zip(&w).map(|(&xi, &wi)| wi * xi.powi(d as i32)).sum();
-                let want = if d % 2 == 0 { 2.0 / (d as f64 + 1.0) } else { 0.0 };
+                let got: f64 = x
+                    .iter()
+                    .zip(&w)
+                    .map(|(&xi, &wi)| wi * xi.powi(d as i32))
+                    .sum();
+                let want = if d % 2 == 0 {
+                    2.0 / (d as f64 + 1.0)
+                } else {
+                    0.0
+                };
                 assert!((got - want).abs() < 1e-13, "n={n} d={d}: {got} vs {want}");
             }
         }

@@ -295,7 +295,10 @@ mod tests {
         let lu = CornerLu::factor(m).unwrap();
         lu.solve(&mut rhs);
         for &y in &[-1.0, -0.3, 0.2, 1.0] {
-            assert!((ops.basis().eval(&rhs, y) - u_exact(y)).abs() < 1e-8, "y={y}");
+            assert!(
+                (ops.basis().eval(&rhs, y) - u_exact(y)).abs() < 1e-8,
+                "y={y}"
+            );
         }
     }
 
@@ -351,7 +354,10 @@ mod tests {
         let coef = src_ops.interpolate(&vals);
         let coef2 = resample(&src_basis, &coef, &dst_ops);
         for &y in &[-0.9, -0.2, 0.4, 0.95] {
-            assert!((dst_ops.basis().eval(&coef2, y) - f(y)).abs() < 1e-10, "y={y}");
+            assert!(
+                (dst_ops.basis().eval(&coef2, y) - f(y)).abs() < 1e-10,
+                "y={y}"
+            );
         }
     }
 
@@ -365,7 +371,10 @@ mod tests {
         let coef = src_ops.interpolate(&vals);
         let coef2 = resample(&src_basis, &coef, &dst_ops);
         for &y in &[-0.7, 0.0, 0.66] {
-            assert!((dst_ops.basis().eval(&coef2, y) - f(y)).abs() < 1e-7, "y={y}");
+            assert!(
+                (dst_ops.basis().eval(&coef2, y) - f(y)).abs() < 1e-7,
+                "y={y}"
+            );
         }
     }
 

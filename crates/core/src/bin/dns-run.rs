@@ -1,20 +1,20 @@
 //! Production-style command-line driver for the channel DNS.
 //!
+//! Run `dns-run --help` for the full flag reference. Typical use:
+//!
 //! ```text
-//! dns-run [--nx N] [--ny N] [--nz N] [--re RE_TAU] [--lx L] [--lz L]
-//!             [--dt DT] [--steps N] [--stretch S]
-//!             [--flux BULK | --gradient G]
-//!             [--stats-every N] [--checkpoint-every N] [--ckpt STEM]
-//!             [--resume STEM] [--out DIR] [--turbulent-ic AMP]
+//! dns-run --nx 32 --ny 65 --nz 32 --steps 1000 --stats-every 100
+//! dns-run --steps 20 --trace target/trace.json   # Perfetto timeline
 //! ```
 //!
 //! Runs the simulation, prints live statistics, writes profile/spectra
-//! CSVs and (optionally) checkpoints.
+//! CSVs and (optionally) checkpoints and a Chrome trace of the run.
 
 use std::path::PathBuf;
 
 use dns_core::stats::{profiles, RunningStats};
 use dns_core::{checkpoint, io, run_serial, spectra, Forcing, Params};
+use dns_telemetry as telemetry;
 
 struct Args {
     params: Params,
@@ -25,9 +25,143 @@ struct Args {
     resume: Option<PathBuf>,
     out: PathBuf,
     turb_ic: Option<f64>,
+    trace: Option<PathBuf>,
+    metrics_every: usize,
 }
 
-fn parse_args() -> Args {
+/// One command-line flag: name, value placeholder (`None` for flags that
+/// take no value), and help text. `--help` is generated from this table,
+/// so the usage message can't drift from what the parser accepts.
+struct Flag {
+    name: &'static str,
+    value: Option<&'static str>,
+    help: &'static str,
+}
+
+const FLAGS: &[Flag] = &[
+    Flag {
+        name: "--nx",
+        value: Some("N"),
+        help: "streamwise solution modes (default 32)",
+    },
+    Flag {
+        name: "--ny",
+        value: Some("N"),
+        help: "wall-normal B-spline points (default 65)",
+    },
+    Flag {
+        name: "--nz",
+        value: Some("N"),
+        help: "spanwise solution modes (default 32)",
+    },
+    Flag {
+        name: "--re",
+        value: Some("RE"),
+        help: "target friction Reynolds number (default 180)",
+    },
+    Flag {
+        name: "--lx",
+        value: Some("L"),
+        help: "streamwise box length / pi (default 2)",
+    },
+    Flag {
+        name: "--lz",
+        value: Some("L"),
+        help: "spanwise box length / pi (default 0.8)",
+    },
+    Flag {
+        name: "--dt",
+        value: Some("DT"),
+        help: "timestep (default 5e-4)",
+    },
+    Flag {
+        name: "--stretch",
+        value: Some("S"),
+        help: "tanh grid stretching factor (default 1.9)",
+    },
+    Flag {
+        name: "--steps",
+        value: Some("N"),
+        help: "timesteps to run (default 1000)",
+    },
+    Flag {
+        name: "--stats-every",
+        value: Some("N"),
+        help: "print running statistics every N steps (default 100)",
+    },
+    Flag {
+        name: "--checkpoint-every",
+        value: Some("N"),
+        help: "write a checkpoint every N steps (default off)",
+    },
+    Flag {
+        name: "--ckpt",
+        value: Some("STEM"),
+        help: "checkpoint file stem (default OUT/state)",
+    },
+    Flag {
+        name: "--resume",
+        value: Some("STEM"),
+        help: "resume from a checkpoint stem",
+    },
+    Flag {
+        name: "--out",
+        value: Some("DIR"),
+        help: "output directory (default target/channel-dns)",
+    },
+    Flag {
+        name: "--flux",
+        value: Some("BULK"),
+        help: "constant-mass-flux forcing at the given bulk velocity",
+    },
+    Flag {
+        name: "--gradient",
+        value: Some("G"),
+        help: "constant-pressure-gradient forcing",
+    },
+    Flag {
+        name: "--turbulent-ic",
+        value: Some("AMP"),
+        help: "perturbed turbulent initial condition of amplitude AMP (default 0.5)",
+    },
+    Flag {
+        name: "--laminar-ic",
+        value: None,
+        help: "start from the laminar profile instead",
+    },
+    Flag {
+        name: "--trace",
+        value: Some("FILE.json"),
+        help: "write a Chrome trace-event timeline of the run (open in Perfetto)",
+    },
+    Flag {
+        name: "--metrics-every",
+        value: Some("N"),
+        help: "print a telemetry phase/counter report every N steps",
+    },
+    Flag {
+        name: "--help",
+        value: None,
+        help: "print this help and exit",
+    },
+];
+
+fn usage() -> String {
+    let mut out = String::from(
+        "dns-run: spectral DNS of turbulent channel flow (Kim-Moin-Moser box by default)\n\n\
+         usage: dns-run [flags]\n\nflags:\n",
+    );
+    for f in FLAGS {
+        let left = match f.value {
+            Some(v) => format!("{} {v}", f.name),
+            None => f.name.to_string(),
+        };
+        out.push_str(&format!("  {left:<24} {}\n", f.help));
+    }
+    out
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut params = Params::channel(32, 65, 32, 180.0).with_dt(5e-4);
     params.lx = 2.0;
     params.lz = 0.8;
@@ -41,57 +175,82 @@ fn parse_args() -> Args {
         resume: None,
         out: PathBuf::from("target/channel-dns"),
         turb_ic: Some(0.5),
+        trace: None,
+        metrics_every: 0,
     };
-    let argv: Vec<String> = std::env::args().collect();
     let mut i = 1;
-    let take = |i: &mut usize| -> String {
+    let take = |i: &mut usize| -> Result<String, String> {
         *i += 1;
         argv.get(*i)
-            .unwrap_or_else(|| panic!("{} needs a value", argv[*i - 1]))
-            .clone()
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
     };
+    fn num<T: std::str::FromStr>(flag: &str, v: String) -> Result<T, String> {
+        v.parse().map_err(|_| format!("{flag}: cannot parse {v:?}"))
+    }
     while i < argv.len() {
-        match argv[i].as_str() {
-            "--nx" => args.params.nx = take(&mut i).parse().expect("--nx"),
-            "--ny" => args.params.ny = take(&mut i).parse().expect("--ny"),
-            "--nz" => args.params.nz = take(&mut i).parse().expect("--nz"),
-            "--re" => args.params.nu = 1.0 / take(&mut i).parse::<f64>().expect("--re"),
-            "--lx" => args.params.lx = take(&mut i).parse().expect("--lx"),
-            "--lz" => args.params.lz = take(&mut i).parse().expect("--lz"),
-            "--dt" => args.params.dt = take(&mut i).parse().expect("--dt"),
-            "--stretch" => args.params.grid_stretch = take(&mut i).parse().expect("--stretch"),
-            "--steps" => args.steps = take(&mut i).parse().expect("--steps"),
-            "--stats-every" => args.stats_every = take(&mut i).parse().expect("--stats-every"),
-            "--checkpoint-every" => args.ckpt_every = take(&mut i).parse().expect("--checkpoint-every"),
-            "--ckpt" => args.ckpt = Some(PathBuf::from(take(&mut i))),
-            "--resume" => args.resume = Some(PathBuf::from(take(&mut i))),
-            "--out" => args.out = PathBuf::from(take(&mut i)),
+        let flag = argv[i].clone();
+        match flag.as_str() {
+            "--nx" => args.params.nx = num(&flag, take(&mut i)?)?,
+            "--ny" => args.params.ny = num(&flag, take(&mut i)?)?,
+            "--nz" => args.params.nz = num(&flag, take(&mut i)?)?,
+            "--re" => args.params.nu = 1.0 / num::<f64>(&flag, take(&mut i)?)?,
+            "--lx" => args.params.lx = num(&flag, take(&mut i)?)?,
+            "--lz" => args.params.lz = num(&flag, take(&mut i)?)?,
+            "--dt" => args.params.dt = num(&flag, take(&mut i)?)?,
+            "--stretch" => args.params.grid_stretch = num(&flag, take(&mut i)?)?,
+            "--steps" => args.steps = num(&flag, take(&mut i)?)?,
+            "--stats-every" => args.stats_every = num(&flag, take(&mut i)?)?,
+            "--checkpoint-every" => args.ckpt_every = num(&flag, take(&mut i)?)?,
+            "--ckpt" => args.ckpt = Some(PathBuf::from(take(&mut i)?)),
+            "--resume" => args.resume = Some(PathBuf::from(take(&mut i)?)),
+            "--out" => args.out = PathBuf::from(take(&mut i)?),
             "--flux" => {
                 args.params.forcing = Forcing::ConstantMassFlux {
-                    bulk: take(&mut i).parse().expect("--flux"),
+                    bulk: num(&flag, take(&mut i)?)?,
                 }
             }
             "--gradient" => {
-                args.params.forcing =
-                    Forcing::PressureGradient(take(&mut i).parse().expect("--gradient"))
+                args.params.forcing = Forcing::PressureGradient(num(&flag, take(&mut i)?)?)
             }
-            "--turbulent-ic" => args.turb_ic = Some(take(&mut i).parse().expect("--turbulent-ic")),
+            "--turbulent-ic" => args.turb_ic = Some(num(&flag, take(&mut i)?)?),
             "--laminar-ic" => args.turb_ic = None,
+            "--trace" => args.trace = Some(PathBuf::from(take(&mut i)?)),
+            "--metrics-every" => args.metrics_every = num(&flag, take(&mut i)?)?,
             "--help" | "-h" => {
-                println!("see the module docs at the top of dns-run.rs for usage");
+                print!("{}", usage());
                 std::process::exit(0);
             }
-            other => panic!("unknown argument {other}"),
+            other => return Err(format!("unknown argument {other}")),
         }
         i += 1;
     }
-    args
+    if args.stats_every == 0 {
+        return Err("--stats-every must be positive".into());
+    }
+    Ok(args)
 }
 
 fn main() {
-    let a = parse_args();
+    let argv: Vec<String> = std::env::args().collect();
+    let a = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("dns-run: {e}\n(run dns-run --help for the flag reference)");
+            std::process::exit(2);
+        }
+    };
     a.params.validate();
-    std::fs::create_dir_all(&a.out).expect("create output directory");
+    if let Err(e) = std::fs::create_dir_all(&a.out) {
+        eprintln!(
+            "dns-run: cannot create output directory {}: {e}",
+            a.out.display()
+        );
+        std::process::exit(1);
+    }
+    if a.trace.is_some() || a.metrics_every > 0 {
+        telemetry::set_level(telemetry::Level::Phases);
+    }
     println!(
         "channel DNS: {} x {} x {} modes, box {:.2} x 2 x {:.2}, Re_tau target {:.0}, dt {}",
         a.params.nx,
@@ -103,7 +262,7 @@ fn main() {
         a.params.dt
     );
     let params = a.params.clone();
-    run_serial(params, move |dns| {
+    let trace = run_serial(params, move |dns| {
         if let Some(stem) = &a.resume {
             checkpoint::load(dns, stem).expect("load checkpoint");
             println!(
@@ -137,6 +296,20 @@ fn main() {
                     dns.cfl(),
                 );
             }
+            if a.metrics_every > 0 && s % a.metrics_every == 0 && a.trace.is_none() {
+                // windowed report: flush this rank's buffers, print, and
+                // clear so each report covers only its own window. (With
+                // --trace the registry must keep the whole run, so the
+                // reports are cumulative instead.)
+                telemetry::flush_thread();
+                println!("\n-- telemetry, steps {}..{s} --", s - a.metrics_every + 1);
+                print!("{}", telemetry::snapshot().phase_table());
+                telemetry::reset();
+            } else if a.metrics_every > 0 && s % a.metrics_every == 0 {
+                telemetry::flush_thread();
+                println!("\n-- telemetry, steps 1..{s} (cumulative) --");
+                print!("{}", telemetry::snapshot().phase_table());
+            }
             if a.ckpt_every > 0 && s % a.ckpt_every == 0 {
                 let stem = a.ckpt.clone().unwrap_or_else(|| a.out.join("state"));
                 checkpoint::save(dns, &stem).expect("write checkpoint");
@@ -151,7 +324,11 @@ fn main() {
         );
 
         // final data products
-        let p = if acc.count() > 0 { acc.mean() } else { profiles(dns) };
+        let p = if acc.count() > 0 {
+            acc.mean()
+        } else {
+            profiles(dns)
+        };
         let yp = p.y_plus();
         let up = p.u_plus();
         io::write_csv(
@@ -184,6 +361,26 @@ fn main() {
             let (w, h, slice) = f.slice_xy(f.nz / 2);
             io::write_pgm(&a.out.join("u_slice.pgm"), w, h, &slice).expect("write slice");
         }
-        println!("wrote {}/profiles.csv, spectra_kx.csv, u_slice.pgm", a.out.display());
+        println!(
+            "wrote {}/profiles.csv, spectra_kx.csv, u_slice.pgm",
+            a.out.display()
+        );
+        a.trace.clone()
     });
+    // export after the rank thread has flushed (its RankScope drops when
+    // run_serial returns), so the trace holds the complete timeline
+    if let Some(path) = trace {
+        let snap = telemetry::snapshot();
+        if let Err(e) = std::fs::write(&path, snap.chrome_trace()) {
+            eprintln!("dns-run: cannot write trace {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        println!("\ntelemetry summary");
+        print!("{}", snap.phase_table());
+        println!(
+            "wrote {} ({} spans; load it in https://ui.perfetto.dev)",
+            path.display(),
+            snap.span_count()
+        );
+    }
 }

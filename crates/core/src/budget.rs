@@ -45,7 +45,8 @@ pub fn budget(dns: &ChannelDns) -> Budget {
         }
         let r = dns.line_range(m);
         if dns.is_mean(m) {
-            ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals);
+            ops.b0()
+                .matvec_complex(&dns.state().u()[r.clone()], &mut vals);
             for j in 0..ny {
                 acc[2 * ny + j] += vals[j].re;
             }
@@ -54,8 +55,10 @@ pub fn budget(dns: &ChannelDns) -> Budget {
         let (ikx, ikz, _) = dns.mode_wavenumbers(m);
         let w = dns.mode_weight(m);
         // <u'v'>
-        ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals);
-        ops.b0().matvec_complex(&dns.state().v()[r.clone()], &mut vals_v);
+        ops.b0()
+            .matvec_complex(&dns.state().u()[r.clone()], &mut vals);
+        ops.b0()
+            .matvec_complex(&dns.state().v()[r.clone()], &mut vals_v);
         for j in 0..ny {
             acc[j] += w * (vals[j] * vals_v[j].conj()).re;
         }

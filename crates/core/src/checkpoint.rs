@@ -131,7 +131,9 @@ mod tests {
         let dir = std::env::temp_dir().join("dns_ckpt_test");
         std::fs::create_dir_all(&dir).unwrap();
         let stem = dir.join("state");
-        let p = Params::channel(16, 25, 16, 80.0).with_dt(1e-3).with_grid(2, 2);
+        let p = Params::channel(16, 25, 16, 80.0)
+            .with_dt(1e-3)
+            .with_grid(2, 2);
 
         // run 6 steps straight through
         let reference = run_parallel(p.clone(), |dns| {

@@ -151,7 +151,10 @@ pub fn write_csv(path: &Path, columns: &[(&str, &[f64])]) -> std::io::Result<()>
     let header: Vec<&str> = columns.iter().map(|(n, _)| *n).collect();
     writeln!(f, "{}", header.join(","))?;
     for i in 0..n {
-        let row: Vec<String> = columns.iter().map(|(_, c)| format!("{:.8e}", c[i])).collect();
+        let row: Vec<String> = columns
+            .iter()
+            .map(|(_, c)| format!("{:.8e}", c[i]))
+            .collect();
         writeln!(f, "{}", row.join(","))?;
     }
     f.flush()

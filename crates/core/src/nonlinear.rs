@@ -155,6 +155,7 @@ pub fn compute(dns: &ChannelDns) -> NlTerms {
     if !dns.params().nonlinear {
         return NlTerms::zeros(dns);
     }
+    let _nl = dns_telemetry::span("nonlinear", dns_telemetry::Phase::Other);
     let ops = dns.ops();
     let ny = ops.n();
     let h = quadratic_h(dns);

@@ -212,11 +212,7 @@ mod tests {
         // boundary-treatment bias
         for ny in [64usize, 128] {
             let r = least_stable(ny, 1e4, 1.0, C64::new(0.2375, 0.0037));
-            assert!(
-                (r.c - ORSZAG_C).norm() < 1e-4,
-                "ny={ny}: c = {}",
-                r.c
-            );
+            assert!((r.c - ORSZAG_C).norm() < 1e-4, "ny={ny}: c = {}", r.c);
         }
     }
 }

@@ -91,8 +91,14 @@ impl Params {
     /// # Panics
     /// On inconsistent sizes.
     pub fn validate(&self) {
-        assert!(self.nx.is_multiple_of(4) && self.nz.is_multiple_of(4), "nx, nz must be multiples of 4");
-        assert!(self.ny >= self.spline_order + 2, "ny too small for the spline order");
+        assert!(
+            self.nx.is_multiple_of(4) && self.nz.is_multiple_of(4),
+            "nx, nz must be multiples of 4"
+        );
+        assert!(
+            self.ny >= self.spline_order + 2,
+            "ny too small for the spline order"
+        );
         assert!(self.spline_order >= 4, "spline order must be at least 4");
         assert!(self.nu > 0.0 && self.dt > 0.0);
         assert!(self.lx > 0.0 && self.lz > 0.0);

@@ -215,12 +215,7 @@ mod tests {
             }
             (pressure_profiles(dns), profiles(dns))
         });
-        let combo: Vec<f64> = pp
-            .p_mean
-            .iter()
-            .zip(&prof.vv)
-            .map(|(p, v)| p + v)
-            .collect();
+        let combo: Vec<f64> = pp.p_mean.iter().zip(&prof.vv).map(|(p, v)| p + v).collect();
         let c0 = combo[0];
         let scale = prof.vv.iter().cloned().fold(0.0, f64::max).max(1e-30);
         for (j, &c) in combo.iter().enumerate() {

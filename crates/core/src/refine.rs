@@ -153,7 +153,7 @@ mod tests {
                 dst.state().steps,
             )
         });
-        let (bulk_err, utau_src, utau_dst, finite, steps) = out[0].clone();
+        let (bulk_err, utau_src, utau_dst, finite, steps) = out[0];
         assert!(bulk_err < 1e-6, "bulk changed by {bulk_err}");
         assert!(
             (utau_src - utau_dst).abs() < 1e-4 * utau_src.max(1e-30),

@@ -6,6 +6,7 @@ use std::ops::Range;
 use dns_bspline::{integration_weights, tanh_breakpoints, BsplineBasis, CollocationOps};
 use dns_minimpi::Communicator;
 use dns_pfft::{ParallelFft, PfftConfig};
+use dns_telemetry as telemetry;
 
 use crate::nonlinear::{self, NlTerms};
 use crate::params::Params;
@@ -199,11 +200,7 @@ impl ChannelDns {
         let kz_g = self.pfft.kz_block().global(m / kxlen);
         let kx = self.params.alpha() * kx_g as f64;
         let kz = self.params.beta() * signed(kz_g, self.params.nz) as f64;
-        (
-            C64::new(0.0, kx),
-            C64::new(0.0, kz),
-            kx * kx + kz * kz,
-        )
+        (C64::new(0.0, kx), C64::new(0.0, kz), kx * kx + kz * kz)
     }
 
     /// Whether local mode `m` is the spanwise Nyquist slot.
@@ -408,13 +405,17 @@ impl ChannelDns {
 
     /// Advance one full RK3 timestep.
     pub fn step(&mut self) {
+        let _step = telemetry::span("rk3_step", telemetry::Phase::Other);
         let dt = self.params.dt;
         let mut n_old = NlTerms::zeros(self);
         for i in 0..3 {
+            let _substep = telemetry::span("rk3_substep", telemetry::Phase::Other);
             let nl = nonlinear::compute(self);
+            let ns = telemetry::span("ns_advance", telemetry::Phase::NsAdvance);
             let t0 = std::time::Instant::now();
             self.advance_substep(i, &nl, &n_old);
             self.ns_seconds += t0.elapsed().as_secs_f64();
+            drop(ns);
             n_old = nl;
             self.state.time += (rk3::ALPHA[i] + rk3::BETA[i]) * dt;
         }
@@ -575,7 +576,11 @@ impl ChannelDns {
         let pts = self.ops.points();
         let dy: Vec<f64> = (0..pts.len())
             .map(|j| {
-                let lo = if j > 0 { pts[j] - pts[j - 1] } else { pts[1] - pts[0] };
+                let lo = if j > 0 {
+                    pts[j] - pts[j - 1]
+                } else {
+                    pts[1] - pts[0]
+                };
                 let hi = if j + 1 < pts.len() {
                     pts[j + 1] - pts[j]
                 } else {
@@ -591,9 +596,8 @@ impl ChannelDns {
             let dyj = dy[self.pfft.y_block().global(yl)];
             for _z in 0..zpl {
                 for _x in 0..px {
-                    let c = phys_u[idx].abs() / dx
-                        + phys_v[idx].abs() / dyj
-                        + phys_w[idx].abs() / dz;
+                    let c =
+                        phys_u[idx].abs() / dx + phys_v[idx].abs() / dyj + phys_w[idx].abs() / dz;
                     worst = worst.max(c);
                     idx += 1;
                 }
@@ -618,10 +622,14 @@ fn signed(g: usize, nz: usize) -> i64 {
 
 /// Deterministic unit-magnitude-ish complex amplitude from a hash.
 fn rand_c(seed: u64, a: u64, b: u64, c: u64) -> C64 {
-    let mut s = seed ^ a.wrapping_mul(0x9E3779B97F4A7C15) ^ b.wrapping_mul(0xC2B2AE3D27D4EB4F)
+    let mut s = seed
+        ^ a.wrapping_mul(0x9E3779B97F4A7C15)
+        ^ b.wrapping_mul(0xC2B2AE3D27D4EB4F)
         ^ c.wrapping_mul(0x165667B19E3779F9);
     let mut next = move || {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         (s >> 11) as f64 / (1u64 << 53) as f64 - 0.5
     };
     C64::new(next(), next())
@@ -673,7 +681,10 @@ mod tests {
         });
         let (before, after) = prof;
         for (a, b) in before.u_mean.iter().zip(&after.u_mean) {
-            assert!((a - b).abs() < 1e-8 * before.u_mean[12].abs().max(1.0), "{a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-8 * before.u_mean[12].abs().max(1.0),
+                "{a} vs {b}"
+            );
         }
         // fluctuations remain zero
         assert!(after.uu.iter().all(|&x| x.abs() < 1e-16));

@@ -45,7 +45,11 @@ pub fn spectra(dns: &ChannelDns) -> Spectra {
         }
         let kx_g = dns.pfft().kx_block().global(m % kxlen);
         let kz_g = dns.pfft().kz_block().global(m / kxlen);
-        let kz_abs = if kz_g <= hz { kz_g } else { dns.params().nz - kz_g };
+        let kz_abs = if kz_g <= hz {
+            kz_g
+        } else {
+            dns.params().nz - kz_g
+        };
         let w = dns.mode_weight(m);
         let r = dns.line_range(m);
         for (c, field) in [dns.state().u(), dns.state().v(), dns.state().w()]
@@ -96,7 +100,11 @@ pub fn spanwise_u_spectrum_at(dns: &ChannelDns, y_index: usize) -> Vec<f64> {
             continue;
         }
         let kz_g = dns.pfft().kz_block().global(m / kxlen);
-        let kz_abs = if kz_g <= hz { kz_g } else { dns.params().nz - kz_g };
+        let kz_abs = if kz_g <= hz {
+            kz_g
+        } else {
+            dns.params().nz - kz_g
+        };
         if kz_abs >= hz {
             continue;
         }
@@ -127,7 +135,11 @@ pub fn spectrum_2d_at(dns: &ChannelDns, y_index: usize) -> (usize, usize, Vec<f6
         }
         let kx = dns.pfft().kx_block().global(m % kxlen);
         let kz_g = dns.pfft().kz_block().global(m / kxlen);
-        let kz_abs = if kz_g <= hz { kz_g } else { dns.params().nz - kz_g };
+        let kz_abs = if kz_g <= hz {
+            kz_g
+        } else {
+            dns.params().nz - kz_g
+        };
         if kz_abs >= hz || kx >= sx {
             continue;
         }

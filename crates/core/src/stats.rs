@@ -43,7 +43,10 @@ impl Profiles {
 
     /// Mean velocity in wall units.
     pub fn u_plus(&self) -> Vec<f64> {
-        self.u_mean.iter().map(|&u| u / self.u_tau.max(1e-300)).collect()
+        self.u_mean
+            .iter()
+            .map(|&u| u / self.u_tau.max(1e-300))
+            .collect()
     }
 }
 
@@ -61,8 +64,10 @@ pub fn profiles(dns: &ChannelDns) -> Profiles {
             continue;
         }
         let r = dns.line_range(m);
-        ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals_u);
-        ops.b0().matvec_complex(&dns.state().v()[r.clone()], &mut vals_v);
+        ops.b0()
+            .matvec_complex(&dns.state().u()[r.clone()], &mut vals_u);
+        ops.b0()
+            .matvec_complex(&dns.state().v()[r.clone()], &mut vals_v);
         ops.b0().matvec_complex(&dns.state().w()[r], &mut vals_w);
         if dns.is_mean(m) {
             for j in 0..ny {
@@ -124,8 +129,10 @@ pub fn max_divergence(dns: &ChannelDns) -> f64 {
         let (ikx, ikz, _) = dns.mode_wavenumbers(m);
         let r = dns.line_range(m);
         let cvy = dy_coefficients(ops, &dns.state().v()[r.clone()]);
-        ops.b0().matvec_complex(&dns.state().u()[r.clone()], &mut vals_u);
-        ops.b0().matvec_complex(&dns.state().w()[r.clone()], &mut vals_w);
+        ops.b0()
+            .matvec_complex(&dns.state().u()[r.clone()], &mut vals_u);
+        ops.b0()
+            .matvec_complex(&dns.state().w()[r.clone()], &mut vals_w);
         ops.b0().matvec_complex(&cvy, &mut vals_vy);
         for j in 0..ny {
             let div = ikx * vals_u[j] + vals_vy[j] + ikz * vals_w[j];

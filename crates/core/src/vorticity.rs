@@ -153,8 +153,8 @@ mod tests {
                 let r = dns.line_range(m);
                 let (ikx, ikz, _) = dns.mode_wavenumbers(m);
                 for j in 0..ny {
-                    let derived = ikz * dns.state().u()[r.start + j]
-                        - ikx * dns.state().w()[r.start + j];
+                    let derived =
+                        ikz * dns.state().u()[r.start + j] - ikx * dns.state().w()[r.start + j];
                     let evolved = dns.state().omega_y()[r.start + j];
                     worst = worst.max((derived - evolved).norm());
                 }

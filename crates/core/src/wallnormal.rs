@@ -131,6 +131,7 @@ impl ModeSolver {
     ///        + dt gamma_i n_new + dt zeta_i n_old`
     /// and homogeneous Dirichlet walls. `n_new`/`n_old` are nonlinear-term
     /// *values at the collocation points*.
+    #[allow(clippy::too_many_arguments)]
     pub fn advance(
         &self,
         ops: &CollocationOps,
@@ -205,6 +206,7 @@ impl MeanSolver {
 
     /// Advance a mean profile through substep `i`. `n_new`/`n_old` are
     /// nonlinear+forcing values at the collocation points.
+    #[allow(clippy::too_many_arguments)]
     pub fn advance(
         &self,
         ops: &CollocationOps,
@@ -273,7 +275,9 @@ mod tests {
         let t = dt * steps as f64;
         let expect = (-lam * t).exp();
         // compare at a midpoint
-        let got = ops.basis().eval(&c.iter().map(|v| v.re).collect::<Vec<_>>(), 0.31)
+        let got = ops
+            .basis()
+            .eval(&c.iter().map(|v| v.re).collect::<Vec<_>>(), 0.31)
             / (m * std::f64::consts::FRAC_PI_2 * 1.31).sin();
         assert!(
             (got - expect).abs() < 2e-5,
@@ -296,7 +300,10 @@ mod tests {
         for part in [&re, &im] {
             assert!(ops.basis().eval(part, -1.0).abs() < 1e-10, "v(-1)=0");
             assert!(ops.basis().eval(part, 1.0).abs() < 1e-10, "v(1)=0");
-            assert!(ops.basis().eval_deriv(part, -1.0, 1).abs() < 1e-8, "v'(-1)=0");
+            assert!(
+                ops.basis().eval_deriv(part, -1.0, 1).abs() < 1e-8,
+                "v'(-1)=0"
+            );
             assert!(ops.basis().eval_deriv(part, 1.0, 1).abs() < 1e-8, "v'(1)=0");
         }
     }

@@ -22,7 +22,10 @@ use crate::C64;
 pub fn pad_full(src: &[C64], dst: &mut [C64]) {
     let n = src.len();
     let m = dst.len();
-    assert!(m >= n && n.is_multiple_of(2) && m.is_multiple_of(2), "bad pad sizes {n} -> {m}");
+    assert!(
+        m >= n && n.is_multiple_of(2) && m.is_multiple_of(2),
+        "bad pad sizes {n} -> {m}"
+    );
     let half = n / 2;
     dst[..half].copy_from_slice(&src[..half]);
     for d in dst[half..m - (half - 1)].iter_mut() {
@@ -41,7 +44,10 @@ pub fn pad_full(src: &[C64], dst: &mut [C64]) {
 pub fn truncate_full(src: &[C64], dst: &mut [C64]) {
     let m = src.len();
     let n = dst.len();
-    assert!(m >= n && n.is_multiple_of(2) && m.is_multiple_of(2), "bad truncate sizes {m} -> {n}");
+    assert!(
+        m >= n && n.is_multiple_of(2) && m.is_multiple_of(2),
+        "bad truncate sizes {m} -> {n}"
+    );
     let half = n / 2;
     dst[..half].copy_from_slice(&src[..half]);
     dst[half] = C64::new(0.0, 0.0);
@@ -106,7 +112,9 @@ mod tests {
         let m = 12usize;
         // signal: 1 + 2cos(x) + sin(2x) represented exactly with |k|<=2
         let f = |x: f64| 1.0 + 2.0 * x.cos() + (2.0 * x).sin();
-        let xs_n: Vec<f64> = (0..n).map(|j| 2.0 * std::f64::consts::PI * j as f64 / n as f64).collect();
+        let xs_n: Vec<f64> = (0..n)
+            .map(|j| 2.0 * std::f64::consts::PI * j as f64 / n as f64)
+            .collect();
         let mut grid: Vec<C64> = xs_n.iter().map(|&x| C64::new(f(x), 0.0)).collect();
         let fwd_n = CfftPlan::new(n, Direction::Forward);
         let mut scratch = fwd_n.make_scratch();

@@ -46,9 +46,9 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::type_complexity)]
 
+mod bluestein;
 pub mod dealias;
 pub mod dft;
-mod bluestein;
 mod plan;
 mod radix;
 mod real;

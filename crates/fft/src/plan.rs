@@ -100,6 +100,13 @@ impl CfftPlan {
     /// If `data.len() != n` or `scratch.len() < scratch_len()`.
     pub fn execute(&self, data: &mut [C64], scratch: &mut [C64]) {
         assert_eq!(data.len(), self.n, "data length mismatch");
+        let _line = dns_telemetry::detail_span("cfft_line", dns_telemetry::Phase::Fft);
+        if dns_telemetry::enabled() {
+            dns_telemetry::count(
+                dns_telemetry::Counter::Flops,
+                crate::cfft_flops(self.n) as u64,
+            );
+        }
         match &self.alg {
             Algorithm::Identity => {}
             Algorithm::Stockham(stages) => {
@@ -223,7 +230,9 @@ mod tests {
         (0..n)
             .map(|_| {
                 let mut next = || {
-                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
                     (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
                 };
                 C64::new(next(), next())
@@ -233,7 +242,10 @@ mod tests {
 
     #[test]
     fn matches_naive_dft_for_many_lengths() {
-        for n in [1usize, 2, 3, 4, 5, 6, 8, 9, 12, 15, 16, 20, 24, 27, 30, 32, 45, 48, 49, 60, 64, 96, 100, 128] {
+        for n in [
+            1usize, 2, 3, 4, 5, 6, 8, 9, 12, 15, 16, 20, 24, 27, 30, 32, 45, 48, 49, 60, 64, 96,
+            100, 128,
+        ] {
             let x = random_signal(n, n as u64);
             let want = dft(&x, -1.0);
             let plan = CfftPlan::new(n, Direction::Forward);
@@ -241,7 +253,11 @@ mod tests {
             let mut scratch = plan.make_scratch();
             plan.execute(&mut got, &mut scratch);
             let tol = 1e-9 * (n as f64).max(1.0);
-            assert!(max_err(&got, &want) < tol, "n={n} err={}", max_err(&got, &want));
+            assert!(
+                max_err(&got, &want) < tol,
+                "n={n} err={}",
+                max_err(&got, &want)
+            );
         }
     }
 
@@ -334,8 +350,7 @@ mod tests {
         // compare against gathering each line by hand
         let mut inner = plan.make_scratch();
         for line in 0..stride {
-            let mut gathered: Vec<C64> =
-                (0..n).map(|i| reference[line + i * stride]).collect();
+            let mut gathered: Vec<C64> = (0..n).map(|i| reference[line + i * stride]).collect();
             plan.execute(&mut gathered, &mut inner);
             for (i, want) in gathered.iter().enumerate() {
                 assert!((data[line + i * stride] - want).norm() < 1e-13);

@@ -41,7 +41,10 @@ pub struct RfftPlan {
 impl RfftPlan {
     /// Plan a real transform of even length `n >= 2`.
     pub fn new(n: usize, layout: RealLayout) -> Self {
-        assert!(n >= 2 && n.is_multiple_of(2), "real transform length must be even, got {n}");
+        assert!(
+            n >= 2 && n.is_multiple_of(2),
+            "real transform length must be even, got {n}"
+        );
         let h = n / 2;
         let w = (0..=h)
             .map(|k| {
@@ -97,6 +100,11 @@ impl RfftPlan {
     pub fn forward(&self, input: &[f64], output: &mut [C64], scratch: &mut [C64]) {
         assert_eq!(input.len(), self.n);
         assert_eq!(output.len(), self.spectrum_len());
+        // the packed half-length complex pass counts its own flops; add
+        // the O(n) split/merge share of `rfft_flops`
+        if dns_telemetry::enabled() {
+            dns_telemetry::count(dns_telemetry::Counter::Flops, 6 * self.n as u64);
+        }
         let h = self.h;
         let (z, inner) = scratch.split_at_mut(h);
         for (j, zj) in z.iter_mut().enumerate() {
@@ -127,6 +135,9 @@ impl RfftPlan {
     pub fn inverse(&self, input: &[C64], output: &mut [f64], scratch: &mut [C64]) {
         assert_eq!(input.len(), self.spectrum_len());
         assert_eq!(output.len(), self.n);
+        if dns_telemetry::enabled() {
+            dns_telemetry::count(dns_telemetry::Counter::Flops, 6 * self.n as u64);
+        }
         let h = self.h;
         let (z, inner) = scratch.split_at_mut(h);
         let nyq = match self.layout {
@@ -195,7 +206,12 @@ mod tests {
             if layout == RealLayout::ElideNyquist {
                 // Remove the Nyquist component so elision is lossless: the
                 // Nyquist mode of a real signal is sum_j (-1)^j x_j / n.
-                let nyq: f64 = x.iter().enumerate().map(|(j, &v)| if j % 2 == 0 { v } else { -v }).sum::<f64>() / n as f64;
+                let nyq: f64 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| if j % 2 == 0 { v } else { -v })
+                    .sum::<f64>()
+                    / n as f64;
                 for (j, v) in x.iter_mut().enumerate() {
                     *v -= nyq * if j % 2 == 0 { 1.0 } else { -1.0 };
                 }

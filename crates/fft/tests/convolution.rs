@@ -2,7 +2,7 @@
 //! the serial foundation of the solver's nonlinear-term evaluation.
 
 use dns_fft::dealias::{dealias_len, pad_full, truncate_full};
-use dns_fft::{C64, CfftPlan, Direction};
+use dns_fft::{CfftPlan, Direction, C64};
 
 /// Signed wavenumber of FFT-ordered index `i` on an `n` grid.
 fn signed(i: usize, n: usize) -> i64 {
@@ -19,6 +19,7 @@ fn signed(i: usize, n: usize) -> i64 {
 fn true_convolution(a: &[C64], b: &[C64]) -> Vec<C64> {
     let n = a.len();
     let mut out = vec![C64::new(0.0, 0.0); n];
+    #[allow(clippy::needless_range_loop)] // i, j feed `signed()` as wavenumbers
     for i in 0..n {
         for j in 0..n {
             let k = signed(i, n) + signed(j, n);

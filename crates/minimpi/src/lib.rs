@@ -47,6 +47,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dns_telemetry as telemetry;
 
 /// How long a blocking receive waits before declaring a deadlock.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
@@ -91,15 +92,12 @@ impl RankCtx {
             }
         }
         loop {
-            let env = self
-                .inbox
-                .recv_timeout(RECV_TIMEOUT)
-                .unwrap_or_else(|_| {
-                    panic!(
-                        "rank {}: receive (src={src}, comm={comm:#x}, tag={tag}) timed out — deadlock?",
-                        self.me
-                    )
-                });
+            let env = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
+                panic!(
+                    "rank {}: receive (src={src}, comm={comm:#x}, tag={tag}) timed out — deadlock?",
+                    self.me
+                )
+            });
             if env.src == src && env.comm == comm && env.tag == tag {
                 return (env.bytes, env.payload);
             }
@@ -119,6 +117,22 @@ pub struct CommStats {
     pub messages_sent: u64,
     /// Payload bytes this rank sent (self-sends excluded).
     pub bytes_sent: u64,
+    /// Messages this rank received on the communicator (self-sends
+    /// excluded, matching the send-side convention).
+    pub messages_recvd: u64,
+    /// Payload bytes this rank received (self-sends excluded).
+    pub bytes_recvd: u64,
+}
+
+impl CommStats {
+    /// Element-wise sum (the reduction behind
+    /// [`Communicator::aggregate_stats`]).
+    pub fn merge(&mut self, other: &CommStats) {
+        self.messages_sent += other.messages_sent;
+        self.bytes_sent += other.bytes_sent;
+        self.messages_recvd += other.messages_recvd;
+        self.bytes_recvd += other.bytes_recvd;
+    }
 }
 
 /// An MPI-like communicator: an ordered group of ranks with isolated
@@ -176,6 +190,50 @@ impl Communicator {
         s.messages_sent += 1;
         s.bytes_sent += bytes as u64;
         self.stats.set(s);
+        telemetry::count(telemetry::Counter::MessagesSent, 1);
+        telemetry::count(telemetry::Counter::CommBytes, bytes as u64);
+    }
+
+    fn note_recv(&self, bytes: usize) {
+        let mut s = self.stats.get();
+        s.messages_recvd += 1;
+        s.bytes_recvd += bytes as u64;
+        self.stats.set(s);
+        telemetry::count(telemetry::Counter::MessagesRecvd, 1);
+        telemetry::count(telemetry::Counter::BytesRecvd, bytes as u64);
+    }
+
+    /// Sum every member's [`CommStats`] for this communicator — the
+    /// world-level (or sub-communicator-level) traffic total, available
+    /// on all ranks. Collective. The reduction's own messages are not
+    /// included: each rank snapshots its counters before exchanging them.
+    pub fn aggregate_stats(&self) -> CommStats {
+        let s = self.stats.get();
+        let mine = vec![
+            s.messages_sent,
+            s.bytes_sent,
+            s.messages_recvd,
+            s.bytes_recvd,
+        ];
+        let table = if self.rank == 0 {
+            let parts = self.gather(0, mine).unwrap();
+            let mut acc = [0u64; 4];
+            for part in parts {
+                for (a, b) in acc.iter_mut().zip(part) {
+                    *a += b;
+                }
+            }
+            self.bcast(0, Some(acc.to_vec()))
+        } else {
+            self.gather(0, mine);
+            self.bcast::<u64>(0, None)
+        };
+        CommStats {
+            messages_sent: table[0],
+            bytes_sent: table[1],
+            messages_recvd: table[2],
+            bytes_recvd: table[3],
+        }
     }
 
     /// Send a vector to communicator rank `dest` with a user tag.
@@ -210,7 +268,10 @@ impl Communicator {
     /// # Panics
     /// On element-type mismatch with the matching send, or on timeout.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        let (_bytes, payload) = self.ctx.fetch(src, self.id, tag);
+        let (bytes, payload) = self.ctx.fetch(src, self.id, tag);
+        if src != self.rank {
+            self.note_recv(bytes);
+        }
         *payload
             .downcast::<Vec<T>>()
             .expect("message element type mismatch")
@@ -230,8 +291,15 @@ impl Communicator {
                 .push_back((env.bytes, env.payload));
         }
         let key = (src, self.id, tag);
-        let payload = self.ctx.pending.borrow_mut().get_mut(&key)?.pop_front()?;
-        Some(*payload.1.downcast::<Vec<T>>().expect("message element type mismatch"))
+        let (bytes, payload) = self.ctx.pending.borrow_mut().get_mut(&key)?.pop_front()?;
+        if src != self.rank {
+            self.note_recv(bytes);
+        }
+        Some(
+            *payload
+                .downcast::<Vec<T>>()
+                .expect("message element type mismatch"),
+        )
     }
 
     /// Combined send+receive (safe in any order thanks to buffering).
@@ -352,7 +420,10 @@ impl Communicator {
             let parts = gathered.unwrap();
             let flat: Vec<T> = parts.iter().flat_map(|p| p.iter().cloned()).collect();
             let counts: Vec<usize> = parts.iter().map(|p| p.len()).collect();
-            let lens = self.bcast(0, Some(counts.iter().map(|&c| c as u64).collect::<Vec<u64>>()));
+            let lens = self.bcast(
+                0,
+                Some(counts.iter().map(|&c| c as u64).collect::<Vec<u64>>()),
+            );
             let flat = self.bcast(0, Some(flat));
             split_by(&flat, &lens)
         } else {
@@ -385,7 +456,9 @@ impl Communicator {
         for (dest, data) in send.into_iter().enumerate() {
             self.send(dest, TAG, data);
         }
-        (0..self.size()).map(|src| self.recv::<T>(src, TAG)).collect()
+        (0..self.size())
+            .map(|src| self.recv::<T>(src, TAG))
+            .collect()
     }
 
     /// Pairwise-exchange all-to-all: the `MPI_sendrecv` strategy FFTW's
@@ -402,7 +475,11 @@ impl Communicator {
         for round in 1..p {
             let partner = (self.rank + round) % p;
             let from = (self.rank + p - round) % p;
-            self.send(partner, TAG + round as u64, std::mem::take(&mut send[partner]));
+            self.send(
+                partner,
+                TAG + round as u64,
+                std::mem::take(&mut send[partner]),
+            );
             recv[from] = Some(self.recv(from, TAG + round as u64));
         }
         recv.into_iter().map(Option::unwrap).collect()
@@ -555,6 +632,10 @@ where
                 .name(format!("rank-{me}"))
                 .stack_size(8 * 1024 * 1024)
                 .spawn(move || {
+                    // Bind this thread to its rank's telemetry timeline;
+                    // the guard flushes the thread's spans/counters into
+                    // the global registry when the rank closure returns.
+                    let _telemetry = telemetry::rank_scope(me);
                     let ctx = Rc::new(RankCtx {
                         me,
                         world_size: n,
@@ -719,7 +800,7 @@ mod tests {
             // rank r sends `dest + 1` elements (value r) to each dest
             let counts: Vec<usize> = (0..3).map(|d| d + 1).collect();
             let send: Vec<u8> = (0..3)
-                .flat_map(|d| std::iter::repeat(r as u8).take(d + 1))
+                .flat_map(|d| std::iter::repeat_n(r as u8, d + 1))
                 .collect();
             comm.alltoallv(&send, &counts)
         });
@@ -727,7 +808,7 @@ mod tests {
         for (r, (recv, rc)) in got.iter().enumerate() {
             assert_eq!(rc, &vec![r + 1; 3]);
             let want: Vec<u8> = (0..3u8)
-                .flat_map(|s| std::iter::repeat(s).take(r + 1))
+                .flat_map(|s| std::iter::repeat_n(s, r + 1))
                 .collect();
             assert_eq!(recv, &want);
         }
@@ -775,7 +856,11 @@ mod tests {
     fn scatter_distributes_parts() {
         let got = run(3, |comm| {
             let data = if comm.rank() == 1 {
-                Some((0..3).map(|r| vec![r as u64 * 10, r as u64 * 10 + 1]).collect())
+                Some(
+                    (0..3)
+                        .map(|r| vec![r as u64 * 10, r as u64 * 10 + 1])
+                        .collect(),
+                )
             } else {
                 None
             };
@@ -786,7 +871,9 @@ mod tests {
 
     #[test]
     fn allgather_orders_by_rank() {
-        let got = run(4, |comm| comm.allgather(vec![comm.rank() as u8; comm.rank() + 1]));
+        let got = run(4, |comm| {
+            comm.allgather(vec![comm.rank() as u8; comm.rank() + 1])
+        });
         for rows in got {
             assert_eq!(rows.len(), 4);
             for (r, row) in rows.iter().enumerate() {
@@ -819,7 +906,126 @@ mod tests {
         for s in got {
             assert_eq!(s.messages_sent, 1);
             assert_eq!(s.bytes_sent, 800);
+            assert_eq!(s.messages_recvd, 1);
+            assert_eq!(s.bytes_recvd, 800);
         }
+    }
+
+    #[test]
+    fn self_sends_stay_out_of_stats() {
+        let got = run(2, |comm| {
+            comm.send(comm.rank(), 11, vec![1u64; 50]);
+            let _: Vec<u64> = comm.recv(comm.rank(), 11);
+            let early: Option<Vec<u64>> = comm.try_recv(comm.rank(), 12);
+            assert!(early.is_none());
+            comm.send(comm.rank(), 12, vec![2u64; 5]);
+            let _: Vec<u64> = comm.try_recv(comm.rank(), 12).unwrap();
+            comm.stats()
+        });
+        for s in got {
+            assert_eq!(s, CommStats::default());
+        }
+    }
+
+    #[test]
+    fn sendrecv_counts_both_directions() {
+        let got = run(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let _ = comm.sendrecv(next, prev, 5, vec![0u32; 16]);
+            comm.stats()
+        });
+        for s in got {
+            assert_eq!((s.messages_sent, s.bytes_sent), (1, 64));
+            assert_eq!((s.messages_recvd, s.bytes_recvd), (1, 64));
+        }
+    }
+
+    #[test]
+    fn alltoallv_counts_exclude_the_self_block() {
+        let got = run(3, |comm| {
+            let r = comm.rank();
+            // rank r sends `d + 1` one-byte elements to each dest d
+            let counts: Vec<usize> = (0..3).map(|d| d + 1).collect();
+            let send: Vec<u8> = (0..3)
+                .flat_map(|d| std::iter::repeat_n(r as u8, d + 1))
+                .collect();
+            let _ = comm.alltoallv(&send, &counts);
+            comm.stats()
+        });
+        for (r, s) in got.iter().enumerate() {
+            // two remote destinations and two remote sources
+            assert_eq!(s.messages_sent, 2);
+            assert_eq!(s.messages_recvd, 2);
+            let sent: usize = (0..3).filter(|&d| d != r).map(|d| d + 1).sum();
+            assert_eq!(s.bytes_sent, sent as u64);
+            assert_eq!(s.bytes_recvd, (2 * (r + 1)) as u64);
+        }
+    }
+
+    #[test]
+    fn gather_counts_land_at_the_root() {
+        let got = run(4, |comm| {
+            let r = comm.rank();
+            let _ = comm.gather(0, vec![0u64; r + 1]);
+            comm.stats()
+        });
+        // root sends nothing, receives ranks 1..=3 (8*(2+3+4) bytes)
+        assert_eq!(got[0].messages_sent, 0);
+        assert_eq!(got[0].messages_recvd, 3);
+        assert_eq!(got[0].bytes_recvd, 8 * (2 + 3 + 4));
+        for (r, s) in got.iter().enumerate().skip(1) {
+            assert_eq!((s.messages_sent, s.messages_recvd), (1, 0));
+            assert_eq!(s.bytes_sent, 8 * (r as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn aggregate_stats_sums_the_world() {
+        let got = run(4, |comm| {
+            let next = (comm.rank() + 1) % comm.size();
+            let prev = (comm.rank() + comm.size() - 1) % comm.size();
+            let _ = comm.sendrecv(next, prev, 5, vec![0f64; 10]);
+            let local = comm.stats();
+            (local, comm.aggregate_stats())
+        });
+        let mut want = CommStats::default();
+        for (local, _) in &got {
+            want.merge(local);
+        }
+        // the reduction's own traffic is excluded, every rank sees the sum
+        for (_, total) in &got {
+            assert_eq!(*total, want);
+        }
+        assert_eq!(want.messages_sent, want.messages_recvd);
+        assert_eq!(want.bytes_sent, want.bytes_recvd);
+        assert_eq!(want.bytes_sent, 4 * 80);
+    }
+
+    #[test]
+    fn rank_threads_register_telemetry_tracks() {
+        telemetry::set_level(telemetry::Level::Phases);
+        let _ = run(4, |comm| {
+            let _s = telemetry::span("minimpi_itest_span", telemetry::Phase::Other);
+            comm.barrier();
+        });
+        telemetry::set_level(telemetry::Level::Off);
+        let snap = telemetry::snapshot();
+        // other tests may run concurrently while the level is on, so only
+        // assert on spans this test created (nothing else names them)
+        let tracks_with_span: Vec<usize> = snap
+            .ranks
+            .iter()
+            .filter(|t| t.spans.iter().any(|s| s.name == "minimpi_itest_span"))
+            .map(|t| t.rank.expect("span must be on a ranked track"))
+            .collect();
+        for r in 0..4 {
+            assert!(tracks_with_span.contains(&r), "missing rank {r} track");
+        }
+        // barrier traffic lands on the typed counters
+        let totals = snap.total_counters();
+        assert!(totals.get(telemetry::Counter::MessagesSent) > 0);
+        assert!(totals.get(telemetry::Counter::MessagesRecvd) > 0);
     }
 
     #[test]

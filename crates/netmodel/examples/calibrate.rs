@@ -7,88 +7,187 @@ use dns_netmodel::node::*;
 fn main() {
     let mira = Machine::mira();
     println!("== Table 2 anchor (node HPM) ==");
-    let c = KernelCounts { flops: 62.0e9, dram_bytes: 90.0e9 };
+    let c = KernelCounts {
+        flops: 62.0e9,
+        dram_bytes: 90.0e9,
+    };
     let r = hpm_single_core(&mira, &c, false);
     println!("{r:?}");
 
     println!("\n== Table 9 Mira MPI strong scaling (paper: 26.9/7.32/6.98 @131k ... 4.50/1.36/1.21 @786k) ==");
-    let g = Grid { nx: 18432, ny: 1536, nz: 12288 };
+    let g = Grid {
+        nx: 18432,
+        ny: 1536,
+        nz: 12288,
+    };
     for cores in [131_072usize, 262_144, 393_216, 524_288, 786_432] {
         let p = timestep_phases(&mira, &g, cores, Parallelism::Mpi);
-        println!("{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}  total {:.2}", p.transpose, p.fft, p.ns_advance, p.total());
+        println!(
+            "{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}  total {:.2}",
+            p.transpose,
+            p.fft,
+            p.ns_advance,
+            p.total()
+        );
     }
     println!("-- hybrid (paper: 39.8/13.8/13.6 @65k ... 4.70/1.27/1.11 @786k) --");
     for cores in [65_536usize, 131_072, 262_144, 393_216, 524_288, 786_432] {
         let p = timestep_phases(&mira, &g, cores, Parallelism::Hybrid);
-        println!("{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}  total {:.2}", p.transpose, p.fft, p.ns_advance, p.total());
+        println!(
+            "{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}  total {:.2}",
+            p.transpose,
+            p.fft,
+            p.ns_advance,
+            p.total()
+        );
     }
 
     println!("\n== Table 9 Blue Waters (paper transpose: 17.9@2048 16.2@4096 16.2@8192 9.88@16384; fft 2.73..0.36; ns 3.53..0.44) ==");
     let bw = Machine::blue_waters();
-    let gb = Grid { nx: 2048, ny: 1024, nz: 2048 };
+    let gb = Grid {
+        nx: 2048,
+        ny: 1024,
+        nz: 2048,
+    };
     for cores in [2048usize, 4096, 8192, 16384] {
         let p = timestep_phases(&bw, &gb, cores, Parallelism::Mpi);
-        println!("{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}", p.transpose, p.fft, p.ns_advance);
+        println!(
+            "{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}",
+            p.transpose, p.fft, p.ns_advance
+        );
     }
 
     println!("\n== Table 9 Lonestar (paper: 9.53/2.06/3.00 @192 -> 1.29/0.26/0.37 @1536) ==");
     let lo = Machine::lonestar();
-    let gl = Grid { nx: 1024, ny: 384, nz: 1536 };
+    let gl = Grid {
+        nx: 1024,
+        ny: 384,
+        nz: 1536,
+    };
     for cores in [192usize, 384, 768, 1536] {
         let p = timestep_phases(&lo, &gl, cores, Parallelism::Mpi);
-        println!("{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}", p.transpose, p.fft, p.ns_advance);
+        println!(
+            "{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}",
+            p.transpose, p.fft, p.ns_advance
+        );
     }
 
     println!("\n== Table 9 Stampede (paper: 18.9/5.30/6.85 @512 -> 3.83/0.67/0.84 @4096) ==");
     let st = Machine::stampede();
-    let gs = Grid { nx: 2048, ny: 512, nz: 4096 };
+    let gs = Grid {
+        nx: 2048,
+        ny: 512,
+        nz: 4096,
+    };
     for cores in [512usize, 1024, 2048, 4096] {
         let p = timestep_phases(&st, &gs, cores, Parallelism::Mpi);
-        println!("{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}", p.transpose, p.fft, p.ns_advance);
+        println!(
+            "{cores:>8}: transpose {:.2}  fft {:.2}  ns {:.2}",
+            p.transpose, p.fft, p.ns_advance
+        );
     }
 
     println!("\n== Table 6 Mira^1 (2048/1024: paper custom 5.38@128 -> .068@8192, p3dfft 11.5 -> .179) ==");
-    let g6 = Grid { nx: 2048, ny: 1024, nz: 1024 };
+    let g6 = Grid {
+        nx: 2048,
+        ny: 1024,
+        nz: 1024,
+    };
     for cores in [128usize, 256, 512, 1024, 2048, 4096, 8192] {
         let c = pfft_cycle(&mira, &g6, cores, true);
         let p = pfft_cycle(&mira, &g6, cores, false);
         println!("{cores:>6}: custom {:?}  p3dfft {:?}", c, p);
     }
     println!("-- Mira^2 (18432/12288: custom 30.5@65k -> 3.12@786k; p3dfft N/A<262k, 12.4@262k 4.55@786k) --");
-    let g62 = Grid { nx: 18432, ny: 12288, nz: 12288 };
+    let g62 = Grid {
+        nx: 18432,
+        ny: 12288,
+        nz: 12288,
+    };
     for cores in [65_536usize, 131_072, 262_144, 393_216, 524_288, 786_432] {
         let c = pfft_cycle(&mira, &g62, cores, true);
         let p = pfft_cycle(&mira, &g62, cores, false);
         println!("{cores:>7}: custom {:?}  p3dfft {:?}", c, p);
     }
     println!("-- Stampede (1024^3: custom 6.88@16 -> .0636@4096; p3dfft 2.16@64 -> .194@4096) --");
-    let g6s = Grid { nx: 1024, ny: 1024, nz: 1024 };
+    let g6s = Grid {
+        nx: 1024,
+        ny: 1024,
+        nz: 1024,
+    };
     for cores in [16usize, 64, 256, 1024, 4096] {
         let c = pfft_cycle(&st, &g6s, cores, true);
         let p = pfft_cycle(&st, &g6s, cores, false);
         println!("{cores:>6}: custom {:?}  p3dfft {:?}", c, p);
     }
-    println!("-- Lonestar (768^2 x768: custom 6.00@12 -> .111@1536; p3dfft 2.67@24 -> .193@1536) --");
-    let g6l = Grid { nx: 768, ny: 768, nz: 768 };
+    println!(
+        "-- Lonestar (768^2 x768: custom 6.00@12 -> .111@1536; p3dfft 2.67@24 -> .193@1536) --"
+    );
+    let g6l = Grid {
+        nx: 768,
+        ny: 768,
+        nz: 768,
+    };
     for cores in [12usize, 24, 96, 384, 1536] {
         let c = pfft_cycle(&lo, &g6l, cores, true);
         let p = pfft_cycle(&lo, &g6l, cores, false);
         println!("{cores:>6}: custom {:?}  p3dfft {:?}", c, p);
     }
 
-    println!("\n== Table 5 Mira 8192 cores comm split sweep (paper: .386 .462 .593 .609 .614 .626) ==");
-    let g5 = Grid { nx: 2048, ny: 1024, nz: 1024 };
+    println!(
+        "\n== Table 5 Mira 8192 cores comm split sweep (paper: .386 .462 .593 .609 .614 .626) =="
+    );
+    let g5 = Grid {
+        nx: 2048,
+        ny: 1024,
+        nz: 1024,
+    };
     let total = 8192usize;
     let elems = (g5.sx() * g5.nz * g5.ny) as f64 / total as f64;
-    for (pa, pb) in [(512, 16), (256, 32), (128, 64), (64, 128), (32, 256), (16, 512)] {
-        let cost = transpose_cycle_time(&mira, pa, pb, 16.0 * elems / pa as f64, 16.0 * elems / pb as f64, 16, total);
-        println!("{pa:>4} x {pb:<4}: {:.3} (mem {:.3} wire {:.3} msg {:.3})", cost.total(), cost.mem, cost.wire, cost.messages);
+    for (pa, pb) in [
+        (512, 16),
+        (256, 32),
+        (128, 64),
+        (64, 128),
+        (32, 256),
+        (16, 512),
+    ] {
+        let cost = transpose_cycle_time(
+            &mira,
+            pa,
+            pb,
+            16.0 * elems / pa as f64,
+            16.0 * elems / pb as f64,
+            16,
+            total,
+        );
+        println!(
+            "{pa:>4} x {pb:<4}: {:.3} (mem {:.3} wire {:.3} msg {:.3})",
+            cost.total(),
+            cost.mem,
+            cost.wire,
+            cost.messages
+        );
     }
 
     println!("\n== Table 10 weak scaling Mira MPI (paper transpose 9.87->13.7, fft 3.30->7.28, ns 3.46 flat) ==");
-    for (cores, nx) in [(65_536usize, 4608usize), (131_072, 9216), (262_144, 18432), (393_216, 27648), (524_288, 36864), (786_432, 55296)] {
-        let g = Grid { nx, ny: 1536, nz: 12288 };
+    for (cores, nx) in [
+        (65_536usize, 4608usize),
+        (131_072, 9216),
+        (262_144, 18432),
+        (393_216, 27648),
+        (524_288, 36864),
+        (786_432, 55296),
+    ] {
+        let g = Grid {
+            nx,
+            ny: 1536,
+            nz: 12288,
+        };
         let p = timestep_phases(&mira, &g, cores, Parallelism::Mpi);
-        println!("{cores:>8} nx={nx:>6}: transpose {:.2}  fft {:.2}  ns {:.2}", p.transpose, p.fft, p.ns_advance);
+        println!(
+            "{cores:>8} nx={nx:>6}: transpose {:.2}  fft {:.2}  ns {:.2}",
+            p.transpose, p.fft, p.ns_advance
+        );
     }
 }

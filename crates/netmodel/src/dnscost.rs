@@ -139,6 +139,47 @@ fn field_fft_bytes(g: &Grid) -> f64 {
     48.0 * z_elems + 30.0 * x_elems
 }
 
+/// Machine-independent workload totals for one full RK3 timestep —
+/// whole-machine flops and nominal transpose traffic. `dns-bench --bin
+/// phases` divides these by host rates calibrated at run time to turn
+/// the model into per-phase seconds comparable with a live telemetry
+/// snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct StepWorkload {
+    /// FFT flops per timestep (all fields, both directions, 3 substeps).
+    pub fft_flops: f64,
+    /// Navier-Stokes advance flops per timestep (the calibrated
+    /// [`NS_FLOPS_PER_POINT`] accounting).
+    pub ns_flops: f64,
+    /// Nominal DRAM bytes the transposes stream per timestep (pack and
+    /// unpack passes each read and write every element).
+    pub transpose_bytes: f64,
+}
+
+impl StepWorkload {
+    /// Total modelled flops per timestep.
+    pub fn total_flops(&self) -> f64 {
+        self.fft_flops + self.ns_flops
+    }
+}
+
+/// Workload totals of one RK3 timestep on grid `g` (whole machine; divide
+/// by ranks for per-rank shares).
+pub fn step_workload(g: &Grid) -> StepWorkload {
+    let fields = FIELDS_DOWN + FIELDS_UP;
+    let modes = (g.sx() * g.nz) as f64;
+    // elements crossing the two exchange points (spectral y<->z, padded
+    // z<->x); each exchange packs and unpacks, and each pass reads and
+    // writes every 16-byte element
+    let e_b = (g.sx() * g.nz * g.ny) as f64;
+    let e_a = (g.sx() * g.pz() * g.ny) as f64;
+    StepWorkload {
+        fft_flops: fields * RK_SUBSTEPS * field_fft_flops(g),
+        ns_flops: RK_SUBSTEPS * modes * g.ny as f64 * NS_FLOPS_PER_POINT,
+        transpose_bytes: fields * RK_SUBSTEPS * 4.0 * 16.0 * (e_a + e_b),
+    }
+}
+
 /// Transpose cost of one full RK3 timestep.
 pub fn timestep_transpose(m: &Machine, g: &Grid, cores: usize, mode: Parallelism) -> CommCost {
     let (ranks, tasks) = match mode {
@@ -220,10 +261,9 @@ pub fn pfft_cycle(m: &Machine, g: &Grid, cores: usize, customized: bool) -> Opti
     // (~2.4x with plan metadata); P3DFFT stages through a buffer three
     // times the input arrays (~6x total). The multipliers are anchored
     // to exactly which Table 6 rows the paper marks N/A.
-    let field_bytes = 16.0 * (g.nx / 2 + usize::from(!customized)) as f64
-        * g.ny as f64
-        * g.nz as f64
-        / nodes as f64;
+    let field_bytes =
+        16.0 * (g.nx / 2 + usize::from(!customized)) as f64 * g.ny as f64 * g.nz as f64
+            / nodes as f64;
     let buffers = if customized { 2.4 } else { 6.0 };
     if field_bytes * buffers > m.mem_per_node * 0.85 {
         return None;
@@ -435,7 +475,10 @@ mod tests {
         let small_p = pfft_cycle(&m, &g, 64, false).unwrap();
         let big_c = pfft_cycle(&m, &g, 4096, true).unwrap();
         let big_p = pfft_cycle(&m, &g, 4096, false).unwrap();
-        assert!(small_p < small_c, "P3DFFT wins small: {small_p} vs {small_c}");
+        assert!(
+            small_p < small_c,
+            "P3DFFT wins small: {small_p} vs {small_c}"
+        );
         assert!(big_c < big_p, "customized wins big: {big_c} vs {big_p}");
     }
 

@@ -283,7 +283,10 @@ mod tests {
         let byte_time = 16.0 * 63.0 * 4.0 / m.injection_bw;
         let ovh_time = 16.0 * 63.0 * m.msg_overhead;
         assert!(ovh_time > 2.0 * byte_time, "test premise");
-        assert!(t > ovh_time, "t = {t} must include the overhead floor {ovh_time}");
+        assert!(
+            t > ovh_time,
+            "t = {t} must include the overhead floor {ovh_time}"
+        );
     }
 
     #[test]
@@ -299,7 +302,9 @@ mod tests {
                 &SimExchange {
                     comm_size: 32,
                     msg_bytes: per_rank / 32.0,
-                    rank_stride: 32,
+                    // spread each communicator across the whole machine
+                    // (stride x size = total ranks keeps the tiling exact)
+                    rank_stride: ranks / 32,
                     tasks_per_node: 32,
                     total_ranks: ranks,
                 },

@@ -30,8 +30,8 @@ pub mod dnscost;
 pub mod eventsim;
 pub mod machines;
 pub mod network;
-pub mod sensitivity;
 pub mod node;
+pub mod sensitivity;
 
 pub use machines::{Machine, Topology};
 pub use network::{AlltoallSpec, CommCost};

@@ -100,7 +100,7 @@ impl Machine {
             hw_threads_per_core: 4,
             clock_hz: 1.6e9,
             peak_flops_per_core: 12.8e9,
-            dram_bw: 18.0 * 1.6e9, // 18 B/cycle * 1.6 GHz = 28.8 GB/s
+            dram_bw: 18.0 * 1.6e9,   // 18 B/cycle * 1.6 GHz = 28.8 GB/s
             core_bw_fraction: 0.107, // Table 4: 1.92 of 18 bytes/cycle on one core
             // Effective per-node all-to-all injection including the MPI
             // software path, calibrated once to Table 9 (131,072 cores:
@@ -118,7 +118,7 @@ impl Machine {
             flop_efficiency: 0.0905, // Table 2, no-SIMD build
             fft_efficiency: 0.12,
             ns_cache_discount: 0.87,
-            ht_boost: 2.1,           // Table 3: 16x4 = 204-216% per core
+            ht_boost: 2.1, // Table 3: 16x4 = 204-216% per core
             thread_overhead: 0.05,
             sockets: 1,
             baseline_comm_penalty: 1.9,
@@ -142,7 +142,9 @@ impl Machine {
             msg_half_size: 12.0e3,
             msg_penalty_amp: 3.0,
             link_bw: 3.2e9,
-            topology: Topology::FatTree { oversubscription: 1.0 },
+            topology: Topology::FatTree {
+                oversubscription: 1.0,
+            },
             mem_per_node: 24.0e9,
             flop_efficiency: 0.24,
             fft_efficiency: 0.30,
@@ -172,7 +174,9 @@ impl Machine {
             msg_half_size: 12.0e3,
             msg_penalty_amp: 3.0,
             link_bw: 6.8e9,
-            topology: Topology::FatTree { oversubscription: 4.5 },
+            topology: Topology::FatTree {
+                oversubscription: 4.5,
+            },
             mem_per_node: 32.0e9,
             flop_efficiency: 0.17,
             fft_efficiency: 0.21,
@@ -277,8 +281,14 @@ impl Machine {
         let cores_used = threads.min(self.cores_per_node) as f64;
         let ht = (threads as f64 / cores_used).clamp(1.0, self.hw_threads_per_core as f64);
         // linear interpolation of the hardware-thread boost in log2(ht)
-        let boost = 1.0 + (self.ht_boost - 1.0) * ht.log2() / (self.hw_threads_per_core as f64).log2().max(1e-9);
-        let boost = if self.hw_threads_per_core == 1 { 1.0 } else { boost };
+        let boost = 1.0
+            + (self.ht_boost - 1.0) * ht.log2()
+                / (self.hw_threads_per_core as f64).log2().max(1e-9);
+        let boost = if self.hw_threads_per_core == 1 {
+            1.0
+        } else {
+            boost
+        };
         cores_used * self.peak_flops_per_core * efficiency * boost
     }
 

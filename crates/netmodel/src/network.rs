@@ -228,7 +228,14 @@ mod tests {
         // through each exchange; per-pair bytes = 16 * E / P.
         let elems_per_rank = 2048.0 * 1024.0 * 1024.0 / total as f64;
         let mut times = Vec::new();
-        for (pa, pb) in [(512, 16), (256, 32), (128, 64), (64, 128), (32, 256), (16, 512)] {
+        for (pa, pb) in [
+            (512, 16),
+            (256, 32),
+            (128, 64),
+            (64, 128),
+            (32, 256),
+            (16, 512),
+        ] {
             let ba = 16.0 * elems_per_rank / pa as f64;
             let bb = 16.0 * elems_per_rank / pb as f64;
             let t = transpose_cycle_time(&m, pa, pb, ba, bb, 16, total).total();
@@ -292,7 +299,10 @@ mod tests {
         let m6 = strong(&mira, 786_432, 18432.0, 1536.0, 12288.0);
         let eff_mira = m1 / (6.0 * m6);
         assert!(eff_mira > 0.7, "Mira strong-scaling efficiency {eff_mira}");
-        assert!(eff_bw < 0.6, "Blue Waters efficiency should collapse, got {eff_bw}");
+        assert!(
+            eff_bw < 0.6,
+            "Blue Waters efficiency should collapse, got {eff_bw}"
+        );
         assert!(eff_mira > eff_bw + 0.2);
     }
 

@@ -22,7 +22,14 @@ pub fn reorder_naive<T: Copy>(a: &[T], ni: usize, nj: usize, nk: usize, out: &mu
 /// Cache-blocked variant: tiles of `bs x bs` in the (i, k) plane so both
 /// the gather and scatter sides stay within cache lines. This is the
 /// production kernel; the naive one exists for the ablation bench.
-pub fn reorder_blocked<T: Copy>(a: &[T], ni: usize, nj: usize, nk: usize, out: &mut [T], bs: usize) {
+pub fn reorder_blocked<T: Copy>(
+    a: &[T],
+    ni: usize,
+    nj: usize,
+    nk: usize,
+    out: &mut [T],
+    bs: usize,
+) {
     assert_eq!(a.len(), ni * nj * nk);
     assert_eq!(out.len(), ni * nj * nk);
     assert!(bs >= 1);
@@ -138,7 +145,13 @@ mod tests {
 
     #[test]
     fn blocked_matches_naive_across_shapes_and_block_sizes() {
-        for (ni, nj, nk) in [(4usize, 4usize, 4usize), (7, 3, 9), (1, 8, 5), (16, 1, 16), (5, 5, 1)] {
+        for (ni, nj, nk) in [
+            (4usize, 4usize, 4usize),
+            (7, 3, 9),
+            (1, 8, 5),
+            (16, 1, 16),
+            (5, 5, 1),
+        ] {
             let a = index_tensor(ni, nj, nk);
             let mut want = vec![0u64; a.len()];
             reorder_naive(&a, ni, nj, nk, &mut want);

@@ -14,6 +14,8 @@
 
 use crate::decomp::Block;
 use dns_minimpi::Communicator;
+use dns_telemetry as telemetry;
+use dns_telemetry::{Counter, Phase};
 
 /// Message schedule for the exchange phase.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -104,17 +106,37 @@ impl TransposePlan {
     ) -> Self {
         let mut best = ExchangeStrategy::AllToAll;
         let mut best_time = f64::INFINITY;
-        for strategy in [ExchangeStrategy::AllToAll, ExchangeStrategy::Pairwise] {
+        let mut timings = [0.0f64; 2];
+        for (i, strategy) in [ExchangeStrategy::AllToAll, ExchangeStrategy::Pairwise]
+            .into_iter()
+            .enumerate()
+        {
             let plan = TransposePlan::with_placement(comm, rows, nf, nt, strategy, placement);
             let input = vec![0.0f64; plan.input_len()];
             comm.barrier();
             let t0 = std::time::Instant::now();
             let _ = plan.run(comm, &input);
             let dt = comm.allreduce_max(t0.elapsed().as_secs_f64());
+            timings[i] = dt;
             if dt < best_time {
                 best_time = dt;
                 best = strategy;
             }
+        }
+        if comm.rank() == 0 && telemetry::enabled() {
+            let (win, lose) = match best {
+                ExchangeStrategy::AllToAll => (timings[0], timings[1]),
+                ExchangeStrategy::Pairwise => (timings[1], timings[0]),
+            };
+            telemetry::decision(
+                "transpose.plan",
+                format!(
+                    "{best:?} won for rows={rows} nf={nf} nt={nt} p={}: \
+                     {win:.3e} s vs {lose:.3e} s ({:.2}x)",
+                    comm.size(),
+                    lose / win.max(1e-12),
+                ),
+            );
         }
         TransposePlan::with_placement(comm, rows, nf, nt, best, placement)
     }
@@ -146,7 +168,14 @@ impl TransposePlan {
 
     /// The inverse plan (same strategy and placement, axes swapped).
     pub fn inverse(&self, comm: &Communicator) -> TransposePlan {
-        TransposePlan::with_placement(comm, self.rows, self.nt, self.nf, self.strategy, self.placement)
+        TransposePlan::with_placement(
+            comm,
+            self.rows,
+            self.nt,
+            self.nf,
+            self.strategy,
+            self.placement,
+        )
     }
 
     /// Execute the transpose. Layouts by placement:
@@ -159,6 +188,7 @@ impl TransposePlan {
     ) -> Vec<T> {
         assert_eq!(input.len(), self.input_len(), "input length mismatch");
         assert_eq!(comm.size(), self.p);
+        let _transpose = telemetry::span("transpose", Phase::Transpose);
         let rows = self.rows;
         let nfl = self.f_block.len;
         let nt = self.nt;
@@ -172,22 +202,31 @@ impl TransposePlan {
             RowsPlacement::Outer => (rows, nfl),
             RowsPlacement::Middle => (nfl, rows),
         };
-        for d in 0..self.p {
-            let tb = Block::of(self.nt, self.p, d);
-            for a in 0..s1 {
-                for b in 0..s2 {
-                    let base = (a * s2 + b) * nt + tb.start;
-                    send.extend_from_slice(&input[base..base + tb.len]);
+        {
+            let _pack = telemetry::span("pack", Phase::Transpose);
+            for d in 0..self.p {
+                let tb = Block::of(self.nt, self.p, d);
+                for a in 0..s1 {
+                    for b in 0..s2 {
+                        let base = (a * s2 + b) * nt + tb.start;
+                        send.extend_from_slice(&input[base..base + tb.len]);
+                    }
                 }
+                send_counts.push(rows * nfl * tb.len);
             }
-            send_counts.push(rows * nfl * tb.len);
+            // the pack streams the input once and writes it once
+            telemetry::count(Counter::DdrBytes, 2 * std::mem::size_of_val(input) as u64);
         }
 
-        let (recv, recv_counts) = match self.strategy {
-            ExchangeStrategy::AllToAll => comm.alltoallv(&send, &send_counts),
-            ExchangeStrategy::Pairwise => pairwise_exchange(comm, &send, &send_counts),
+        let (recv, recv_counts) = {
+            let _exchange = telemetry::span("exchange", Phase::Transpose);
+            match self.strategy {
+                ExchangeStrategy::AllToAll => comm.alltoallv(&send, &send_counts),
+                ExchangeStrategy::Pairwise => pairwise_exchange(comm, &send, &send_counts),
+            }
         };
 
+        let _unpack = telemetry::span("unpack", Phase::Transpose);
         let ntl = self.t_block.len;
         let nf = self.nf;
         let mut out = vec![T::default(); self.output_len()];
@@ -225,6 +264,11 @@ impl TransposePlan {
             }
             off += recv_counts[s];
         }
+        // the unpack reads the receive buffer once and scatters it once
+        telemetry::count(
+            Counter::DdrBytes,
+            2 * std::mem::size_of_val(out.as_slice()) as u64,
+        );
         out
     }
 }

@@ -7,6 +7,9 @@ use dns_fft::{CfftPlan, Direction, RealLayout, RfftPlan};
 use dns_minimpi::{CartComm, Communicator};
 use dns_pencil::{Block, ExchangeStrategy, RowsPlacement, TransposePlan};
 
+use dns_telemetry as telemetry;
+use dns_telemetry::Phase;
+
 use crate::C64;
 
 /// Configuration of a parallel FFT instance.
@@ -154,7 +157,10 @@ impl ParallelFft {
     /// call with identical `cfg`; `world.size()` must equal `pa * pb`).
     pub fn new(world: Communicator, cfg: PfftConfig) -> Self {
         assert_eq!(world.size(), cfg.pa * cfg.pb, "world size != pa*pb");
-        assert!(cfg.nx.is_multiple_of(2) && cfg.nz.is_multiple_of(2), "grid sizes must be even");
+        assert!(
+            cfg.nx.is_multiple_of(2) && cfg.nz.is_multiple_of(2),
+            "grid sizes must be even"
+        );
         if cfg.dealias {
             assert!(
                 cfg.nx.is_multiple_of(4) && cfg.nz.is_multiple_of(4),
@@ -333,11 +339,13 @@ impl ParallelFft {
     /// is the identity for band-limited data).
     pub fn forward(&self, xp: &[f64]) -> Vec<C64> {
         assert_eq!(xp.len(), self.x_pencil_len());
+        let _pfft = telemetry::span("pfft_forward", Phase::Other);
         let cfg = &self.cfg;
         let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
         let lines_x = self.y_block.len * self.zphys_block.len;
 
         // (1) r2c in x, truncate to the solution modes, normalise by px
+        let fft_x = telemetry::span("fft_x_fwd", Phase::Fft);
         let t0 = std::time::Instant::now();
         let mut spec_x = vec![C64::new(0.0, 0.0); lines_x * sx];
         let inv_px = 1.0 / px as f64;
@@ -352,6 +360,7 @@ impl ParallelFft {
             }
         });
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_x);
 
         // (2) CommA exchange: x-pencil -> z-pencil
         let t0 = std::time::Instant::now();
@@ -359,6 +368,7 @@ impl ParallelFft {
         self.add_transpose(t0.elapsed().as_secs_f64());
 
         // (3) c2c forward in z, truncate pz -> nz, normalise by pz
+        let fft_z = telemetry::span("fft_z_fwd", Phase::Fft);
         let t0 = std::time::Instant::now();
         let lines_z = self.y_block.len * self.kx_block.len;
         let mut out_z = vec![C64::new(0.0, 0.0); lines_z * cfg.nz];
@@ -376,6 +386,7 @@ impl ParallelFft {
             truncate_full(&line, out);
         });
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_z);
 
         // (4) CommB exchange: z-pencil -> y-pencil
         let t0 = std::time::Instant::now();
@@ -388,6 +399,7 @@ impl ParallelFft {
     /// synthesis; see [`ParallelFft::forward`]).
     pub fn inverse(&self, yp: &[C64]) -> Vec<f64> {
         assert_eq!(yp.len(), self.y_pencil_len());
+        let _pfft = telemetry::span("pfft_inverse", Phase::Other);
         let cfg = &self.cfg;
         let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
 
@@ -398,6 +410,7 @@ impl ParallelFft {
 
         // (2) pad nz -> pz, inverse c2c in z (pad fused with the
         // transform pass, as in the threaded blocks of section 4.2)
+        let fft_z = telemetry::span("fft_z_inv", Phase::Fft);
         let t0 = std::time::Instant::now();
         let lines_z = self.y_block.len * self.kx_block.len;
         let mut zp = vec![C64::new(0.0, 0.0); lines_z * pz];
@@ -410,6 +423,7 @@ impl ParallelFft {
             zinv.execute(dst, &mut zscratch);
         });
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_z);
 
         // (3) CommA exchange: z-pencil -> x-pencil
         let t0 = std::time::Instant::now();
@@ -417,6 +431,7 @@ impl ParallelFft {
         self.add_transpose(t0.elapsed().as_secs_f64());
 
         // (4) pad sx -> px/2+1, c2r in x
+        let fft_x = telemetry::span("fft_x_inv", Phase::Fft);
         let t0 = std::time::Instant::now();
         let lines_x = self.y_block.len * self.zphys_block.len;
         let mut out = vec![0.0f64; lines_x * px];
@@ -429,6 +444,7 @@ impl ParallelFft {
             rfft.inverse(&line_full, dst, &mut scratch);
         });
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_x);
         out
     }
 
@@ -479,6 +495,7 @@ impl ParallelFft {
         for f in fields {
             assert_eq!(f.len(), self.y_pencil_len());
         }
+        let _pfft = telemetry::span("pfft_inverse_batch", Phase::Other);
         let cfg = &self.cfg;
         let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
         let (nzl, sxl, nyl, zpl) = (
@@ -492,6 +509,7 @@ impl ParallelFft {
 
         // stack as [kz_loc][field][kx_loc][ny] so the Middle transpose
         // sees rows = k * kx_loc
+        let stack = telemetry::span("stack_fields", Phase::Other);
         let t0 = std::time::Instant::now();
         let mut stacked = vec![C64::new(0.0, 0.0); k * self.y_pencil_len()];
         for kz in 0..nzl {
@@ -502,12 +520,14 @@ impl ParallelFft {
             }
         }
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(stack);
 
         let t0 = std::time::Instant::now();
         let zp_spec = plans.t_yz.run(&self.comm_b, &stacked);
         self.add_transpose(t0.elapsed().as_secs_f64());
 
         // [y_loc][field][kx_loc][nz] -> pad+inverse FFT in z
+        let fft_z = telemetry::span("fft_z_inv", Phase::Fft);
         let t0 = std::time::Instant::now();
         let lines_z = nyl * k * sxl;
         let mut zp = vec![C64::new(0.0, 0.0); lines_z * pz];
@@ -520,6 +540,7 @@ impl ParallelFft {
             zinv.execute(dst, &mut zscratch);
         });
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_z);
 
         // Outer transpose with rows = y_loc * field
         let t0 = std::time::Instant::now();
@@ -527,6 +548,7 @@ impl ParallelFft {
         self.add_transpose(t0.elapsed().as_secs_f64());
 
         // [y_loc][field][z_loc][sx] -> pad + c2r in x, then unstack
+        let fft_x = telemetry::span("fft_x_inv", Phase::Fft);
         let t0 = std::time::Instant::now();
         let lines_x = nyl * k * zpl;
         let mut phys = vec![0.0f64; lines_x * px];
@@ -547,6 +569,7 @@ impl ParallelFft {
             }
         }
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_x);
         out
     }
 
@@ -563,6 +586,7 @@ impl ParallelFft {
         for f in fields {
             assert_eq!(f.len(), self.x_pencil_len());
         }
+        let _pfft = telemetry::span("pfft_forward_batch", Phase::Other);
         let cfg = &self.cfg;
         let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
         let (nzl, sxl, nyl, zpl) = (
@@ -575,6 +599,7 @@ impl ParallelFft {
         let plans = self.batch_plans(k);
 
         // stack physical fields as [y_loc][field][z_loc][px], r2c in x
+        let fft_x = telemetry::span("fft_x_fwd", Phase::Fft);
         let t0 = std::time::Instant::now();
         let lines_x = nyl * k * zpl;
         let mut stacked = vec![0.0f64; lines_x * px];
@@ -603,12 +628,14 @@ impl ParallelFft {
             }
         });
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_x);
 
         let t0 = std::time::Instant::now();
         let zp = plans.t_xz.run(&self.comm_a, &spec_x);
         self.add_transpose(t0.elapsed().as_secs_f64());
 
         // [y_loc][field][kx_loc][pz]: forward z-FFT + truncate
+        let fft_z = telemetry::span("fft_z_fwd", Phase::Fft);
         let t0 = std::time::Instant::now();
         let lines_z = nyl * k * sxl;
         let mut out_z = vec![C64::new(0.0, 0.0); lines_z * cfg.nz];
@@ -626,12 +653,14 @@ impl ParallelFft {
             truncate_full(&line, out_line);
         });
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(fft_z);
 
         let t0 = std::time::Instant::now();
         let yp = plans.t_zy.run(&self.comm_b, &out_z);
         self.add_transpose(t0.elapsed().as_secs_f64());
 
         // [kz_loc][field][kx_loc][ny] -> unstack
+        let unstack = telemetry::span("unstack_fields", Phase::Other);
         let t0 = std::time::Instant::now();
         let mut out = vec![vec![C64::new(0.0, 0.0); self.y_pencil_len()]; k];
         for kz in 0..nzl {
@@ -642,6 +671,7 @@ impl ParallelFft {
             }
         }
         self.add_fft(t0.elapsed().as_secs_f64());
+        drop(unstack);
         out
     }
 
@@ -688,11 +718,17 @@ mod tests {
         data
     }
 
-    fn roundtrip_case(nproc: usize, cfg_of: impl Fn(usize, usize) -> PfftConfig + Send + Sync + 'static) {
+    fn roundtrip_case(
+        nproc: usize,
+        cfg_of: impl Fn(usize, usize) -> PfftConfig + Send + Sync + 'static,
+    ) {
         let results = mpi::run(nproc, move |world| {
             let size = world.size();
             // choose a pa x pb factorisation
-            let pa = (1..=size).rev().find(|d| size % d == 0 && *d * *d <= size * 2).unwrap_or(1);
+            let pa = (1..=size)
+                .rev()
+                .find(|d| size % d == 0 && *d * *d <= size * 2)
+                .unwrap_or(1);
             let pb = size / pa;
             let p = ParallelFft::new(world, cfg_of(pa, pb));
             let input = fill_x_pencil(&p);
@@ -716,7 +752,9 @@ mod tests {
 
     #[test]
     fn roundtrip_customized_with_dealias() {
-        roundtrip_case(4, |pa, pb| PfftConfig::customized(16, 6, 8, pa, pb).with_dealias());
+        roundtrip_case(4, |pa, pb| {
+            PfftConfig::customized(16, 6, 8, pa, pb).with_dealias()
+        });
     }
 
     #[test]
@@ -726,13 +764,17 @@ mod tests {
 
     #[test]
     fn roundtrip_single_rank() {
-        roundtrip_case(1, |pa, pb| PfftConfig::customized(8, 3, 8, pa, pb).with_dealias());
+        roundtrip_case(1, |pa, pb| {
+            PfftConfig::customized(8, 3, 8, pa, pb).with_dealias()
+        });
     }
 
     #[test]
     fn roundtrip_uneven_blocks() {
         // ny = 7 over pb does not divide evenly; nz = 12 over pa = 3 etc.
-        roundtrip_case(6, |pa, pb| PfftConfig::customized(24, 7, 12, pa, pb).with_dealias());
+        roundtrip_case(6, |pa, pb| {
+            PfftConfig::customized(24, 7, 12, pa, pb).with_dealias()
+        });
     }
 
     #[test]
@@ -981,8 +1023,7 @@ mod tests {
             let _ = p.forward(&f);
             let _ = p.forward(&f);
             let _ = p.forward(&f);
-            let individual =
-                p.comm_a().stats().messages_sent + p.comm_b().stats().messages_sent;
+            let individual = p.comm_a().stats().messages_sent + p.comm_b().stats().messages_sent;
             p.comm_a().reset_stats();
             p.comm_b().reset_stats();
             let _ = p.forward_batch(&[&f, &f, &f]);

@@ -1,0 +1,512 @@
+//! Exporters over [`Snapshot`]: phase aggregation, human table, CSV,
+//! JSON, and Chrome trace-event output.
+
+use crate::{Counter, Phase, RankSnapshot, Snapshot, NUM_PHASES};
+
+/// Seconds attributed to each phase — the measured counterpart of
+/// `dns-netmodel::dnscost::PhaseTimes`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct PhaseSeconds {
+    pub transpose: f64,
+    pub fft: f64,
+    pub ns_advance: f64,
+    pub other: f64,
+}
+
+impl PhaseSeconds {
+    pub fn total(&self) -> f64 {
+        self.transpose + self.fft + self.ns_advance + self.other
+    }
+
+    pub fn get(&self, phase: Phase) -> f64 {
+        match phase {
+            Phase::Transpose => self.transpose,
+            Phase::Fft => self.fft,
+            Phase::NsAdvance => self.ns_advance,
+            Phase::Other => self.other,
+        }
+    }
+
+    fn from_table(t: [f64; NUM_PHASES]) -> Self {
+        PhaseSeconds {
+            transpose: t[Phase::Transpose as usize],
+            fft: t[Phase::Fft as usize],
+            ns_advance: t[Phase::NsAdvance as usize],
+            other: t[Phase::Other as usize],
+        }
+    }
+}
+
+/// Exclusive (innermost-span) phase attribution in seconds: every instant
+/// covered by at least one span is credited to the phase of the
+/// *innermost* span active at that instant. This makes the aggregate
+/// robust to nesting in both directions — a transpose span containing
+/// pack/exchange/unpack children (all tagged `Transpose`) counts its wall
+/// time once, and an `Other`-tagged structural wrapper (an RK3 substep
+/// span) contributes only the gaps its children don't cover.
+///
+/// Spans on one thread nest strictly (RAII guards), so a stack sweep over
+/// the start-sorted records reconstructs the hierarchy. Records merged
+/// from different sessions onto one rank key can overlap imperfectly;
+/// the sweep degrades gracefully (an overlapping span is treated as
+/// nested until its end).
+fn phase_exclusive_seconds(rank: &RankSnapshot) -> [f64; NUM_PHASES] {
+    let mut spans: Vec<&crate::SpanRecord> = rank.spans.iter().collect();
+    // start-ordered, outer (longer) span first at equal starts
+    spans.sort_by(|a, b| {
+        a.start_us
+            .total_cmp(&b.start_us)
+            .then(b.dur_us.total_cmp(&a.dur_us))
+    });
+    let mut out = [0.0f64; NUM_PHASES];
+    // (end_us, phase) of the currently open spans, innermost last
+    let mut stack: Vec<(f64, Phase)> = Vec::new();
+    // time up to which attribution is settled
+    let mut cursor = f64::NEG_INFINITY;
+    for s in spans {
+        let start = s.start_us;
+        // close every span ending before this one starts; the time after
+        // each close up to the next event belongs to its parent
+        while let Some(&(end, phase)) = stack.last() {
+            if end > start {
+                break;
+            }
+            if end > cursor {
+                out[phase as usize] += end - cursor;
+                cursor = end;
+            }
+            stack.pop();
+        }
+        if let Some(&(_, phase)) = stack.last() {
+            if start > cursor {
+                out[phase as usize] += start - cursor;
+            }
+        }
+        cursor = cursor.max(start);
+        stack.push((start + s.dur_us, s.phase));
+    }
+    while let Some((end, phase)) = stack.pop() {
+        if end > cursor {
+            out[phase as usize] += end - cursor;
+            cursor = end;
+        }
+    }
+    out.map(|us| us * 1e-6)
+}
+
+impl Snapshot {
+    /// Per-rank phase attribution (exclusive / innermost-span, seconds).
+    pub fn phase_seconds_per_rank(&self) -> Vec<(Option<usize>, PhaseSeconds)> {
+        self.ranks
+            .iter()
+            .map(|r| (r.rank, PhaseSeconds::from_table(phase_exclusive_seconds(r))))
+            .collect()
+    }
+
+    /// Mean phase seconds across rank tracks. Ranked tracks are averaged;
+    /// the unranked driver track is only used when no ranks exist (serial
+    /// runs), so hybrid runs aren't skewed by the idle driver.
+    pub fn phase_seconds_mean(&self) -> PhaseSeconds {
+        self.aggregate_phases(|sums, n| sums.map(|s| s / n as f64))
+    }
+
+    /// Max (critical-path) phase seconds across rank tracks.
+    pub fn phase_seconds_max(&self) -> PhaseSeconds {
+        let per = self.relevant_phase_tables();
+        let mut out = [0.0f64; NUM_PHASES];
+        for t in per {
+            for (o, v) in out.iter_mut().zip(t) {
+                *o = o.max(v);
+            }
+        }
+        PhaseSeconds::from_table(out)
+    }
+
+    fn relevant_phase_tables(&self) -> Vec<[f64; NUM_PHASES]> {
+        let ranked: Vec<_> = self.ranks.iter().filter(|r| r.rank.is_some()).collect();
+        let pick: Vec<&RankSnapshot> = if ranked.is_empty() {
+            self.ranks.iter().collect()
+        } else {
+            ranked
+        };
+        pick.into_iter().map(phase_exclusive_seconds).collect()
+    }
+
+    fn aggregate_phases(
+        &self,
+        finish: impl Fn([f64; NUM_PHASES], usize) -> [f64; NUM_PHASES],
+    ) -> PhaseSeconds {
+        let per = self.relevant_phase_tables();
+        if per.is_empty() {
+            return PhaseSeconds::default();
+        }
+        let n = per.len();
+        let mut sums = [0.0f64; NUM_PHASES];
+        for t in per {
+            for (s, v) in sums.iter_mut().zip(t) {
+                *s += v;
+            }
+        }
+        PhaseSeconds::from_table(finish(sums, n))
+    }
+
+    // -- Chrome trace-event format ------------------------------------------
+
+    /// Serialize as a Chrome trace-event JSON object (open in Perfetto or
+    /// `chrome://tracing`). One timeline track (`tid`) per minimpi rank;
+    /// the unranked driver thread, if it recorded anything, gets the track
+    /// after the highest rank.
+    pub fn chrome_trace(&self) -> String {
+        let driver_tid = self
+            .ranks
+            .iter()
+            .filter_map(|r| r.rank)
+            .map(|r| r + 1)
+            .max()
+            .unwrap_or(0);
+        let mut out = String::with_capacity(4096 + 128 * self.span_count());
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n");
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,\
+             \"args\":{\"name\":\"channel-dns\"}}",
+        );
+        for r in &self.ranks {
+            let (tid, label) = match r.rank {
+                Some(rank) => (rank, format!("rank {rank}")),
+                None => (driver_tid, "driver".to_string()),
+            };
+            out.push_str(&format!(
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}",
+                escape_json(&label)
+            ));
+            for s in &r.spans {
+                out.push_str(&format!(
+                    ",\n{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\
+                     \"dur\":{:.3},\"pid\":0,\"tid\":{tid},\"args\":{{\"depth\":{}}}}}",
+                    escape_json(s.name),
+                    s.phase.label(),
+                    s.start_us,
+                    s.dur_us,
+                    s.depth
+                ));
+            }
+        }
+        out.push_str("\n]}\n");
+        out
+    }
+
+    // -- CSV ----------------------------------------------------------------
+
+    /// Span records as CSV: `rank,name,phase,depth,start_us,dur_us`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("rank,name,phase,depth,start_us,dur_us\n");
+        for r in &self.ranks {
+            let rank = r
+                .rank
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "driver".into());
+            for s in &r.spans {
+                out.push_str(&format!(
+                    "{rank},{},{},{},{:.3},{:.3}\n",
+                    s.name,
+                    s.phase.label(),
+                    s.depth,
+                    s.start_us,
+                    s.dur_us
+                ));
+            }
+        }
+        out
+    }
+
+    // -- JSON ---------------------------------------------------------------
+
+    /// Structured JSON: per-rank counters, phase seconds, decisions, and
+    /// span records.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ranks\":[");
+        for (i, r) in self.ranks.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let rank = r
+                .rank
+                .map(|x| x.to_string())
+                .unwrap_or_else(|| "null".into());
+            out.push_str(&format!("{{\"rank\":{rank},\"counters\":{{"));
+            for (j, c) in Counter::ALL.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", c.label(), r.counters.get(*c)));
+            }
+            out.push_str("},\"phase_seconds\":{");
+            let ps = PhaseSeconds::from_table(phase_exclusive_seconds(r));
+            for (j, p) in Phase::ALL.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{:.9}", p.label(), ps.get(*p)));
+            }
+            out.push_str("},\"decisions\":[");
+            for (j, d) in r.decisions.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"topic\":\"{}\",\"text\":\"{}\"}}",
+                    escape_json(d.topic),
+                    escape_json(&d.text)
+                ));
+            }
+            out.push_str(&format!("],\"dropped\":{},\"spans\":[", r.dropped));
+            for (j, s) in r.spans.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"name\":\"{}\",\"phase\":\"{}\",\"depth\":{},\
+                     \"start_us\":{:.3},\"dur_us\":{:.3}}}",
+                    escape_json(s.name),
+                    s.phase.label(),
+                    s.depth,
+                    s.start_us,
+                    s.dur_us
+                ));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("]}");
+        out
+    }
+
+    // -- human table --------------------------------------------------------
+
+    /// Human-readable report: per-rank phase seconds, counter totals, and
+    /// recorded decisions.
+    pub fn phase_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str("phase seconds (exclusive, innermost span wins, per rank track)\n");
+        out.push_str(&format!(
+            "{:>8} {:>12} {:>12} {:>12} {:>12} {:>12}\n",
+            "rank", "transpose", "fft", "ns_advance", "other", "total"
+        ));
+        let row = |out: &mut String, label: &str, ps: &PhaseSeconds| {
+            out.push_str(&format!(
+                "{label:>8} {:>12.6} {:>12.6} {:>12.6} {:>12.6} {:>12.6}\n",
+                ps.transpose,
+                ps.fft,
+                ps.ns_advance,
+                ps.other,
+                ps.total()
+            ));
+        };
+        for (rank, ps) in self.phase_seconds_per_rank() {
+            let label = rank
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "driver".into());
+            row(&mut out, &label, &ps);
+        }
+        row(&mut out, "mean", &self.phase_seconds_mean());
+        row(&mut out, "max", &self.phase_seconds_max());
+
+        let totals = self.total_counters();
+        if !totals.is_zero() {
+            out.push_str("\ncounters (summed over ranks)\n");
+            for c in Counter::ALL {
+                let v = totals.get(c);
+                if v != 0 {
+                    out.push_str(&format!("{:>16} {v}\n", c.label()));
+                }
+            }
+        }
+
+        let decisions: Vec<_> = self
+            .ranks
+            .iter()
+            .flat_map(|r| r.decisions.iter().map(move |d| (r.rank, d)))
+            .collect();
+        if !decisions.is_empty() {
+            out.push_str("\ndecisions\n");
+            for (rank, d) in decisions {
+                let label = rank
+                    .map(|r| r.to_string())
+                    .unwrap_or_else(|| "driver".into());
+                out.push_str(&format!("[rank {label}] {}: {}\n", d.topic, d.text));
+            }
+        }
+
+        let dropped: u64 = self.ranks.iter().map(|r| r.dropped).sum();
+        if dropped > 0 {
+            out.push_str(&format!(
+                "\n({dropped} spans dropped past the per-thread cap)\n"
+            ));
+        }
+        out
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterSet, Decision, SpanRecord};
+
+    /// Hand-built snapshot with fixed timestamps — exporter output is
+    /// fully deterministic on it.
+    pub(crate) fn fixture() -> Snapshot {
+        let span = |name, phase, start_us: f64, dur_us: f64, depth| SpanRecord {
+            name,
+            phase,
+            start_us,
+            dur_us,
+            depth,
+        };
+        let mut c0 = CounterSet::new();
+        c0.add(Counter::Flops, 1_000_000);
+        c0.add(Counter::MessagesSent, 12);
+        c0.add(Counter::CommBytes, 4096);
+        let r0 = RankSnapshot {
+            rank: Some(0),
+            spans: vec![
+                span("rk3_substep", Phase::Other, 0.0, 1000.0, 0),
+                span("transpose_xz", Phase::Transpose, 0.0, 400.0, 1),
+                span("pack", Phase::Transpose, 0.0, 100.0, 2),
+                span("exchange", Phase::Transpose, 100.0, 200.0, 2),
+                span("unpack", Phase::Transpose, 300.0, 100.0, 2),
+                span("fft_x", Phase::Fft, 400.0, 300.0, 1),
+                span("ns_advance", Phase::NsAdvance, 700.0, 300.0, 1),
+            ],
+            counters: c0,
+            decisions: vec![Decision {
+                topic: "transpose.plan",
+                text: "alltoall won (1.25x vs pairwise)".into(),
+            }],
+            dropped: 0,
+        };
+        let r1 = RankSnapshot {
+            rank: Some(1),
+            spans: vec![
+                span("transpose_xz", Phase::Transpose, 0.0, 500.0, 0),
+                span("fft_x", Phase::Fft, 500.0, 250.0, 0),
+            ],
+            counters: CounterSet::new(),
+            decisions: vec![],
+            dropped: 0,
+        };
+        Snapshot {
+            ranks: vec![r0, r1],
+        }
+    }
+
+    #[test]
+    fn exclusive_attribution_counts_nested_same_phase_once() {
+        let snap = fixture();
+        let per = snap.phase_seconds_per_rank();
+        let (rank, ps) = &per[0];
+        assert_eq!(*rank, Some(0));
+        // pack/exchange/unpack nest inside the 400 µs transpose span:
+        // transpose time is 400 µs, not 400+100+200+100.
+        assert!((ps.transpose - 400e-6).abs() < 1e-12);
+        assert!((ps.fft - 300e-6).abs() < 1e-12);
+        assert!((ps.ns_advance - 300e-6).abs() < 1e-12);
+        // the rk3_substep wrapper (Other) is fully covered by its
+        // children, so nothing lands in "other".
+        assert!(ps.other.abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapper_gaps_land_in_the_wrapper_phase() {
+        // a 1000 µs Other wrapper whose only child covers [200, 500):
+        // other gets the 700 µs the child doesn't cover.
+        let snap = Snapshot {
+            ranks: vec![RankSnapshot {
+                rank: Some(0),
+                spans: vec![
+                    SpanRecord {
+                        name: "step",
+                        phase: Phase::Other,
+                        start_us: 0.0,
+                        dur_us: 1000.0,
+                        depth: 0,
+                    },
+                    SpanRecord {
+                        name: "fft_x",
+                        phase: Phase::Fft,
+                        start_us: 200.0,
+                        dur_us: 300.0,
+                        depth: 1,
+                    },
+                ],
+                counters: CounterSet::new(),
+                decisions: vec![],
+                dropped: 0,
+            }],
+        };
+        let (_, ps) = snap.phase_seconds_per_rank()[0];
+        assert!((ps.fft - 300e-6).abs() < 1e-12);
+        assert!((ps.other - 700e-6).abs() < 1e-12);
+        assert!((ps.total() - 1000e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_and_max_aggregate_over_ranks() {
+        let snap = fixture();
+        let mean = snap.phase_seconds_mean();
+        let max = snap.phase_seconds_max();
+        assert!((mean.transpose - (400e-6 + 500e-6) / 2.0).abs() < 1e-12);
+        assert!((max.transpose - 500e-6).abs() < 1e-12);
+        assert!((max.fft - 300e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn csv_has_header_and_one_row_per_span() {
+        let snap = fixture();
+        let csv = snap.to_csv();
+        let lines: Vec<_> = csv.lines().collect();
+        assert_eq!(lines[0], "rank,name,phase,depth,start_us,dur_us");
+        assert_eq!(lines.len(), 1 + snap.span_count());
+        assert!(lines[1].starts_with("0,rk3_substep,other,0,"));
+    }
+
+    #[test]
+    fn json_escapes_and_structures() {
+        let mut snap = fixture();
+        snap.ranks[0].decisions.push(Decision {
+            topic: "quote",
+            text: "say \"hi\"\nnewline".into(),
+        });
+        let json = snap.to_json();
+        assert!(json.starts_with("{\"ranks\":["));
+        assert!(json.contains("\"flops\":1000000"));
+        assert!(json.contains("say \\\"hi\\\"\\nnewline"));
+        assert!(json.contains("\"phase_seconds\""));
+    }
+
+    #[test]
+    fn phase_table_mentions_every_section() {
+        let snap = fixture();
+        let table = snap.phase_table();
+        assert!(table.contains("transpose"));
+        assert!(table.contains("mean"));
+        assert!(table.contains("max"));
+        assert!(table.contains("messages_sent"));
+        assert!(table.contains("transpose.plan"));
+    }
+}

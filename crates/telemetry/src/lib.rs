@@ -1,0 +1,659 @@
+//! Unified span/counter telemetry for the DNS stack.
+//!
+//! The paper's argument (Tables 2–11) rests on per-phase accounting of the
+//! RK3 timestep: transpose, FFT, and wall-normal N-S advance. This crate is
+//! the shared measurement substrate for that accounting across every crate
+//! in the workspace:
+//!
+//! * **RAII scoped spans** ([`span`], [`detail_span`]) tagged with a
+//!   [`Phase`] drawn from the same taxonomy as
+//!   `dns-netmodel::dnscost::PhaseTimes`, recorded per thread and merged
+//!   into a global registry keyed by minimpi rank.
+//! * **Typed counters** ([`Counter`], [`count`]) for flops, DDR traffic,
+//!   and message/byte totals — the software analogue of the HPM counters
+//!   behind the paper's Table 2.
+//! * **Exporters** ([`Snapshot`]): a human phase table, CSV, JSON, and the
+//!   Chrome trace-event format (loadable in Perfetto / `chrome://tracing`)
+//!   with one timeline track per rank.
+//!
+//! Collection is off by default. The fast path when disabled is a single
+//! relaxed atomic load per call site, so instrumented hot loops cost
+//! effectively nothing until [`set_level`] switches collection on:
+//!
+//! ```
+//! use dns_telemetry as telemetry;
+//!
+//! telemetry::reset();
+//! telemetry::set_level(telemetry::Level::Phases);
+//! {
+//!     let _s = telemetry::span("transpose_xz", telemetry::Phase::Transpose);
+//!     telemetry::count(telemetry::Counter::CommBytes, 4096);
+//! }
+//! let snap = telemetry::snapshot();
+//! assert_eq!(snap.total_counters().get(telemetry::Counter::CommBytes), 4096);
+//! telemetry::set_level(telemetry::Level::Off);
+//! ```
+
+mod export;
+
+pub use export::PhaseSeconds;
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{LazyLock, Mutex, OnceLock};
+use std::time::Instant;
+
+/// How much the stack records.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Record nothing; instrumented call sites cost one atomic load.
+    Off = 0,
+    /// Record phase-level spans and counters (the default when profiling).
+    Phases = 1,
+    /// Additionally record per-line/per-mode detail spans in hot loops.
+    Detail = 2,
+}
+
+/// Phase taxonomy of the RK3 substep, mirroring
+/// `dns-netmodel::dnscost::PhaseTimes` so measured and modelled
+/// breakdowns line up column-for-column.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Phase {
+    /// Global transposes: pack + exchange + unpack.
+    Transpose = 0,
+    /// On-node Fourier transforms (and their fused dealiasing passes).
+    Fft = 1,
+    /// Wall-normal Navier-Stokes advance: banded solves, influence matrix.
+    NsAdvance = 2,
+    /// Everything else (setup, statistics, I/O).
+    Other = 3,
+}
+
+/// Number of [`Phase`] variants (array-table sizing).
+pub const NUM_PHASES: usize = 4;
+
+impl Phase {
+    pub const ALL: [Phase; NUM_PHASES] =
+        [Phase::Transpose, Phase::Fft, Phase::NsAdvance, Phase::Other];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Phase::Transpose => "transpose",
+            Phase::Fft => "fft",
+            Phase::NsAdvance => "ns_advance",
+            Phase::Other => "other",
+        }
+    }
+}
+
+/// Typed event counters, unifying `minimpi::CommStats` and the pencil
+/// byte/message accounting under one merge-able set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum Counter {
+    /// Floating-point operations executed (FFT butterflies, solves).
+    Flops = 0,
+    /// Bytes moved through main memory by pack/unpack/reorder loops.
+    DdrBytes = 1,
+    /// Point-to-point messages sent (self-sends excluded, as in minimpi).
+    MessagesSent = 2,
+    /// Payload bytes sent.
+    CommBytes = 3,
+    /// Point-to-point messages received.
+    MessagesRecvd = 4,
+    /// Payload bytes received.
+    BytesRecvd = 5,
+}
+
+/// Number of [`Counter`] variants (array-table sizing).
+pub const NUM_COUNTERS: usize = 6;
+
+impl Counter {
+    pub const ALL: [Counter; NUM_COUNTERS] = [
+        Counter::Flops,
+        Counter::DdrBytes,
+        Counter::MessagesSent,
+        Counter::CommBytes,
+        Counter::MessagesRecvd,
+        Counter::BytesRecvd,
+    ];
+
+    pub fn label(self) -> &'static str {
+        match self {
+            Counter::Flops => "flops",
+            Counter::DdrBytes => "ddr_bytes",
+            Counter::MessagesSent => "messages_sent",
+            Counter::CommBytes => "comm_bytes",
+            Counter::MessagesRecvd => "messages_recvd",
+            Counter::BytesRecvd => "bytes_recvd",
+        }
+    }
+}
+
+/// A fixed table of counter totals. Merging is element-wise addition, so
+/// it is associative and commutative — rank-local sets can be combined in
+/// any order and grouping without changing the result.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CounterSet {
+    vals: [u64; NUM_COUNTERS],
+}
+
+impl CounterSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn add(&mut self, counter: Counter, n: u64) {
+        self.vals[counter as usize] = self.vals[counter as usize].wrapping_add(n);
+    }
+
+    pub fn get(&self, counter: Counter) -> u64 {
+        self.vals[counter as usize]
+    }
+
+    /// Element-wise sum with `other`.
+    pub fn merge(&mut self, other: &CounterSet) {
+        for (a, b) in self.vals.iter_mut().zip(&other.vals) {
+            *a = a.wrapping_add(*b);
+        }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.vals.iter().all(|&v| v == 0)
+    }
+}
+
+/// One completed span, in microseconds relative to the process epoch.
+#[derive(Clone, Debug)]
+pub struct SpanRecord {
+    pub name: &'static str,
+    pub phase: Phase,
+    /// Start, µs since the telemetry epoch.
+    pub start_us: f64,
+    /// Duration in µs.
+    pub dur_us: f64,
+    /// Nesting depth at which this span ran (0 = top level on its thread).
+    pub depth: u16,
+}
+
+/// One planner/strategy decision worth surfacing in reports, e.g. which
+/// transpose exchange strategy won an auto-tuning race and by how much.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    pub topic: &'static str,
+    pub text: String,
+}
+
+/// Per-thread buffers are capped so a forgotten `Detail`-level run cannot
+/// grow without bound; drops beyond the cap are counted, not silent.
+const SPAN_CAP: usize = 1 << 20;
+
+// ---------------------------------------------------------------------------
+// global state
+// ---------------------------------------------------------------------------
+
+static LEVEL: AtomicU8 = AtomicU8::new(Level::Off as u8);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Rank key for threads that never registered a rank (the driver thread
+/// in serial runs).
+const UNRANKED: i64 = -1;
+
+#[derive(Clone, Default)]
+struct RankData {
+    spans: Vec<SpanRecord>,
+    counters: CounterSet,
+    decisions: Vec<Decision>,
+    dropped: u64,
+}
+
+static REGISTRY: LazyLock<Mutex<BTreeMap<i64, RankData>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
+struct ThreadBuf {
+    rank: Option<usize>,
+    depth: u16,
+    data: RankData,
+}
+
+impl Drop for ThreadBuf {
+    // Short-lived worker threads (the on-node FFT line pools) record
+    // counters without ever entering a rank scope; deposit whatever they
+    // buffered when the thread exits so nothing is silently lost.
+    fn drop(&mut self) {
+        let key = self.rank.map(|r| r as i64).unwrap_or(UNRANKED);
+        deposit(key, std::mem::take(&mut self.data));
+    }
+}
+
+thread_local! {
+    static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
+        rank: None,
+        depth: 0,
+        data: RankData::default(),
+    });
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_us() -> f64 {
+    epoch().elapsed().as_secs_f64() * 1e6
+}
+
+/// Switch collection on or off. Setting any level other than `Off` also
+/// pins the epoch, so timestamps in a session share one origin.
+pub fn set_level(level: Level) {
+    if level != Level::Off {
+        let _ = epoch();
+    }
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+pub fn level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Off,
+        1 => Level::Phases,
+        _ => Level::Detail,
+    }
+}
+
+/// Cheapest possible "is anything recording?" check — the disabled fast
+/// path of every instrumented call site.
+#[inline(always)]
+pub fn enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) != Level::Off as u8
+}
+
+#[inline(always)]
+fn detail_enabled() -> bool {
+    LEVEL.load(Ordering::Relaxed) >= Level::Detail as u8
+}
+
+// ---------------------------------------------------------------------------
+// spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard for a scoped span; records itself on drop.
+#[must_use = "a span guard measures the scope it is bound to"]
+pub struct Span {
+    name: &'static str,
+    phase: Phase,
+    start_us: f64,
+    active: bool,
+}
+
+impl Span {
+    const INACTIVE: Span = Span {
+        name: "",
+        phase: Phase::Other,
+        start_us: 0.0,
+        active: false,
+    };
+}
+
+/// Open a phase-level span. Near-free when collection is [`Level::Off`].
+#[inline]
+pub fn span(name: &'static str, phase: Phase) -> Span {
+    if !enabled() {
+        return Span::INACTIVE;
+    }
+    open_span(name, phase)
+}
+
+/// Open a hot-loop detail span (per line / per mode); records only at
+/// [`Level::Detail`] so phase-level profiling stays cheap.
+#[inline]
+pub fn detail_span(name: &'static str, phase: Phase) -> Span {
+    if !detail_enabled() {
+        return Span::INACTIVE;
+    }
+    open_span(name, phase)
+}
+
+#[cold]
+fn open_span(name: &'static str, phase: Phase) -> Span {
+    BUF.with(|b| b.borrow_mut().depth += 1);
+    Span {
+        name,
+        phase,
+        start_us: now_us(),
+        active: true,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let dur_us = now_us() - self.start_us;
+        BUF.with(|b| {
+            let mut b = b.borrow_mut();
+            b.depth = b.depth.saturating_sub(1);
+            let depth = b.depth;
+            if b.data.spans.len() < SPAN_CAP {
+                b.data.spans.push(SpanRecord {
+                    name: self.name,
+                    phase: self.phase,
+                    start_us: self.start_us,
+                    dur_us,
+                    depth,
+                });
+            } else {
+                b.data.dropped += 1;
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// counters and decisions
+// ---------------------------------------------------------------------------
+
+/// Accumulate `n` onto a typed counter for the current thread.
+#[inline]
+pub fn count(counter: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    BUF.with(|b| b.borrow_mut().data.counters.add(counter, n));
+}
+
+/// Record a planner/strategy decision (e.g. "alltoall beat pairwise by
+/// 1.31x"). Recorded at any enabled level.
+pub fn decision(topic: &'static str, text: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    BUF.with(|b| {
+        b.borrow_mut().data.decisions.push(Decision {
+            topic,
+            text: text.into(),
+        })
+    });
+}
+
+// ---------------------------------------------------------------------------
+// rank registration and flushing
+// ---------------------------------------------------------------------------
+
+/// RAII guard binding the current thread to a minimpi rank; flushes the
+/// thread's buffers into the global registry when dropped.
+pub struct RankScope {
+    prev: Option<usize>,
+}
+
+/// Associate the current thread with `rank` for the lifetime of the
+/// returned guard. `minimpi::run` installs one per rank thread, so every
+/// span recorded inside a rank closure lands on that rank's timeline
+/// without user code.
+pub fn rank_scope(rank: usize) -> RankScope {
+    let prev = BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let prev = b.rank;
+        b.rank = Some(rank);
+        prev
+    });
+    RankScope { prev }
+}
+
+impl Drop for RankScope {
+    fn drop(&mut self) {
+        flush_thread();
+        BUF.with(|b| b.borrow_mut().rank = self.prev);
+    }
+}
+
+/// Move the current thread's buffered records into the global registry.
+/// Threads inside a [`rank_scope`] flush automatically on scope exit;
+/// long-lived driver threads should flush before exporting.
+pub fn flush_thread() {
+    let (key, data) = BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let key = b.rank.map(|r| r as i64).unwrap_or(UNRANKED);
+        (key, std::mem::take(&mut b.data))
+    });
+    deposit(key, data);
+}
+
+fn deposit(key: i64, data: RankData) {
+    if data.spans.is_empty()
+        && data.counters.is_zero()
+        && data.decisions.is_empty()
+        && data.dropped == 0
+    {
+        return;
+    }
+    let mut reg = REGISTRY.lock().unwrap();
+    let slot = reg.entry(key).or_default();
+    slot.spans.extend(data.spans);
+    slot.counters.merge(&data.counters);
+    slot.decisions.extend(data.decisions);
+    slot.dropped += data.dropped;
+}
+
+/// Clear the global registry and the current thread's buffer. Other
+/// threads' unflushed buffers are untouched (they drain on their next
+/// flush). Intended for test isolation and `--metrics-every` windows.
+pub fn reset() {
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        b.data = RankData::default();
+    });
+    REGISTRY.lock().unwrap().clear();
+}
+
+// ---------------------------------------------------------------------------
+// snapshots
+// ---------------------------------------------------------------------------
+
+/// All records of one rank timeline in a [`Snapshot`].
+#[derive(Clone)]
+pub struct RankSnapshot {
+    /// `None` for the unranked driver thread.
+    pub rank: Option<usize>,
+    /// Spans sorted by start time.
+    pub spans: Vec<SpanRecord>,
+    pub counters: CounterSet,
+    pub decisions: Vec<Decision>,
+    /// Spans discarded after the per-thread cap was hit.
+    pub dropped: u64,
+}
+
+/// A consistent copy of everything recorded so far. All exporters hang
+/// off this type, so one snapshot can serve several output formats.
+#[derive(Clone)]
+pub struct Snapshot {
+    pub ranks: Vec<RankSnapshot>,
+}
+
+/// Flush the current thread, then copy the global registry.
+pub fn snapshot() -> Snapshot {
+    flush_thread();
+    let reg = REGISTRY.lock().unwrap();
+    let ranks = reg
+        .iter()
+        .map(|(&key, data)| {
+            let mut spans = data.spans.clone();
+            spans.sort_by(|a, b| a.start_us.total_cmp(&b.start_us));
+            RankSnapshot {
+                rank: (key >= 0).then_some(key as usize),
+                spans,
+                counters: data.counters,
+                decisions: data.decisions.clone(),
+                dropped: data.dropped,
+            }
+        })
+        .collect();
+    Snapshot { ranks }
+}
+
+impl Snapshot {
+    /// Counter totals merged across every rank.
+    pub fn total_counters(&self) -> CounterSet {
+        let mut total = CounterSet::new();
+        for r in &self.ranks {
+            total.merge(&r.counters);
+        }
+        total
+    }
+
+    /// Total spans across every rank.
+    pub fn span_count(&self) -> usize {
+        self.ranks.iter().map(|r| r.spans.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// Process-global state means tests must serialise; share one lock.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn exclusive() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _x = exclusive();
+        reset();
+        set_level(Level::Off);
+        {
+            let _s = span("dead", Phase::Fft);
+            count(Counter::Flops, 1000);
+            decision("planner", "should not appear");
+        }
+        let snap = snapshot();
+        assert_eq!(snap.span_count(), 0);
+        assert!(snap.total_counters().is_zero());
+    }
+
+    #[test]
+    fn nesting_depths_and_order() {
+        let _x = exclusive();
+        reset();
+        set_level(Level::Phases);
+        {
+            let _outer = span("outer", Phase::Transpose);
+            {
+                let _inner = span("inner", Phase::Transpose);
+            }
+            let _inner2 = span("inner2", Phase::Fft);
+        }
+        set_level(Level::Off);
+        let snap = snapshot();
+        assert_eq!(snap.span_count(), 3);
+        let spans = &snap.ranks[0].spans;
+        let by_name = |n: &str| spans.iter().find(|s| s.name == n).unwrap();
+        assert_eq!(by_name("outer").depth, 0);
+        assert_eq!(by_name("inner").depth, 1);
+        assert_eq!(by_name("inner2").depth, 1);
+        // sorted by start: outer opened first
+        assert_eq!(spans[0].name, "outer");
+        assert!(by_name("outer").dur_us >= by_name("inner").dur_us);
+    }
+
+    #[test]
+    fn detail_spans_gated_by_level() {
+        let _x = exclusive();
+        reset();
+        set_level(Level::Phases);
+        {
+            let _d = detail_span("per_line", Phase::Fft);
+        }
+        assert_eq!(snapshot().span_count(), 0);
+        set_level(Level::Detail);
+        {
+            let _d = detail_span("per_line", Phase::Fft);
+        }
+        set_level(Level::Off);
+        assert_eq!(snapshot().span_count(), 1);
+    }
+
+    #[test]
+    fn counter_merge_is_associative_and_commutative() {
+        let mk = |f, d, m| {
+            let mut c = CounterSet::new();
+            c.add(Counter::Flops, f);
+            c.add(Counter::DdrBytes, d);
+            c.add(Counter::MessagesSent, m);
+            c
+        };
+        let (a, b, c) = (mk(1, 2, 3), mk(10, 20, 30), mk(100, 200, 300));
+        // (a+b)+c
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ab_c = ab;
+        ab_c.merge(&c);
+        // a+(b+c)
+        let mut bc = b;
+        bc.merge(&c);
+        let mut a_bc = a;
+        a_bc.merge(&bc);
+        assert_eq!(ab_c, a_bc);
+        // b+a == a+b
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn concurrent_rank_threads_land_on_their_tracks() {
+        let _x = exclusive();
+        reset();
+        set_level(Level::Phases);
+        std::thread::scope(|s| {
+            for rank in 0..4usize {
+                s.spawn(move || {
+                    let _scope = rank_scope(rank);
+                    for _ in 0..3 {
+                        let _sp = span("work", Phase::NsAdvance);
+                        count(Counter::CommBytes, 100 * (rank as u64 + 1));
+                    }
+                });
+            }
+        });
+        set_level(Level::Off);
+        let snap = snapshot();
+        let ranked: Vec<_> = snap.ranks.iter().filter(|r| r.rank.is_some()).collect();
+        assert_eq!(ranked.len(), 4);
+        for r in &ranked {
+            assert_eq!(r.spans.len(), 3);
+            let want = 100 * (r.rank.unwrap() as u64 + 1) * 3;
+            assert_eq!(r.counters.get(Counter::CommBytes), want);
+        }
+    }
+
+    #[test]
+    fn disabled_overhead_is_small() {
+        let _x = exclusive();
+        reset();
+        set_level(Level::Off);
+        // Warm the thread-local; then time a tight instrumented loop.
+        {
+            let _s = span("warm", Phase::Other);
+        }
+        let n = 1_000_000u64;
+        let t0 = Instant::now();
+        for i in 0..n {
+            let _s = span("hot", Phase::Fft);
+            count(Counter::Flops, i);
+        }
+        let per_call = t0.elapsed().as_secs_f64() / n as f64;
+        // An atomic load + branch is single-digit ns; 150 ns leaves lots
+        // of headroom for slow CI machines while still catching an
+        // accidentally-unconditional slow path.
+        assert!(
+            per_call < 150e-9,
+            "disabled span+count cost {per_call:.2e} s/call"
+        );
+    }
+}

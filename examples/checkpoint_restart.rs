@@ -48,7 +48,11 @@ fn main() {
     let stem3 = stem.clone();
     let restarted = run_serial(params, move |dns| {
         checkpoint::load(dns, &stem3).expect("load");
-        println!("resumed at step {} (t = {:.4})", dns.state().steps, dns.state().time);
+        println!(
+            "resumed at step {} (t = {:.4})",
+            dns.state().steps,
+            dns.state().time
+        );
         for _ in 0..5 {
             dns.step();
         }

@@ -12,7 +12,10 @@ use channel_dns::fft::C64;
 fn main() {
     println!("Orr-Sommerfeld, plane Poiseuille, Re = 10^4, alpha = 1");
     println!("reference (Orszag 1971): c = {ORSZAG_C}\n");
-    println!("{:>4}  {:>42}  {:>9}  {:>4}", "ny", "c (this discretisation)", "error", "iter");
+    println!(
+        "{:>4}  {:>42}  {:>9}  {:>4}",
+        "ny", "c (this discretisation)", "error", "iter"
+    );
     for ny in [48usize, 64, 96, 128] {
         let r = least_stable(ny, 1e4, 1.0, C64::new(0.2375, 0.0037));
         println!(

@@ -48,7 +48,10 @@ fn main() {
         }
         if acc.count() > 0 {
             let m = acc.mean();
-            println!("\naveraged over the last half: u_tau = {:.3}, Re_tau = {:.1}", m.u_tau, m.re_tau);
+            println!(
+                "\naveraged over the last half: u_tau = {:.3}, Re_tau = {:.1}",
+                m.u_tau, m.re_tau
+            );
         }
         if let Some(field) = gather_physical(dns, dns.state().u()) {
             let (w, h, slice) = field.slice_xy(field.nz / 2);

@@ -131,9 +131,7 @@ fn mode_solver_matches_direct_assembly() {
     ops.b0().matvec_complex(&c0, &mut b0c);
     ops.b2().matvec_complex(&c0, &mut b2c);
     let mut rhs: Vec<C64> = (0..n)
-        .map(|j| {
-            b0c[j] + nu * dt * alpha * (b2c[j] - k2 * b0c[j]) + dt * (gamma + zeta) * nl[j]
-        })
+        .map(|j| b0c[j] + nu * dt * alpha * (b2c[j] - k2 * b0c[j]) + dt * (gamma + zeta) * nl[j])
         .collect();
     rhs[0] = C64::new(0.0, 0.0);
     rhs[n - 1] = C64::new(0.0, 0.0);

@@ -12,11 +12,11 @@
 //! Orszag's `c_i = 0.00373967` (the eigenvalue is expressed in units of
 //! the centreline velocity).
 
+use channel_dns::bspline::integration_weights;
 use channel_dns::core_solver::orrsommerfeld::{least_stable, ORSZAG_C};
 use channel_dns::core_solver::stats::profiles;
 use channel_dns::core_solver::{run_serial, Params};
 use channel_dns::fft::C64;
-use channel_dns::bspline::integration_weights;
 
 #[test]
 fn ts_wave_grows_at_the_orr_sommerfeld_rate() {
@@ -68,7 +68,10 @@ fn ts_wave_grows_at_the_orr_sommerfeld_rate() {
         ((a1 / a0).ln() / t, a0, a1)
     });
 
-    assert!(amp0 > 0.0 && amp1 > amp0, "the TS wave must grow: {amp0} -> {amp1}");
+    assert!(
+        amp0 > 0.0 && amp1 > amp0,
+        "the TS wave must grow: {amp0} -> {amp1}"
+    );
     let rel = (measured_sigma - sigma).abs() / sigma.abs();
     assert!(
         rel < 0.05,

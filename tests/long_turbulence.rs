@@ -71,7 +71,7 @@ fn mean_profile_approaches_the_law_of_the_wall() {
     let yp = mean.y_plus();
     let up = mean.u_plus();
     for (j, (&y, &u)) in yp.iter().zip(&up).enumerate() {
-        if y < 1.0 || y > 30.0 || j > mean.y.len() / 2 {
+        if !(1.0..=30.0).contains(&y) || j > mean.y.len() / 2 {
             continue;
         }
         let want = reichardt_u_plus(y);

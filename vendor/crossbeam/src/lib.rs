@@ -1,0 +1,86 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module surface used by `dns-minimpi` is provided:
+//! unbounded MPMC-ish channels with `send`, blocking `recv_timeout` and
+//! non-blocking `try_recv`. Backed by `std::sync::mpsc`, whose unbounded
+//! channel has the same semantics for the single-consumer pattern the
+//! rank mesh uses (one inbound receiver per rank thread).
+
+/// Multi-producer channels (the `crossbeam-channel` surface).
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// Sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Queue a message; never blocks (unbounded buffer).
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            self.0.send(msg)
+        }
+    }
+
+    /// Receiving half of an unbounded channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives or `timeout` elapses.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        /// Return a queued message without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+
+        /// Block indefinitely for the next message.
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (s, r) = mpsc::channel();
+        (Sender(s), Receiver(r))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (s, r) = unbounded();
+            s.send(41u32).unwrap();
+            s.clone().send(1).unwrap();
+            assert_eq!(r.try_recv().unwrap() + r.recv().unwrap(), 42);
+            assert!(matches!(r.try_recv(), Err(TryRecvError::Empty)));
+        }
+
+        #[test]
+        fn recv_timeout_expires() {
+            let (_s, r) = unbounded::<u8>();
+            let e = r.recv_timeout(Duration::from_millis(5));
+            assert!(matches!(e, Err(RecvTimeoutError::Timeout)));
+        }
+
+        #[test]
+        fn cross_thread_delivery() {
+            let (s, r) = unbounded();
+            let h = std::thread::spawn(move || s.send(7u64).unwrap());
+            assert_eq!(r.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+            h.join().unwrap();
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! Offline stand-in for the `num-complex` crate.
+//!
+//! The build container has no access to a crates.io mirror, so the
+//! workspace vendors the (small) part of `num_complex::Complex` it
+//! actually uses: a `#[repr(C)]` complex number over `f64` with the
+//! standard arithmetic operators (value and reference forms), the
+//! cartesian accessors, and the handful of methods the DNS stack calls
+//! (`norm`, `norm_sqr`, `conj`, `is_finite`). Field names, layout and
+//! semantics match the real crate, so swapping the real dependency back
+//! in is a one-line change in the workspace manifest.
+
+/// A complex number in Cartesian form.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+#[repr(C)]
+pub struct Complex<T> {
+    /// Real part.
+    pub re: T,
+    /// Imaginary part.
+    pub im: T,
+}
+
+/// Alias matching `num_complex::Complex64`.
+pub type Complex64 = Complex<f64>;
+
+impl<T> Complex<T> {
+    /// Build a complex number from its real and imaginary parts.
+    #[inline]
+    pub const fn new(re: T, im: T) -> Self {
+        Complex { re, im }
+    }
+}
+
+impl Complex<f64> {
+    /// The imaginary unit.
+    #[inline]
+    pub const fn i() -> Self {
+        Complex { re: 0.0, im: 1.0 }
+    }
+
+    /// Squared modulus `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(&self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Modulus (uses `hypot` for the same overflow behaviour as the
+    /// real crate).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(&self) -> Self {
+        Complex::new(self.re, -self.im)
+    }
+
+    /// Argument (phase angle).
+    #[inline]
+    pub fn arg(&self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// True when both parts are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Complex exponential.
+    #[inline]
+    pub fn exp(&self) -> Self {
+        let r = self.re.exp();
+        Complex::new(r * self.im.cos(), r * self.im.sin())
+    }
+
+    /// Build from polar form `r * exp(i theta)`.
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex::new(r * theta.cos(), r * theta.sin())
+    }
+
+    /// Multiplicative inverse.
+    #[inline]
+    pub fn inv(&self) -> Self {
+        let d = self.norm_sqr();
+        Complex::new(self.re / d, -self.im / d)
+    }
+
+    /// Multiply by a real scalar (same name as the real crate).
+    #[inline]
+    pub fn scale(&self, t: f64) -> Self {
+        Complex::new(self.re * t, self.im * t)
+    }
+}
+
+impl From<f64> for Complex<f64> {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex::new(re, 0.0)
+    }
+}
+
+impl std::fmt::Display for Complex<f64> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.im < 0.0 {
+            write!(f, "{}-{}i", self.re, -self.im)
+        } else {
+            write!(f, "{}+{}i", self.re, self.im)
+        }
+    }
+}
+
+impl std::ops::Neg for Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn neg(self) -> Self::Output {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl std::ops::Neg for &Complex<f64> {
+    type Output = Complex<f64>;
+    #[inline]
+    fn neg(self) -> Self::Output {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+#[inline]
+fn add(a: Complex<f64>, b: Complex<f64>) -> Complex<f64> {
+    Complex::new(a.re + b.re, a.im + b.im)
+}
+#[inline]
+fn sub(a: Complex<f64>, b: Complex<f64>) -> Complex<f64> {
+    Complex::new(a.re - b.re, a.im - b.im)
+}
+#[inline]
+fn mul(a: Complex<f64>, b: Complex<f64>) -> Complex<f64> {
+    Complex::new(a.re * b.re - a.im * b.im, a.re * b.im + a.im * b.re)
+}
+#[inline]
+fn div(a: Complex<f64>, b: Complex<f64>) -> Complex<f64> {
+    // Smith's algorithm-free form is fine at f64 for this workload.
+    let d = b.norm_sqr();
+    Complex::new(
+        (a.re * b.re + a.im * b.im) / d,
+        (a.im * b.re - a.re * b.im) / d,
+    )
+}
+
+macro_rules! binop_complex {
+    ($trait:ident, $method:ident, $f:ident) => {
+        impl std::ops::$trait<Complex<f64>> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: Complex<f64>) -> Complex<f64> {
+                $f(self, rhs)
+            }
+        }
+        impl std::ops::$trait<&Complex<f64>> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $f(self, *rhs)
+            }
+        }
+        impl std::ops::$trait<Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: Complex<f64>) -> Complex<f64> {
+                $f(*self, rhs)
+            }
+        }
+        impl std::ops::$trait<&Complex<f64>> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &Complex<f64>) -> Complex<f64> {
+                $f(*self, *rhs)
+            }
+        }
+    };
+}
+
+binop_complex!(Add, add, add);
+binop_complex!(Sub, sub, sub);
+binop_complex!(Mul, mul, mul);
+binop_complex!(Div, div, div);
+
+macro_rules! binop_real {
+    ($trait:ident, $method:ident, $expr:expr) => {
+        impl std::ops::$trait<f64> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: f64) -> Complex<f64> {
+                let f: fn(Complex<f64>, f64) -> Complex<f64> = $expr;
+                f(self, rhs)
+            }
+        }
+        impl std::ops::$trait<f64> for &Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: f64) -> Complex<f64> {
+                let f: fn(Complex<f64>, f64) -> Complex<f64> = $expr;
+                f(*self, rhs)
+            }
+        }
+        impl std::ops::$trait<&f64> for Complex<f64> {
+            type Output = Complex<f64>;
+            #[inline]
+            fn $method(self, rhs: &f64) -> Complex<f64> {
+                let f: fn(Complex<f64>, f64) -> Complex<f64> = $expr;
+                f(self, *rhs)
+            }
+        }
+    };
+}
+
+binop_real!(Add, add, |a, b| Complex::new(a.re + b, a.im));
+binop_real!(Sub, sub, |a, b| Complex::new(a.re - b, a.im));
+binop_real!(Mul, mul, |a, b| Complex::new(a.re * b, a.im * b));
+binop_real!(Div, div, |a, b| Complex::new(a.re / b, a.im / b));
+
+impl std::ops::Add<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn add(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self + rhs.re, rhs.im)
+    }
+}
+impl std::ops::Sub<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn sub(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self - rhs.re, -rhs.im)
+    }
+}
+impl std::ops::Mul<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: Complex<f64>) -> Complex<f64> {
+        Complex::new(self * rhs.re, self * rhs.im)
+    }
+}
+impl std::ops::Mul<&Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn mul(self, rhs: &Complex<f64>) -> Complex<f64> {
+        Complex::new(self * rhs.re, self * rhs.im)
+    }
+}
+impl std::ops::Div<Complex<f64>> for f64 {
+    type Output = Complex<f64>;
+    #[inline]
+    fn div(self, rhs: Complex<f64>) -> Complex<f64> {
+        div(Complex::new(self, 0.0), rhs)
+    }
+}
+
+impl std::ops::AddAssign<Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex<f64>) {
+        *self = add(*self, rhs);
+    }
+}
+impl std::ops::SubAssign<Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex<f64>) {
+        *self = sub(*self, rhs);
+    }
+}
+impl std::ops::MulAssign<Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex<f64>) {
+        *self = mul(*self, rhs);
+    }
+}
+impl std::ops::DivAssign<Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex<f64>) {
+        *self = div(*self, rhs);
+    }
+}
+impl std::ops::AddAssign<&Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: &Complex<f64>) {
+        *self = add(*self, *rhs);
+    }
+}
+impl std::ops::SubAssign<&Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: &Complex<f64>) {
+        *self = sub(*self, *rhs);
+    }
+}
+impl std::ops::MulAssign<&Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: &Complex<f64>) {
+        *self = mul(*self, *rhs);
+    }
+}
+impl std::ops::DivAssign<&Complex<f64>> for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: &Complex<f64>) {
+        *self = div(*self, *rhs);
+    }
+}
+impl std::ops::AddAssign<f64> for Complex<f64> {
+    #[inline]
+    fn add_assign(&mut self, rhs: f64) {
+        self.re += rhs;
+    }
+}
+impl std::ops::SubAssign<f64> for Complex<f64> {
+    #[inline]
+    fn sub_assign(&mut self, rhs: f64) {
+        self.re -= rhs;
+    }
+}
+impl std::ops::MulAssign<f64> for Complex<f64> {
+    #[inline]
+    fn mul_assign(&mut self, rhs: f64) {
+        self.re *= rhs;
+        self.im *= rhs;
+    }
+}
+impl std::ops::DivAssign<f64> for Complex<f64> {
+    #[inline]
+    fn div_assign(&mut self, rhs: f64) {
+        self.re /= rhs;
+        self.im /= rhs;
+    }
+}
+
+impl std::iter::Sum for Complex<f64> {
+    fn sum<I: Iterator<Item = Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), add)
+    }
+}
+
+impl<'a> std::iter::Sum<&'a Complex<f64>> for Complex<f64> {
+    fn sum<I: Iterator<Item = &'a Complex<f64>>>(iter: I) -> Self {
+        iter.fold(Complex::new(0.0, 0.0), |a, b| add(a, *b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_matches_hand_results() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(3.0, -1.0);
+        assert_eq!(a + b, Complex::new(4.0, 1.0));
+        assert_eq!(a - b, Complex::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex::new(5.0, 5.0));
+        let q = (a * b) / b;
+        assert!((q - a).norm() < 1e-15);
+        assert_eq!(-a, Complex::new(-1.0, -2.0));
+        assert_eq!(2.0 * a, Complex::new(2.0, 4.0));
+        assert_eq!(a * 2.0, Complex::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Complex::new(0.5, 1.0));
+    }
+
+    #[test]
+    fn methods_match_definitions() {
+        let c = Complex::new(3.0, -4.0);
+        assert_eq!(c.norm(), 5.0);
+        assert_eq!(c.norm_sqr(), 25.0);
+        assert_eq!(c.conj(), Complex::new(3.0, 4.0));
+        assert!(c.is_finite());
+        assert!(!Complex::new(f64::NAN, 0.0).is_finite());
+        assert!((Complex::new(0.0, std::f64::consts::PI).exp() + 1.0).norm() < 1e-15);
+        assert!((c.inv() * c - Complex::new(1.0, 0.0)).norm() < 1e-15);
+    }
+
+    #[test]
+    fn assign_sum_and_display() {
+        let mut c = Complex::new(1.0, 1.0);
+        c += Complex::new(1.0, 0.0);
+        c *= 2.0;
+        assert_eq!(c, Complex::new(4.0, 2.0));
+        let v = [Complex::new(1.0, 2.0), Complex::new(3.0, 4.0)];
+        let s: Complex<f64> = v.iter().sum();
+        assert_eq!(s, Complex::new(4.0, 6.0));
+        assert_eq!(format!("{}", Complex::new(1.5, -2.0)), "1.5-2i");
+    }
+}

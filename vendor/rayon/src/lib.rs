@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Provides exactly the surface `dns-pfft` uses: a `ThreadPool` built via
+//! `ThreadPoolBuilder::new().num_threads(n).build()`, `ThreadPool::install`,
+//! and `par_chunks_exact_mut(..).enumerate().for_each(..)` from the prelude.
+//! Parallelism is real (std::thread::scope fan-out over contiguous chunk
+//! groups) but there is no work stealing: each worker gets an equal
+//! contiguous share of the chunk list, which matches the uniform per-line
+//! FFT workloads this repo parallelises.
+
+use std::cell::Cell;
+use std::fmt;
+
+thread_local! {
+    /// Worker count established by the innermost `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never produced; the stub
+/// cannot fail to construct a pool).
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("ThreadPoolBuildError")
+    }
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` (the default) means "use available parallelism".
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical pool: threads are spawned per parallel call (scoped), not
+/// kept resident, so the pool itself is just a worker-count handle.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` with this pool's worker count active for parallel
+    /// iterators reached from inside `op`.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R + Send,
+        R: Send,
+    {
+        INSTALLED_THREADS.with(|t| {
+            let prev = t.replace(self.num_threads);
+            let out = op();
+            t.set(prev);
+            out
+        })
+    }
+
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Worker count seen by parallel iterators on the current thread.
+fn active_threads() -> usize {
+    INSTALLED_THREADS.with(|t| t.get()).max(1)
+}
+
+/// Parallel mutable chunk iteration over slices.
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel version of `chunks_exact_mut` (the trailing remainder,
+    /// if any, is not visited — same contract as rayon).
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_exact_mut(&mut self, chunk_size: usize) -> ParChunksExactMut<'_, T> {
+        assert!(chunk_size != 0, "chunk size must be non-zero");
+        ParChunksExactMut {
+            data: self,
+            chunk_size,
+        }
+    }
+}
+
+pub struct ParChunksExactMut<'a, T> {
+    data: &'a mut [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Send> ParChunksExactMut<'a, T> {
+    pub fn enumerate(self) -> EnumerateChunks<'a, T> {
+        EnumerateChunks { inner: self }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Send + Sync,
+    {
+        self.enumerate().for_each(move |(_, line)| f(line));
+    }
+}
+
+pub struct EnumerateChunks<'a, T> {
+    inner: ParChunksExactMut<'a, T>,
+}
+
+impl<'a, T: Send> EnumerateChunks<'a, T> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Send + Sync,
+    {
+        let chunk = self.inner.chunk_size;
+        let workers = active_threads();
+        let mut items: Vec<(usize, &'a mut [T])> = self
+            .inner
+            .data
+            .chunks_exact_mut(chunk)
+            .enumerate()
+            .collect();
+        if workers <= 1 || items.len() <= 1 {
+            for (i, line) in items {
+                f((i, line));
+            }
+            return;
+        }
+        let per = items.len().div_ceil(workers);
+        let fref = &f;
+        std::thread::scope(|s| {
+            for group in items.chunks_mut(per) {
+                s.spawn(move || {
+                    for (i, line) in group.iter_mut() {
+                        fref((*i, line));
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub mod prelude {
+    pub use crate::ParallelSliceMut;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn chunks_visit_every_line_with_correct_index() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let mut data = vec![0usize; 4 * 17];
+        pool.install(|| {
+            use crate::prelude::*;
+            data.par_chunks_exact_mut(4)
+                .enumerate()
+                .for_each(|(l, line)| {
+                    for v in line.iter_mut() {
+                        *v = l + 1;
+                    }
+                });
+        });
+        for (l, line) in data.chunks_exact(4).enumerate() {
+            assert!(line.iter().all(|&v| v == l + 1));
+        }
+    }
+
+    #[test]
+    fn remainder_is_untouched() {
+        let mut data = [7u8; 10];
+        data.par_chunks_exact_mut(4)
+            .enumerate()
+            .for_each(|(_, line)| line.fill(0));
+        assert_eq!(&data[8..], &[7, 7]);
+    }
+
+    #[test]
+    fn install_restores_previous_count() {
+        let calls = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        pool.install(|| {
+            assert_eq!(super::active_threads(), 3);
+            calls.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(super::active_threads(), 1);
+        assert_eq!(calls.load(Ordering::Relaxed), 1);
+    }
+}
