@@ -101,6 +101,13 @@ impl CollocationOps {
         c
     }
 
+    /// [`CollocationOps::interpolate_complex`] into a caller-owned buffer
+    /// (the hot-path variant: no allocation).
+    pub fn interpolate_complex_into(&self, values: &[C64], out: &mut [C64]) {
+        out.copy_from_slice(values);
+        self.b0_lu.solve_complex(out);
+    }
+
     /// Evaluate coefficient vector at all collocation points (`B0 c`).
     pub fn values(&self, coef: &[f64]) -> Vec<f64> {
         let mut v = vec![0.0; self.n()];

@@ -70,6 +70,11 @@ const FLAGS: &[Flag] = &[
         help: "spanwise box length / pi (default 0.8)",
     },
     Flag {
+        name: "--threads",
+        value: Some("N"),
+        help: "on-node worker threads for the transform line loops (default 1)",
+    },
+    Flag {
         name: "--dt",
         value: Some("DT"),
         help: "timestep (default 5e-4)",
@@ -198,6 +203,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--lx" => args.params.lx = num(&flag, take(&mut i)?)?,
             "--lz" => args.params.lz = num(&flag, take(&mut i)?)?,
             "--dt" => args.params.dt = num(&flag, take(&mut i)?)?,
+            "--threads" => args.params.fft_threads = num::<usize>(&flag, take(&mut i)?)?.max(1),
             "--stretch" => args.params.grid_stretch = num(&flag, take(&mut i)?)?,
             "--steps" => args.steps = num(&flag, take(&mut i)?)?,
             "--stats-every" => args.stats_every = num(&flag, take(&mut i)?)?,

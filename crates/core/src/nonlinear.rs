@@ -14,9 +14,13 @@
 //! h_v = -d/dy (dH_x/dx + dH_z/dz) + (dxx + dzz) H_y
 //! ```
 //!
-//! The paper transposes five product fields; this implementation carries
-//! all six quadratic products (`vv` included) for clarity — see
-//! DESIGN.md for the accounting note.
+//! The production path ([`compute`]/[`compute_into`]) runs the fused
+//! five-product pipeline of section 4.1 (`pfft::nonlinear_products`):
+//! `vv` only enters `h_g`/`h_v` through the differences `A = uu - vv`
+//! and `B = ww - vv` (the `d/dy(vv)` contributions of `H_y` and of
+//! `d/dy(ikx H_x + ikz H_z)` cancel exactly), so only five products make
+//! the forward hop. [`compute_unfused`] keeps the textbook six-product
+//! assembly as the correctness oracle; see DESIGN.md for the accounting.
 
 use crate::solver::ChannelDns;
 use crate::C64;
@@ -37,6 +41,7 @@ pub struct HFields {
 /// Nonlinear right-hand sides, as *values at the y collocation points*
 /// for every locally-owned wavenumber (same y-pencil layout as the
 /// state), plus the mean-flow terms on the rank owning mode (0,0).
+#[derive(Default)]
 pub struct NlTerms {
     /// RHS of the `omega_y` equation.
     pub h_g: Vec<C64>,
@@ -53,18 +58,52 @@ impl NlTerms {
     /// All-zero terms with the layout of `dns` (used for the linearised
     /// runs and as the `zeta_1 = 0` previous-substep placeholder).
     pub fn zeros(dns: &ChannelDns) -> NlTerms {
+        let mut t = NlTerms::default();
+        t.reset(dns);
+        t
+    }
+
+    /// Size for the layout of `dns` and zero every entry (no allocation
+    /// once the buffers have their steady-state sizes).
+    pub fn reset(&mut self, dns: &ChannelDns) {
         let len = dns.field_len();
-        NlTerms {
-            h_g: vec![C64::new(0.0, 0.0); len],
-            h_v: vec![C64::new(0.0, 0.0); len],
-            mean_hx: vec![0.0; dns.ops().n()],
-            mean_hz: vec![0.0; dns.ops().n()],
-        }
+        let ny = dns.ops().n();
+        let zero = C64::new(0.0, 0.0);
+        self.h_g.clear();
+        self.h_g.resize(len, zero);
+        self.h_v.clear();
+        self.h_v.resize(len, zero);
+        self.mean_hx.clear();
+        self.mean_hx.resize(ny, 0.0);
+        self.mean_hz.clear();
+        self.mean_hz.resize(ny, 0.0);
     }
 }
 
+/// Reusable buffers for [`compute_into`]: the pfft pipeline workspace
+/// plus the stacked field staging and per-mode line scratch. Starts
+/// empty; sized on first use, allocation-free afterwards.
+#[derive(Default)]
+pub struct NlWorkspace {
+    /// Transform-pipeline buffers (transposes, line scratch).
+    pub pfft: dns_pfft::Workspace,
+    /// Stacked velocity values `[kz_loc][3][kx_loc][ny]`.
+    uvw: Vec<C64>,
+    /// Stacked spectral products `[kz_loc][5][kx_loc][ny]`.
+    products: Vec<C64>,
+    /// Per-mode line of `G = ikx H_x + ikz H_z + k^2 vv` values.
+    gline: Vec<C64>,
+    /// Two derivative-line buffers (`d/dy` of `uv` and `vw`).
+    dy1: Vec<C64>,
+    dy2: Vec<C64>,
+    /// Interpolation scratch for the derivative solves.
+    coef: Vec<C64>,
+}
+
 /// Evaluate the convective-flux divergences `H_i` for the current state
-/// (the physical-space pipeline: steps (a)-(h) of section 2.3).
+/// (the physical-space pipeline: steps (a)-(h) of section 2.3). This is
+/// the unfused six-product path, kept as the correctness oracle and for
+/// the pressure diagnostics, which need all three `H_i` fields.
 pub fn quadratic_h(dns: &ChannelDns) -> HFields {
     let ops = dns.ops();
     let ny = ops.n();
@@ -150,23 +189,120 @@ pub fn quadratic_h(dns: &ChannelDns) -> HFields {
     h
 }
 
-/// Evaluate the nonlinear terms for the current state of `dns`.
+/// Evaluate the nonlinear terms for the current state of `dns`
+/// (convenience wrapper around [`compute_into`] that allocates fresh
+/// buffers; the timestep loop reuses persistent ones).
 pub fn compute(dns: &ChannelDns) -> NlTerms {
+    let mut out = NlTerms::default();
+    let mut ws = NlWorkspace::default();
+    compute_into(dns, &mut out, &mut ws);
+    out
+}
+
+/// Evaluate the nonlinear terms through the fused five-product pipeline,
+/// writing into caller-owned output and workspace buffers. Steady-state
+/// calls perform zero heap allocations on a single rank.
+pub fn compute_into(dns: &ChannelDns, out: &mut NlTerms, ws: &mut NlWorkspace) {
+    out.reset(dns);
     if !dns.params().nonlinear {
-        return NlTerms::zeros(dns);
+        return;
     }
     let _nl = dns_telemetry::span("nonlinear", dns_telemetry::Phase::Other);
     let ops = dns.ops();
     let ny = ops.n();
+    let pfft = dns.pfft();
+    let sxl = pfft.kx_block().len;
+    let nzl = pfft.kz_block().len;
+    let zero = C64::new(0.0, 0.0);
+    const KF: usize = dns_pfft::NL_FIELDS;
+    const KP: usize = dns_pfft::NL_PRODUCTS;
+
+    // velocities to collocation values, stacked [kz_loc][3][kx_loc][ny]
+    // directly (no separate full-field staging copy)
+    ws.uvw.clear();
+    ws.uvw.resize(KF * dns.field_len(), zero);
+    let state = dns.state();
+    for kzl in 0..nzl {
+        for (fi, field) in [state.u(), state.v(), state.w()].into_iter().enumerate() {
+            for kxl in 0..sxl {
+                let src = (kzl * sxl + kxl) * ny;
+                let dst = ((kzl * KF + fi) * sxl + kxl) * ny;
+                ops.b0()
+                    .matvec_complex(&field[src..src + ny], &mut ws.uvw[dst..dst + ny]);
+            }
+        }
+    }
+
+    // fused inverse-product-forward cycle: five spectral products out
+    pfft.nonlinear_products(&ws.uvw, &mut ws.products, &mut ws.pfft);
+
+    // per-mode assembly from the five products A = uu - vv, uv, uw, vw,
+    // B = ww - vv (D = d/dy on a mode line):
+    //   h_g = kx kz (A - B) + (kz^2 - kx^2) uw - ikz D(uv) + ikx D(vw)
+    //   G   = kx^2 A + kz^2 B + 2 kx kz uw - ikx D(uv) - ikz D(vw)
+    //   h_v = -D(G) + k^2 (ikx uv + ikz vw)
+    // (the d/dy(vv) terms of H_y and of D(ikx H_x + ikz H_z) cancel)
+    ws.gline.resize(ny, zero);
+    ws.dy1.resize(ny, zero);
+    ws.dy2.resize(ny, zero);
+    ws.coef.resize(ny, zero);
+    let products = &ws.products;
+    for mode in 0..dns.local_modes() {
+        if dns.is_nyquist(mode) {
+            continue;
+        }
+        let kzl = mode / sxl;
+        let kxl = mode % sxl;
+        let pline = |f: usize| -> &[C64] {
+            let s = ((kzl * KP + f) * sxl + kxl) * ny;
+            &products[s..s + ny]
+        };
+        let (pa, puv, puw, pvw, pb) = (pline(0), pline(1), pline(2), pline(3), pline(4));
+        // D(uv) and D(vw) feed both h_g and G (and the mean forcing)
+        let dy_of = |vals: &[C64], coef: &mut [C64], out: &mut [C64]| {
+            ops.interpolate_complex_into(vals, coef);
+            ops.b1().matvec_complex(coef, out);
+        };
+        dy_of(puv, &mut ws.coef, &mut ws.dy1);
+        dy_of(pvw, &mut ws.coef, &mut ws.dy2);
+        if dns.is_mean(mode) {
+            for j in 0..ny {
+                out.mean_hx[j] = -ws.dy1[j].re;
+                out.mean_hz[j] = -ws.dy2[j].re;
+            }
+            continue;
+        }
+        let (ikx, ikz, k2) = dns.mode_wavenumbers(mode);
+        let (kx, kz) = (ikx.im, ikz.im);
+        let line = dns.line_range(mode);
+        for j in 0..ny {
+            out.h_g[line.start + j] = kx * kz * (pa[j] - pb[j]) + (kz * kz - kx * kx) * puw[j]
+                - ikz * ws.dy1[j]
+                + ikx * ws.dy2[j];
+            ws.gline[j] = kx * kx * pa[j] + kz * kz * pb[j] + 2.0 * kx * kz * puw[j]
+                - ikx * ws.dy1[j]
+                - ikz * ws.dy2[j];
+        }
+        // D(G) can overwrite dy1 — h_g and G are already assembled
+        dy_of(&ws.gline, &mut ws.coef, &mut ws.dy1);
+        for j in 0..ny {
+            out.h_v[line.start + j] = -ws.dy1[j] + k2 * (ikx * puv[j] + ikz * pvw[j]);
+        }
+    }
+}
+
+/// The pre-fusion reference evaluation: six products through the
+/// unfused batched transforms, then the textbook `H_i` assembly. Kept
+/// as the correctness oracle for [`compute_into`].
+pub fn compute_unfused(dns: &ChannelDns) -> NlTerms {
+    if !dns.params().nonlinear {
+        return NlTerms::zeros(dns);
+    }
+    let ops = dns.ops();
+    let ny = ops.n();
     let h = quadratic_h(dns);
 
-    let len = dns.field_len();
-    let mut out = NlTerms {
-        h_g: vec![C64::new(0.0, 0.0); len],
-        h_v: vec![C64::new(0.0, 0.0); len],
-        mean_hx: vec![0.0; ny],
-        mean_hz: vec![0.0; ny],
-    };
+    let mut out = NlTerms::zeros(dns);
     let mut dy_vals = vec![C64::new(0.0, 0.0); ny];
     for mode in 0..dns.local_modes() {
         let line = dns.line_range(mode);
@@ -196,4 +332,75 @@ pub fn compute(dns: &ChannelDns) -> NlTerms {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::Params;
+    use crate::solver::{run_parallel, run_serial};
+
+    fn worst_mismatch(dns: &ChannelDns) -> f64 {
+        let fused = compute(dns);
+        let oracle = compute_unfused(dns);
+        let scale = oracle
+            .h_g
+            .iter()
+            .chain(&oracle.h_v)
+            .map(|c| c.norm())
+            .fold(1.0, f64::max);
+        let mut worst = 0.0f64;
+        for (a, b) in fused.h_g.iter().zip(&oracle.h_g) {
+            worst = worst.max((a - b).norm());
+        }
+        for (a, b) in fused.h_v.iter().zip(&oracle.h_v) {
+            worst = worst.max((a - b).norm());
+        }
+        for (a, b) in fused.mean_hx.iter().zip(&oracle.mean_hx) {
+            worst = worst.max((a - b).abs());
+        }
+        for (a, b) in fused.mean_hz.iter().zip(&oracle.mean_hz) {
+            worst = worst.max((a - b).abs());
+        }
+        worst / scale
+    }
+
+    fn perturbed(dns: &mut ChannelDns) {
+        dns.set_laminar(1.0);
+        dns.add_perturbation(0.3, 9);
+    }
+
+    #[test]
+    fn fused_terms_match_the_unfused_oracle() {
+        let worst = run_serial(Params::channel(16, 25, 16, 100.0), |dns| {
+            perturbed(dns);
+            worst_mismatch(dns)
+        });
+        assert!(worst < 1e-12, "fused/oracle mismatch {worst}");
+    }
+
+    #[test]
+    fn fused_terms_match_the_oracle_with_threads() {
+        let worst = run_serial(
+            Params::channel(16, 25, 16, 100.0).with_fft_threads(2),
+            |dns| {
+                perturbed(dns);
+                worst_mismatch(dns)
+            },
+        );
+        assert!(worst < 1e-12, "threaded fused/oracle mismatch {worst}");
+    }
+
+    #[test]
+    fn fused_terms_match_the_oracle_on_a_process_grid() {
+        let outs = run_parallel(Params::channel(16, 25, 16, 100.0).with_grid(2, 2), |dns| {
+            perturbed(dns);
+            worst_mismatch(dns)
+        });
+        // slightly looser than the serial bound: the 2x2 transpose
+        // pack order changes the round-off pattern of both paths
+        for worst in outs {
+            assert!(worst < 1e-11, "multirank fused/oracle mismatch {worst}");
+        }
+    }
 }

@@ -49,6 +49,9 @@ pub struct Params {
     pub pa: usize,
     /// Second process-grid extent.
     pub pb: usize,
+    /// On-node worker threads for the transform line loops (the paper's
+    /// OpenMP threading, section 4.2). 1 = serial.
+    pub fft_threads: usize,
 }
 
 impl Params {
@@ -70,7 +73,14 @@ impl Params {
             nonlinear: true,
             pa: 1,
             pb: 1,
+            fft_threads: 1,
         }
+    }
+
+    /// Use `n` on-node threads for the transform line loops.
+    pub fn with_fft_threads(mut self, n: usize) -> Params {
+        self.fft_threads = n.max(1);
+        self
     }
 
     /// Set the time step.

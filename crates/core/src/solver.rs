@@ -8,10 +8,10 @@ use dns_minimpi::Communicator;
 use dns_pfft::{ParallelFft, PfftConfig};
 use dns_telemetry as telemetry;
 
-use crate::nonlinear::{self, NlTerms};
+use crate::nonlinear::{self, NlTerms, NlWorkspace};
 use crate::params::Params;
 use crate::rk3;
-use crate::wallnormal::{dy_coefficients, MeanSolver, ModeSolver};
+use crate::wallnormal::{dy_coefficients, dy_coefficients_into, MeanSolver, ModeSolver};
 use crate::C64;
 
 /// Classification of a locally-owned horizontal wavenumber.
@@ -74,6 +74,20 @@ pub struct PhaseTimers {
     pub ns_advance: f64,
 }
 
+/// Reusable per-substep buffers for `advance_substep` (mean-profile
+/// staging, Helmholtz `B0 c`/`B2 c` scratch, derivative lines) — after
+/// the first step these never reallocate.
+#[derive(Default)]
+struct StepScratch {
+    r0: Vec<f64>,
+    r1: Vec<f64>,
+    r2: Vec<f64>,
+    r3: Vec<f64>,
+    r4: Vec<f64>,
+    c0: Vec<C64>,
+    c1: Vec<C64>,
+}
+
 /// A distributed channel DNS bound to one rank of a `pa x pb` grid.
 pub struct ChannelDns {
     params: Params,
@@ -89,6 +103,13 @@ pub struct ChannelDns {
     dyn_force: f64,
     /// Integral term of the flux controller (the learned steady drag).
     flux_integral: f64,
+    /// Persistent nonlinear-pipeline workspace (taken out of `self` for
+    /// the duration of each step, so the hot path never allocates).
+    nl_ws: NlWorkspace,
+    /// Ping-pong nonlinear-term buffers (current / previous substep).
+    nl_terms: NlTerms,
+    nl_terms_old: NlTerms,
+    scratch: StepScratch,
 }
 
 impl ChannelDns {
@@ -97,7 +118,8 @@ impl ChannelDns {
     pub fn new(world: Communicator, params: Params) -> ChannelDns {
         params.validate();
         let cfg = PfftConfig::customized(params.nx, params.ny, params.nz, params.pa, params.pb)
-            .with_dealias();
+            .with_dealias()
+            .with_threads(params.fft_threads);
         let pfft = ParallelFft::new(world, cfg);
         let breaks = tanh_breakpoints(params.ny - params.spline_order + 1, params.grid_stretch);
         let basis = BsplineBasis::new(params.spline_order, &breaks);
@@ -151,6 +173,10 @@ impl ChannelDns {
             y_weights,
             dyn_force,
             flux_integral: dyn_force,
+            nl_ws: NlWorkspace::default(),
+            nl_terms: NlTerms::default(),
+            nl_terms_old: NlTerms::default(),
+            scratch: StepScratch::default(),
         }
     }
 
@@ -403,26 +429,38 @@ impl ChannelDns {
         }
     }
 
-    /// Advance one full RK3 timestep.
+    /// Advance one full RK3 timestep. The nonlinear terms run through
+    /// the fused pipeline into persistent buffers; at steady state a
+    /// single-rank serial substep performs no heap allocation.
     pub fn step(&mut self) {
         let _step = telemetry::span("rk3_step", telemetry::Phase::Other);
         let dt = self.params.dt;
-        let mut n_old = NlTerms::zeros(self);
+        // lift the persistent buffers out of `self` for the step (the
+        // taken-from slots hold empty Vecs: no allocation either way)
+        let mut ws = std::mem::take(&mut self.nl_ws);
+        let mut nl = std::mem::take(&mut self.nl_terms);
+        let mut n_old = std::mem::take(&mut self.nl_terms_old);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        n_old.reset(self); // zeta_0 = 0: first substep ignores it anyway
         for i in 0..3 {
             let _substep = telemetry::span("rk3_substep", telemetry::Phase::Other);
-            let nl = nonlinear::compute(self);
+            nonlinear::compute_into(self, &mut nl, &mut ws);
             let ns = telemetry::span("ns_advance", telemetry::Phase::NsAdvance);
             let t0 = std::time::Instant::now();
-            self.advance_substep(i, &nl, &n_old);
+            self.advance_substep(i, &nl, &n_old, &mut scratch);
             self.ns_seconds += t0.elapsed().as_secs_f64();
             drop(ns);
-            n_old = nl;
+            std::mem::swap(&mut nl, &mut n_old);
             self.state.time += (rk3::ALPHA[i] + rk3::BETA[i]) * dt;
         }
+        self.nl_ws = ws;
+        self.nl_terms = nl;
+        self.nl_terms_old = n_old;
+        self.scratch = scratch;
         self.state.steps += 1;
     }
 
-    fn advance_substep(&mut self, i: usize, nl: &NlTerms, n_old: &NlTerms) {
+    fn advance_substep(&mut self, i: usize, nl: &NlTerms, n_old: &NlTerms, sc: &mut StepScratch) {
         let ny = self.params.ny;
         let nu = self.params.nu;
         let dt = self.params.dt;
@@ -432,10 +470,13 @@ impl ChannelDns {
             for (m, kind) in self.modes.iter().enumerate() {
                 if matches!(kind, ModeKind::Mean) {
                     let r = m * ny..(m + 1) * ny;
-                    let coef: Vec<f64> = self.state.u[r].iter().map(|c| c.re).collect();
-                    let mut vals = vec![0.0; ny];
-                    self.ops.b0().matvec(&coef, &mut vals);
-                    let current: f64 = vals
+                    sc.r0.clear();
+                    sc.r0.extend(self.state.u[r].iter().map(|c| c.re));
+                    sc.r1.clear();
+                    sc.r1.resize(ny, 0.0);
+                    self.ops.b0().matvec(&sc.r0, &mut sc.r1);
+                    let current: f64 = sc
+                        .r1
                         .iter()
                         .zip(&self.y_weights)
                         .map(|(u, w)| u * w)
@@ -459,23 +500,42 @@ impl ChannelDns {
                 ModeKind::NyquistZ => {}
                 ModeKind::Mean => {
                     // <u>: forced by the pressure gradient and -d<uv>/dy
-                    let mut cu: Vec<f64> = state.u[r.clone()].iter().map(|c| c.re).collect();
-                    let nnew: Vec<f64> = nl.mean_hx.iter().map(|h| h + f).collect();
-                    let nold: Vec<f64> = n_old.mean_hx.iter().map(|h| h + f).collect();
-                    self.mean.advance(ops, i, &mut cu, &nnew, &nold, nu, dt);
-                    for (slot, &c) in state.u[r.clone()].iter_mut().zip(&cu) {
+                    sc.r0.clear();
+                    sc.r0.extend(state.u[r.clone()].iter().map(|c| c.re));
+                    sc.r1.clear();
+                    sc.r1.extend(nl.mean_hx.iter().map(|h| h + f));
+                    sc.r2.clear();
+                    sc.r2.extend(n_old.mean_hx.iter().map(|h| h + f));
+                    sc.r3.resize(ny, 0.0);
+                    sc.r4.resize(ny, 0.0);
+                    self.mean.advance_in(
+                        ops, i, &mut sc.r0, &sc.r1, &sc.r2, nu, dt, &mut sc.r3, &mut sc.r4,
+                    );
+                    for (slot, &c) in state.u[r.clone()].iter_mut().zip(&sc.r0) {
                         *slot = C64::new(c, 0.0);
                     }
                     // <w>: unforced
-                    let mut cw: Vec<f64> = state.w[r.clone()].iter().map(|c| c.re).collect();
-                    self.mean
-                        .advance(ops, i, &mut cw, &nl.mean_hz, &n_old.mean_hz, nu, dt);
-                    for (slot, &c) in state.w[r].iter_mut().zip(&cw) {
+                    sc.r0.clear();
+                    sc.r0.extend(state.w[r.clone()].iter().map(|c| c.re));
+                    self.mean.advance_in(
+                        ops,
+                        i,
+                        &mut sc.r0,
+                        &nl.mean_hz,
+                        &n_old.mean_hz,
+                        nu,
+                        dt,
+                        &mut sc.r3,
+                        &mut sc.r4,
+                    );
+                    for (slot, &c) in state.w[r].iter_mut().zip(&sc.r0) {
                         *slot = C64::new(c, 0.0);
                     }
                 }
                 ModeKind::Normal(ms) => {
-                    ms.advance(
+                    sc.c0.resize(ny, C64::new(0.0, 0.0));
+                    sc.c1.resize(ny, C64::new(0.0, 0.0));
+                    ms.advance_in(
                         ops,
                         i,
                         &mut state.omega_y[r.clone()],
@@ -483,8 +543,10 @@ impl ChannelDns {
                         &n_old.h_g[r.clone()],
                         nu,
                         dt,
+                        &mut sc.c0,
+                        &mut sc.c1,
                     );
-                    ms.advance(
+                    ms.advance_in(
                         ops,
                         i,
                         &mut state.phi[r.clone()],
@@ -492,9 +554,13 @@ impl ChannelDns {
                         &n_old.h_v[r.clone()],
                         nu,
                         dt,
+                        &mut sc.c0,
+                        &mut sc.c1,
                     );
-                    let c_v = ms.solve_v(ops, i, &mut state.phi[r.clone()]);
-                    state.v[r.clone()].copy_from_slice(&c_v);
+                    // v straight into the state (phi and v are disjoint
+                    // fields, so both lines borrow mutably at once)
+                    let (phi_line, v_line) = (&mut state.phi[r.clone()], &mut state.v[r.clone()]);
+                    ms.solve_v_into(ops, i, phi_line, v_line);
                     // u, w recovery
                     let (ikx, ikz, k2) = {
                         let kxlen = self.pfft.kx_block().len;
@@ -504,11 +570,11 @@ impl ChannelDns {
                         let kz = self.params.beta() * signed(kz_g, self.params.nz) as f64;
                         (C64::new(0.0, kx), C64::new(0.0, kz), kx * kx + kz * kz)
                     };
-                    let c_vy = dy_coefficients(ops, &c_v);
+                    dy_coefficients_into(ops, &state.v[r.clone()], &mut sc.c0, &mut sc.c1);
                     for j in 0..ny {
                         let om = state.omega_y[r.start + j];
-                        state.u[r.start + j] = (ikx * c_vy[j] - ikz * om) / k2;
-                        state.w[r.start + j] = (ikz * c_vy[j] + ikx * om) / k2;
+                        state.u[r.start + j] = (ikx * sc.c0[j] - ikz * om) / k2;
+                        state.w[r.start + j] = (ikz * sc.c0[j] + ikx * om) / k2;
                     }
                 }
             }

@@ -99,7 +99,6 @@ impl CfftPlan {
     /// # Panics
     /// If `data.len() != n` or `scratch.len() < scratch_len()`.
     pub fn execute(&self, data: &mut [C64], scratch: &mut [C64]) {
-        assert_eq!(data.len(), self.n, "data length mismatch");
         let _line = dns_telemetry::detail_span("cfft_line", dns_telemetry::Phase::Fft);
         if dns_telemetry::enabled() {
             dns_telemetry::count(
@@ -107,6 +106,15 @@ impl CfftPlan {
                 crate::cfft_flops(self.n) as u64,
             );
         }
+        self.execute_inner(data, scratch);
+    }
+
+    /// The transform kernel with no telemetry at all: the batched entry
+    /// points ([`CfftPlan::execute_many`], the pencil-FFT line loops)
+    /// account for their whole batch once instead of taxing every line
+    /// with a span-open and counter increment.
+    pub(crate) fn execute_inner(&self, data: &mut [C64], scratch: &mut [C64]) {
+        assert_eq!(data.len(), self.n, "data length mismatch");
         match &self.alg {
             Algorithm::Identity => {}
             Algorithm::Stockham(stages) => {
@@ -169,6 +177,11 @@ impl CfftPlan {
     /// Execute over `count` contiguous lines of length `n` stored
     /// back-to-back in `data` (the batched layout produced by the pencil
     /// reorder, where the transform direction is the fastest index).
+    ///
+    /// Telemetry is recorded once for the whole batch (one span, one flop
+    /// increment), not per line — the per-line accounting of
+    /// [`CfftPlan::execute`] is measurable overhead at production line
+    /// counts even when collection is disabled.
     pub fn execute_many(&self, data: &mut [C64], scratch: &mut [C64]) {
         assert!(
             self.n == 0 || data.len().is_multiple_of(self.n),
@@ -177,8 +190,16 @@ impl CfftPlan {
         if self.n == 0 {
             return;
         }
+        let _batch = dns_telemetry::detail_span("cfft_batch", dns_telemetry::Phase::Fft);
+        if dns_telemetry::enabled() {
+            let lines = (data.len() / self.n) as u64;
+            dns_telemetry::count(
+                dns_telemetry::Counter::Flops,
+                lines * crate::cfft_flops(self.n) as u64,
+            );
+        }
         for line in data.chunks_exact_mut(self.n) {
-            self.execute(line, scratch);
+            self.execute_inner(line, scratch);
         }
     }
 }

@@ -100,17 +100,21 @@ impl RfftPlan {
     pub fn forward(&self, input: &[f64], output: &mut [C64], scratch: &mut [C64]) {
         assert_eq!(input.len(), self.n);
         assert_eq!(output.len(), self.spectrum_len());
-        // the packed half-length complex pass counts its own flops; add
-        // the O(n) split/merge share of `rfft_flops`
+        // one flop increment covering the packed half-length complex pass
+        // and the O(n) split/merge (the inner complex kernel is the
+        // telemetry-free path, so nothing is double-counted per line)
         if dns_telemetry::enabled() {
-            dns_telemetry::count(dns_telemetry::Counter::Flops, 6 * self.n as u64);
+            dns_telemetry::count(
+                dns_telemetry::Counter::Flops,
+                crate::rfft_flops(self.n) as u64,
+            );
         }
         let h = self.h;
         let (z, inner) = scratch.split_at_mut(h);
         for (j, zj) in z.iter_mut().enumerate() {
             *zj = C64::new(input[2 * j], input[2 * j + 1]);
         }
-        self.fwd.execute(z, inner);
+        self.fwd.execute_inner(z, inner);
         // Split: X[k] = E[k] + w^k * O[k], with
         // E[k] = (Z[k] + conj(Z[h-k]))/2, O[k] = (Z[k] - conj(Z[h-k]))/(2i).
         let nyquist = C64::new(z[0].re - z[0].im, 0.0);
@@ -136,7 +140,10 @@ impl RfftPlan {
         assert_eq!(input.len(), self.spectrum_len());
         assert_eq!(output.len(), self.n);
         if dns_telemetry::enabled() {
-            dns_telemetry::count(dns_telemetry::Counter::Flops, 6 * self.n as u64);
+            dns_telemetry::count(
+                dns_telemetry::Counter::Flops,
+                crate::rfft_flops(self.n) as u64,
+            );
         }
         let h = self.h;
         let (z, inner) = scratch.split_at_mut(h);
@@ -157,7 +164,7 @@ impl RfftPlan {
             // Z[k] = E[k] + i*O[k]
             z[k] = e + C64::new(-o.im, o.re);
         }
-        self.inv.execute(z, inner);
+        self.inv.execute_inner(z, inner);
         // inv gives h * z_packed; desired output is n*x = 2h*x, so double.
         for (j, zj) in z.iter().enumerate() {
             output[2 * j] = 2.0 * zj.re;

@@ -186,17 +186,68 @@ impl TransposePlan {
         comm: &Communicator,
         input: &[T],
     ) -> Vec<T> {
+        let mut send = Vec::new();
+        let mut out = Vec::new();
+        self.run_with(comm, input, &mut send, &mut out);
+        out
+    }
+
+    /// [`TransposePlan::run`] with caller-owned pack (`send`) and result
+    /// (`out`) buffers so steady-state callers re-run without heap
+    /// allocation. On a single-rank communicator the exchange degenerates
+    /// to a pure local reorder: `input` is scattered straight into `out`
+    /// and the pack buffer and communicator are never touched.
+    pub fn run_with<T: Copy + Default + Send + 'static>(
+        &self,
+        comm: &Communicator,
+        input: &[T],
+        send: &mut Vec<T>,
+        out: &mut Vec<T>,
+    ) {
         assert_eq!(input.len(), self.input_len(), "input length mismatch");
         assert_eq!(comm.size(), self.p);
         let _transpose = telemetry::span("transpose", Phase::Transpose);
         let rows = self.rows;
         let nfl = self.f_block.len;
         let nt = self.nt;
+        out.clear();
+        out.resize(self.output_len(), T::default());
+
+        if self.p == 1 {
+            // Single rank: no exchange, no pack copy — one strided pass.
+            let nf = self.nf;
+            match self.placement {
+                RowsPlacement::Outer => {
+                    for r in 0..rows {
+                        for f in 0..nf {
+                            let src = (r * nf + f) * nt;
+                            for t in 0..nt {
+                                out[(r * nt + t) * nf + f] = input[src + t];
+                            }
+                        }
+                    }
+                }
+                RowsPlacement::Middle => {
+                    for f in 0..nf {
+                        for r in 0..rows {
+                            let src = (f * rows + r) * nt;
+                            for t in 0..nt {
+                                out[(t * rows + r) * nf + f] = input[src + t];
+                            }
+                        }
+                    }
+                }
+            }
+            // one read of the input, one scattered write of the output
+            telemetry::count(Counter::DdrBytes, 2 * std::mem::size_of_val(input) as u64);
+            return;
+        }
 
         // pack: destination-major; block of `t` for dest d is contiguous.
         // Both placements share the property that (slow1, slow2) iterate
         // over rows x f_loc in layout order with t fastest.
-        let mut send = Vec::with_capacity(input.len());
+        send.clear();
+        send.reserve(input.len());
         let mut send_counts = Vec::with_capacity(self.p);
         let (s1, s2) = match self.placement {
             RowsPlacement::Outer => (rows, nfl),
@@ -221,15 +272,14 @@ impl TransposePlan {
         let (recv, recv_counts) = {
             let _exchange = telemetry::span("exchange", Phase::Transpose);
             match self.strategy {
-                ExchangeStrategy::AllToAll => comm.alltoallv(&send, &send_counts),
-                ExchangeStrategy::Pairwise => pairwise_exchange(comm, &send, &send_counts),
+                ExchangeStrategy::AllToAll => comm.alltoallv(send, &send_counts),
+                ExchangeStrategy::Pairwise => pairwise_exchange(comm, send, &send_counts),
             }
         };
 
         let _unpack = telemetry::span("unpack", Phase::Transpose);
         let ntl = self.t_block.len;
         let nf = self.nf;
-        let mut out = vec![T::default(); self.output_len()];
         let mut off = 0usize;
         for s in 0..self.p {
             let fb = Block::of(self.nf, self.p, s);
@@ -269,7 +319,6 @@ impl TransposePlan {
             Counter::DdrBytes,
             2 * std::mem::size_of_val(out.as_slice()) as u64,
         );
-        out
     }
 }
 

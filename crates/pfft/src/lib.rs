@@ -35,8 +35,10 @@
 #![allow(clippy::type_complexity)]
 
 mod pfft;
+mod workspace;
 
-pub use pfft::{ParallelFft, PfftConfig};
+pub use pfft::{ParallelFft, PfftConfig, NL_FIELDS, NL_PRODUCTS};
+pub use workspace::Workspace;
 
 /// Complex scalar alias shared across the stack.
 pub type C64 = num_complex::Complex<f64>;

@@ -10,7 +10,28 @@ use dns_pencil::{Block, ExchangeStrategy, RowsPlacement, TransposePlan};
 use dns_telemetry as telemetry;
 use dns_telemetry::Phase;
 
+use crate::workspace::{LineScratch, Workspace};
 use crate::C64;
+
+/// Velocity fields entering the fused nonlinear pipeline (u, v, w).
+pub const NL_FIELDS: usize = 3;
+
+/// Quadratic products leaving the fused pipeline. The paper's
+/// five-product accounting: `vv` only ever appears under `d/dy`, where it
+/// cancels against the pressure-free projection, so the forward hop
+/// carries `uu - vv`, `uv`, `uw`, `vw`, `ww - vv` — one sixth less
+/// transpose and FFT volume than the naive six products.
+pub const NL_PRODUCTS: usize = 5;
+
+/// Product table: `(left field, right field, subtract vv)` with fields
+/// indexed u=0, v=1, w=2, in the order the stacked output stores them.
+const PRODUCTS: [(usize, usize, bool); NL_PRODUCTS] = [
+    (0, 0, true),  // A  = uu - vv
+    (0, 1, false), // uv
+    (0, 2, false), // uw
+    (1, 2, false), // vw
+    (2, 2, true),  // B  = ww - vv
+];
 
 /// Configuration of a parallel FFT instance.
 #[derive(Clone, Copy, Debug)]
@@ -477,6 +498,190 @@ impl ParallelFft {
                     .enumerate()
                     .for_each(|(l, line)| f(l, line));
             }),
+        }
+    }
+
+    /// [`ParallelFft::for_each_line`] with per-worker state: the serial
+    /// path reuses the caller's persistent `serial` scratch (zero
+    /// allocations); threaded workers each build their own via `init`
+    /// (rayon `for_each_init` semantics — once per worker, not per line).
+    fn for_lines_init<S: Send, T: Send>(
+        &self,
+        data: &mut [T],
+        chunk: usize,
+        serial: &mut S,
+        init: impl Fn() -> S + Send + Sync,
+        f: impl Fn(&mut S, usize, &mut [T]) + Send + Sync,
+    ) {
+        match &self.pool {
+            None => {
+                for (l, line) in data.chunks_exact_mut(chunk).enumerate() {
+                    f(serial, l, line);
+                }
+            }
+            Some(pool) => pool.install(|| {
+                use rayon::prelude::*;
+                data.par_chunks_exact_mut(chunk)
+                    .enumerate()
+                    .for_each_init(&init, |s, (l, line)| f(s, l, line));
+            }),
+        }
+    }
+
+    /// The fused nonlinear cycle (section 4.1, Tables 2-4): inverse
+    /// transforms of u/v/w, quadratic products, and forward transforms of
+    /// the products, with the x-stage fused per cache-sized line group so
+    /// product fields never make a full-field round trip through DDR.
+    ///
+    /// `uvw` holds the three spectral velocity fields stacked as
+    /// `[kz_loc][3][kx_loc][ny]` (values at the collocation points);
+    /// `out` receives the five dealiased spectral products stacked as
+    /// `[kz_loc][5][kx_loc][ny]` in the order of the five-product
+    /// accounting: `uu - vv`, `uv`, `uw`, `vw`, `ww - vv`
+    /// (see [`NL_PRODUCTS`]).
+    ///
+    /// Per x-line group the kernel pads + c2r-inverses the three velocity
+    /// lines, forms each product in cache, and immediately r2c-forwards +
+    /// truncates it — three lines of `px` reals live in L1/L2 the whole
+    /// time. Line groups are threaded over the configured pool with
+    /// per-worker scratch; the serial path runs entirely out of `ws` and
+    /// performs zero heap allocations once warm (single rank).
+    pub fn nonlinear_products(&self, uvw: &[C64], out: &mut Vec<C64>, ws: &mut Workspace) {
+        assert_eq!(uvw.len(), NL_FIELDS * self.y_pencil_len());
+        let _fused = telemetry::span("nonlinear_products", Phase::Other);
+        let cfg = &self.cfg;
+        let (px, pz, sx) = (cfg.px(), cfg.pz(), cfg.sx());
+        let (sxl, nyl, zpl) = (self.kx_block.len, self.y_block.len, self.zphys_block.len);
+        let nz = cfg.nz;
+        let zero = C64::new(0.0, 0.0);
+        let fft_len = self
+            .rfft_x
+            .scratch_len()
+            .max(self.zinv.scratch_len())
+            .max(self.zfwd.scratch_len());
+        let Workspace {
+            zp_spec,
+            zp,
+            spec_x,
+            spec_px,
+            out_z,
+            send,
+            serial,
+        } = ws;
+        serial.ensure(px, pz, fft_len);
+
+        // --- inverse leg: 3 velocity fields to x-pencil spectra ---
+        {
+            let plans = self.batch_plans(NL_FIELDS);
+            let t0 = std::time::Instant::now();
+            plans.t_yz.run_with(&self.comm_b, uvw, send, zp_spec);
+            self.add_transpose(t0.elapsed().as_secs_f64());
+
+            let fft_z = telemetry::span("fft_z_inv", Phase::Fft);
+            let t0 = std::time::Instant::now();
+            let lines_z = nyl * NL_FIELDS * sxl;
+            zp.resize(lines_z * pz, zero);
+            let src = &*zp_spec;
+            let zinv = &self.zinv;
+            self.for_lines_init(
+                zp,
+                pz,
+                serial,
+                || LineScratch::sized(px, pz, fft_len),
+                |sc, l, dst| {
+                    pad_full(&src[l * nz..(l + 1) * nz], dst);
+                    zinv.execute(dst, &mut sc.fft);
+                },
+            );
+            self.add_fft(t0.elapsed().as_secs_f64());
+            drop(fft_z);
+
+            let t0 = std::time::Instant::now();
+            plans.t_zx.run_with(&self.comm_a, zp, send, spec_x);
+            self.add_transpose(t0.elapsed().as_secs_f64());
+        }
+
+        // --- fused x-stage: per (y, z) group, velocities to physical
+        // space, products in cache, products back to x spectra ---
+        {
+            let fused = telemetry::span("fused_products", Phase::Fft);
+            let t0 = std::time::Instant::now();
+            spec_px.resize(nyl * NL_PRODUCTS * zpl * sx, zero);
+            let src = &*spec_x;
+            let rfft = &self.rfft_x;
+            let inv_px = 1.0 / px as f64;
+            self.for_lines_init(
+                spec_px,
+                NL_PRODUCTS * zpl * sx,
+                serial,
+                || LineScratch::sized(px, pz, fft_len),
+                |sc, y, ychunk| {
+                    for z in 0..zpl {
+                        for fi in 0..NL_FIELDS {
+                            let s = ((y * NL_FIELDS + fi) * zpl + z) * sx;
+                            pad_half(&src[s..s + sx], &mut sc.cline);
+                            rfft.inverse(
+                                &sc.cline,
+                                &mut sc.phys[fi * px..(fi + 1) * px],
+                                &mut sc.fft,
+                            );
+                        }
+                        for (f, &(i, j, sub_vv)) in PRODUCTS.iter().enumerate() {
+                            for x in 0..px {
+                                let mut p = sc.phys[i * px + x] * sc.phys[j * px + x];
+                                if sub_vv {
+                                    p -= sc.phys[px + x] * sc.phys[px + x];
+                                }
+                                sc.prod[x] = p;
+                            }
+                            rfft.forward(&sc.prod, &mut sc.cline, &mut sc.fft);
+                            let d = (f * zpl + z) * sx;
+                            truncate_half(&sc.cline, &mut ychunk[d..d + sx]);
+                            for v in ychunk[d..d + sx].iter_mut() {
+                                *v *= inv_px;
+                            }
+                        }
+                    }
+                },
+            );
+            self.add_fft(t0.elapsed().as_secs_f64());
+            drop(fused);
+        }
+
+        // --- forward leg: 5 product fields back to the y-pencil ---
+        {
+            let plans = self.batch_plans(NL_PRODUCTS);
+            let t0 = std::time::Instant::now();
+            plans.t_xz.run_with(&self.comm_a, spec_px, send, zp);
+            self.add_transpose(t0.elapsed().as_secs_f64());
+
+            let fft_z = telemetry::span("fft_z_fwd", Phase::Fft);
+            let t0 = std::time::Instant::now();
+            let lines_z = nyl * NL_PRODUCTS * sxl;
+            out_z.resize(lines_z * nz, zero);
+            let src = &*zp;
+            let zfwd = &self.zfwd;
+            let inv_pz = 1.0 / pz as f64;
+            self.for_lines_init(
+                out_z,
+                nz,
+                serial,
+                || LineScratch::sized(px, pz, fft_len),
+                |sc, l, dst| {
+                    sc.zline[..pz].copy_from_slice(&src[l * pz..(l + 1) * pz]);
+                    zfwd.execute(&mut sc.zline[..pz], &mut sc.fft);
+                    for v in sc.zline[..pz].iter_mut() {
+                        *v *= inv_pz;
+                    }
+                    truncate_full(&sc.zline[..pz], dst);
+                },
+            );
+            self.add_fft(t0.elapsed().as_secs_f64());
+            drop(fft_z);
+
+            let t0 = std::time::Instant::now();
+            plans.t_zy.run_with(&self.comm_b, out_z, send, out);
+            self.add_transpose(t0.elapsed().as_secs_f64());
         }
     }
 
@@ -1036,6 +1241,137 @@ mod tests {
                 3 * batched,
                 "batching must send one third of the messages"
             );
+        }
+    }
+
+    /// Unfused oracle for [`ParallelFft::nonlinear_products`]: separate
+    /// batched transforms and full-field product formation, with the
+    /// five-product combination applied afterwards.
+    fn unfused_products(p: &ParallelFft, u: &[C64], v: &[C64], w: &[C64]) -> Vec<Vec<f64>> {
+        let phys = p.inverse_batch(&[u, v, w]);
+        let (pu, pv, pw) = (&phys[0], &phys[1], &phys[2]);
+        let n = pu.len();
+        let mut prods = vec![vec![0.0f64; n]; NL_PRODUCTS];
+        for i in 0..n {
+            prods[0][i] = pu[i] * pu[i] - pv[i] * pv[i];
+            prods[1][i] = pu[i] * pv[i];
+            prods[2][i] = pu[i] * pw[i];
+            prods[3][i] = pv[i] * pw[i];
+            prods[4][i] = pw[i] * pw[i] - pv[i] * pv[i];
+        }
+        prods
+    }
+
+    fn fused_case(threads: usize, dealias: bool, nproc: usize, pa: usize, pb: usize) {
+        let results = mpi::run(nproc, move |world| {
+            let mut cfg = PfftConfig::customized(16, 6, 8, pa, pb).with_threads(threads);
+            if dealias {
+                cfg = cfg.with_dealias();
+            }
+            let p = ParallelFft::new(world, cfg);
+            // three distinct band-limited spectral fields
+            let base = fill_x_pencil(&p);
+            let f2: Vec<f64> = base.iter().map(|v| 0.3 * v + 0.1).collect();
+            let f3: Vec<f64> = base.iter().map(|v| 0.5 - 0.2 * v).collect();
+            let u = p.forward(&base);
+            let v = p.forward(&f2);
+            let w = p.forward(&f3);
+
+            // oracle: unfused transforms + full-field products
+            let prods = unfused_products(&p, &u, &v, &w);
+            let refs: Vec<&[f64]> = prods.iter().map(|x| x.as_slice()).collect();
+            let spec_ref = p.forward_batch(&refs);
+
+            // fused path (twice: the second call runs on warm buffers)
+            let (sxl, nzl) = (p.kx_block().len, p.kz_block().len);
+            let ny = p.config().ny;
+            let mut uvw = vec![C64::new(0.0, 0.0); NL_FIELDS * p.y_pencil_len()];
+            for kz in 0..nzl {
+                for (fi, field) in [&u, &v, &w].iter().enumerate() {
+                    let src = kz * sxl * ny;
+                    let dst = ((kz * NL_FIELDS + fi) * sxl) * ny;
+                    uvw[dst..dst + sxl * ny].copy_from_slice(&field[src..src + sxl * ny]);
+                }
+            }
+            let mut ws = Workspace::new();
+            let mut fused = Vec::new();
+            p.nonlinear_products(&uvw, &mut fused, &mut ws);
+            p.nonlinear_products(&uvw, &mut fused, &mut ws);
+
+            let mut worst = 0.0f64;
+            for kz in 0..nzl {
+                for (f, spec) in spec_ref.iter().enumerate() {
+                    for kx in 0..sxl {
+                        for y in 0..ny {
+                            let a = spec[(kz * sxl + kx) * ny + y];
+                            let b = fused[((kz * NL_PRODUCTS + f) * sxl + kx) * ny + y];
+                            worst = worst.max((a - b).norm());
+                        }
+                    }
+                }
+            }
+            worst
+        });
+        for worst in results {
+            assert!(
+                worst < 1e-12,
+                "fused/unfused mismatch {worst} (threads={threads} dealias={dealias})"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_products_match_unfused_serial() {
+        fused_case(1, true, 1, 1, 1);
+        fused_case(1, false, 1, 1, 1);
+    }
+
+    #[test]
+    fn fused_products_match_unfused_threaded() {
+        for threads in [2, 4] {
+            fused_case(threads, true, 1, 1, 1);
+            fused_case(threads, false, 1, 1, 1);
+        }
+    }
+
+    #[test]
+    fn fused_products_match_unfused_multirank() {
+        fused_case(1, true, 4, 2, 2);
+        fused_case(2, false, 4, 2, 2);
+    }
+
+    #[test]
+    fn fused_cycle_shares_exchange_economics_with_batches() {
+        // the fused path must send exactly the batched message count:
+        // one 3-field exchange per inverse hop, one 5-field exchange per
+        // forward hop — never per-field messages
+        let results = mpi::run(4, |world| {
+            let p = ParallelFft::new(world, PfftConfig::customized(16, 6, 8, 2, 2));
+            let f = fill_x_pencil(&p);
+            let u = p.forward(&f);
+            let mut uvw = vec![C64::new(0.0, 0.0); NL_FIELDS * p.y_pencil_len()];
+            let (sxl, nzl) = (p.kx_block().len, p.kz_block().len);
+            let ny = p.config().ny;
+            for kz in 0..nzl {
+                for fi in 0..NL_FIELDS {
+                    let src = kz * sxl * ny;
+                    let dst = ((kz * NL_FIELDS + fi) * sxl) * ny;
+                    uvw[dst..dst + sxl * ny].copy_from_slice(&u[src..src + sxl * ny]);
+                }
+            }
+            let mut ws = Workspace::new();
+            let mut out = Vec::new();
+            p.nonlinear_products(&uvw, &mut out, &mut ws); // warm plans
+            p.comm_a().reset_stats();
+            p.comm_b().reset_stats();
+            p.nonlinear_products(&uvw, &mut out, &mut ws);
+            let msgs = p.comm_a().stats().messages_sent + p.comm_b().stats().messages_sent;
+            // 4 transposes, each one message per off-rank peer (1 peer on
+            // each 2-rank sub-communicator)
+            msgs
+        });
+        for msgs in results {
+            assert_eq!(msgs, 4, "fused cycle must batch each exchange");
         }
     }
 

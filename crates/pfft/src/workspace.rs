@@ -1,0 +1,84 @@
+//! Reusable buffers for the fused nonlinear pipeline.
+//!
+//! The fused path ([`crate::ParallelFft::nonlinear_products`]) runs the
+//! same buffer shapes every call, so a steady-state RK3 substep must not
+//! touch the heap. All fields start empty and are sized on first use;
+//! from the second call on every `resize` is a no-op and the pipeline is
+//! allocation-free on a single rank (multi-rank exchanges still allocate
+//! inside the message layer).
+
+use crate::C64;
+
+/// Intermediate full-pencil buffers plus the serial-path line scratch.
+///
+/// One `Workspace` belongs to one [`crate::ParallelFft`]-shaped problem;
+/// it can be shared across calls and across differently-sized transforms
+/// (buffers only ever grow).
+#[derive(Default)]
+pub struct Workspace {
+    /// z-pencil spectral staging (after the y->z transpose).
+    pub(crate) zp_spec: Vec<C64>,
+    /// z-pencil padded lines (physical z).
+    pub(crate) zp: Vec<C64>,
+    /// x-pencil spectral velocity lines (after the z->x transpose).
+    pub(crate) spec_x: Vec<C64>,
+    /// x-pencil spectral product lines (fused kernel output).
+    pub(crate) spec_px: Vec<C64>,
+    /// z-pencil truncated product lines (after the forward z FFT).
+    pub(crate) out_z: Vec<C64>,
+    /// Transpose pack buffer (unused on a single rank).
+    pub(crate) send: Vec<C64>,
+    /// Per-line scratch for the serial (no thread pool) path.
+    pub(crate) serial: LineScratch,
+}
+
+impl Workspace {
+    /// A workspace with no buffers allocated yet.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+}
+
+/// The cache-resident per-line buffers of the fused kernel: one worker
+/// owns one of these (the serial path keeps a persistent copy inside
+/// [`Workspace`]; threaded workers build one each via `for_each_init`).
+#[derive(Default)]
+pub(crate) struct LineScratch {
+    /// Half-complex x line (`px/2 + 1`).
+    pub cline: Vec<C64>,
+    /// Full complex z line (`pz`).
+    pub zline: Vec<C64>,
+    /// FFT plan scratch (max over the plans used).
+    pub fft: Vec<C64>,
+    /// Physical u/v/w x-lines, stacked (`3 * px`).
+    pub phys: Vec<f64>,
+    /// One physical product x-line (`px`).
+    pub prod: Vec<f64>,
+}
+
+impl LineScratch {
+    /// Grow every buffer to the sizes one fused call needs.
+    pub fn ensure(&mut self, px: usize, pz: usize, fft_len: usize) {
+        let grow_c = |v: &mut Vec<C64>, n: usize| {
+            if v.len() < n {
+                v.resize(n, C64::new(0.0, 0.0));
+            }
+        };
+        grow_c(&mut self.cline, px / 2 + 1);
+        grow_c(&mut self.zline, pz);
+        grow_c(&mut self.fft, fft_len);
+        if self.phys.len() < 3 * px {
+            self.phys.resize(3 * px, 0.0);
+        }
+        if self.prod.len() < px {
+            self.prod.resize(px, 0.0);
+        }
+    }
+
+    /// A fresh, fully sized scratch (threaded workers).
+    pub fn sized(px: usize, pz: usize, fft_len: usize) -> LineScratch {
+        let mut s = LineScratch::default();
+        s.ensure(px, pz, fft_len);
+        s
+    }
+}

@@ -137,6 +137,19 @@ impl<'a, T: Send> EnumerateChunks<'a, T> {
     where
         F: Fn((usize, &mut [T])) + Send + Sync,
     {
+        self.for_each_init(|| (), |(), item| f(item));
+    }
+
+    /// `for_each` with per-worker state: `init` runs once per worker (not
+    /// once per item), and each item sees `&mut` access to its worker's
+    /// state — rayon's `for_each_init` contract, used for reusable
+    /// per-thread scratch buffers.
+    pub fn for_each_init<S, INIT, F>(self, init: INIT, f: F)
+    where
+        S: Send,
+        INIT: Fn() -> S + Send + Sync,
+        F: Fn(&mut S, (usize, &mut [T])) + Send + Sync,
+    {
         let chunk = self.inner.chunk_size;
         let workers = active_threads();
         let mut items: Vec<(usize, &'a mut [T])> = self
@@ -145,19 +158,25 @@ impl<'a, T: Send> EnumerateChunks<'a, T> {
             .chunks_exact_mut(chunk)
             .enumerate()
             .collect();
+        if items.is_empty() {
+            return;
+        }
         if workers <= 1 || items.len() <= 1 {
+            let mut state = init();
             for (i, line) in items {
-                f((i, line));
+                f(&mut state, (i, line));
             }
             return;
         }
         let per = items.len().div_ceil(workers);
         let fref = &f;
+        let iref = &init;
         std::thread::scope(|s| {
             for group in items.chunks_mut(per) {
                 s.spawn(move || {
+                    let mut state = iref();
                     for (i, line) in group.iter_mut() {
-                        fref((*i, line));
+                        fref(&mut state, (*i, line));
                     }
                 });
             }
@@ -200,6 +219,32 @@ mod tests {
             .enumerate()
             .for_each(|(_, line)| line.fill(0));
         assert_eq!(&data[8..], &[7, 7]);
+    }
+
+    #[test]
+    fn for_each_init_runs_init_once_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let mut data = [0usize; 2 * 12];
+        pool.install(|| {
+            use crate::prelude::*;
+            data.par_chunks_exact_mut(2).enumerate().for_each_init(
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    vec![0u8; 16] // per-worker scratch
+                },
+                |scratch, (l, line)| {
+                    scratch[0] = scratch[0].wrapping_add(1);
+                    line.fill(l + 1);
+                },
+            );
+        });
+        // one init per spawned worker group, never one per item
+        let n = inits.load(Ordering::Relaxed);
+        assert!((1..=3).contains(&n), "init ran {n} times");
+        for (l, line) in data.chunks_exact(2).enumerate() {
+            assert!(line.iter().all(|&v| v == l + 1));
+        }
     }
 
     #[test]
