@@ -9,11 +9,26 @@
 //!
 //! Runs the simulation, prints live statistics, writes profile/spectra
 //! CSVs and (optionally) checkpoints and a Chrome trace of the run.
+//!
+//! The RK3 loop runs under the [`dns_resilience`] supervisor: with
+//! `--checkpoint-every N --max-restarts K` an injected (or real) rank
+//! crash is caught, the world is relaunched, and the run resumes from
+//! the last committed checkpoint manifest. `--crash-at-step S` injects a
+//! deterministic crash for chaos demos:
+//!
+//! ```text
+//! dns-run --steps 12 --checkpoint-every 4 --max-restarts 2 \
+//!         --crash-at-step 6 --recovery-log target/recovery.json
+//! ```
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
+use dns_core::solver::ChannelDns;
 use dns_core::stats::{profiles, RunningStats};
-use dns_core::{checkpoint, io, run_serial, spectra, Forcing, Params};
+use dns_core::{checkpoint, io, spectra, Forcing, Params};
+use dns_minimpi::{Communicator, FaultPlan};
+use dns_resilience::{supervise, SupervisorConfig};
 use dns_telemetry as telemetry;
 
 struct Args {
@@ -27,6 +42,10 @@ struct Args {
     turb_ic: Option<f64>,
     trace: Option<PathBuf>,
     metrics_every: usize,
+    max_restarts: usize,
+    crash_at_step: Option<u64>,
+    crash_rank: usize,
+    recovery_log: Option<PathBuf>,
 }
 
 /// One command-line flag: name, value placeholder (`None` for flags that
@@ -135,6 +154,31 @@ const FLAGS: &[Flag] = &[
         help: "start from the laminar profile instead",
     },
     Flag {
+        name: "--grid",
+        value: Some("PAxPB"),
+        help: "process grid, e.g. 2x2 (default 1x1; ranks are threads)",
+    },
+    Flag {
+        name: "--max-restarts",
+        value: Some("K"),
+        help: "relaunch after rank crashes up to K times, resuming from the last checkpoint manifest (default 0)",
+    },
+    Flag {
+        name: "--crash-at-step",
+        value: Some("S"),
+        help: "chaos demo: crash a rank after completing step S (first launch only)",
+    },
+    Flag {
+        name: "--crash-rank",
+        value: Some("R"),
+        help: "world rank that --crash-at-step kills (default 0)",
+    },
+    Flag {
+        name: "--recovery-log",
+        value: Some("FILE.json"),
+        help: "write the supervisor's recovery-event timeline as JSON",
+    },
+    Flag {
         name: "--trace",
         value: Some("FILE.json"),
         help: "write a Chrome trace-event timeline of the run (open in Perfetto)",
@@ -182,6 +226,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         turb_ic: Some(0.5),
         trace: None,
         metrics_every: 0,
+        max_restarts: 0,
+        crash_at_step: None,
+        crash_rank: 0,
+        recovery_log: None,
     };
     let mut i = 1;
     let take = |i: &mut usize| -> Result<String, String> {
@@ -221,6 +269,18 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--turbulent-ic" => args.turb_ic = Some(num(&flag, take(&mut i)?)?),
             "--laminar-ic" => args.turb_ic = None,
+            "--grid" => {
+                let v = take(&mut i)?;
+                let (pa, pb) = v
+                    .split_once('x')
+                    .ok_or_else(|| format!("--grid: expected PAxPB, got {v:?}"))?;
+                args.params.pa = num(&flag, pa.to_string())?;
+                args.params.pb = num(&flag, pb.to_string())?;
+            }
+            "--max-restarts" => args.max_restarts = num(&flag, take(&mut i)?)?,
+            "--crash-at-step" => args.crash_at_step = Some(num(&flag, take(&mut i)?)?),
+            "--crash-rank" => args.crash_rank = num(&flag, take(&mut i)?)?,
+            "--recovery-log" => args.recovery_log = Some(PathBuf::from(take(&mut i)?)),
             "--trace" => args.trace = Some(PathBuf::from(take(&mut i)?)),
             "--metrics-every" => args.metrics_every = num(&flag, take(&mut i)?)?,
             "--help" | "-h" => {
@@ -234,7 +294,194 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.stats_every == 0 {
         return Err("--stats-every must be positive".into());
     }
+    if args.crash_rank >= args.params.pa * args.params.pb {
+        return Err(format!(
+            "--crash-rank {} is outside the {}x{} grid",
+            args.crash_rank, args.params.pa, args.params.pb
+        ));
+    }
     Ok(args)
+}
+
+/// Restore from `stem`'s newest committed manifest, falling back to a
+/// plain (manifest-less) per-rank checkpoint. `None` when there is
+/// nothing to restore — the caller starts from initial conditions.
+fn try_resume(dns: &mut ChannelDns, stem: &Path) -> Option<u64> {
+    match checkpoint::load_latest(dns, stem) {
+        Ok(step) => Some(step),
+        Err(checkpoint::CheckpointError::NoManifest { .. }) => match checkpoint::load(dns, stem) {
+            Ok(()) => Some(dns.state().steps),
+            Err(checkpoint::CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                None
+            }
+            Err(e) => panic!("cannot resume from {}: {e}", stem.display()),
+        },
+        Err(e) => panic!("cannot resume from {}: {e}", stem.display()),
+    }
+}
+
+/// One supervised attempt: build the solver, restore state if this is a
+/// restart (or an explicit `--resume`), run the RK3 loop to `a.steps`,
+/// write data products. Returns the trace path so `main` can export
+/// after all rank threads have flushed.
+fn attempt_body(
+    world: Communicator,
+    attempt: dns_resilience::Attempt,
+    a: &Args,
+) -> Option<PathBuf> {
+    // keep a control handle for fault polling; the solver owns `world`
+    let ctl = world.dup();
+    let mut dns = ChannelDns::new(world, a.params.clone());
+    let root = dns.pfft().comm_a().rank() == 0 && dns.pfft().comm_b().rank() == 0;
+    let stem = a.ckpt.clone().unwrap_or_else(|| a.out.join("state"));
+
+    let resume_stem = a.resume.clone().unwrap_or_else(|| stem.clone());
+    let restored = if a.resume.is_some() || attempt.index > 0 {
+        try_resume(&mut dns, &resume_stem)
+    } else {
+        None
+    };
+    match restored {
+        Some(step) => {
+            if root {
+                println!(
+                    "resumed from step {step} (t = {:.3}){}",
+                    dns.state().time,
+                    if attempt.index > 0 {
+                        format!(" after crash, attempt {}", attempt.index + 1)
+                    } else {
+                        String::new()
+                    }
+                );
+            }
+        }
+        None => {
+            if a.resume.is_some() && attempt.index == 0 {
+                panic!("--resume: no checkpoint at {}", resume_stem.display());
+            }
+            match a.turb_ic {
+                Some(amp) => {
+                    dns.set_turbulent_mean(1.0);
+                    dns.add_perturbation(amp, 2024);
+                }
+                None => dns.set_laminar(1.0),
+            }
+        }
+    }
+
+    let cfl = dns.cfl();
+    if root {
+        println!("initial CFL = {cfl:.3}");
+    }
+    let mut acc = RunningStats::new();
+    let t0 = std::time::Instant::now();
+    let first_step = dns.state().steps;
+    while dns.state().steps < a.steps as u64 {
+        dns.step();
+        let s = dns.state().steps;
+        if s.is_multiple_of(a.stats_every as u64) {
+            let p = profiles(&dns);
+            acc.add(&p);
+            let cfl = dns.cfl();
+            if root {
+                println!(
+                    "step {s:6}  t = {:7.3}  u_tau = {:.3}  Re_tau = {:6.1}  bulk = {:6.2}  CFL = {cfl:.2}",
+                    dns.state().time,
+                    p.u_tau,
+                    p.re_tau,
+                    p.bulk_velocity,
+                );
+            }
+        }
+        if a.metrics_every > 0 && s.is_multiple_of(a.metrics_every as u64) && root {
+            if a.trace.is_none() {
+                // windowed report: flush this rank's buffers, print, and
+                // clear so each report covers only its own window. (With
+                // --trace the registry must keep the whole run, so the
+                // reports are cumulative instead.)
+                telemetry::flush_thread();
+                println!(
+                    "\n-- telemetry, steps {}..{s} --",
+                    s - a.metrics_every as u64 + 1
+                );
+                print!("{}", telemetry::snapshot().phase_table());
+                telemetry::reset();
+            } else {
+                telemetry::flush_thread();
+                println!("\n-- telemetry, steps 1..{s} (cumulative) --");
+                print!("{}", telemetry::snapshot().phase_table());
+            }
+        }
+        if a.ckpt_every > 0 && s.is_multiple_of(a.ckpt_every as u64) {
+            checkpoint::save_with_manifest(&dns, &stem).expect("write checkpoint");
+        }
+        // injected chaos fires only after the step (and any checkpoint)
+        // committed, modelling a crash between iterations
+        ctl.poll_step_faults(s);
+    }
+    // commit the final state so a recovered run leaves the same last
+    // generation as an uninterrupted one
+    if a.ckpt_every > 0 && !(a.steps as u64).is_multiple_of(a.ckpt_every as u64) {
+        checkpoint::save_with_manifest(&dns, &stem).expect("write final checkpoint");
+    }
+    let wall = t0.elapsed().as_secs_f64();
+    let ran = dns.state().steps - first_step;
+    if root && ran > 0 {
+        println!(
+            "\n{ran} steps in {:.1} s ({:.0} ms/step)",
+            wall,
+            wall / ran as f64 * 1e3
+        );
+    }
+
+    // final data products
+    let p = if acc.count() > 0 {
+        acc.mean()
+    } else {
+        profiles(&dns)
+    };
+    let sp = spectra::spectra(&dns);
+    let phys = io::gather_physical(&dns, dns.state().u());
+    if root {
+        let yp = p.y_plus();
+        let up = p.u_plus();
+        io::write_csv(
+            &a.out.join("profiles.csv"),
+            &[
+                ("y", &p.y[..]),
+                ("y_plus", &yp[..]),
+                ("u_mean", &p.u_mean[..]),
+                ("u_plus", &up[..]),
+                ("uu", &p.uu[..]),
+                ("vv", &p.vv[..]),
+                ("ww", &p.ww[..]),
+                ("uv", &p.uv[..]),
+            ],
+        )
+        .expect("write profiles");
+        let kx: Vec<f64> = sp.kx.iter().map(|&k| k as f64).collect();
+        io::write_csv(
+            &a.out.join("spectra_kx.csv"),
+            &[
+                ("kx", &kx[..]),
+                ("euu", &sp.euu_kx[..]),
+                ("evv", &sp.evv_kx[..]),
+                ("eww", &sp.eww_kx[..]),
+            ],
+        )
+        .expect("write spectra");
+    }
+    if let Some(f) = phys {
+        let (w, h, slice) = f.slice_xy(f.nz / 2);
+        io::write_pgm(&a.out.join("u_slice.pgm"), w, h, &slice).expect("write slice");
+    }
+    if root {
+        println!(
+            "wrote {}/profiles.csv, spectra_kx.csv, u_slice.pgm",
+            a.out.display()
+        );
+    }
+    a.trace.clone()
 }
 
 fn main() {
@@ -267,112 +514,55 @@ fn main() {
         1.0 / a.params.nu,
         a.params.dt
     );
-    let params = a.params.clone();
-    let trace = run_serial(params, move |dns| {
-        if let Some(stem) = &a.resume {
-            checkpoint::load(dns, stem).expect("load checkpoint");
-            println!(
-                "resumed from step {} (t = {:.3})",
-                dns.state().steps,
-                dns.state().time
-            );
-        } else {
-            match a.turb_ic {
-                Some(amp) => {
-                    dns.set_turbulent_mean(1.0);
-                    dns.add_perturbation(amp, 2024);
-                }
-                None => dns.set_laminar(1.0),
+    let ranks = a.params.pa * a.params.pb;
+    let crash_plan = match a.crash_at_step {
+        Some(step) => FaultPlan::none().crash_at_step(a.crash_rank, step),
+        None => FaultPlan::none(),
+    };
+    let a = Arc::new(a);
+    let body_args = Arc::clone(&a);
+    let report = supervise(
+        SupervisorConfig {
+            ranks,
+            max_restarts: a.max_restarts,
+            recv_timeout: dns_minimpi::RECV_TIMEOUT,
+        },
+        // chaos only on the first launch; restarts run clean
+        move |attempt| {
+            if attempt == 0 {
+                crash_plan.clone()
+            } else {
+                FaultPlan::none()
             }
-        }
-        println!("initial CFL = {:.3}", dns.cfl());
-        let mut acc = RunningStats::new();
-        let t0 = std::time::Instant::now();
-        for s in 1..=a.steps {
-            dns.step();
-            if s % a.stats_every == 0 {
-                let p = profiles(dns);
-                acc.add(&p);
-                println!(
-                    "step {s:6}  t = {:7.3}  u_tau = {:.3}  Re_tau = {:6.1}  bulk = {:6.2}  CFL = {:.2}",
-                    dns.state().time,
-                    p.u_tau,
-                    p.re_tau,
-                    p.bulk_velocity,
-                    dns.cfl(),
-                );
-            }
-            if a.metrics_every > 0 && s % a.metrics_every == 0 && a.trace.is_none() {
-                // windowed report: flush this rank's buffers, print, and
-                // clear so each report covers only its own window. (With
-                // --trace the registry must keep the whole run, so the
-                // reports are cumulative instead.)
-                telemetry::flush_thread();
-                println!("\n-- telemetry, steps {}..{s} --", s - a.metrics_every + 1);
-                print!("{}", telemetry::snapshot().phase_table());
-                telemetry::reset();
-            } else if a.metrics_every > 0 && s % a.metrics_every == 0 {
-                telemetry::flush_thread();
-                println!("\n-- telemetry, steps 1..{s} (cumulative) --");
-                print!("{}", telemetry::snapshot().phase_table());
-            }
-            if a.ckpt_every > 0 && s % a.ckpt_every == 0 {
-                let stem = a.ckpt.clone().unwrap_or_else(|| a.out.join("state"));
-                checkpoint::save(dns, &stem).expect("write checkpoint");
-            }
-        }
-        let wall = t0.elapsed().as_secs_f64();
+        },
+        move |world, attempt| attempt_body(world, attempt, &body_args),
+    );
+    if report.restarts > 0 {
         println!(
-            "\n{} steps in {:.1} s ({:.0} ms/step)",
-            a.steps,
-            wall,
-            wall / a.steps as f64 * 1e3
+            "supervisor: {} restart(s) issued, run {}",
+            report.restarts,
+            if report.succeeded() {
+                "recovered"
+            } else {
+                "abandoned"
+            }
         );
-
-        // final data products
-        let p = if acc.count() > 0 {
-            acc.mean()
+    }
+    if let Some(path) = &a.recovery_log {
+        if let Err(e) = std::fs::write(path, report.events_json()) {
+            eprintln!("dns-run: cannot write recovery log {}: {e}", path.display());
         } else {
-            profiles(dns)
-        };
-        let yp = p.y_plus();
-        let up = p.u_plus();
-        io::write_csv(
-            &a.out.join("profiles.csv"),
-            &[
-                ("y", &p.y[..]),
-                ("y_plus", &yp[..]),
-                ("u_mean", &p.u_mean[..]),
-                ("u_plus", &up[..]),
-                ("uu", &p.uu[..]),
-                ("vv", &p.vv[..]),
-                ("ww", &p.ww[..]),
-                ("uv", &p.uv[..]),
-            ],
-        )
-        .expect("write profiles");
-        let sp = spectra::spectra(dns);
-        let kx: Vec<f64> = sp.kx.iter().map(|&k| k as f64).collect();
-        io::write_csv(
-            &a.out.join("spectra_kx.csv"),
-            &[
-                ("kx", &kx[..]),
-                ("euu", &sp.euu_kx[..]),
-                ("evv", &sp.evv_kx[..]),
-                ("eww", &sp.eww_kx[..]),
-            ],
-        )
-        .expect("write spectra");
-        if let Some(f) = io::gather_physical(dns, dns.state().u()) {
-            let (w, h, slice) = f.slice_xy(f.nz / 2);
-            io::write_pgm(&a.out.join("u_slice.pgm"), w, h, &slice).expect("write slice");
+            println!("wrote recovery log {}", path.display());
         }
-        println!(
-            "wrote {}/profiles.csv, spectra_kx.csv, u_slice.pgm",
-            a.out.display()
+    }
+    let Some(results) = report.results else {
+        eprintln!(
+            "dns-run: run failed after {} restart(s); see recovery events",
+            report.restarts
         );
-        a.trace.clone()
-    });
+        std::process::exit(1);
+    };
+    let trace = results.into_iter().next().flatten();
     // export after the rank thread has flushed (its RankScope drops when
     // run_serial returns), so the trace holds the complete timeline
     if let Some(path) = trace {

@@ -2,16 +2,175 @@
 //! per rank — the restart capability any 650,000-step production run
 //! (section 6 of the paper) depends on.
 //!
-//! Format (little-endian): magic, grid signature, time, step count,
-//! then the five coefficient fields as raw `f64` pairs.
+//! # Format (version 2, little-endian)
+//!
+//! Per-rank record:
+//!
+//! ```text
+//! magic        u64   "CNDSKPT2"
+//! version      u64   2
+//! params_hash  u64   Params::state_hash() — physics digest
+//! pa, pb       u64   process grid the run was decomposed on
+//! a, b         u64   this rank's grid coordinates
+//! nx, ny, nz   u64   spectral grid
+//! step         u64   completed timesteps
+//! time         f64   simulation time
+//! dyn_force    f64   mass-flux controller output
+//! flux_int     f64   mass-flux controller integral state
+//! field_len    u64   complex coefficients per field on this rank
+//! 5 fields     field_len x (re f64, im f64) — u, v, w, omega_y, phi
+//! crc          u32   CRC-32 of every preceding byte
+//! ```
+//!
+//! Every header field the running solver can disagree with is validated
+//! on load and surfaced as a typed [`CheckpointError`]; the trailing CRC
+//! catches truncation and bit rot before any of that parsing is trusted.
+//! Writes go to a `.tmp` sibling and are renamed into place, so a crash
+//! mid-write can never leave a half-written file under the real name.
+//!
+//! # Manifest layer
+//!
+//! A single rank file is not a checkpoint — a restartable state is *all*
+//! `pa x pb` files from the same step. [`save_with_manifest`] writes
+//! per-rank records under generation stems (`<stem>.s<step>.r<a>x<b>.ckpt`),
+//! gathers every rank's CRC to grid rank (0,0), writes
+//! `<stem>.s<step>.manifest` listing them, and atomically flips a
+//! `<stem>.latest` pointer — which is the commit point: a crash at any
+//! earlier moment leaves the previous generation intact and pointed-to.
+//! [`load_latest`] follows the pointer and validates this rank's record
+//! against the manifest entry. The last two generations are kept (the
+//! newest may be the one a crash interrupted mid-gather; the one before
+//! is then still complete).
 
-use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+
+use dns_resilience::crc32;
 
 use crate::solver::ChannelDns;
 use crate::C64;
 
-const MAGIC: u64 = 0x434E_4453_4B50_5431; // "CNDSKPT1"
+const MAGIC: u64 = 0x434E_4453_4B50_5432; // "CNDSKPT2"
+const VERSION: u64 = 2;
+/// Header words before the fields: magic..field_len inclusive
+/// (magic, version, params_hash, pa, pb, a, b, nx, ny, nz, step, time,
+/// dyn_force, flux_integral, field_len).
+const HEADER_U64S: usize = 15;
+
+/// Why a checkpoint could not be written or restored.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file exists but does not carry the checkpoint magic.
+    NotACheckpoint {
+        /// Offending file.
+        path: PathBuf,
+    },
+    /// A checkpoint, but from an incompatible format version.
+    Version {
+        /// Offending file.
+        path: PathBuf,
+        /// Version word found in the file.
+        found: u64,
+    },
+    /// Header field disagrees with the running configuration.
+    Mismatch {
+        /// Which header field disagreed.
+        what: &'static str,
+        /// Value in the file.
+        found: u64,
+        /// Value the running solver expects.
+        expected: u64,
+    },
+    /// The stored CRC does not match the bytes (truncation / bit rot).
+    Corrupt {
+        /// Offending file.
+        path: PathBuf,
+        /// CRC recorded in the file (or manifest entry).
+        stored: u32,
+        /// CRC computed over the bytes actually read.
+        computed: u32,
+    },
+    /// The manifest exists but is malformed or fails its own CRC.
+    Manifest {
+        /// Offending manifest.
+        path: PathBuf,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// No `<stem>.latest` pointer — nothing to restart from.
+    NoManifest {
+        /// The checkpoint stem that has no committed generation.
+        stem: PathBuf,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            CheckpointError::NotACheckpoint { path } => {
+                write!(f, "{} is not a channel-dns checkpoint", path.display())
+            }
+            CheckpointError::Version { path, found } => write!(
+                f,
+                "{}: unsupported checkpoint version {found} (expected {VERSION})",
+                path.display()
+            ),
+            CheckpointError::Mismatch {
+                what,
+                found,
+                expected,
+            } => write!(
+                f,
+                "checkpoint {what} mismatch: file has {found:#x}, run expects {expected:#x}"
+            ),
+            CheckpointError::Corrupt {
+                path,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "{} is corrupt: stored CRC {stored:#010x}, computed {computed:#010x}",
+                path.display()
+            ),
+            CheckpointError::Manifest { path, reason } => {
+                write!(f, "bad manifest {}: {reason}", path.display())
+            }
+            CheckpointError::NoManifest { stem } => write!(
+                f,
+                "no checkpoint manifest found for stem {}",
+                stem.display()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CheckpointError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Receipt for one written rank record.
+#[derive(Clone, Debug)]
+pub struct RankCkpt {
+    /// Final (renamed) path of the record.
+    pub path: PathBuf,
+    /// CRC-32 sealed into the record (also the manifest entry).
+    pub crc: u32,
+    /// Total file size in bytes.
+    pub bytes: u64,
+}
 
 /// Per-rank checkpoint path: `<stem>.r<a>x<b>.ckpt`.
 pub fn rank_path(stem: &Path, dns: &ChannelDns) -> PathBuf {
@@ -20,60 +179,51 @@ pub fn rank_path(stem: &Path, dns: &ChannelDns) -> PathBuf {
     stem.with_extension(format!("r{a}x{b}.ckpt"))
 }
 
-fn put_u64(w: &mut impl Write, v: u64) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-fn put_f64(w: &mut impl Write, v: f64) -> std::io::Result<()> {
-    w.write_all(&v.to_le_bytes())
-}
-fn get_u64(r: &mut impl Read) -> std::io::Result<u64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(u64::from_le_bytes(b))
-}
-fn get_f64(r: &mut impl Read) -> std::io::Result<f64> {
-    let mut b = [0u8; 8];
-    r.read_exact(&mut b)?;
-    Ok(f64::from_le_bytes(b))
+fn gen_rank_path(stem: &Path, step: u64, a: usize, b: usize) -> PathBuf {
+    stem.with_extension(format!("s{step}.r{a}x{b}.ckpt"))
 }
 
-fn put_field(w: &mut impl Write, f: &[C64]) -> std::io::Result<()> {
-    put_u64(w, f.len() as u64)?;
-    for c in f {
-        put_f64(w, c.re)?;
-        put_f64(w, c.im)?;
-    }
-    Ok(())
+fn manifest_path(stem: &Path, step: u64) -> PathBuf {
+    stem.with_extension(format!("s{step}.manifest"))
 }
 
-fn get_field(r: &mut impl Read, expect: usize) -> std::io::Result<Vec<C64>> {
-    let n = get_u64(r)? as usize;
-    if n != expect {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("field length {n}, expected {expect}"),
-        ));
-    }
-    let mut out = Vec::with_capacity(n);
-    for _ in 0..n {
-        let re = get_f64(r)?;
-        let im = get_f64(r)?;
-        out.push(C64::new(re, im));
-    }
-    Ok(out)
+fn latest_path(stem: &Path) -> PathBuf {
+    stem.with_extension("latest")
 }
 
-/// Write this rank's state to `<stem>.r<a>x<b>.ckpt`.
-pub fn save(dns: &ChannelDns, stem: &Path) -> std::io::Result<()> {
-    let path = rank_path(stem, dns);
-    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serialise this rank's full record (header + fields + trailing CRC).
+fn encode(dns: &ChannelDns) -> Vec<u8> {
     let p = dns.params();
-    put_u64(&mut w, MAGIC)?;
-    for v in [p.nx, p.ny, p.nz, p.pa, p.pb] {
-        put_u64(&mut w, v as u64)?;
+    let len = dns.field_len();
+    let mut buf = Vec::with_capacity(HEADER_U64S * 8 + 5 * len * 16 + 4);
+    put_u64(&mut buf, MAGIC);
+    put_u64(&mut buf, VERSION);
+    put_u64(&mut buf, p.state_hash());
+    for v in [
+        p.pa,
+        p.pb,
+        dns.pfft().comm_a().rank(),
+        dns.pfft().comm_b().rank(),
+        p.nx,
+        p.ny,
+        p.nz,
+    ] {
+        put_u64(&mut buf, v as u64);
     }
-    put_f64(&mut w, dns.state().time)?;
-    put_u64(&mut w, dns.state().steps)?;
+    put_u64(&mut buf, dns.state().steps);
+    put_f64(&mut buf, dns.state().time);
+    let (dyn_force, flux_integral) = dns.controller_state();
+    put_f64(&mut buf, dyn_force);
+    put_f64(&mut buf, flux_integral);
+    put_u64(&mut buf, len as u64);
     for f in [
         dns.state().u(),
         dns.state().v(),
@@ -81,56 +231,459 @@ pub fn save(dns: &ChannelDns, stem: &Path) -> std::io::Result<()> {
         dns.state().omega_y(),
         dns.state().phi(),
     ] {
-        put_field(&mut w, f)?;
-    }
-    w.flush()
-}
-
-/// Load this rank's state from `<stem>.r<a>x<b>.ckpt`; the grid and
-/// process layout must match the running configuration.
-pub fn load(dns: &mut ChannelDns, stem: &Path) -> std::io::Result<()> {
-    let path = rank_path(stem, dns);
-    let mut r = std::io::BufReader::new(std::fs::File::open(path)?);
-    if get_u64(&mut r)? != MAGIC {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            "not a channel-dns checkpoint",
-        ));
-    }
-    let p = dns.params().clone();
-    for want in [p.nx, p.ny, p.nz, p.pa, p.pb] {
-        let got = get_u64(&mut r)? as usize;
-        if got != want {
-            return Err(std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("grid mismatch: {got} vs {want}"),
-            ));
+        for c in f {
+            put_f64(&mut buf, c.re);
+            put_f64(&mut buf, c.im);
         }
     }
-    let time = get_f64(&mut r)?;
-    let steps = get_u64(&mut r)?;
-    let len = dns.field_len();
-    let u = get_field(&mut r, len)?;
-    let v = get_field(&mut r, len)?;
-    let w = get_field(&mut r, len)?;
-    let o = get_field(&mut r, len)?;
-    let phi = get_field(&mut r, len)?;
-    dns.restore_state(u, v, w, o, phi, time, steps);
+    let crc = crc32(&buf);
+    buf.extend_from_slice(&crc.to_le_bytes());
+    buf
+}
+
+/// Write `bytes` to `path` atomically: a `.tmp` sibling first, then a
+/// rename. A crash between the two leaves only the sibling behind; the
+/// real name either holds the previous complete file or the new one.
+fn write_atomic(path: &Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Write this rank's state to `path` and return its receipt.
+fn save_to(dns: &ChannelDns, path: &Path) -> Result<RankCkpt, CheckpointError> {
+    let buf = encode(dns);
+    write_atomic(path, &buf)?;
+    let crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+    Ok(RankCkpt {
+        path: path.to_path_buf(),
+        crc,
+        bytes: buf.len() as u64,
+    })
+}
+
+/// Write this rank's state to `<stem>.r<a>x<b>.ckpt` (atomic).
+pub fn save(dns: &ChannelDns, stem: &Path) -> Result<RankCkpt, CheckpointError> {
+    save_to(dns, &rank_path(stem, dns))
+}
+
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl Cursor<'_> {
+    fn u64(&mut self) -> u64 {
+        let v = u64::from_le_bytes(self.buf[self.pos..self.pos + 8].try_into().unwrap());
+        self.pos += 8;
+        v
+    }
+    fn f64(&mut self) -> f64 {
+        f64::from_bits(self.u64())
+    }
+}
+
+/// Validate and apply a serialised record to the running solver.
+fn decode(dns: &mut ChannelDns, path: &Path, buf: &[u8]) -> Result<(), CheckpointError> {
+    // integrity first: nothing in the file is trusted until the CRC holds
+    if buf.len() < HEADER_U64S * 8 + 4 {
+        return Err(CheckpointError::NotACheckpoint {
+            path: path.to_path_buf(),
+        });
+    }
+    let (body, tail) = buf.split_at(buf.len() - 4);
+    let stored = u32::from_le_bytes(tail.try_into().unwrap());
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            stored,
+            computed,
+        });
+    }
+    let mut c = Cursor { buf: body, pos: 0 };
+    if c.u64() != MAGIC {
+        return Err(CheckpointError::NotACheckpoint {
+            path: path.to_path_buf(),
+        });
+    }
+    let version = c.u64();
+    if version != VERSION {
+        return Err(CheckpointError::Version {
+            path: path.to_path_buf(),
+            found: version,
+        });
+    }
+    let p = dns.params().clone();
+    let expect_hash = p.state_hash();
+    let found_hash = c.u64();
+    if found_hash != expect_hash {
+        return Err(CheckpointError::Mismatch {
+            what: "params hash",
+            found: found_hash,
+            expected: expect_hash,
+        });
+    }
+    let checks: [(&'static str, usize); 7] = [
+        ("process grid pa", p.pa),
+        ("process grid pb", p.pb),
+        ("rank coordinate a", dns.pfft().comm_a().rank()),
+        ("rank coordinate b", dns.pfft().comm_b().rank()),
+        ("grid nx", p.nx),
+        ("grid ny", p.ny),
+        ("grid nz", p.nz),
+    ];
+    for (what, expected) in checks {
+        let found = c.u64();
+        if found != expected as u64 {
+            return Err(CheckpointError::Mismatch {
+                what,
+                found,
+                expected: expected as u64,
+            });
+        }
+    }
+    let steps = c.u64();
+    let time = c.f64();
+    let dyn_force = c.f64();
+    let flux_integral = c.f64();
+    let len = c.u64() as usize;
+    let expect_len = dns.field_len();
+    if len != expect_len {
+        return Err(CheckpointError::Mismatch {
+            what: "field length",
+            found: len as u64,
+            expected: expect_len as u64,
+        });
+    }
+    if body.len() != HEADER_U64S * 8 + 5 * len * 16 {
+        return Err(CheckpointError::Corrupt {
+            path: path.to_path_buf(),
+            stored,
+            computed: stored ^ 1, // length lies even though CRC held: impossible unless crafted
+        });
+    }
+    let mut fields = Vec::with_capacity(5);
+    for _ in 0..5 {
+        let mut f = Vec::with_capacity(len);
+        for _ in 0..len {
+            let re = c.f64();
+            let im = c.f64();
+            f.push(C64::new(re, im));
+        }
+        fields.push(f);
+    }
+    let phi = fields.pop().unwrap();
+    let omega_y = fields.pop().unwrap();
+    let w = fields.pop().unwrap();
+    let v = fields.pop().unwrap();
+    let u = fields.pop().unwrap();
+    dns.restore_state(u, v, w, omega_y, phi, time, steps);
+    dns.restore_controller(dyn_force, flux_integral);
     Ok(())
+}
+
+/// Load this rank's state from `path`, validating CRC and every header
+/// field against the running configuration.
+fn load_from(dns: &mut ChannelDns, path: &Path) -> Result<(), CheckpointError> {
+    let buf = std::fs::read(path)?;
+    decode(dns, path, &buf)
+}
+
+/// Load this rank's state from `<stem>.r<a>x<b>.ckpt`.
+pub fn load(dns: &mut ChannelDns, stem: &Path) -> Result<(), CheckpointError> {
+    let path = rank_path(stem, dns);
+    load_from(dns, &path)
+}
+
+/// How many checkpoint generations [`save_with_manifest`] retains.
+const KEEP_GENERATIONS: usize = 2;
+
+/// Collective checkpoint over the whole process grid: every rank writes
+/// its generation record, rank (0,0) gathers all CRCs, writes the
+/// manifest, and flips the `<stem>.latest` pointer (the commit point).
+/// Returns the manifest path on grid rank (0,0), `None` elsewhere.
+///
+/// No rank returns before the manifest is durable, so a crash *after*
+/// this call can always restart from the generation it wrote; a crash
+/// *during* it leaves the previous `.latest` target intact.
+pub fn save_with_manifest(
+    dns: &ChannelDns,
+    stem: &Path,
+) -> Result<Option<PathBuf>, CheckpointError> {
+    let step = dns.state().steps;
+    let comm_a = dns.pfft().comm_a();
+    let comm_b = dns.pfft().comm_b();
+    let (a, b) = (comm_a.rank(), comm_b.rank());
+    let receipt = save_to(dns, &gen_rank_path(stem, step, a, b))?;
+
+    // two-stage gather of (a, b, crc, bytes) onto grid rank (0,0):
+    // along comm_a to each (0, b), then along comm_b to (0, 0)
+    let entry = vec![a as u64, b as u64, receipt.crc as u64, receipt.bytes];
+    let column = comm_a.gather(0, entry);
+    let mut manifest = None;
+    if a == 0 {
+        let flat: Vec<u64> = column.expect("comm_a root").into_iter().flatten().collect();
+        let rows = comm_b.gather(0, flat);
+        if b == 0 {
+            let entries: Vec<u64> = rows.expect("comm_b root").into_iter().flatten().collect();
+            let path = write_manifest(dns, stem, step, &entries)?;
+            write_atomic(
+                &latest_path(stem),
+                path.file_name()
+                    .expect("manifest has a file name")
+                    .to_string_lossy()
+                    .as_bytes(),
+            )?;
+            prune_generations(stem, step);
+            manifest = Some(path);
+        }
+        // holds the a == 0 row until the pointer flip is durable
+        comm_b.barrier();
+    }
+    // holds every column until its a == 0 member has passed the flip
+    comm_a.barrier();
+    Ok(manifest)
+}
+
+/// Write `<stem>.s<step>.manifest` (atomic). `entries` is a flat
+/// `[a, b, crc, bytes]` quadruple per rank.
+fn write_manifest(
+    dns: &ChannelDns,
+    stem: &Path,
+    step: u64,
+    entries: &[u64],
+) -> Result<PathBuf, CheckpointError> {
+    let p = dns.params();
+    let mut text = String::new();
+    text.push_str("channel-dns manifest v2\n");
+    text.push_str(&format!("params_hash {:016x}\n", p.state_hash()));
+    text.push_str(&format!("step {step}\n"));
+    text.push_str(&format!("time_bits {:016x}\n", dns.state().time.to_bits()));
+    text.push_str(&format!("grid {} {} {}\n", p.nx, p.ny, p.nz));
+    text.push_str(&format!("layout {} {}\n", p.pa, p.pb));
+    let mut quads: Vec<&[u64]> = entries.chunks_exact(4).collect();
+    quads.sort_by_key(|q| (q[0], q[1]));
+    if quads.len() != p.pa * p.pb {
+        return Err(CheckpointError::Manifest {
+            path: manifest_path(stem, step),
+            reason: format!(
+                "gathered {} rank entries, expected {}",
+                quads.len(),
+                p.pa * p.pb
+            ),
+        });
+    }
+    for q in quads {
+        text.push_str(&format!(
+            "rank {} {} {:08x} {}\n",
+            q[0], q[1], q[2] as u32, q[3]
+        ));
+    }
+    text.push_str(&format!("crc {:08x}\n", crc32(text.as_bytes())));
+    let path = manifest_path(stem, step);
+    write_atomic(&path, text.as_bytes())?;
+    Ok(path)
+}
+
+/// Best-effort removal of generations older than the `KEEP_GENERATIONS`
+/// newest. Failures are ignored: pruning is hygiene, not correctness.
+fn prune_generations(stem: &Path, current_step: u64) {
+    let Some(dir) = stem.parent() else { return };
+    let Some(base) = stem.file_stem().and_then(|s| s.to_str()) else {
+        return;
+    };
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    let mut steps: Vec<u64> = Vec::new();
+    for entry in listing.flatten() {
+        if let Some(step) =
+            parse_generation(&entry.file_name().to_string_lossy(), base, ".manifest")
+        {
+            steps.push(step);
+        }
+    }
+    steps.sort_unstable();
+    steps.dedup();
+    let cutoff_index = steps.len().saturating_sub(KEEP_GENERATIONS);
+    let stale: Vec<u64> = steps[..cutoff_index]
+        .iter()
+        .copied()
+        .filter(|&s| s != current_step)
+        .collect();
+    if stale.is_empty() {
+        return;
+    }
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in listing.flatten() {
+        let name = entry.file_name().to_string_lossy().to_string();
+        let step = parse_generation(&name, base, ".manifest")
+            .or_else(|| parse_generation_ckpt(&name, base));
+        if let Some(s) = step {
+            if stale.contains(&s) {
+                let _ = std::fs::remove_file(entry.path());
+            }
+        }
+    }
+}
+
+/// Parse `<base>.s<step><suffix>` → step.
+fn parse_generation(name: &str, base: &str, suffix: &str) -> Option<u64> {
+    let rest = name.strip_prefix(base)?.strip_prefix(".s")?;
+    rest.strip_suffix(suffix)?.parse().ok()
+}
+
+/// Parse `<base>.s<step>.r<a>x<b>.ckpt` → step.
+fn parse_generation_ckpt(name: &str, base: &str) -> Option<u64> {
+    let rest = name.strip_prefix(base)?.strip_prefix(".s")?;
+    let (step, tail) = rest.split_once(".r")?;
+    if !tail.ends_with(".ckpt") {
+        return None;
+    }
+    step.parse().ok()
+}
+
+/// Restore this rank from the newest committed generation: follow
+/// `<stem>.latest` to the manifest, validate the manifest's own CRC and
+/// headers, then load this rank's record and cross-check its CRC against
+/// the manifest entry. Purely local — every rank reads independently, so
+/// it is safe on restart paths where collective order is not yet
+/// re-established. Returns the restored step.
+pub fn load_latest(dns: &mut ChannelDns, stem: &Path) -> Result<u64, CheckpointError> {
+    let pointer = latest_path(stem);
+    let name = match std::fs::read_to_string(&pointer) {
+        Ok(s) => s.trim().to_string(),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return Err(CheckpointError::NoManifest {
+                stem: stem.to_path_buf(),
+            })
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let dir = stem.parent().unwrap_or_else(|| Path::new("."));
+    let mpath = dir.join(&name);
+    let text = std::fs::read_to_string(&mpath)?;
+    let bad = |reason: &str| CheckpointError::Manifest {
+        path: mpath.clone(),
+        reason: reason.to_string(),
+    };
+
+    // validate the manifest's own trailing CRC line
+    let body_end = text
+        .trim_end_matches('\n')
+        .rfind('\n')
+        .ok_or_else(|| bad("too short"))?
+        + 1;
+    let (body, crc_line) = text.split_at(body_end);
+    let stored = crc_line
+        .trim()
+        .strip_prefix("crc ")
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or_else(|| bad("missing crc line"))?;
+    let computed = crc32(body.as_bytes());
+    if stored != computed {
+        return Err(CheckpointError::Corrupt {
+            path: mpath,
+            stored,
+            computed,
+        });
+    }
+
+    let mut lines = body.lines();
+    if lines.next() != Some("channel-dns manifest v2") {
+        return Err(bad("bad header line"));
+    }
+    let mut params_hash = None;
+    let mut step = None;
+    let mut rank_entries: Vec<(u64, u64, u32, u64)> = Vec::new();
+    for line in lines {
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("params_hash") => {
+                params_hash = parts.next().and_then(|h| u64::from_str_radix(h, 16).ok());
+            }
+            Some("step") => step = parts.next().and_then(|s| s.parse().ok()),
+            Some("rank") => {
+                let vals: Vec<&str> = parts.collect();
+                if vals.len() != 4 {
+                    return Err(bad("malformed rank line"));
+                }
+                let a = vals[0].parse().map_err(|_| bad("bad rank a"))?;
+                let b = vals[1].parse().map_err(|_| bad("bad rank b"))?;
+                let crc = u32::from_str_radix(vals[2], 16).map_err(|_| bad("bad rank crc"))?;
+                let bytes = vals[3].parse().map_err(|_| bad("bad rank size"))?;
+                rank_entries.push((a, b, crc, bytes));
+            }
+            _ => {} // time_bits / grid / layout are informational here
+        }
+    }
+    let params_hash = params_hash.ok_or_else(|| bad("missing params_hash"))?;
+    let step = step.ok_or_else(|| bad("missing step"))?;
+    let expect_hash = dns.params().state_hash();
+    if params_hash != expect_hash {
+        return Err(CheckpointError::Mismatch {
+            what: "params hash",
+            found: params_hash,
+            expected: expect_hash,
+        });
+    }
+    let (a, b) = (
+        dns.pfft().comm_a().rank() as u64,
+        dns.pfft().comm_b().rank() as u64,
+    );
+    let &(_, _, want_crc, want_bytes) = rank_entries
+        .iter()
+        .find(|&&(ea, eb, _, _)| ea == a && eb == b)
+        .ok_or_else(|| bad("no entry for this rank"))?;
+
+    let rpath = gen_rank_path(stem, step, a as usize, b as usize);
+    let buf = std::fs::read(&rpath)?;
+    if buf.len() as u64 != want_bytes {
+        return Err(CheckpointError::Corrupt {
+            path: rpath,
+            stored: want_crc,
+            computed: crc32(&buf[..buf.len().saturating_sub(4)]),
+        });
+    }
+    let record_crc = u32::from_le_bytes(buf[buf.len() - 4..].try_into().unwrap());
+    if record_crc != want_crc {
+        return Err(CheckpointError::Corrupt {
+            path: rpath,
+            stored: want_crc,
+            computed: record_crc,
+        });
+    }
+    decode(dns, &rpath, &buf)?;
+    if dns.state().steps != step {
+        return Err(CheckpointError::Mismatch {
+            what: "manifest step",
+            found: dns.state().steps,
+            expected: step,
+        });
+    }
+    Ok(step)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::params::Params;
+    use crate::params::{Forcing, Params};
     use crate::solver::run_parallel;
     use crate::stats::profiles;
 
+    fn test_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
     #[test]
     fn checkpoint_roundtrip_resumes_bit_identically() {
-        let dir = std::env::temp_dir().join("dns_ckpt_test");
-        std::fs::create_dir_all(&dir).unwrap();
-        let stem = dir.join("state");
+        let stem = test_dir("dns_ckpt_test").join("state");
         let p = Params::channel(16, 25, 16, 80.0)
             .with_dt(1e-3)
             .with_grid(2, 2);
@@ -173,18 +726,141 @@ mod tests {
     }
 
     #[test]
-    fn grid_mismatch_is_rejected() {
-        let dir = std::env::temp_dir().join("dns_ckpt_test2");
-        std::fs::create_dir_all(&dir).unwrap();
-        let stem = dir.join("state");
+    fn grid_mismatch_is_rejected_with_typed_error() {
+        let stem = test_dir("dns_ckpt_test2").join("state");
         let stem2 = stem.clone();
         crate::solver::run_serial(Params::channel(16, 25, 16, 80.0), move |dns| {
             save(dns, &stem2).unwrap();
         });
         let stem3 = stem.clone();
         crate::solver::run_serial(Params::channel(32, 25, 16, 80.0), move |dns| {
-            let err = load(dns, &stem3).unwrap_err();
-            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+            // nx differs → params hash differs, caught before the grid words
+            match load(dns, &stem3).unwrap_err() {
+                CheckpointError::Mismatch { what, .. } => assert_eq!(what, "params hash"),
+                other => panic!("expected Mismatch, got {other}"),
+            }
         });
+    }
+
+    #[test]
+    fn physics_change_is_rejected_even_on_same_grid() {
+        let stem = test_dir("dns_ckpt_test3").join("state");
+        let stem2 = stem.clone();
+        crate::solver::run_serial(Params::channel(16, 25, 16, 80.0), move |dns| {
+            save(dns, &stem2).unwrap();
+        });
+        let stem3 = stem.clone();
+        let mut p = Params::channel(16, 25, 16, 80.0);
+        p.forcing = Forcing::ConstantMassFlux { bulk: 0.5 };
+        crate::solver::run_serial(p, move |dns| match load(dns, &stem3).unwrap_err() {
+            CheckpointError::Mismatch { what, .. } => assert_eq!(what, "params hash"),
+            other => panic!("expected Mismatch, got {other}"),
+        });
+    }
+
+    #[test]
+    fn corruption_is_detected_before_any_state_is_trusted() {
+        let stem = test_dir("dns_ckpt_test4").join("state");
+        let stem2 = stem.clone();
+        crate::solver::run_serial(Params::channel(16, 25, 16, 80.0), move |dns| {
+            let receipt = save(dns, &stem2).unwrap();
+            // flip one byte in the middle of a field
+            let mut bytes = std::fs::read(&receipt.path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x40;
+            std::fs::write(&receipt.path, &bytes).unwrap();
+        });
+        let stem3 = stem.clone();
+        crate::solver::run_serial(Params::channel(16, 25, 16, 80.0), move |dns| {
+            match load(dns, &stem3).unwrap_err() {
+                CheckpointError::Corrupt { .. } => {}
+                other => panic!("expected Corrupt, got {other}"),
+            }
+        });
+        // truncation likewise
+        let stem4 = stem.clone();
+        crate::solver::run_serial(Params::channel(16, 25, 16, 80.0), move |dns| {
+            let path = rank_path(&stem4, dns);
+            let bytes = std::fs::read(&path).unwrap();
+            std::fs::write(&path, &bytes[..bytes.len() - 100]).unwrap();
+            match load(dns, &stem4).unwrap_err() {
+                CheckpointError::Corrupt { .. } => {}
+                other => panic!("expected Corrupt, got {other}"),
+            }
+        });
+    }
+
+    #[test]
+    fn saves_are_atomic_no_tmp_left_behind() {
+        let dir = test_dir("dns_ckpt_test5");
+        let stem = dir.join("state");
+        let stem2 = stem.clone();
+        crate::solver::run_serial(Params::channel(16, 25, 16, 80.0), move |dns| {
+            save(dns, &stem2).unwrap();
+        });
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().to_string())
+            .collect();
+        assert!(
+            names.iter().all(|n| !n.ends_with(".tmp")),
+            "tmp sibling left behind: {names:?}"
+        );
+        assert!(names.iter().any(|n| n.ends_with(".ckpt")));
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_pruning() {
+        let dir = test_dir("dns_ckpt_test6");
+        let stem = dir.join("state");
+        let p = Params::channel(16, 25, 16, 80.0)
+            .with_dt(1e-3)
+            .with_grid(2, 2);
+
+        let stem2 = stem.clone();
+        run_parallel(p.clone(), move |dns| {
+            dns.set_laminar(0.5);
+            dns.add_perturbation(0.3, 21);
+            // three generations: steps 1, 2, 3
+            for _ in 0..3 {
+                dns.step();
+                save_with_manifest(dns, &stem2).unwrap();
+            }
+        });
+
+        // oldest generation pruned, last two kept
+        let names: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().to_string())
+            .collect();
+        assert!(
+            !names.iter().any(|n| n.contains(".s1.")),
+            "generation 1 should be pruned: {names:?}"
+        );
+        assert!(names.iter().any(|n| n.contains(".s2.manifest")));
+        assert!(names.iter().any(|n| n.contains(".s3.manifest")));
+        assert!(names.iter().any(|n| n == "state.latest"));
+
+        // restore from the pointer and verify it lands on step 3
+        let stem3 = stem.clone();
+        let steps = run_parallel(p, move |dns| {
+            let step = load_latest(dns, &stem3).unwrap();
+            assert_eq!(step, 3);
+            dns.state().steps
+        });
+        assert!(steps.iter().all(|&s| s == 3));
+    }
+
+    #[test]
+    fn load_latest_without_pointer_is_typed() {
+        let dir = test_dir("dns_ckpt_test7");
+        let stem = dir.join("state");
+        crate::solver::run_serial(
+            Params::channel(16, 25, 16, 80.0),
+            move |dns| match load_latest(dns, &stem).unwrap_err() {
+                CheckpointError::NoManifest { .. } => {}
+                other => panic!("expected NoManifest, got {other}"),
+            },
+        );
     }
 }

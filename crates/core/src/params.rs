@@ -137,6 +137,37 @@ impl Params {
     pub fn dof(&self) -> f64 {
         2.0 * self.nx as f64 * self.ny as f64 * self.nz as f64
     }
+
+    /// A 64-bit digest of every parameter that affects the *numerical
+    /// trajectory* — grid, domain, viscosity, time step, forcing, spline
+    /// basis, nonlinearity. Checkpoints store it so a restart under
+    /// different physics is rejected instead of silently continuing a
+    /// different simulation. Pure execution knobs (`pa`, `pb`,
+    /// `fft_threads`) are excluded: the decomposition is validated
+    /// separately, and results are layout-independent.
+    pub fn state_hash(&self) -> u64 {
+        fn mix(h: u64, v: u64) -> u64 {
+            let mut z = h.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+        let mut h = 0x434E_4453_0000_0000u64; // "CNDS" salt
+        for v in [self.nx, self.ny, self.nz, self.spline_order] {
+            h = mix(h, v as u64);
+        }
+        for v in [self.lx, self.lz, self.nu, self.dt, self.grid_stretch] {
+            h = mix(h, v.to_bits());
+        }
+        let (tag, value) = match self.forcing {
+            Forcing::PressureGradient(g) => (1u64, g.to_bits()),
+            Forcing::ConstantMassFlux { bulk } => (2, bulk.to_bits()),
+            Forcing::None => (3, 0),
+        };
+        h = mix(h, tag);
+        h = mix(h, value);
+        mix(h, self.nonlinear as u64)
+    }
 }
 
 #[cfg(test)]
@@ -155,6 +186,26 @@ mod tests {
     #[should_panic(expected = "multiples of 4")]
     fn odd_grids_rejected() {
         Params::channel(30, 33, 32, 180.0).validate();
+    }
+
+    #[test]
+    fn state_hash_tracks_physics_not_layout() {
+        let p = Params::channel(32, 33, 32, 180.0);
+        assert_eq!(p.state_hash(), p.clone().state_hash());
+        // execution knobs don't change the hash
+        assert_eq!(
+            p.state_hash(),
+            p.clone().with_grid(2, 2).with_fft_threads(4).state_hash()
+        );
+        // physics does
+        assert_ne!(p.state_hash(), p.clone().with_dt(2e-3).state_hash());
+        assert_ne!(
+            p.state_hash(),
+            Params::channel(32, 33, 32, 181.0).state_hash()
+        );
+        let mut flux = p.clone();
+        flux.forcing = Forcing::ConstantMassFlux { bulk: 1.0 };
+        assert_ne!(p.state_hash(), flux.state_hash());
     }
 
     #[test]

@@ -186,6 +186,21 @@ impl ChannelDns {
         self.dyn_force
     }
 
+    /// The mass-flux controller's internal state `(dyn_force,
+    /// flux_integral)`. Part of the checkpointed trajectory: under
+    /// `Forcing::ConstantMassFlux` a restart that resets the controller
+    /// would diverge from the uninterrupted run.
+    pub fn controller_state(&self) -> (f64, f64) {
+        (self.dyn_force, self.flux_integral)
+    }
+
+    /// Restore the mass-flux controller state captured by
+    /// [`controller_state`](Self::controller_state) (checkpoint restart).
+    pub fn restore_controller(&mut self, dyn_force: f64, flux_integral: f64) {
+        self.dyn_force = dyn_force;
+        self.flux_integral = flux_integral;
+    }
+
     /// Simulation parameters.
     pub fn params(&self) -> &Params {
         &self.params

@@ -19,6 +19,24 @@
 //! buffered (unbounded channels), so the usual "send then receive"
 //! collective patterns cannot deadlock.
 //!
+//! # Fault plane
+//!
+//! Production DNS campaigns live inside the machine's MTBF, so the
+//! runtime carries a first-class fault plane (the [`fault`] module):
+//!
+//! * [`run_result`] executes ranks under a [`FaultPlan`] and returns
+//!   rank panics as a typed [`RunFailure`] instead of propagating them,
+//!   which is what a restart supervisor (`dns-resilience`) builds on.
+//! * A crashed rank is *detected*: every blocking receive polls with
+//!   exponential backoff and surfaces a dead peer as
+//!   [`CommError::RankDead`] within milliseconds instead of hanging
+//!   until the timeout. The checked receive variants
+//!   ([`Communicator::recv_checked`], [`Communicator::recv_within`])
+//!   return the typed error; the classic [`Communicator::recv`] keeps
+//!   its panicking contract for infallible callers.
+//! * Retries and injected faults land on the telemetry counters
+//!   (`recv_retries`, `faults_injected`, `restarts`).
+//!
 //! # Example
 //!
 //! ```
@@ -39,18 +57,70 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::type_complexity)]
 
+pub mod fault;
+
+pub use fault::{FaultEvent, FaultKind, FaultPlan, StepCrash};
+
 use std::any::Any;
 use std::cell::{Cell, RefCell};
 use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Once};
+use std::time::{Duration, Instant};
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use dns_telemetry as telemetry;
+
+use fault::RankFaults;
 
 /// How long a blocking receive waits before declaring a deadlock.
 pub const RECV_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// First backoff slice of the receive poll loop; doubles up to
+/// [`BACKOFF_MAX`] between polls so an idle wait costs little CPU while a
+/// dead peer is still noticed within milliseconds.
+const BACKOFF_START: Duration = Duration::from_micros(200);
+const BACKOFF_MAX: Duration = Duration::from_millis(20);
+
+/// Typed communication failure surfaced by the checked receive variants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommError {
+    /// No matching message arrived within the receive budget.
+    Timeout {
+        /// Communicator rank of the awaited sender.
+        src: usize,
+        /// User tag of the awaited message.
+        tag: u64,
+        /// How long the receive waited in total.
+        waited: Duration,
+    },
+    /// The awaited sender's rank thread has died (panicked), so the
+    /// message can never arrive.
+    RankDead {
+        /// Communicator rank of the dead sender.
+        src: usize,
+        /// World rank of the dead sender.
+        world_rank: usize,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout { src, tag, waited } => write!(
+                f,
+                "receive from rank {src} (tag {tag}) timed out after {:.3} s",
+                waited.as_secs_f64()
+            ),
+            CommError::RankDead { src, world_rank } => {
+                write!(f, "rank {src} (world rank {world_rank}) is dead")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
 
 type Payload = Box<dyn Any + Send>;
 
@@ -62,19 +132,25 @@ struct Envelope {
     payload: Payload,
 }
 
-/// Shared transport: one inbound channel per rank, senders cloned to all.
+/// Shared transport: one inbound channel per rank, senders cloned to all,
+/// plus one liveness flag per rank (cleared when a rank thread panics, so
+/// peers fail fast instead of waiting out the timeout).
 struct Mesh {
     senders: Vec<Sender<Envelope>>,
+    alive: Vec<AtomicBool>,
 }
 
-/// Per-rank context: this thread's identity, its inbound channel, and the
-/// out-of-order message buffer.
+/// Per-rank context: this thread's identity, its inbound channel, the
+/// out-of-order message buffer, the effective receive budget, and this
+/// rank's share of the run's fault plan.
 struct RankCtx {
     me: usize,
     world_size: usize,
     mesh: Arc<Mesh>,
     inbox: Receiver<Envelope>,
     pending: RefCell<HashMap<(usize, u64, u64), VecDeque<(usize, Payload)>>>,
+    recv_timeout: Duration,
+    faults: RankFaults,
 }
 
 impl RankCtx {
@@ -84,28 +160,84 @@ impl RankCtx {
             .expect("destination rank hung up");
     }
 
-    fn fetch(&self, src: usize, comm: u64, tag: u64) -> (usize, Payload) {
+    /// Consult the fault plan for the transport operation about to run;
+    /// delays and crashes are applied here, a pending `Drop` is returned
+    /// to the caller (only a send can honour it).
+    fn next_op_fault(&self) -> Option<FaultKind> {
+        match self.faults.on_op() {
+            Some(FaultKind::Delay(d)) => {
+                telemetry::count(telemetry::Counter::FaultsInjected, 1);
+                std::thread::sleep(d);
+                None
+            }
+            Some(FaultKind::Crash) => {
+                telemetry::count(telemetry::Counter::FaultsInjected, 1);
+                panic!(
+                    "injected fault: rank {} crashed at transport op {}",
+                    self.me,
+                    self.faults.ops_seen().saturating_sub(1)
+                );
+            }
+            other => other,
+        }
+    }
+
+    /// Blocking receive with a deadline: polls the inbox in growing
+    /// backoff slices, stashing mismatched messages, and gives up early
+    /// with [`CommError::RankDead`] if the awaited sender's thread died.
+    /// `src` is the communicator rank (for the error), `src_world` the
+    /// world rank (for the liveness flag).
+    fn fetch_deadline(
+        &self,
+        src: usize,
+        src_world: usize,
+        comm: u64,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<(usize, Payload), CommError> {
         let key = (src, comm, tag);
         if let Some(q) = self.pending.borrow_mut().get_mut(&key) {
             if let Some(p) = q.pop_front() {
-                return p;
+                return Ok(p);
             }
         }
+        let start = Instant::now();
+        let deadline = start + timeout;
+        let mut slice = BACKOFF_START;
         loop {
-            let env = self.inbox.recv_timeout(RECV_TIMEOUT).unwrap_or_else(|_| {
-                panic!(
-                    "rank {}: receive (src={src}, comm={comm:#x}, tag={tag}) timed out — deadlock?",
-                    self.me
-                )
-            });
-            if env.src == src && env.comm == comm && env.tag == tag {
-                return (env.bytes, env.payload);
+            match self.inbox.recv_timeout(slice) {
+                Ok(env) => {
+                    if env.src == src && env.comm == comm && env.tag == tag {
+                        return Ok((env.bytes, env.payload));
+                    }
+                    self.pending
+                        .borrow_mut()
+                        .entry((env.src, env.comm, env.tag))
+                        .or_default()
+                        .push_back((env.bytes, env.payload));
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    // The inbox is drained: any message the peer sent
+                    // before dying has been seen, so a cleared liveness
+                    // flag means the wait can never be satisfied.
+                    if src_world != self.me && !self.mesh.alive[src_world].load(Ordering::Acquire) {
+                        return Err(CommError::RankDead {
+                            src,
+                            world_rank: src_world,
+                        });
+                    }
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(CommError::Timeout {
+                            src,
+                            tag,
+                            waited: now - start,
+                        });
+                    }
+                    telemetry::count(telemetry::Counter::RecvRetries, 1);
+                    slice = (slice * 2).min(BACKOFF_MAX).min(deadline - now);
+                }
             }
-            self.pending
-                .borrow_mut()
-                .entry((env.src, env.comm, env.tag))
-                .or_default()
-                .push_back((env.bytes, env.payload));
         }
     }
 }
@@ -239,6 +371,12 @@ impl Communicator {
     /// Send a vector to communicator rank `dest` with a user tag.
     /// Buffered: returns immediately.
     pub fn send<T: Send + 'static>(&self, dest: usize, tag: u64, data: Vec<T>) {
+        if let Some(FaultKind::Drop) = self.ctx.next_op_fault() {
+            // the message is lost in transit: neither delivered nor
+            // counted as sent
+            telemetry::count(telemetry::Counter::FaultsInjected, 1);
+            return;
+        }
         let bytes = data.len() * std::mem::size_of::<T>();
         if dest == self.rank {
             // self-delivery goes straight to the pending buffer
@@ -266,15 +404,67 @@ impl Communicator {
     /// Blocking receive of a vector from communicator rank `src`.
     ///
     /// # Panics
-    /// On element-type mismatch with the matching send, or on timeout.
+    /// On element-type mismatch with the matching send, on timeout, or if
+    /// the sender's rank thread has died.
     pub fn recv<T: Send + 'static>(&self, src: usize, tag: u64) -> Vec<T> {
-        let (bytes, payload) = self.ctx.fetch(src, self.id, tag);
+        self.recv_checked(src, tag).unwrap_or_else(|e| {
+            panic!(
+                "rank {}: receive (src={src}, comm={:#x}, tag={tag}) failed: {e} — deadlock?",
+                self.ctx.me, self.id
+            )
+        })
+    }
+
+    /// Blocking receive returning a typed [`CommError`] instead of
+    /// panicking, using the run's configured receive budget
+    /// ([`RunOptions::recv_timeout`]).
+    pub fn recv_checked<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+    ) -> Result<Vec<T>, CommError> {
+        self.recv_within(src, tag, self.ctx.recv_timeout)
+    }
+
+    /// Blocking receive with an explicit budget: polls with exponential
+    /// backoff, fails fast with [`CommError::RankDead`] if the sender's
+    /// thread has died, and returns [`CommError::Timeout`] once `timeout`
+    /// has elapsed without a matching message.
+    pub fn recv_within<T: Send + 'static>(
+        &self,
+        src: usize,
+        tag: u64,
+        timeout: Duration,
+    ) -> Result<Vec<T>, CommError> {
+        // a blocking receive is a transport operation (drops degenerate
+        // to no-ops here; delays and crashes apply)
+        let _ = self.ctx.next_op_fault();
+        let (bytes, payload) =
+            self.ctx
+                .fetch_deadline(src, self.members[src], self.id, tag, timeout)?;
         if src != self.rank {
             self.note_recv(bytes);
         }
-        *payload
+        Ok(*payload
             .downcast::<Vec<T>>()
-            .expect("message element type mismatch")
+            .expect("message element type mismatch"))
+    }
+
+    /// Fire any application-level faults scheduled for this rank at
+    /// `step` (see [`FaultPlan::crash_at_step`]). Call once per timestep
+    /// from the run loop; a no-op without an active plan.
+    ///
+    /// # Panics
+    /// With an `"injected fault"` message when the plan crashes this rank
+    /// at this step.
+    pub fn poll_step_faults(&self, step: u64) {
+        if self.ctx.faults.crashes_at_step(step) {
+            telemetry::count(telemetry::Counter::FaultsInjected, 1);
+            panic!(
+                "injected fault: rank {} crashed at step {step}",
+                self.ctx.me
+            );
+        }
     }
 
     /// Non-blocking receive: returns the message from `src` with `tag`
@@ -312,6 +502,19 @@ impl Communicator {
     ) -> Vec<T> {
         self.send(dest, tag, data);
         self.recv(src, tag)
+    }
+
+    /// [`Communicator::sendrecv`] with a typed error instead of a panic
+    /// when the receive half fails.
+    pub fn sendrecv_checked<T: Send + 'static>(
+        &self,
+        dest: usize,
+        src: usize,
+        tag: u64,
+        data: Vec<T>,
+    ) -> Result<Vec<T>, CommError> {
+        self.send(dest, tag, data);
+        self.recv_checked(src, tag)
     }
 
     /// Synchronise all ranks of this communicator (gather-then-release).
@@ -510,6 +713,32 @@ impl Communicator {
         (out, counts)
     }
 
+    /// [`Communicator::alltoallv`] with a typed error instead of a panic
+    /// when any receive leg fails — the hardened exchange behind the
+    /// pencil transposes.
+    pub fn alltoallv_checked<T: Clone + Send + 'static>(
+        &self,
+        send: &[T],
+        send_counts: &[usize],
+    ) -> Result<(Vec<T>, Vec<usize>), CommError> {
+        const TAG: u64 = u64::MAX - 6;
+        assert_eq!(send_counts.len(), self.size());
+        assert_eq!(send.len(), send_counts.iter().sum::<usize>());
+        let mut off = 0usize;
+        for (dest, &cnt) in send_counts.iter().enumerate() {
+            self.send(dest, TAG, send[off..off + cnt].to_vec());
+            off += cnt;
+        }
+        let mut out = Vec::new();
+        let mut counts = Vec::with_capacity(self.size());
+        for src in 0..self.size() {
+            let part: Vec<T> = self.recv_checked(src, TAG)?;
+            counts.push(part.len());
+            out.extend(part);
+        }
+        Ok((out, counts))
+    }
+
     /// Split into disjoint sub-communicators by `color`, ordered by `key`
     /// (ties broken by parent rank) — `MPI_Comm_split`.
     pub fn split(&self, color: u64, key: u64) -> Communicator {
@@ -601,6 +830,100 @@ impl CartComm {
     }
 }
 
+/// Per-run transport configuration: the receive budget and the fault
+/// plan the run executes under.
+#[derive(Clone, Debug)]
+pub struct RunOptions {
+    /// Budget of every blocking receive before it reports
+    /// [`CommError::Timeout`] (panicking callers turn it into a panic).
+    pub recv_timeout: Duration,
+    /// Faults to inject (empty by default).
+    pub fault_plan: FaultPlan,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            recv_timeout: RECV_TIMEOUT,
+            fault_plan: FaultPlan::none(),
+        }
+    }
+}
+
+/// One or more ranks panicked during a [`run_result`] execution. Holds
+/// the original panic payloads in rank order.
+pub struct RunFailure {
+    failures: Vec<(usize, Box<dyn Any + Send>)>,
+}
+
+impl RunFailure {
+    /// World ranks that panicked, in ascending order.
+    pub fn ranks(&self) -> Vec<usize> {
+        self.failures.iter().map(|&(r, _)| r).collect()
+    }
+
+    /// `(rank, panic message)` pairs; non-string payloads are reported
+    /// as `"<non-string panic payload>"`.
+    pub fn messages(&self) -> Vec<(usize, String)> {
+        self.failures
+            .iter()
+            .map(|(r, p)| {
+                let msg = p
+                    .downcast_ref::<&'static str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "<non-string panic payload>".to_string());
+                (*r, msg)
+            })
+            .collect()
+    }
+
+    /// Re-raise the first rank's original panic payload.
+    pub fn resume(mut self) -> ! {
+        let (_, payload) = self.failures.remove(0);
+        std::panic::resume_unwind(payload)
+    }
+}
+
+impl std::fmt::Debug for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunFailure")
+            .field("failures", &self.messages())
+            .finish()
+    }
+}
+
+impl std::fmt::Display for RunFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rank(s) died:", self.failures.len())?;
+        for (r, m) in self.messages() {
+            write!(f, " [rank {r}: {m}]")?;
+        }
+        Ok(())
+    }
+}
+
+/// Panic output from rank threads running under an active fault plan is
+/// suppressed (injected crashes are expected, and their messages are
+/// reported through [`RunFailure`] anyway). The hook is installed once,
+/// process-wide, and delegates to the previous hook for every other
+/// thread.
+static QUIET_HOOK: Once = Once::new();
+thread_local! {
+    static QUIET_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    QUIET_HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !QUIET_PANICS.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
 /// The world: spawns `n` rank threads running `f` and collects their
 /// return values in rank order.
 ///
@@ -611,7 +934,31 @@ where
     R: Send + 'static,
     F: Fn(Communicator) -> R + Send + Sync + 'static,
 {
+    match run_result(n, RunOptions::default(), f) {
+        Ok(results) => results,
+        Err(failure) => failure.resume(),
+    }
+}
+
+/// [`run`] with explicit [`RunOptions`] and typed failure reporting: rank
+/// panics (a fault plan's injected crashes, or real bugs) are caught,
+/// recorded per rank, and returned as a [`RunFailure`] after every
+/// thread has finished — the primitive a restart supervisor loops over.
+///
+/// When a rank dies, peers blocked on it observe [`CommError::RankDead`]
+/// within milliseconds (panicking in turn unless they use the checked
+/// receives), so a single injected crash winds down the whole world
+/// quickly instead of serialising timeouts.
+pub fn run_result<R, F>(n: usize, opts: RunOptions, f: F) -> Result<Vec<R>, RunFailure>
+where
+    R: Send + 'static,
+    F: Fn(Communicator) -> R + Send + Sync + 'static,
+{
     assert!(n >= 1);
+    let quiet = !opts.fault_plan.is_empty();
+    if quiet {
+        install_quiet_hook();
+    }
     let mut senders = Vec::with_capacity(n);
     let mut receivers = Vec::with_capacity(n);
     for _ in 0..n {
@@ -619,7 +966,10 @@ where
         senders.push(s);
         receivers.push(r);
     }
-    let mesh = Arc::new(Mesh { senders });
+    let mesh = Arc::new(Mesh {
+        senders,
+        alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+    });
     let f = Arc::new(f);
     let members: Arc<Vec<usize>> = Arc::new((0..n).collect());
     let mut handles = Vec::with_capacity(n);
@@ -627,21 +977,27 @@ where
         let mesh = Arc::clone(&mesh);
         let f = Arc::clone(&f);
         let members = Arc::clone(&members);
+        let faults = opts.fault_plan.for_rank(me);
+        let recv_timeout = opts.recv_timeout;
         handles.push(
             std::thread::Builder::new()
                 .name(format!("rank-{me}"))
                 .stack_size(8 * 1024 * 1024)
                 .spawn(move || {
+                    QUIET_PANICS.with(|q| q.set(quiet));
                     // Bind this thread to its rank's telemetry timeline;
                     // the guard flushes the thread's spans/counters into
                     // the global registry when the rank closure returns.
                     let _telemetry = telemetry::rank_scope(me);
+                    let liveness = Arc::clone(&mesh);
                     let ctx = Rc::new(RankCtx {
                         me,
                         world_size: n,
                         mesh,
                         inbox,
                         pending: RefCell::new(HashMap::new()),
+                        recv_timeout,
+                        faults,
                     });
                     let world = Communicator {
                         ctx,
@@ -651,27 +1007,33 @@ where
                         splits: Cell::new(0),
                         stats: Cell::new(CommStats::default()),
                     };
-                    f(world)
+                    let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(world)));
+                    if out.is_err() {
+                        // publish the death before the payload travels
+                        // back, so peers polling the flag fail fast
+                        liveness.alive[me].store(false, Ordering::Release);
+                    }
+                    out
                 })
                 .expect("spawn rank thread"),
         );
     }
     let mut results = Vec::with_capacity(n);
-    let mut panic: Option<Box<dyn Any + Send>> = None;
-    for h in handles {
+    let mut failures: Vec<(usize, Box<dyn Any + Send>)> = Vec::new();
+    for (rank, h) in handles.into_iter().enumerate() {
         match h.join() {
-            Ok(r) => results.push(r),
-            Err(e) => {
-                if panic.is_none() {
-                    panic = Some(e);
-                }
-            }
+            Ok(Ok(r)) => results.push(r),
+            Ok(Err(payload)) => failures.push((rank, payload)),
+            // the thread died outside catch_unwind (e.g. stack overflow
+            // aborts don't reach here; a join error still must not hang)
+            Err(payload) => failures.push((rank, payload)),
         }
     }
-    if let Some(p) = panic {
-        std::panic::resume_unwind(p);
+    if failures.is_empty() {
+        Ok(results)
+    } else {
+        Err(RunFailure { failures })
     }
-    results
 }
 
 fn split_by<T: Clone>(flat: &[T], lens: &[u64]) -> Vec<Vec<T>> {
@@ -1103,5 +1465,139 @@ mod tests {
     fn world_size_is_visible() {
         let got = run(3, |comm| world_size_of(&comm));
         assert_eq!(got, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn recv_within_times_out_with_typed_error() {
+        let got = run(2, |comm| {
+            if comm.rank() == 0 {
+                // nobody ever sends on this tag
+                match comm.recv_within::<u8>(1, 99, Duration::from_millis(50)) {
+                    Err(CommError::Timeout {
+                        src: 1, tag: 99, ..
+                    }) => true,
+                    other => panic!("expected timeout, got {other:?}"),
+                }
+            } else {
+                true
+            }
+        });
+        assert!(got.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn injected_crash_is_reported_not_hung() {
+        let opts = RunOptions {
+            recv_timeout: Duration::from_secs(5),
+            fault_plan: FaultPlan::none().crash_at_op(1, 0),
+        };
+        let out = run_result(3, opts, |comm| {
+            // rank 1 crashes on its first transport op; everyone else
+            // should finish (rank 0's recv from 1 fails fast as RankDead)
+            if comm.rank() == 0 {
+                match comm.recv_checked::<u8>(1, 7) {
+                    Err(CommError::RankDead { src: 1, .. }) => (),
+                    other => panic!("expected RankDead, got {other:?}"),
+                }
+            } else {
+                comm.send(0, 7, vec![comm.rank() as u8]);
+            }
+            comm.rank()
+        });
+        let failure = out.expect_err("rank 1 should have died");
+        assert_eq!(failure.ranks(), vec![1]);
+        let msgs = failure.messages();
+        assert!(
+            msgs[0].1.contains("injected fault: rank 1"),
+            "unexpected panic message: {}",
+            msgs[0].1
+        );
+    }
+
+    #[test]
+    fn dropped_message_never_arrives_but_later_sends_do() {
+        // rank 1's first send (op 0) is dropped; its second send on a
+        // different tag gets through
+        let opts = RunOptions {
+            recv_timeout: Duration::from_secs(5),
+            fault_plan: FaultPlan::none().drop_at_op(1, 0),
+        };
+        let got = run_result(2, opts, |comm| {
+            if comm.rank() == 1 {
+                comm.send(0, 1, vec![11u8]); // dropped
+                comm.send(0, 2, vec![22u8]); // delivered
+                true
+            } else {
+                let second: Vec<u8> = comm.recv(1, 2);
+                let first = comm.recv_within::<u8>(1, 1, Duration::from_millis(50));
+                second == vec![22] && matches!(first, Err(CommError::Timeout { .. }))
+            }
+        })
+        .expect("no crash scheduled");
+        assert!(got.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn delays_preserve_semantics() {
+        let opts = RunOptions {
+            recv_timeout: Duration::from_secs(5),
+            fault_plan: FaultPlan::seeded(3, 4, 64)
+                .op_events()
+                .iter()
+                .filter(|e| e.kind != FaultKind::Crash)
+                .fold(FaultPlan::none(), |p, e| match e.kind {
+                    FaultKind::Delay(d) => p.delay_at_op(e.rank, e.op, d),
+                    _ => p,
+                }),
+        };
+        let got = run_result(4, opts, |comm| {
+            let all = comm.gather(0, vec![comm.rank() as u64]);
+            let total = all.map(|chunks| chunks.into_iter().flatten().sum::<u64>());
+            let sum: Vec<u64> = comm.bcast(0, total.map(|t| vec![t]));
+            sum[0]
+        })
+        .expect("delays must not kill ranks");
+        assert_eq!(got, vec![6, 6, 6, 6]);
+    }
+
+    #[test]
+    fn step_crash_fires_via_poll() {
+        let opts = RunOptions {
+            recv_timeout: Duration::from_secs(5),
+            fault_plan: FaultPlan::none().crash_at_step(2, 4),
+        };
+        let out = run_result(3, opts, |comm| {
+            for step in 0..8u64 {
+                comm.poll_step_faults(step);
+            }
+            comm.rank()
+        });
+        let failure = out.expect_err("rank 2 should crash at step 4");
+        assert_eq!(failure.ranks(), vec![2]);
+        assert!(failure.messages()[0].1.contains("crashed at step 4"));
+    }
+
+    #[test]
+    fn retries_and_faults_are_counted() {
+        telemetry::set_level(telemetry::Level::Phases);
+        telemetry::reset();
+        let opts = RunOptions {
+            recv_timeout: Duration::from_secs(5),
+            fault_plan: FaultPlan::none().delay_at_op(0, 0, Duration::from_micros(1)),
+        };
+        run_result(2, opts, |comm| {
+            if comm.rank() == 0 {
+                comm.send(1, 3, vec![1u8]); // delayed (fault injected)
+            } else {
+                let _: Vec<u8> = comm.recv(0, 3);
+            }
+        })
+        .unwrap();
+        let faults = telemetry::snapshot()
+            .total_counters()
+            .get(telemetry::Counter::FaultsInjected);
+        telemetry::set_level(telemetry::Level::Off);
+        telemetry::reset();
+        assert!(faults >= 1, "expected at least one injected fault counted");
     }
 }

@@ -197,6 +197,12 @@ impl TransposePlan {
     /// allocation. On a single-rank communicator the exchange degenerates
     /// to a pure local reorder: `input` is scattered straight into `out`
     /// and the pack buffer and communicator are never touched.
+    ///
+    /// # Panics
+    /// If the exchange fails (peer rank dead, receive timeout) — the
+    /// solver hot path cannot continue past a half-completed transpose.
+    /// Callers that want to observe the failure instead use
+    /// [`try_run_with`](Self::try_run_with).
     pub fn run_with<T: Copy + Default + Send + 'static>(
         &self,
         comm: &Communicator,
@@ -204,6 +210,26 @@ impl TransposePlan {
         send: &mut Vec<T>,
         out: &mut Vec<T>,
     ) {
+        if let Err(e) = self.try_run_with(comm, input, send, out) {
+            panic!(
+                "transpose exchange failed ({:?} over {} ranks): {e}",
+                self.strategy, self.p
+            );
+        }
+    }
+
+    /// [`run_with`](Self::run_with) with typed failure reporting: a dead
+    /// peer or exchange timeout surfaces as a
+    /// [`CommError`](dns_minimpi::CommError) instead of a panic, so
+    /// supervised callers can abandon the attempt cleanly. On error the
+    /// contents of `out` are unspecified.
+    pub fn try_run_with<T: Copy + Default + Send + 'static>(
+        &self,
+        comm: &Communicator,
+        input: &[T],
+        send: &mut Vec<T>,
+        out: &mut Vec<T>,
+    ) -> Result<(), dns_minimpi::CommError> {
         assert_eq!(input.len(), self.input_len(), "input length mismatch");
         assert_eq!(comm.size(), self.p);
         let _transpose = telemetry::span("transpose", Phase::Transpose);
@@ -240,7 +266,7 @@ impl TransposePlan {
             }
             // one read of the input, one scattered write of the output
             telemetry::count(Counter::DdrBytes, 2 * std::mem::size_of_val(input) as u64);
-            return;
+            return Ok(());
         }
 
         // pack: destination-major; block of `t` for dest d is contiguous.
@@ -272,8 +298,8 @@ impl TransposePlan {
         let (recv, recv_counts) = {
             let _exchange = telemetry::span("exchange", Phase::Transpose);
             match self.strategy {
-                ExchangeStrategy::AllToAll => comm.alltoallv(send, &send_counts),
-                ExchangeStrategy::Pairwise => pairwise_exchange(comm, send, &send_counts),
+                ExchangeStrategy::AllToAll => comm.alltoallv_checked(send, &send_counts)?,
+                ExchangeStrategy::Pairwise => pairwise_exchange(comm, send, &send_counts)?,
             }
         };
 
@@ -319,16 +345,18 @@ impl TransposePlan {
             Counter::DdrBytes,
             2 * std::mem::size_of_val(out.as_slice()) as u64,
         );
+        Ok(())
     }
 }
 
 /// Pairwise variable-count exchange: `p - 1` rounds of `sendrecv` with a
-/// rotating partner, plus the self block.
+/// rotating partner, plus the self block. A dead partner or timeout is
+/// reported as a typed error rather than hanging the rotation.
 fn pairwise_exchange<T: Copy + Send + 'static>(
     comm: &Communicator,
     send: &[T],
     send_counts: &[usize],
-) -> (Vec<T>, Vec<usize>) {
+) -> Result<(Vec<T>, Vec<usize>), dns_minimpi::CommError> {
     const TAG: u64 = 0x7050_0000;
     let p = comm.size();
     let me = comm.rank();
@@ -346,7 +374,7 @@ fn pairwise_exchange<T: Copy + Send + 'static>(
         let to = (me + round) % p;
         let from = (me + p - round) % p;
         let payload = send[offsets[to]..offsets[to] + send_counts[to]].to_vec();
-        let got = comm.sendrecv(to, from, TAG + round as u64, payload);
+        let got = comm.sendrecv_checked(to, from, TAG + round as u64, payload)?;
         parts[from] = Some(got);
     }
     let mut counts = Vec::with_capacity(p);
@@ -356,7 +384,7 @@ fn pairwise_exchange<T: Copy + Send + 'static>(
         counts.push(part.len());
         out.extend(part);
     }
-    (out, counts)
+    Ok((out, counts))
 }
 
 #[cfg(test)]
@@ -512,6 +540,37 @@ mod tests {
             back == input
         });
         assert!(results.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    fn dead_rank_surfaces_as_typed_error_not_hang() {
+        for strategy in [ExchangeStrategy::AllToAll, ExchangeStrategy::Pairwise] {
+            let out = mpi::run_result(
+                2,
+                mpi::RunOptions {
+                    recv_timeout: std::time::Duration::from_secs(5),
+                    // rank 1 dies on its very first transport operation
+                    fault_plan: mpi::FaultPlan::none().crash_at_op(1, 0),
+                },
+                move |comm| {
+                    let plan = TransposePlan::new(&comm, 1, 4, 4, strategy);
+                    let input = vec![0.0f64; plan.input_len()];
+                    let (mut send, mut result) = (Vec::new(), Vec::new());
+                    if comm.rank() == 0 {
+                        match plan.try_run_with(&comm, &input, &mut send, &mut result) {
+                            Err(mpi::CommError::RankDead { .. }) => (),
+                            other => panic!("expected RankDead, got {other:?}"),
+                        }
+                    } else {
+                        // crashes inside the exchange before this returns
+                        let _ = plan.try_run_with(&comm, &input, &mut send, &mut result);
+                    }
+                },
+            );
+            // only the injected crash dies; rank 0 observed it cleanly
+            let failure = out.expect_err("rank 1 should have crashed");
+            assert_eq!(failure.ranks(), vec![1], "strategy {strategy:?}");
+        }
     }
 
     #[test]

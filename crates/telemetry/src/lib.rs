@@ -106,10 +106,18 @@ pub enum Counter {
     MessagesRecvd = 4,
     /// Payload bytes received.
     BytesRecvd = 5,
+    /// Receive polls that timed out a backoff slice and retried
+    /// (transport-hardening visibility: a healthy run stays near zero).
+    RecvRetries = 6,
+    /// Faults injected by an active `minimpi` fault plan (delays, drops,
+    /// crashes).
+    FaultsInjected = 7,
+    /// Supervisor-level restarts after a rank failure.
+    Restarts = 8,
 }
 
 /// Number of [`Counter`] variants (array-table sizing).
-pub const NUM_COUNTERS: usize = 6;
+pub const NUM_COUNTERS: usize = 9;
 
 impl Counter {
     pub const ALL: [Counter; NUM_COUNTERS] = [
@@ -119,6 +127,9 @@ impl Counter {
         Counter::CommBytes,
         Counter::MessagesRecvd,
         Counter::BytesRecvd,
+        Counter::RecvRetries,
+        Counter::FaultsInjected,
+        Counter::Restarts,
     ];
 
     pub fn label(self) -> &'static str {
@@ -129,6 +140,9 @@ impl Counter {
             Counter::CommBytes => "comm_bytes",
             Counter::MessagesRecvd => "messages_recvd",
             Counter::BytesRecvd => "bytes_recvd",
+            Counter::RecvRetries => "recv_retries",
+            Counter::FaultsInjected => "faults_injected",
+            Counter::Restarts => "restarts",
         }
     }
 }
