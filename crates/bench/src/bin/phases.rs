@@ -164,14 +164,18 @@ fn main() {
         dns.step();
         telemetry::flush_thread();
         telemetry::reset();
+        let mut lat = telemetry::Histogram::new();
         let t0 = std::time::Instant::now();
         for _ in 0..steps {
+            let ts = std::time::Instant::now();
             dns.step();
+            lat.record(ts.elapsed().as_secs_f64());
         }
         let wall = t0.elapsed().as_secs_f64();
         telemetry::flush_thread();
-        wall
+        (wall, lat)
     });
+    let (wall, lat) = wall;
     let snap = telemetry::snapshot();
     let measured = snap.phase_seconds_mean();
     let counters = snap.total_counters();
@@ -202,6 +206,15 @@ fn main() {
         "-"
     );
     row("total", model_total, wall / n);
+
+    println!(
+        "\nstep latency over {} steps: p50 {}  p90 {}  p99 {}  max {}",
+        lat.count(),
+        telemetry::fmt_seconds(lat.quantile(0.5)),
+        telemetry::fmt_seconds(lat.quantile(0.9)),
+        telemetry::fmt_seconds(lat.quantile(0.99)),
+        telemetry::fmt_seconds(lat.max()),
+    );
 
     let measured_flops = counters.get(telemetry::Counter::Flops) as f64 / n;
     println!(

@@ -24,9 +24,11 @@
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
+use dns_core::health::{MonitorConfig, StepMonitor};
 use dns_core::solver::ChannelDns;
 use dns_core::stats::{profiles, RunningStats};
 use dns_core::{checkpoint, io, spectra, Forcing, Params};
+use dns_health::{SentinelConfig, StragglerConfig};
 use dns_minimpi::{Communicator, FaultPlan};
 use dns_resilience::{supervise, SupervisorConfig};
 use dns_telemetry as telemetry;
@@ -46,6 +48,12 @@ struct Args {
     crash_at_step: Option<u64>,
     crash_rank: usize,
     recovery_log: Option<PathBuf>,
+    health_log: Option<PathBuf>,
+    health_every: u64,
+    straggler_factor: f64,
+    straggler_steps: u32,
+    slow_rank: Option<usize>,
+    slow_ms: u64,
 }
 
 /// One command-line flag: name, value placeholder (`None` for flags that
@@ -184,6 +192,36 @@ const FLAGS: &[Flag] = &[
         help: "write a Chrome trace-event timeline of the run (open in Perfetto)",
     },
     Flag {
+        name: "--health-log",
+        value: Some("FILE.jsonl"),
+        help: "enable run-health monitoring and write the flight recorder here (render with dns-report)",
+    },
+    Flag {
+        name: "--health-every",
+        value: Some("N"),
+        help: "evaluate the physics sentinels every N steps (default 1; 0 disables sentinels)",
+    },
+    Flag {
+        name: "--straggler-factor",
+        value: Some("F"),
+        help: "flag a rank whose busy time exceeds F x the median (default 1.5)",
+    },
+    Flag {
+        name: "--straggler-steps",
+        value: Some("K"),
+        help: "consecutive slow steps before a rank is flagged (default 3)",
+    },
+    Flag {
+        name: "--slow-rank",
+        value: Some("R"),
+        help: "chaos demo: periodically delay world rank R's transport ops (first launch only)",
+    },
+    Flag {
+        name: "--slow-ms",
+        value: Some("MS"),
+        help: "delay injected per slowed transport op of --slow-rank (default 2)",
+    },
+    Flag {
         name: "--metrics-every",
         value: Some("N"),
         help: "print a telemetry phase/counter report every N steps",
@@ -230,6 +268,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         crash_at_step: None,
         crash_rank: 0,
         recovery_log: None,
+        health_log: None,
+        health_every: 1,
+        straggler_factor: 1.5,
+        straggler_steps: 3,
+        slow_rank: None,
+        slow_ms: 2,
     };
     let mut i = 1;
     let take = |i: &mut usize| -> Result<String, String> {
@@ -282,6 +326,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--crash-rank" => args.crash_rank = num(&flag, take(&mut i)?)?,
             "--recovery-log" => args.recovery_log = Some(PathBuf::from(take(&mut i)?)),
             "--trace" => args.trace = Some(PathBuf::from(take(&mut i)?)),
+            "--health-log" => args.health_log = Some(PathBuf::from(take(&mut i)?)),
+            "--health-every" => args.health_every = num(&flag, take(&mut i)?)?,
+            "--straggler-factor" => args.straggler_factor = num(&flag, take(&mut i)?)?,
+            "--straggler-steps" => args.straggler_steps = num(&flag, take(&mut i)?)?,
+            "--slow-rank" => args.slow_rank = Some(num(&flag, take(&mut i)?)?),
+            "--slow-ms" => args.slow_ms = num(&flag, take(&mut i)?)?,
             "--metrics-every" => args.metrics_every = num(&flag, take(&mut i)?)?,
             "--help" | "-h" => {
                 print!("{}", usage());
@@ -299,6 +349,20 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--crash-rank {} is outside the {}x{} grid",
             args.crash_rank, args.params.pa, args.params.pb
         ));
+    }
+    if let Some(r) = args.slow_rank {
+        if r >= args.params.pa * args.params.pb {
+            return Err(format!(
+                "--slow-rank {r} is outside the {}x{} grid",
+                args.params.pa, args.params.pb
+            ));
+        }
+    }
+    if args.straggler_factor <= 1.0 {
+        return Err("--straggler-factor must be > 1".into());
+    }
+    if args.straggler_steps == 0 {
+        return Err("--straggler-steps must be positive".into());
     }
     Ok(args)
 }
@@ -331,6 +395,9 @@ fn attempt_body(
 ) -> Option<PathBuf> {
     // keep a control handle for fault polling; the solver owns `world`
     let ctl = world.dup();
+    // the run-health monitor allgathers on its own world-wide
+    // communicator so its traffic never mixes with the solver's
+    let health_comm = world.dup();
     let mut dns = ChannelDns::new(world, a.params.clone());
     let root = dns.pfft().comm_a().rank() == 0 && dns.pfft().comm_b().rank() == 0;
     let stem = a.ckpt.clone().unwrap_or_else(|| a.out.join("state"));
@@ -373,12 +440,39 @@ fn attempt_body(
     if root {
         println!("initial CFL = {cfl:.3}");
     }
+    let mut monitor = if a.health_log.is_some() {
+        let cfg = MonitorConfig {
+            log: a.health_log.clone(),
+            sentinel_every: a.health_every,
+            straggler: StragglerConfig {
+                factor: a.straggler_factor,
+                consecutive: a.straggler_steps,
+            },
+            sentinels: SentinelConfig::default(),
+        };
+        Some(
+            StepMonitor::new(health_comm, &dns, cfg, attempt.index, a.steps as u64)
+                .expect("open flight recorder"),
+        )
+    } else {
+        None
+    };
     let mut acc = RunningStats::new();
     let t0 = std::time::Instant::now();
     let first_step = dns.state().steps;
     while dns.state().steps < a.steps as u64 {
+        let t_step = std::time::Instant::now();
         dns.step();
+        let step_wall = t_step.elapsed().as_secs_f64();
         let s = dns.state().steps;
+        if let Some(mon) = monitor.as_mut() {
+            if let Err(abort) = mon.observe_step(&dns, step_wall) {
+                // collective verdict: every rank panics identically and
+                // the supervisor reports the reason instead of retrying
+                // a run that physics has already lost
+                panic!("{abort}");
+            }
+        }
         if s.is_multiple_of(a.stats_every as u64) {
             let p = profiles(&dns);
             acc.add(&p);
@@ -393,27 +487,32 @@ fn attempt_body(
                 );
             }
         }
-        if a.metrics_every > 0 && s.is_multiple_of(a.metrics_every as u64) && root {
-            if a.trace.is_none() {
-                // windowed report: flush this rank's buffers, print, and
-                // clear so each report covers only its own window. (With
-                // --trace the registry must keep the whole run, so the
-                // reports are cumulative instead.)
-                telemetry::flush_thread();
-                println!(
-                    "\n-- telemetry, steps {}..{s} --",
-                    s - a.metrics_every as u64 + 1
-                );
-                print!("{}", telemetry::snapshot().phase_table());
-                telemetry::reset();
-            } else {
-                telemetry::flush_thread();
-                println!("\n-- telemetry, steps 1..{s} (cumulative) --");
-                print!("{}", telemetry::snapshot().phase_table());
+        if root {
+            if let Some((w0, w1)) =
+                dns_health::metrics_window(s, a.metrics_every as u64, first_step)
+            {
+                if a.trace.is_none() {
+                    // windowed report: flush this rank's buffers, print,
+                    // and clear so each report covers only its own window
+                    // (clipped at the resume point on a restarted run).
+                    // With --trace the registry must keep the whole run,
+                    // so the reports are cumulative instead.
+                    telemetry::flush_thread();
+                    println!("\n-- telemetry, steps {w0}..{w1} --");
+                    print!("{}", telemetry::snapshot().phase_table());
+                    telemetry::reset();
+                } else {
+                    telemetry::flush_thread();
+                    println!("\n-- telemetry, steps 1..{w1} (cumulative) --");
+                    print!("{}", telemetry::snapshot().phase_table());
+                }
             }
         }
         if a.ckpt_every > 0 && s.is_multiple_of(a.ckpt_every as u64) {
             checkpoint::save_with_manifest(&dns, &stem).expect("write checkpoint");
+            if let Some(mon) = monitor.as_mut() {
+                mon.record_checkpoint(s);
+            }
         }
         // injected chaos fires only after the step (and any checkpoint)
         // committed, modelling a crash between iterations
@@ -423,9 +522,15 @@ fn attempt_body(
     // generation as an uninterrupted one
     if a.ckpt_every > 0 && !(a.steps as u64).is_multiple_of(a.ckpt_every as u64) {
         checkpoint::save_with_manifest(&dns, &stem).expect("write final checkpoint");
+        if let Some(mon) = monitor.as_mut() {
+            mon.record_checkpoint(dns.state().steps);
+        }
     }
     let wall = t0.elapsed().as_secs_f64();
     let ran = dns.state().steps - first_step;
+    if let Some(mon) = monitor.as_mut() {
+        mon.finish(ran, wall);
+    }
     if root && ran > 0 {
         println!(
             "\n{ran} steps in {:.1} s ({:.0} ms/step)",
@@ -515,10 +620,21 @@ fn main() {
         a.params.dt
     );
     let ranks = a.params.pa * a.params.pb;
-    let crash_plan = match a.crash_at_step {
+    let mut crash_plan = match a.crash_at_step {
         Some(step) => FaultPlan::none().crash_at_step(a.crash_rank, step),
         None => FaultPlan::none(),
     };
+    if let Some(r) = a.slow_rank {
+        // a persistent one-rank slowdown: every 32nd transport op on the
+        // victim sleeps, which the health monitor must attribute to that
+        // rank's busy time and flag as a straggler. The plan materializes
+        // its events, so budget enough for the whole run (64 delayed ops
+        // per step is far above the real op rate at stride 32) without
+        // letting a huge --steps allocate unboundedly.
+        let count = (a.steps as u64).saturating_mul(64).min(1_000_000);
+        crash_plan =
+            crash_plan.delay_every(r, 0, 32, count, std::time::Duration::from_millis(a.slow_ms));
+    }
     let a = Arc::new(a);
     let body_args = Arc::clone(&a);
     let report = supervise(
@@ -554,6 +670,46 @@ fn main() {
         } else {
             println!("wrote recovery log {}", path.display());
         }
+    }
+    if let Some(path) = &a.health_log {
+        // fold the supervisor's recovery timeline into the same JSONL
+        // artifact, so one file interleaves steps, checkpoints, and
+        // crash-recovery markers
+        if !report.events.is_empty() {
+            use std::io::Write;
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                Ok(mut f) => {
+                    for e in dns_health::recovery_to_flight(&report.events) {
+                        let _ = writeln!(f, "{}", e.to_json_line());
+                    }
+                }
+                Err(e) => {
+                    eprintln!(
+                        "dns-run: cannot append to health log {}: {e}",
+                        path.display()
+                    );
+                }
+            }
+        }
+        if let Some((step_h, _phases)) = dns_health::step_histograms() {
+            println!(
+                "step latency (all ranks, n = {}): p50 {}  p90 {}  p99 {}  max {}",
+                step_h.count(),
+                telemetry::fmt_seconds(step_h.quantile(0.5)),
+                telemetry::fmt_seconds(step_h.quantile(0.9)),
+                telemetry::fmt_seconds(step_h.quantile(0.99)),
+                telemetry::fmt_seconds(step_h.max()),
+            );
+        }
+        println!(
+            "wrote health log {} (render it with `dns-report {}`)",
+            path.display(),
+            path.display()
+        );
     }
     let Some(results) = report.results else {
         eprintln!(

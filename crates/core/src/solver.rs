@@ -449,6 +449,10 @@ impl ChannelDns {
     /// single-rank serial substep performs no heap allocation.
     pub fn step(&mut self) {
         let _step = telemetry::span("rk3_step", telemetry::Phase::Other);
+        // run-health hook: when monitoring is on, bracket the step with a
+        // wall clock and a phase-timer snapshot so per-step latencies land
+        // in the global histograms; off, this is one relaxed atomic load
+        let health = dns_health::enabled().then(|| (std::time::Instant::now(), self.timers()));
         let dt = self.params.dt;
         // lift the persistent buffers out of `self` for the step (the
         // taken-from slots hold empty Vecs: no allocation either way)
@@ -473,6 +477,17 @@ impl ChannelDns {
         self.nl_terms_old = n_old;
         self.scratch = scratch;
         self.state.steps += 1;
+        if let Some((t0, before)) = health {
+            let after = self.timers();
+            dns_health::record_step(
+                t0.elapsed().as_secs_f64(),
+                [
+                    after.transpose - before.transpose,
+                    after.fft - before.fft,
+                    after.ns_advance - before.ns_advance,
+                ],
+            );
+        }
     }
 
     fn advance_substep(&mut self, i: usize, nl: &NlTerms, n_old: &NlTerms, sc: &mut StepScratch) {

@@ -154,6 +154,19 @@ pub fn kinetic_energy(dns: &ChannelDns) -> f64 {
     e
 }
 
+/// `true` when every locally-owned spectral coefficient of every state
+/// field is finite — the cheapest possible "has the run blown up" scan,
+/// used by the run-health sentinels before trusting any derived
+/// quantity. Local; combine across ranks with an `allreduce_max` on
+/// `!finite as f64`.
+pub fn local_finite(dns: &ChannelDns) -> bool {
+    let s = dns.state();
+    [s.u(), s.v(), s.w(), s.omega_y(), s.phi()]
+        .into_iter()
+        .flatten()
+        .all(|c| c.re.is_finite() && c.im.is_finite())
+}
+
 /// Running time average of profiles.
 #[derive(Default)]
 pub struct RunningStats {

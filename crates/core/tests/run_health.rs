@@ -1,0 +1,250 @@
+//! End-to-end run-health monitoring through the `dns-run` binary.
+//!
+//! Three deterministic stories, each leaving one flight-recorder JSONL
+//! artifact that must parse in full against the schema:
+//!
+//! * an injected persistent slowdown on one rank is flagged as a
+//!   straggler — that rank and no other;
+//! * an injected crash + checkpoint restart interleaves recovery
+//!   markers with step records in a single timeline;
+//! * a timestep far past the RK3 stability limit trips the CFL
+//!   sentinel's abort threshold and fails the run with a typed reason.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dns_health::report::Replay;
+use dns_health::schema::{parse_jsonl, FlightEvent, HealthEvent};
+
+fn dns_run() -> &'static str {
+    env!("CARGO_BIN_EXE_dns-run")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_args(out: &Path) -> Vec<String> {
+    [
+        "--nx",
+        "16",
+        "--ny",
+        "25",
+        "--nz",
+        "16",
+        "--re",
+        "80",
+        "--dt",
+        "1e-3",
+        "--steps",
+        "8",
+        "--stats-every",
+        "8",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain(["--out".to_string(), out.display().to_string()])
+    .collect()
+}
+
+fn load_events(log: &Path) -> Vec<FlightEvent> {
+    let text = std::fs::read_to_string(log).expect("health log written");
+    parse_jsonl(&text).expect("every health-log line parses against the schema")
+}
+
+#[test]
+fn injected_slow_rank_is_flagged_as_the_only_straggler() {
+    let dir = fresh_dir("run_health_straggler");
+    let log = dir.join("health.jsonl");
+    let output = Command::new(dns_run())
+        .args(base_args(&dir))
+        .args([
+            "--grid",
+            "2x2",
+            "--slow-rank",
+            "2",
+            "--slow-ms",
+            "60",
+            "--straggler-steps",
+            "2",
+            "--health-log",
+        ])
+        .arg(&log)
+        .output()
+        .expect("spawn dns-run");
+    assert!(
+        output.status.success(),
+        "monitored run failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let events = load_events(&log);
+    // one step record per rank per step
+    let steps: Vec<(u64, usize)> = events
+        .iter()
+        .filter_map(|e| match e {
+            FlightEvent::Step { step, rank, .. } => Some((*step, *rank)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(steps.len(), 8 * 4, "8 steps x 4 ranks of step records");
+    for s in 1..=8u64 {
+        for r in 0..4usize {
+            assert!(steps.contains(&(s, r)), "missing step {s} rank {r}");
+        }
+    }
+
+    // the injected slowdown lands on the busy side of the split: the
+    // victim's recorded busy time exceeds every other rank's mean
+    let replay = Replay::new(events);
+    assert_eq!(
+        replay.flagged_stragglers(),
+        vec![2],
+        "exactly the slowed rank must be flagged"
+    );
+    // non-degenerate latency distribution
+    let p50 = replay.wall.quantile(0.5);
+    let p99 = replay.wall.quantile(0.99);
+    assert!(p50 > 0.0 && p99 >= p50, "p50 {p50}, p99 {p99}");
+    let rendered = replay.render();
+    assert!(
+        rendered.contains("STRAGGLER rank 2"),
+        "report must call out the straggler:\n{rendered}"
+    );
+}
+
+#[test]
+fn crash_recovery_markers_interleave_with_step_records() {
+    let dir = fresh_dir("run_health_recovery");
+    let log = dir.join("health.jsonl");
+    let output = Command::new(dns_run())
+        .args(base_args(&dir))
+        .args([
+            "--grid",
+            "2x2",
+            "--checkpoint-every",
+            "3",
+            "--max-restarts",
+            "2",
+            "--crash-at-step",
+            "5",
+            "--health-log",
+        ])
+        .arg(&log)
+        .output()
+        .expect("spawn dns-run");
+    assert!(
+        output.status.success(),
+        "recovered run failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let events = load_events(&log);
+    let attempts: Vec<(usize, u64)> = events
+        .iter()
+        .filter_map(|e| match e {
+            FlightEvent::RunStart {
+                attempt,
+                resumed_from,
+                ..
+            } => Some((*attempt, *resumed_from)),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        attempts,
+        vec![(0, 0), (1, 3)],
+        "fresh attempt, then a restart resuming from the step-3 checkpoint"
+    );
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            FlightEvent::Checkpoint {
+                step: 3,
+                attempt: 0
+            }
+        )),
+        "the checkpoint the restart resumed from must be in the timeline"
+    );
+    let recovery_kinds: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e {
+            FlightEvent::Recovery { kind, .. } => Some(kind.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(recovery_kinds.contains(&"world_failed"));
+    assert!(recovery_kinds.contains(&"restart_issued"));
+    assert!(recovery_kinds.contains(&"converged"));
+    // the restarted attempt re-ran the lost steps to completion
+    assert!(events.iter().any(|e| matches!(
+        e,
+        FlightEvent::Step {
+            step: 8,
+            rank: 0,
+            ..
+        }
+    )));
+    // and the whole interleaved file still renders
+    let rendered = Replay::new(events).render();
+    assert!(rendered.contains("recovery restart_issued"), "{rendered}");
+}
+
+#[test]
+fn cfl_sentinel_aborts_a_diverging_run_with_a_typed_reason() {
+    let dir = fresh_dir("run_health_sentinel");
+    let log = dir.join("health.jsonl");
+    let output = Command::new(dns_run())
+        .args([
+            "--nx",
+            "16",
+            "--ny",
+            "25",
+            "--nz",
+            "16",
+            "--re",
+            "80",
+            "--steps",
+            "4",
+            "--stats-every",
+            "4",
+        ])
+        .args(["--dt", "0.5", "--out"])
+        .arg(&dir)
+        .arg("--health-log")
+        .arg(&log)
+        .output()
+        .expect("spawn dns-run");
+    assert!(
+        !output.status.success(),
+        "a dt this far past the RK3 limit must fail the run"
+    );
+
+    let events = load_events(&log);
+    let cfl = events
+        .iter()
+        .find_map(|e| match e {
+            FlightEvent::Sentinel { cfl, .. } => Some(*cfl),
+            _ => None,
+        })
+        .expect("the sentinel record that triggered the abort is in the log");
+    assert!(
+        cfl > 1.7,
+        "recorded CFL {cfl} should be past the abort limit"
+    );
+    assert!(
+        events.iter().any(|e| match e {
+            FlightEvent::Recovery { detail, .. } =>
+                detail.contains("physics sentinel abort") && detail.contains("cfl"),
+            _ => false,
+        }),
+        "the typed abort reason must reach the folded recovery timeline"
+    );
+    // no straggler noise from an aborted single-rank run
+    assert!(!events
+        .iter()
+        .any(|e| matches!(e, FlightEvent::Health(HealthEvent::Straggler { .. }))));
+}

@@ -38,6 +38,10 @@ static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_rk3_step_performs_zero_heap_allocations() {
+    // the run-health hook is compiled into `ChannelDns::step` but must be
+    // off here: disabled, its entire cost is one relaxed atomic load, so
+    // the zero-allocation guarantee holds with monitoring built in
+    assert!(!dns_health::enabled());
     let params = dns_core::Params::channel(16, 25, 16, 100.0);
     let allocs = dns_core::run_serial(params, |dns| {
         dns.set_laminar(1.0);

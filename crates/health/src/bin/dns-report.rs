@@ -1,0 +1,70 @@
+//! Replay a flight-recorder JSONL file into a human run report.
+//!
+//! ```text
+//! dns-report RUN.health.jsonl            render the full report
+//! dns-report --check RUN.health.jsonl    validate only: every line must
+//!                                        parse against the schema
+//! ```
+//!
+//! Exit codes: 0 ok, 1 usage error, 2 unreadable or malformed input.
+
+use dns_health::report::Replay;
+use dns_health::schema::parse_jsonl;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: dns-report [--check] FILE.jsonl");
+    eprintln!("  --check   validate every JSONL line against the schema and exit");
+    ExitCode::from(1)
+}
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut path: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--help" | "-h" => {
+                println!("dns-report: render a dns-health flight-recorder file");
+                return usage();
+            }
+            other if other.starts_with('-') => {
+                eprintln!("dns-report: unknown flag {other:?}");
+                return usage();
+            }
+            other => {
+                if path.replace(other.to_string()).is_some() {
+                    eprintln!("dns-report: more than one input file");
+                    return usage();
+                }
+            }
+        }
+    }
+    let Some(path) = path else {
+        return usage();
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("dns-report: cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let events = match parse_jsonl(&text) {
+        Ok(ev) => ev,
+        Err(e) => {
+            eprintln!("dns-report: {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if check {
+        println!(
+            "{path}: {} event(s) ok (schema {})",
+            events.len(),
+            dns_health::SCHEMA_VERSION
+        );
+        return ExitCode::SUCCESS;
+    }
+    print!("{}", Replay::new(events).render());
+    ExitCode::SUCCESS
+}

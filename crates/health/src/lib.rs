@@ -1,0 +1,208 @@
+//! Run-health monitoring for the DNS stack.
+//!
+//! `dns-telemetry` (PR 1) answers *where did the time go* after a run;
+//! `dns-resilience` (PR 3) answers *did it survive*. This crate watches
+//! a run **while it executes** and leaves one machine-readable artifact
+//! that tells the whole story:
+//!
+//! * a versioned **JSONL flight recorder** ([`FlightRecorder`],
+//!   [`FlightEvent`]) — one event per step per rank with wall time,
+//!   per-phase seconds, busy/wait split and comm traffic, interleaved
+//!   with checkpoint, sentinel, and supervisor recovery events;
+//! * an online **straggler detector** ([`StragglerDetector`]) flagging
+//!   ranks whose busy time exceeds the cross-rank median by a factor
+//!   for K consecutive steps;
+//! * **physics sentinels** ([`Sentinels`]) with warn/abort thresholds
+//!   on CFL, divergence, energy, and finiteness, failing a diverging
+//!   run fast with a typed [`SentinelAbort`];
+//! * an offline **replay/report** ([`report::Replay`], the `dns-report`
+//!   binary) rendering histograms, imbalance heat rows, the health
+//!   timeline, and a measured-vs-`dnscost` comparison.
+//!
+//! Like telemetry, the whole layer is off by default behind a single
+//! relaxed atomic ([`enabled`]), so instrumented hot paths cost one
+//! load per call site until [`set_enabled`] turns monitoring on.
+
+pub mod json;
+pub mod recorder;
+pub mod report;
+pub mod schema;
+pub mod sentinel;
+pub mod straggler;
+pub mod window;
+
+pub use recorder::FlightRecorder;
+pub use schema::{
+    parse_jsonl, FlightEvent, HealthEvent, SentinelAbort, SentinelKind, SCHEMA_VERSION,
+};
+pub use sentinel::{SentinelConfig, SentinelValues, Sentinels};
+pub use straggler::{StragglerConfig, StragglerDetector};
+pub use window::metrics_window;
+
+use dns_resilience::{EventKind, RecoveryEvent};
+use dns_telemetry::Histogram;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Switch run-health collection on or off process-wide.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// The disabled fast path of every health call site: one relaxed atomic
+/// load, mirroring `dns_telemetry::enabled`.
+#[inline(always)]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Global per-process step-latency histograms, fed by the solver's step
+/// hook on every rank thread (the histogram merge is just addition, so
+/// one shared table is equivalent to merging per-rank tables).
+/// Index 0 = whole step; 1..=3 = transpose, fft, ns_advance deltas.
+struct StepHists {
+    step: Histogram,
+    phases: [Histogram; 3],
+}
+
+static STEP_HISTS: Mutex<Option<StepHists>> = Mutex::new(None);
+
+/// Record one step observation into the global histograms. Callers
+/// gate on [`enabled`] so the disabled path never takes the lock.
+pub fn record_step(wall_s: f64, phase_deltas: [f64; 3]) {
+    let mut guard = STEP_HISTS.lock().unwrap();
+    let hists = guard.get_or_insert_with(|| StepHists {
+        step: Histogram::new(),
+        phases: [Histogram::new(), Histogram::new(), Histogram::new()],
+    });
+    hists.step.record(wall_s);
+    for (h, d) in hists.phases.iter_mut().zip(phase_deltas) {
+        h.record(d);
+    }
+}
+
+/// Snapshot the global step histograms as
+/// `(step, [transpose, fft, ns_advance])`; `None` before any record.
+pub fn step_histograms() -> Option<(Histogram, [Histogram; 3])> {
+    let guard = STEP_HISTS.lock().unwrap();
+    guard.as_ref().map(|h| (h.step.clone(), h.phases.clone()))
+}
+
+/// Clear the global step histograms (test isolation / window resets).
+pub fn reset_step_histograms() {
+    *STEP_HISTS.lock().unwrap() = None;
+}
+
+/// Fold supervisor recovery events into flight-recorder form, so one
+/// JSONL file interleaves restart markers with step records.
+pub fn recovery_to_flight(events: &[RecoveryEvent]) -> Vec<FlightEvent> {
+    events
+        .iter()
+        .map(|e| {
+            let (kind, detail) = match &e.kind {
+                EventKind::AttemptStarted { from } => ("attempt_started", from.clone()),
+                EventKind::WorldFailed { failures } => (
+                    "world_failed",
+                    failures
+                        .iter()
+                        .map(|(r, m)| format!("rank {r}: {m}"))
+                        .collect::<Vec<_>>()
+                        .join("; "),
+                ),
+                EventKind::RestartIssued => ("restart_issued", String::new()),
+                EventKind::Converged => ("converged", String::new()),
+                EventKind::GaveUp => ("gave_up", String::new()),
+            };
+            FlightEvent::Recovery {
+                attempt: e.attempt,
+                kind: kind.to_string(),
+                detail,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn recovery_events_fold_into_the_timeline() {
+        let events = vec![
+            RecoveryEvent {
+                attempt: 0,
+                kind: EventKind::AttemptStarted {
+                    from: "fresh".into(),
+                },
+            },
+            RecoveryEvent {
+                attempt: 0,
+                kind: EventKind::WorldFailed {
+                    failures: vec![(2, "injected fault".into()), (3, "collateral".into())],
+                },
+            },
+            RecoveryEvent {
+                attempt: 1,
+                kind: EventKind::Converged,
+            },
+        ];
+        let flight = recovery_to_flight(&events);
+        assert_eq!(flight.len(), 3);
+        match &flight[1] {
+            FlightEvent::Recovery {
+                attempt,
+                kind,
+                detail,
+            } => {
+                assert_eq!(*attempt, 0);
+                assert_eq!(kind, "world_failed");
+                assert_eq!(detail, "rank 2: injected fault; rank 3: collateral");
+            }
+            other => panic!("{other:?}"),
+        }
+        // and each folds through the JSONL round trip
+        for f in &flight {
+            let line = f.to_json_line();
+            assert_eq!(&FlightEvent::parse_line(&line).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn step_histograms_accumulate_and_reset() {
+        reset_step_histograms();
+        assert!(step_histograms().is_none());
+        record_step(0.010, [0.004, 0.003, 0.002]);
+        record_step(0.020, [0.008, 0.006, 0.004]);
+        let (step, phases) = step_histograms().unwrap();
+        assert_eq!(step.count(), 2);
+        assert_eq!(phases[0].count(), 2);
+        assert!(step.max() >= 0.020 * 0.99);
+        reset_step_histograms();
+        assert!(step_histograms().is_none());
+    }
+
+    #[test]
+    fn disabled_overhead_is_small() {
+        set_enabled(false);
+        let n = 1_000_000u64;
+        let t0 = Instant::now();
+        let mut live = 0u64;
+        for _ in 0..n {
+            // the pattern every call site uses: gate, then (not) record
+            if enabled() {
+                live += 1;
+            }
+        }
+        let per_call = t0.elapsed().as_secs_f64() / n as f64;
+        assert_eq!(live, 0);
+        // same budget as telemetry's disabled-span check: a relaxed
+        // load + branch is single-digit ns even on slow CI machines
+        assert!(
+            per_call < 150e-9,
+            "disabled health gate cost {per_call:.2e} s/call"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! Online cross-rank straggler detection.
+//!
+//! Fed one busy-seconds table per step (one entry per rank), the
+//! detector flags any rank whose busy time exceeds the cross-rank
+//! median by a configurable factor for K consecutive steps. Busy time
+//! (step wall minus receive wait) is the right signal: a slow rank's
+//! *victims* spend the excess blocked in receives, so their wall time
+//! rises in lockstep with the culprit's — only the busy split tells
+//! them apart.
+
+use crate::schema::HealthEvent;
+
+/// Detector thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct StragglerConfig {
+    /// Flag a rank whose busy time exceeds `factor` x median.
+    pub factor: f64,
+    /// ... for this many consecutive steps.
+    pub consecutive: u32,
+}
+
+impl Default for StragglerConfig {
+    fn default() -> Self {
+        StragglerConfig {
+            factor: 1.5,
+            consecutive: 3,
+        }
+    }
+}
+
+/// Per-rank streak state over the run.
+pub struct StragglerDetector {
+    cfg: StragglerConfig,
+    streaks: Vec<u32>,
+    scratch: Vec<f64>,
+}
+
+impl StragglerDetector {
+    pub fn new(cfg: StragglerConfig, ranks: usize) -> StragglerDetector {
+        assert!(cfg.factor > 1.0, "a factor <= 1 flags the median itself");
+        assert!(cfg.consecutive >= 1);
+        StragglerDetector {
+            cfg,
+            streaks: vec![0; ranks],
+            scratch: Vec::with_capacity(ranks),
+        }
+    }
+
+    /// Feed one step's per-rank busy seconds; returns a straggler event
+    /// for every rank whose over-threshold streak has reached the
+    /// configured length (and keeps emitting while the streak lasts, so
+    /// the timeline shows the whole episode).
+    pub fn observe(&mut self, step: u64, busy: &[f64]) -> Vec<HealthEvent> {
+        assert_eq!(busy.len(), self.streaks.len(), "rank count changed");
+        let median = self.median(busy);
+        let mut events = Vec::new();
+        for (rank, (&b, streak)) in busy.iter().zip(self.streaks.iter_mut()).enumerate() {
+            if median > 0.0 && b > self.cfg.factor * median {
+                *streak += 1;
+                if *streak >= self.cfg.consecutive {
+                    events.push(HealthEvent::Straggler {
+                        step,
+                        rank,
+                        ratio: b / median,
+                        factor: self.cfg.factor,
+                        consecutive: *streak,
+                    });
+                }
+            } else {
+                *streak = 0;
+            }
+        }
+        events
+    }
+
+    fn median(&mut self, vals: &[f64]) -> f64 {
+        self.scratch.clear();
+        self.scratch.extend_from_slice(vals);
+        self.scratch.sort_by(f64::total_cmp);
+        let n = self.scratch.len();
+        if n == 0 {
+            return 0.0;
+        }
+        if n % 2 == 1 {
+            self.scratch[n / 2]
+        } else {
+            0.5 * (self.scratch[n / 2 - 1] + self.scratch[n / 2])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ranks_of(events: &[HealthEvent]) -> Vec<usize> {
+        events
+            .iter()
+            .map(|e| match e {
+                HealthEvent::Straggler { rank, .. } => *rank,
+                other => panic!("unexpected event {other:?}"),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn flags_only_after_k_consecutive_steps() {
+        let mut d = StragglerDetector::new(
+            StragglerConfig {
+                factor: 1.5,
+                consecutive: 3,
+            },
+            4,
+        );
+        let slow = [10.0, 1.0, 1.0, 1.0];
+        assert!(d.observe(1, &slow).is_empty());
+        assert!(d.observe(2, &slow).is_empty());
+        let flagged = d.observe(3, &slow);
+        assert_eq!(ranks_of(&flagged), vec![0]);
+        match &flagged[0] {
+            HealthEvent::Straggler {
+                step,
+                ratio,
+                consecutive,
+                ..
+            } => {
+                assert_eq!(*step, 3);
+                assert_eq!(*consecutive, 3);
+                assert!((ratio - 10.0).abs() < 1e-12);
+            }
+            other => panic!("{other:?}"),
+        }
+        // the episode keeps reporting while it lasts
+        assert_eq!(ranks_of(&d.observe(4, &slow)), vec![0]);
+    }
+
+    #[test]
+    fn recovery_resets_the_streak() {
+        let mut d = StragglerDetector::new(
+            StragglerConfig {
+                factor: 1.5,
+                consecutive: 2,
+            },
+            3,
+        );
+        let slow = [5.0, 1.0, 1.0];
+        let even = [1.0, 1.0, 1.0];
+        assert!(d.observe(1, &slow).is_empty());
+        assert!(d.observe(2, &even).is_empty()); // streak broken
+        assert!(d.observe(3, &slow).is_empty()); // back to 1
+        assert_eq!(ranks_of(&d.observe(4, &slow)), vec![0]);
+    }
+
+    #[test]
+    fn balanced_ranks_never_flag() {
+        let mut d = StragglerDetector::new(StragglerConfig::default(), 4);
+        for step in 0..100 {
+            // 20% jitter stays well under the 1.5x factor
+            let base = 1.0 + 0.2 * ((step % 4) as f64 / 4.0);
+            let busy = [base, base * 1.1, base * 0.95, base * 1.05];
+            assert!(d.observe(step, &busy).is_empty(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn zero_median_is_inert() {
+        // degenerate all-idle table (e.g. a warmup step) must not flag
+        let mut d = StragglerDetector::new(StragglerConfig::default(), 2);
+        for step in 0..5 {
+            assert!(d.observe(step, &[0.0, 0.0]).is_empty());
+        }
+    }
+
+    #[test]
+    fn even_rank_count_uses_midpoint_median() {
+        let mut d = StragglerDetector::new(
+            StragglerConfig {
+                factor: 2.0,
+                consecutive: 1,
+            },
+            4,
+        );
+        // sorted: [1, 1, 3, 9]; median = 2; only 9 > 2*2
+        let flagged = d.observe(1, &[3.0, 1.0, 9.0, 1.0]);
+        assert_eq!(ranks_of(&flagged), vec![2]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Reporting-window arithmetic for `--metrics-every`-style periodic
+//! reports, extracted from `dns-run` so the edge cases are tested once
+//! instead of re-derived inline at each call site.
+
+/// Inclusive range of steps covered by a periodic report due after
+/// completing `step`, for a cadence of `every` steps, in a run segment
+/// that resumed from `first_step` (0 for a fresh start).
+///
+/// Returns `None` when no report is due: a zero cadence, step 0 (no
+/// step has completed), a step at or before the resume point, or a step
+/// off the cadence. On a resumed run the first window is clipped at the
+/// resume point — a run restored from step 10 reporting at step 12 with
+/// `every = 4` covers steps 11..=12, not the 9..=12 the naive
+/// `step - every + 1` arithmetic claims (steps 9 and 10 ran in a
+/// previous attempt, or never ran in this process at all).
+pub fn metrics_window(step: u64, every: u64, first_step: u64) -> Option<(u64, u64)> {
+    if every == 0 || step == 0 || step <= first_step || !step.is_multiple_of(every) {
+        return None;
+    }
+    let start = (step + 1).saturating_sub(every).max(first_step + 1);
+    Some((start, step))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_run_windows_tile_the_step_range() {
+        assert_eq!(metrics_window(1, 4, 0), None);
+        assert_eq!(metrics_window(3, 4, 0), None);
+        assert_eq!(metrics_window(4, 4, 0), Some((1, 4)));
+        assert_eq!(metrics_window(8, 4, 0), Some((5, 8)));
+        assert_eq!(metrics_window(12, 4, 0), Some((9, 12)));
+    }
+
+    #[test]
+    fn every_step_cadence_is_a_single_step_window() {
+        for s in 1..6 {
+            assert_eq!(metrics_window(s, 1, 0), Some((s, s)));
+        }
+    }
+
+    #[test]
+    fn step_zero_and_zero_cadence_never_report() {
+        assert_eq!(metrics_window(0, 4, 0), None);
+        assert_eq!(metrics_window(0, 1, 0), None);
+        assert_eq!(metrics_window(8, 0, 0), None);
+    }
+
+    #[test]
+    fn resumed_run_clips_the_first_window_at_the_resume_point() {
+        // restored from step 10, cadence 4: the report at step 12 covers
+        // only the two steps this attempt actually ran
+        assert_eq!(metrics_window(12, 4, 10), Some((11, 12)));
+        // later windows are full-width again
+        assert_eq!(metrics_window(16, 4, 10), Some((13, 16)));
+        // a report due exactly at the resume point has nothing to say
+        assert_eq!(metrics_window(8, 4, 10), None);
+        assert_eq!(metrics_window(10, 5, 10), None);
+    }
+
+    #[test]
+    fn cadence_wider_than_the_run_does_not_underflow() {
+        assert_eq!(metrics_window(100, 100, 0), Some((1, 100)));
+        assert_eq!(metrics_window(100, 100, 98), Some((99, 100)));
+    }
+}

@@ -105,6 +105,26 @@ impl FaultPlan {
         self
     }
 
+    /// Delay every `stride`-th of `rank`'s transport operations starting
+    /// at `first_op`, `count` times — a persistent one-rank slowdown (a
+    /// flaky link or a thermally-throttled node) rather than a single
+    /// hiccup. This is the deterministic straggler the run-health
+    /// detector is verified against.
+    pub fn delay_every(
+        mut self,
+        rank: usize,
+        first_op: u64,
+        stride: u64,
+        count: u64,
+        delay: Duration,
+    ) -> FaultPlan {
+        assert!(stride >= 1, "stride must be at least 1");
+        for i in 0..count {
+            self = self.delay_at_op(rank, first_op + i * stride, delay);
+        }
+        self
+    }
+
     /// Crash `rank` at transport operation `op`.
     pub fn crash_at_op(mut self, rank: usize, op: u64) -> FaultPlan {
         self.ops.push(FaultEvent {
@@ -264,6 +284,28 @@ mod tests {
         assert_eq!(rf.on_op(), Some(FaultKind::Crash));
         assert_eq!(rf.on_op(), None);
         assert_eq!(rf.ops_seen(), 6);
+    }
+
+    #[test]
+    fn delay_every_schedules_a_persistent_slowdown() {
+        let d = Duration::from_millis(2);
+        let plan = FaultPlan::none().delay_every(1, 10, 5, 3, d);
+        let want: Vec<u64> = vec![10, 15, 20];
+        let got: Vec<u64> = plan.op_events().iter().map(|e| e.op).collect();
+        assert_eq!(got, want);
+        assert!(plan
+            .op_events()
+            .iter()
+            .all(|e| e.rank == 1 && e.kind == FaultKind::Delay(d)));
+        // and the per-rank view fires each one exactly once, in order
+        let rf = plan.for_rank(1);
+        let mut fired = 0;
+        for _ in 0..25 {
+            if rf.on_op() == Some(FaultKind::Delay(d)) {
+                fired += 1;
+            }
+        }
+        assert_eq!(fired, 3);
     }
 
     #[test]

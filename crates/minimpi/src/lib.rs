@@ -151,6 +151,12 @@ struct RankCtx {
     pending: RefCell<HashMap<(usize, u64, u64), VecDeque<(usize, Payload)>>>,
     recv_timeout: Duration,
     faults: RankFaults,
+    /// Cumulative seconds this rank thread has spent blocked inside
+    /// [`RankCtx::fetch_deadline`] waiting for messages, across all of
+    /// its communicators. The run-health layer diffs this per step to
+    /// split wall time into busy vs wait — the signal that separates a
+    /// genuine straggler (busy) from its victims (waiting on it).
+    recv_wait: Cell<f64>,
 }
 
 impl RankCtx {
@@ -202,7 +208,21 @@ impl RankCtx {
             }
         }
         let start = Instant::now();
-        let deadline = start + timeout;
+        let out = self.fetch_loop(src, src_world, comm, tag, start, start + timeout);
+        self.recv_wait
+            .set(self.recv_wait.get() + start.elapsed().as_secs_f64());
+        out
+    }
+
+    fn fetch_loop(
+        &self,
+        src: usize,
+        src_world: usize,
+        comm: u64,
+        tag: u64,
+        start: Instant,
+        deadline: Instant,
+    ) -> Result<(usize, Payload), CommError> {
         let mut slice = BACKOFF_START;
         loop {
             match self.inbox.recv_timeout(slice) {
@@ -315,6 +335,15 @@ impl Communicator {
     /// Reset the local traffic counters.
     pub fn reset_stats(&self) {
         self.stats.set(CommStats::default());
+    }
+
+    /// Cumulative seconds this rank's thread has spent blocked in
+    /// receives since the rank started, across *all* communicators of
+    /// the rank (the accumulator lives on the shared rank context, not
+    /// on this communicator). Monotone; callers diff successive reads
+    /// to attribute wait time to an interval.
+    pub fn recv_wait_seconds(&self) -> f64 {
+        self.ctx.recv_wait.get()
     }
 
     fn note_send(&self, bytes: usize) {
@@ -998,6 +1027,7 @@ where
                         pending: RefCell::new(HashMap::new()),
                         recv_timeout,
                         faults,
+                        recv_wait: Cell::new(0.0),
                     });
                     let world = Communicator {
                         ctx,
@@ -1459,6 +1489,30 @@ mod tests {
             (a[0], b[0], c[0]) == (1, 2, 3)
         });
         assert!(got.into_iter().all(|x| x));
+    }
+
+    #[test]
+    fn recv_wait_accumulates_blocked_time() {
+        let got = run(2, |comm| {
+            if comm.rank() == 0 {
+                let before = comm.recv_wait_seconds();
+                assert_eq!(before, 0.0);
+                // rank 1 sends only after ~30 ms, so this receive blocks
+                let _: Vec<u8> = comm.recv(1, 4);
+                comm.recv_wait_seconds()
+            } else {
+                std::thread::sleep(Duration::from_millis(30));
+                comm.send(0, 4, vec![1u8]);
+                // sends never block: no wait accumulates
+                comm.recv_wait_seconds()
+            }
+        });
+        assert!(
+            got[0] > 0.02,
+            "rank 0 blocked ~30ms but recorded {} s of wait",
+            got[0]
+        );
+        assert_eq!(got[1], 0.0, "sender must not accumulate recv wait");
     }
 
     #[test]

@@ -297,10 +297,20 @@ impl TransposePlan {
 
         let (recv, recv_counts) = {
             let _exchange = telemetry::span("exchange", Phase::Transpose);
-            match self.strategy {
+            // attribute blocked-receive time inside the exchange to its
+            // own counter: the rank thread's wait clock is monotone, so
+            // the delta across the collective is exactly this exchange's
+            // share of it
+            let wait0 = comm.recv_wait_seconds();
+            let exchanged = match self.strategy {
                 ExchangeStrategy::AllToAll => comm.alltoallv_checked(send, &send_counts)?,
                 ExchangeStrategy::Pairwise => pairwise_exchange(comm, send, &send_counts)?,
-            }
+            };
+            telemetry::count(
+                Counter::ExchangeWaitUs,
+                ((comm.recv_wait_seconds() - wait0) * 1e6) as u64,
+            );
+            exchanged
         };
 
         let _unpack = telemetry::span("unpack", Phase::Transpose);

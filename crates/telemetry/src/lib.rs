@@ -35,8 +35,10 @@
 //! ```
 
 mod export;
+mod hist;
 
 pub use export::PhaseSeconds;
+pub use hist::{fmt_seconds, Histogram};
 
 use std::cell::RefCell;
 use std::collections::BTreeMap;
@@ -114,10 +116,14 @@ pub enum Counter {
     FaultsInjected = 7,
     /// Supervisor-level restarts after a rank failure.
     Restarts = 8,
+    /// Microseconds spent blocked in transpose exchange receives —
+    /// the per-rank wait share that the run-health imbalance report
+    /// splits out from busy time.
+    ExchangeWaitUs = 9,
 }
 
 /// Number of [`Counter`] variants (array-table sizing).
-pub const NUM_COUNTERS: usize = 9;
+pub const NUM_COUNTERS: usize = 10;
 
 impl Counter {
     pub const ALL: [Counter; NUM_COUNTERS] = [
@@ -130,6 +136,7 @@ impl Counter {
         Counter::RecvRetries,
         Counter::FaultsInjected,
         Counter::Restarts,
+        Counter::ExchangeWaitUs,
     ];
 
     pub fn label(self) -> &'static str {
@@ -143,6 +150,7 @@ impl Counter {
             Counter::RecvRetries => "recv_retries",
             Counter::FaultsInjected => "faults_injected",
             Counter::Restarts => "restarts",
+            Counter::ExchangeWaitUs => "exchange_wait_us",
         }
     }
 }
