@@ -1,0 +1,853 @@
+//! Batched multi-RHS solves against packed corner-banded factors.
+//!
+//! The paper's Table 1 speedup comes from *amortisation*: each implicit
+//! wall-normal solve of the channel DNS applies one banded operator per
+//! Fourier mode `(kx, kz)`, and every operator on a rank shares the same
+//! band structure (same `n`, `kl`, `ku` — only the Helmholtz shift
+//! `1 + c k²` differs). Sweeping the modes one at a time, as
+//! [`CornerLu::solve_complex`] does, makes the backward substitution a
+//! serial dependence chain of length `n` with a handful of flops per
+//! step — latency-bound. This module restructures the solve so the mode
+//! index is the *innermost*, stride-1 loop:
+//!
+//! * [`RhsPanel`] — a structure-of-arrays panel of `width` complex
+//!   right-hand sides, stored in blocks of [`LANES`] modes so each
+//!   row/part slab is exactly one cache line of `f64`s;
+//! * [`BatchedFactor`] — `width` factored operators packed in the same
+//!   lane layout (factor once per operator, reciprocal diagonals
+//!   precomputed), whose [`solve_panel`](BatchedFactor::solve_panel)
+//!   runs the forward/backward sweeps with all lane operations
+//!   elementwise and autovectorizable;
+//! * [`CornerLu::solve_panel`] / [`CornerBanded::matvec_panel`] — the
+//!   *shared-operator* variants (one real operator broadcast over every
+//!   lane), used for the B-spline interpolation (`B0`) solves and
+//!   banded matvecs that surround the implicit solves.
+//!
+//! Per mode the arithmetic sequence is identical to the scalar kernels
+//! (same sweep order, same reciprocal-multiply division), so batched
+//! results agree with per-mode [`CornerLu::solve_complex`] calls to
+//! round-off; the property tests in `tests/batch_oracle.rs` pin the
+//! agreement at 1e-12 across random bandwidths and corner structures.
+//!
+//! # Example
+//!
+//! ```
+//! use dns_banded::{BatchedFactor, CornerBanded, CornerLu, RhsPanel, C64};
+//!
+//! // four tridiagonal Helmholtz-like operators differing by a shift,
+//! // as the per-mode viscous operators of the DNS do
+//! let n = 16;
+//! let ops: Vec<CornerBanded> = (0..4)
+//!     .map(|m| {
+//!         let mut a = CornerBanded::zeros(n, 1, 1, 0, 0);
+//!         for i in 0..n {
+//!             a.set(i, i, 3.0 + m as f64);
+//!             if i > 0 {
+//!                 a.set(i, i - 1, 1.0);
+//!             }
+//!             if i + 1 < n {
+//!                 a.set(i, i + 1, 1.0);
+//!             }
+//!         }
+//!         a
+//!     })
+//!     .collect();
+//!
+//! // factor each once, pack, and sweep all four RHS in one panel
+//! let batch = BatchedFactor::factor(ops.clone()).unwrap();
+//! let mut panel = RhsPanel::new(n, 4);
+//! for r in 0..4 {
+//!     let rhs: Vec<C64> = (0..n).map(|j| C64::new(j as f64, 1.0)).collect();
+//!     panel.load_col(r, &rhs);
+//! }
+//! batch.solve_panel(&mut panel);
+//!
+//! // each lane matches the scalar per-mode solve
+//! for (r, op) in ops.into_iter().enumerate() {
+//!     let lu = CornerLu::factor(op).unwrap();
+//!     let mut want: Vec<C64> = (0..n).map(|j| C64::new(j as f64, 1.0)).collect();
+//!     lu.solve_complex(&mut want);
+//!     let mut got = vec![C64::new(0.0, 0.0); n];
+//!     panel.store_col(r, &mut got);
+//!     for (g, w) in got.iter().zip(&want) {
+//!         assert!((g - w).norm() < 1e-12);
+//!     }
+//! }
+//! ```
+
+use crate::corner::{CornerBanded, CornerLu};
+use crate::{LinalgError, C64};
+
+/// Number of right-hand sides per panel block: one cache line of `f64`s,
+/// and the natural vector width for the lane-wise inner loops (AVX-512
+/// fills one register, AVX2/NEON unroll by two/four with no remainder).
+pub const LANES: usize = 8;
+
+/// A structure-of-arrays panel of complex right-hand sides.
+///
+/// The `width` columns are grouped into blocks of [`LANES`]; within a
+/// block, row `j` stores the real parts of all lanes contiguously and
+/// then the imaginary parts (`[re0..re7, im0..im7]`), so every
+/// elementwise operation of a banded sweep touches whole `f64` cache
+/// lines with stride 1. Columns beyond `width` in the last block are
+/// zero-padded and solved against identity factors, so they stay finite
+/// and are never read back.
+///
+/// Buffers grow monotonically: [`RhsPanel::reset`] only reallocates when
+/// the requested shape exceeds the current capacity, which is what lets
+/// the DNS keep panels inside its zero-allocation steady state.
+#[derive(Clone, Debug, Default)]
+pub struct RhsPanel {
+    n: usize,
+    width: usize,
+    data: Vec<f64>,
+}
+
+/// Scalars per block: `n` rows × (re + im) × [`LANES`].
+#[inline]
+fn block_len(n: usize) -> usize {
+    n * 2 * LANES
+}
+
+impl RhsPanel {
+    /// Create a zeroed panel of `width` length-`n` complex columns.
+    pub fn new(n: usize, width: usize) -> Self {
+        let mut p = RhsPanel {
+            n: 0,
+            width: 0,
+            data: Vec::new(),
+        };
+        p.reset(n, width);
+        p
+    }
+
+    /// Resize to `width` columns of length `n` and zero the contents.
+    /// Grow-only: shrinking or same-size reshapes reuse the allocation.
+    pub fn reset(&mut self, n: usize, width: usize) {
+        let blocks = width.div_ceil(LANES);
+        let len = blocks * block_len(n);
+        if len > self.data.len() {
+            self.data.resize(len, 0.0);
+        }
+        self.data[..len].fill(0.0);
+        self.n = n;
+        self.width = width;
+    }
+
+    /// Column length (matrix dimension of the solves).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    /// Number of active right-hand-side columns.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+    /// Number of [`LANES`]-wide blocks covering the active columns.
+    pub fn blocks(&self) -> usize {
+        self.width.div_ceil(LANES)
+    }
+    /// Active lanes in block `b` (all [`LANES`] except possibly the last).
+    pub fn active_lanes(&self, b: usize) -> usize {
+        (self.width - b * LANES).min(LANES)
+    }
+
+    #[inline]
+    fn offset(&self, b: usize, j: usize) -> usize {
+        (b * self.n + j) * 2 * LANES
+    }
+
+    /// The real/imaginary lane slabs of row `j` in block `b`.
+    #[inline]
+    pub fn row(&self, b: usize, j: usize) -> (&[f64; LANES], &[f64; LANES]) {
+        let o = self.offset(b, j);
+        let s = &self.data[o..o + 2 * LANES];
+        let (re, im) = s.split_at(LANES);
+        (re.try_into().unwrap(), im.try_into().unwrap())
+    }
+
+    /// Mutable real/imaginary lane slabs of row `j` in block `b`.
+    #[inline]
+    pub fn row_mut(&mut self, b: usize, j: usize) -> (&mut [f64; LANES], &mut [f64; LANES]) {
+        let o = self.offset(b, j);
+        let s = &mut self.data[o..o + 2 * LANES];
+        let (re, im) = s.split_at_mut(LANES);
+        (re.try_into().unwrap(), im.try_into().unwrap())
+    }
+
+    /// Read element `(j, r)` — row `j` of column `r`.
+    pub fn at(&self, j: usize, r: usize) -> C64 {
+        let (b, l) = (r / LANES, r % LANES);
+        let o = self.offset(b, j);
+        C64::new(self.data[o + l], self.data[o + LANES + l])
+    }
+
+    /// Write element `(j, r)`.
+    pub fn set(&mut self, j: usize, r: usize, v: C64) {
+        let (b, l) = (r / LANES, r % LANES);
+        let o = self.offset(b, j);
+        self.data[o + l] = v.re;
+        self.data[o + LANES + l] = v.im;
+    }
+
+    /// Zero row `j` across every column (boundary-condition rows).
+    pub fn zero_row(&mut self, j: usize) {
+        for b in 0..self.blocks() {
+            let o = self.offset(b, j);
+            self.data[o..o + 2 * LANES].fill(0.0);
+        }
+    }
+
+    /// Scatter a length-`n` complex vector into column `r`.
+    pub fn load_col(&mut self, r: usize, src: &[C64]) {
+        assert_eq!(src.len(), self.n);
+        let (b, l) = (r / LANES, r % LANES);
+        for (j, v) in src.iter().enumerate() {
+            let o = self.offset(b, j);
+            self.data[o + l] = v.re;
+            self.data[o + LANES + l] = v.im;
+        }
+    }
+
+    /// Gather column `r` back into a length-`n` complex vector.
+    pub fn store_col(&self, r: usize, dst: &mut [C64]) {
+        assert_eq!(dst.len(), self.n);
+        let (b, l) = (r / LANES, r % LANES);
+        for (j, v) in dst.iter_mut().enumerate() {
+            let o = self.offset(b, j);
+            *v = C64::new(self.data[o + l], self.data[o + LANES + l]);
+        }
+    }
+
+    /// Column `r` as a fresh vector (tests/diagnostics).
+    pub fn col_to_vec(&self, r: usize) -> Vec<C64> {
+        let mut v = vec![C64::new(0.0, 0.0); self.n];
+        self.store_col(r, &mut v);
+        v
+    }
+}
+
+/// `width` corner-banded LU factorisations packed lane-wise for
+/// multi-RHS sweeps.
+///
+/// All packed operators must share `n`, `kl` and `ku`; their corner
+/// structures may differ (the sweeps only walk the stored windows, and
+/// slots that were never filled by elimination hold structural zeros).
+///
+/// Each factor is split into three streams laid out in the exact order
+/// the sweeps consume them, so every cache line fetched is fully used
+/// exactly once per solve (the row-window layout of [`CornerBanded`]
+/// interleaves L and U slots, which would stream the whole factor twice
+/// with half of every line wasted):
+///
+/// * `ldata` — elimination multipliers, rows ascending, `i - col_start(i)`
+///   slots per row, each slot [`LANES`] wide (the forward sweep's order);
+/// * `udata` — upper-triangle slots, rows *descending*, `jend(i) - i`
+///   slots per row (the backward sweep walks this stream forward);
+/// * `idata` — reciprocal diagonals `1/U[i][i]`, so the backward
+///   substitution multiplies instead of divides — the same `1/d` trick
+///   the scalar complex kernel uses, so per-lane results match it
+///   bitwise.
+///
+/// Lanes past `width` in the final block are padded with identity
+/// factors: sweeping them is a no-op on zero data and keeps the kernels
+/// free of per-lane bounds logic.
+#[derive(Clone, Debug)]
+pub struct BatchedFactor {
+    n: usize,
+    kl: usize,
+    ku: usize,
+    width: usize,
+    /// Per-block scalars in `ldata` (`sum_i (i - col_start(i)) * LANES`).
+    lstride: usize,
+    /// Per-block scalars in `udata` (`sum_i (jend(i) - i) * LANES`).
+    ustride: usize,
+    /// Forward-sweep multipliers, `blocks * lstride` scalars.
+    ldata: Vec<f64>,
+    /// Backward-sweep upper slots, `blocks * ustride` scalars.
+    udata: Vec<f64>,
+    /// Packed reciprocal diagonals, `blocks * n * LANES` scalars.
+    idata: Vec<f64>,
+}
+
+/// Borrow `LANES` consecutive scalars as a fixed-size array (bounds are
+/// checked once here, so the lane loops below compile branch-free).
+#[inline(always)]
+fn lanes(s: &[f64], off: usize) -> &[f64; LANES] {
+    s[off..off + LANES].try_into().unwrap()
+}
+
+impl BatchedFactor {
+    /// Pack already-factored operators (factor once per operator — e.g.
+    /// at solver setup — then sweep panels every step).
+    ///
+    /// # Panics
+    /// If `lus` is empty or the operators disagree on `n`, `kl` or `ku`.
+    pub fn pack(lus: &[&CornerLu]) -> Self {
+        assert!(!lus.is_empty(), "cannot pack an empty batch");
+        let f0 = lus[0].factors();
+        let (n, kl, ku) = (f0.n(), f0.kl(), f0.ku());
+        let w = kl + ku + 1;
+        let anchor = n - w;
+        let blocks = lus.len().div_ceil(LANES);
+        // stream lengths: row i contributes its sub-diagonal window to L
+        // and its super-diagonal window to U
+        let mut lstride = 0;
+        let mut ustride = 0;
+        for i in 0..n {
+            let ci = i.saturating_sub(kl).min(anchor);
+            let jend = (ci + w - 1).min(n - 1);
+            lstride += (i - ci) * LANES;
+            ustride += (jend - i) * LANES;
+        }
+        let mut ldata = vec![0.0; blocks * lstride];
+        let mut udata = vec![0.0; blocks * ustride];
+        // identity padding: unit diagonal in every lane, overwritten
+        // below for the active ones (L/U padding is all-zero already)
+        let mut idata = vec![1.0; blocks * n * LANES];
+        for (r, lu) in lus.iter().enumerate() {
+            let f = lu.factors();
+            assert_eq!(f.n(), n, "packed operators must share the dimension");
+            assert_eq!(f.kl(), kl, "packed operators must share kl");
+            assert_eq!(f.ku(), ku, "packed operators must share ku");
+            let (b, l) = (r / LANES, r % LANES);
+            let raw = f.raw_data();
+            let mut loff = b * lstride;
+            for i in 0..n {
+                let ci = f.col_start(i);
+                for t in 0..i - ci {
+                    ldata[loff + t * LANES + l] = raw[i * w + t];
+                }
+                loff += (i - ci) * LANES;
+                idata[(b * n + i) * LANES + l] = 1.0 / raw[i * w + (i - ci)];
+            }
+            let mut uoff = b * ustride;
+            for i in (0..n).rev() {
+                let ci = f.col_start(i);
+                let jend = (ci + w - 1).min(n - 1);
+                for t in 0..jend - i {
+                    udata[uoff + t * LANES + l] = raw[i * w + (i - ci) + 1 + t];
+                }
+                uoff += (jend - i) * LANES;
+            }
+        }
+        BatchedFactor {
+            n,
+            kl,
+            ku,
+            width: lus.len(),
+            lstride,
+            ustride,
+            ldata,
+            udata,
+            idata,
+        }
+    }
+
+    /// Factor each matrix with [`CornerLu::factor`] and pack the results.
+    pub fn factor(mats: Vec<CornerBanded>) -> Result<Self, LinalgError> {
+        let lus = mats
+            .into_iter()
+            .map(CornerLu::factor)
+            .collect::<Result<Vec<_>, _>>()?;
+        let refs: Vec<&CornerLu> = lus.iter().collect();
+        Ok(BatchedFactor::pack(&refs))
+    }
+
+    /// Matrix dimension shared by the packed operators.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+    /// Number of packed operators (= required panel width).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+    /// Number of [`LANES`]-wide blocks.
+    pub fn blocks(&self) -> usize {
+        self.width.div_ceil(LANES)
+    }
+
+    /// Solve `A_r x_r = b_r` in place for every column `r` of the panel,
+    /// one forward/backward sweep per block with the lane index
+    /// innermost.
+    ///
+    /// # Panics
+    /// If the panel shape does not match (`p.n() != n` or
+    /// `p.width() != width`).
+    pub fn solve_panel(&self, p: &mut RhsPanel) {
+        let _solve =
+            dns_telemetry::detail_span("batched_solve_panel", dns_telemetry::Phase::NsAdvance);
+        self.count_panel();
+        self.check_panel(p);
+        let mut acc = [0.0f64; 2 * LANES];
+        let bl = block_len(self.n);
+        for (blk, chunk) in p.data.chunks_exact_mut(bl).enumerate() {
+            self.solve_block(blk, chunk, &mut acc);
+        }
+    }
+
+    /// [`BatchedFactor::solve_panel`] with the blocks fanned out over a
+    /// rayon pool; each worker carries its own accumulator scratch via
+    /// `for_each_init`. Falls back to the serial sweep for `None`.
+    pub fn solve_panel_threaded(&self, p: &mut RhsPanel, pool: Option<&rayon::ThreadPool>) {
+        let Some(pool) = pool else {
+            return self.solve_panel(p);
+        };
+        let _solve =
+            dns_telemetry::detail_span("batched_solve_panel", dns_telemetry::Phase::NsAdvance);
+        self.count_panel();
+        self.check_panel(p);
+        let bl = block_len(self.n);
+        pool.install(|| {
+            use rayon::prelude::*;
+            p.data.par_chunks_exact_mut(bl).enumerate().for_each_init(
+                || vec![0.0f64; 2 * LANES],
+                |acc, (blk, chunk)| self.solve_block(blk, chunk, acc),
+            );
+        });
+    }
+
+    fn check_panel(&self, p: &RhsPanel) {
+        assert_eq!(p.n(), self.n, "panel rows must match the operators");
+        assert_eq!(p.width(), self.width, "panel width must match the batch");
+    }
+
+    fn count_panel(&self) {
+        if dns_telemetry::enabled() {
+            let per_row = 2 * self.kl + 2 * (self.kl + self.ku) + 1;
+            dns_telemetry::count(dns_telemetry::Counter::SolvePanels, 1);
+            dns_telemetry::count(dns_telemetry::Counter::SolveRhs, self.width as u64);
+            // complex RHS against real factors: two real solves per column
+            dns_telemetry::count(
+                dns_telemetry::Counter::Flops,
+                2 * (self.n * per_row * self.width) as u64,
+            );
+        }
+    }
+
+    /// One block's forward/backward sweep. `rhs` is the block's
+    /// `n * 2 * LANES` slab, `acc` a `2 * LANES` accumulator scratch.
+    ///
+    /// The forward sweep is the row-accumulation form of the scalar
+    /// kernel: every stored slot of row `i` left of the diagonal
+    /// (`columns col_start(i) .. i`) is either an elimination multiplier
+    /// or a structural zero, for corner and regular rows alike, so one
+    /// unconditional dot product per row applies exactly the updates the
+    /// scalar kernel applies — in the same column order, with the lanes
+    /// elementwise.
+    fn solve_block(&self, blk: usize, rhs: &mut [f64], acc: &mut [f64]) {
+        #[cfg(target_arch = "x86_64")]
+        if LANES == 8 && std::arch::is_x86_feature_detected!("avx") {
+            // SAFETY: AVX support was just detected on this host.
+            unsafe { self.solve_block_avx(blk, rhs) };
+            return;
+        }
+        self.solve_block_scalar(blk, rhs, acc);
+    }
+
+    /// Portable form of the block sweep; the autovectorizer handles the
+    /// fixed-[`LANES`] inner loops on targets with wide registers
+    /// enabled, and baseline builds fall back to scalar code.
+    fn solve_block_scalar(&self, blk: usize, rhs: &mut [f64], acc: &mut [f64]) {
+        let n = self.n;
+        let w = self.kl + self.ku + 1;
+        let anchor = n - w;
+        let lb = &self.ldata[blk * self.lstride..][..self.lstride];
+        let ub = &self.udata[blk * self.ustride..][..self.ustride];
+        let ib = &self.idata[blk * n * LANES..][..n * LANES];
+        let (ar, ai) = acc.split_at_mut(LANES);
+        let ar: &mut [f64; LANES] = (&mut ar[..LANES]).try_into().unwrap();
+        let ai: &mut [f64; LANES] = (&mut ai[..LANES]).try_into().unwrap();
+        // forward: b_i -= sum_{k=ci..i} L[i][k] * b_k, streaming `lb`
+        // front to back
+        let mut loff = 0;
+        for i in 1..n {
+            let ci = i.saturating_sub(self.kl).min(anchor);
+            if ci == i {
+                continue;
+            }
+            let (ro, io) = ((i * 2) * LANES, (i * 2 + 1) * LANES);
+            *ar = *lanes(rhs, ro);
+            *ai = *lanes(rhs, io);
+            for t in 0..i - ci {
+                let f = lanes(lb, loff + t * LANES);
+                let k = ci + t;
+                let kr = lanes(rhs, (k * 2) * LANES);
+                let ki = lanes(rhs, (k * 2 + 1) * LANES);
+                for l in 0..LANES {
+                    ar[l] -= f[l] * kr[l];
+                    ai[l] -= f[l] * ki[l];
+                }
+            }
+            loff += (i - ci) * LANES;
+            rhs[ro..ro + LANES].copy_from_slice(ar);
+            rhs[io..io + LANES].copy_from_slice(ai);
+        }
+        // backward: b_i = (b_i - sum_{j>i} U[i][j] * b_j) / U[i][i];
+        // `ub` holds rows in descending order, so this streams front to
+        // back too
+        let mut uoff = 0;
+        for i in (0..n).rev() {
+            let ci = i.saturating_sub(self.kl).min(anchor);
+            let jend = (ci + w - 1).min(n - 1);
+            let (ro, io) = ((i * 2) * LANES, (i * 2 + 1) * LANES);
+            *ar = *lanes(rhs, ro);
+            *ai = *lanes(rhs, io);
+            for t in 0..jend - i {
+                let f = lanes(ub, uoff + t * LANES);
+                let j = i + 1 + t;
+                let jr = lanes(rhs, (j * 2) * LANES);
+                let ji = lanes(rhs, (j * 2 + 1) * LANES);
+                for l in 0..LANES {
+                    ar[l] -= f[l] * jr[l];
+                    ai[l] -= f[l] * ji[l];
+                }
+            }
+            uoff += (jend - i) * LANES;
+            let iv = lanes(ib, i * LANES);
+            for l in 0..LANES {
+                rhs[ro + l] = ar[l] * iv[l];
+                rhs[io + l] = ai[l] * iv[l];
+            }
+        }
+    }
+
+    /// AVX form of [`BatchedFactor::solve_block_scalar`]: the same
+    /// sweeps with each 8-lane slot handled as two 256-bit vectors.
+    /// Deliberately multiply-then-subtract (no FMA contraction), so the
+    /// rounding — and therefore every lane's result — is bitwise
+    /// identical to the scalar kernel's.
+    ///
+    /// # Safety
+    /// The caller must have verified AVX support on the running CPU.
+    #[cfg(target_arch = "x86_64")]
+    #[target_feature(enable = "avx")]
+    unsafe fn solve_block_avx(&self, blk: usize, rhs: &mut [f64]) {
+        use core::arch::x86_64::*;
+        let n = self.n;
+        let w = self.kl + self.ku + 1;
+        let anchor = n - w;
+        let lb = &self.ldata[blk * self.lstride..][..self.lstride];
+        let ub = &self.udata[blk * self.ustride..][..self.ustride];
+        let ib = &self.idata[blk * n * LANES..][..n * LANES];
+        assert_eq!(rhs.len(), block_len(n), "block slab length");
+        let r = rhs.as_mut_ptr();
+        // forward: b_i -= sum_{k=ci..i} L[i][k] * b_k
+        let mut lp = lb.as_ptr();
+        for i in 1..n {
+            let ci = i.saturating_sub(self.kl).min(anchor);
+            if ci == i {
+                continue;
+            }
+            let ro = (i * 2) * LANES;
+            let mut ar0 = _mm256_loadu_pd(r.add(ro));
+            let mut ar1 = _mm256_loadu_pd(r.add(ro + 4));
+            let mut ai0 = _mm256_loadu_pd(r.add(ro + 8));
+            let mut ai1 = _mm256_loadu_pd(r.add(ro + 12));
+            for k in ci..i {
+                let f0 = _mm256_loadu_pd(lp);
+                let f1 = _mm256_loadu_pd(lp.add(4));
+                lp = lp.add(LANES);
+                let kp = r.add((k * 2) * LANES);
+                ar0 = _mm256_sub_pd(ar0, _mm256_mul_pd(f0, _mm256_loadu_pd(kp)));
+                ar1 = _mm256_sub_pd(ar1, _mm256_mul_pd(f1, _mm256_loadu_pd(kp.add(4))));
+                ai0 = _mm256_sub_pd(ai0, _mm256_mul_pd(f0, _mm256_loadu_pd(kp.add(8))));
+                ai1 = _mm256_sub_pd(ai1, _mm256_mul_pd(f1, _mm256_loadu_pd(kp.add(12))));
+            }
+            _mm256_storeu_pd(r.add(ro), ar0);
+            _mm256_storeu_pd(r.add(ro + 4), ar1);
+            _mm256_storeu_pd(r.add(ro + 8), ai0);
+            _mm256_storeu_pd(r.add(ro + 12), ai1);
+        }
+        debug_assert_eq!(lp as usize, lb.as_ptr().add(self.lstride) as usize);
+        // backward: b_i = (b_i - sum_{j>i} U[i][j] * b_j) / U[i][i]
+        let mut up = ub.as_ptr();
+        for i in (0..n).rev() {
+            let ci = i.saturating_sub(self.kl).min(anchor);
+            let jend = (ci + w - 1).min(n - 1);
+            let ro = (i * 2) * LANES;
+            let mut ar0 = _mm256_loadu_pd(r.add(ro));
+            let mut ar1 = _mm256_loadu_pd(r.add(ro + 4));
+            let mut ai0 = _mm256_loadu_pd(r.add(ro + 8));
+            let mut ai1 = _mm256_loadu_pd(r.add(ro + 12));
+            for j in i + 1..=jend {
+                let f0 = _mm256_loadu_pd(up);
+                let f1 = _mm256_loadu_pd(up.add(4));
+                up = up.add(LANES);
+                let jp = r.add((j * 2) * LANES);
+                ar0 = _mm256_sub_pd(ar0, _mm256_mul_pd(f0, _mm256_loadu_pd(jp)));
+                ar1 = _mm256_sub_pd(ar1, _mm256_mul_pd(f1, _mm256_loadu_pd(jp.add(4))));
+                ai0 = _mm256_sub_pd(ai0, _mm256_mul_pd(f0, _mm256_loadu_pd(jp.add(8))));
+                ai1 = _mm256_sub_pd(ai1, _mm256_mul_pd(f1, _mm256_loadu_pd(jp.add(12))));
+            }
+            let ivp = ib.as_ptr().add(i * LANES);
+            let iv0 = _mm256_loadu_pd(ivp);
+            let iv1 = _mm256_loadu_pd(ivp.add(4));
+            _mm256_storeu_pd(r.add(ro), _mm256_mul_pd(ar0, iv0));
+            _mm256_storeu_pd(r.add(ro + 4), _mm256_mul_pd(ar1, iv1));
+            _mm256_storeu_pd(r.add(ro + 8), _mm256_mul_pd(ai0, iv0));
+            _mm256_storeu_pd(r.add(ro + 12), _mm256_mul_pd(ai1, iv1));
+        }
+        debug_assert_eq!(up as usize, ub.as_ptr().add(self.ustride) as usize);
+    }
+}
+
+impl CornerLu {
+    /// Shared-operator panel solve: apply *this* factorisation to every
+    /// column of the panel (the B-spline `B0` interpolation solve is the
+    /// same real operator for all modes). Identical sweeps to
+    /// [`CornerLu::solve_complex`], with the lane loop innermost.
+    pub fn solve_panel(&self, p: &mut RhsPanel) {
+        let _solve =
+            dns_telemetry::detail_span("corner_solve_panel", dns_telemetry::Phase::NsAdvance);
+        let m = self.factors();
+        let n = m.n();
+        let (kl, ku) = (m.kl(), m.ku());
+        let w = kl + ku + 1;
+        let anchor = n - w;
+        assert_eq!(p.n(), n, "panel rows must match the operator");
+        if dns_telemetry::enabled() {
+            let per_row = 2 * kl + 2 * (kl + ku) + 1;
+            dns_telemetry::count(dns_telemetry::Counter::SolvePanels, 1);
+            dns_telemetry::count(dns_telemetry::Counter::SolveRhs, p.width() as u64);
+            dns_telemetry::count(
+                dns_telemetry::Counter::Flops,
+                2 * (n * per_row * p.width()) as u64,
+            );
+        }
+        let d = m.raw_data();
+        let bl = block_len(n);
+        for chunk in p.data.chunks_exact_mut(bl) {
+            // forward
+            for i in 1..n {
+                let ci = i.saturating_sub(kl).min(anchor);
+                for k in ci..i {
+                    let f = d[i * w + (k - ci)];
+                    if f == 0.0 {
+                        continue;
+                    }
+                    let (ro, io) = ((i * 2) * LANES, (i * 2 + 1) * LANES);
+                    let (kr, ki) = ((k * 2) * LANES, (k * 2 + 1) * LANES);
+                    for l in 0..LANES {
+                        chunk[ro + l] -= f * chunk[kr + l];
+                        chunk[io + l] -= f * chunk[ki + l];
+                    }
+                }
+            }
+            // backward
+            for i in (0..n).rev() {
+                let ci = i.saturating_sub(kl).min(anchor);
+                let jend = (ci + w - 1).min(n - 1);
+                let (ro, io) = ((i * 2) * LANES, (i * 2 + 1) * LANES);
+                for j in i + 1..=jend {
+                    let f = d[i * w + (j - ci)];
+                    let (jr, ji) = ((j * 2) * LANES, (j * 2 + 1) * LANES);
+                    for l in 0..LANES {
+                        chunk[ro + l] -= f * chunk[jr + l];
+                        chunk[io + l] -= f * chunk[ji + l];
+                    }
+                }
+                let inv = 1.0 / d[i * w + (i - ci)];
+                for l in 0..LANES {
+                    chunk[ro + l] *= inv;
+                    chunk[io + l] *= inv;
+                }
+            }
+        }
+    }
+}
+
+impl CornerBanded {
+    /// Shared-operator panel matvec: `y_r = A x_r` for every column,
+    /// lane loop innermost. `x` and `y` must share the panel shape.
+    pub fn matvec_panel(&self, x: &RhsPanel, y: &mut RhsPanel) {
+        let n = self.n();
+        let w = self.width();
+        assert_eq!(x.n(), n, "input panel rows must match the operator");
+        assert_eq!(y.n(), n, "output panel rows must match the operator");
+        assert_eq!(x.width(), y.width(), "panels must share the width");
+        let d = self.raw_data();
+        let bl = block_len(n);
+        let blocks = x.width().div_ceil(LANES);
+        for b in 0..blocks {
+            let xb = &x.data[b * bl..][..bl];
+            let yb = &mut y.data[b * bl..][..bl];
+            for i in 0..n {
+                let ci = self.col_start(i);
+                let (ro, io) = ((i * 2) * LANES, (i * 2 + 1) * LANES);
+                yb[ro..ro + LANES].fill(0.0);
+                yb[io..io + LANES].fill(0.0);
+                for t in 0..w {
+                    let a = d[i * w + t];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let j = ci + t;
+                    let (jr, ji) = ((j * 2) * LANES, (j * 2 + 1) * LANES);
+                    for l in 0..LANES {
+                        yb[ro + l] += a * xb[jr + l];
+                        yb[io + l] += a * xb[ji + l];
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testmat::CollocationLike;
+
+    fn rhs_col(n: usize, r: usize) -> Vec<C64> {
+        (0..n)
+            .map(|j| {
+                let x = (j * 37 + r * 101) % 97;
+                C64::new(x as f64 / 97.0 - 0.5, ((x * 31) % 89) as f64 / 89.0 - 0.5)
+            })
+            .collect()
+    }
+
+    fn shifted_ops(base: &CollocationLike, count: usize) -> Vec<CornerBanded> {
+        let proto = base.corner();
+        let n = proto.n();
+        (0..count)
+            .map(|m| {
+                let mut a = proto.clone();
+                // diagonal Helmholtz-like shift, distinct per operator
+                for i in 0..n {
+                    a.set(i, i, a.get(i, i) + 1.0 + m as f64 * 0.37);
+                }
+                a
+            })
+            .collect()
+    }
+
+    #[test]
+    fn batched_matches_scalar_across_shapes() {
+        for &(bw, nc) in &[(2usize, 0usize), (6, 2), (14, 2)] {
+            let base = CollocationLike {
+                n: 64,
+                p: bw / 2,
+                nc,
+                seed: 7 + bw as u64,
+            };
+            for &width in &[1usize, 3, 8, 13, 32] {
+                let ops = shifted_ops(&base, width);
+                let lus: Vec<CornerLu> = ops
+                    .iter()
+                    .map(|m| CornerLu::factor(m.clone()).unwrap())
+                    .collect();
+                let batch = BatchedFactor::factor(ops).unwrap();
+                let mut panel = RhsPanel::new(base.n, width);
+                for r in 0..width {
+                    panel.load_col(r, &rhs_col(base.n, r));
+                }
+                batch.solve_panel(&mut panel);
+                for (r, lu) in lus.iter().enumerate() {
+                    let mut want = rhs_col(base.n, r);
+                    lu.solve_complex(&mut want);
+                    let got = panel.col_to_vec(r);
+                    for (g, w) in got.iter().zip(&want) {
+                        assert!(
+                            (g - w).norm() < 1e-12,
+                            "bw={bw} nc={nc} width={width} col={r}: {g} vs {w}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_panel_matches_serial() {
+        let base = CollocationLike {
+            n: 96,
+            p: 3,
+            nc: 2,
+            seed: 11,
+        };
+        let width = 29;
+        let ops = shifted_ops(&base, width);
+        let batch = BatchedFactor::factor(ops).unwrap();
+        let mut serial = RhsPanel::new(base.n, width);
+        for r in 0..width {
+            serial.load_col(r, &rhs_col(base.n, r));
+        }
+        let mut threaded = serial.clone();
+        batch.solve_panel(&mut serial);
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        batch.solve_panel_threaded(&mut threaded, Some(&pool));
+        for r in 0..width {
+            for (a, b) in serial.col_to_vec(r).iter().zip(threaded.col_to_vec(r)) {
+                assert_eq!(*a, b, "threaded sweep must be bitwise identical");
+            }
+        }
+    }
+
+    #[test]
+    fn shared_operator_panel_solve_matches_scalar() {
+        let base = CollocationLike {
+            n: 48,
+            p: 2,
+            nc: 1,
+            seed: 3,
+        };
+        let lu = CornerLu::factor(base.corner()).unwrap();
+        let width = 11;
+        let mut panel = RhsPanel::new(base.n, width);
+        for r in 0..width {
+            panel.load_col(r, &rhs_col(base.n, r));
+        }
+        lu.solve_panel(&mut panel);
+        for r in 0..width {
+            let mut want = rhs_col(base.n, r);
+            lu.solve_complex(&mut want);
+            for (g, w) in panel.col_to_vec(r).iter().zip(&want) {
+                assert!((g - w).norm() < 1e-12, "col {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn matvec_panel_matches_scalar() {
+        let base = CollocationLike {
+            n: 40,
+            p: 3,
+            nc: 2,
+            seed: 5,
+        };
+        let a = base.corner();
+        let width = 10;
+        let mut x = RhsPanel::new(base.n, width);
+        let mut y = RhsPanel::new(base.n, width);
+        for r in 0..width {
+            x.load_col(r, &rhs_col(base.n, r));
+        }
+        a.matvec_panel(&x, &mut y);
+        for r in 0..width {
+            let mut want = vec![C64::new(0.0, 0.0); base.n];
+            a.matvec_complex(&rhs_col(base.n, r), &mut want);
+            for (g, w) in y.col_to_vec(r).iter().zip(&want) {
+                assert!((g - w).norm() < 1e-12, "col {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_is_grow_only() {
+        let mut p = RhsPanel::new(32, 24);
+        let cap = p.data.capacity();
+        p.set(3, 5, C64::new(1.0, 2.0));
+        p.reset(32, 16);
+        assert_eq!(p.at(3, 5), C64::new(0.0, 0.0), "reset must zero");
+        assert_eq!(p.data.capacity(), cap, "shrink must not reallocate");
+        assert_eq!(p.blocks(), 2);
+        assert_eq!(p.active_lanes(1), 8);
+        p.reset(32, 17);
+        assert_eq!(p.blocks(), 3);
+        assert_eq!(p.active_lanes(2), 1);
+    }
+}

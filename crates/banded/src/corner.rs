@@ -74,6 +74,20 @@ impl CornerBanded {
     pub fn width(&self) -> usize {
         self.kl + self.ku + 1
     }
+    /// Number of leading rows declared "wide" (top corner block).
+    pub fn nc_top(&self) -> usize {
+        self.nc_top
+    }
+    /// Number of trailing rows declared "wide" (bottom corner block).
+    pub fn nc_bot(&self) -> usize {
+        self.nc_bot
+    }
+
+    /// Row-major compact storage (`n * width` scalars; row `i` holds
+    /// columns `col_start(i) ..`). Read-only view for the batched packers.
+    pub(crate) fn raw_data(&self) -> &[f64] {
+        &self.data
+    }
 
     /// First stored column of row `i`.
     #[inline]

@@ -41,19 +41,21 @@
 //! assert!(rhs.iter().all(|x| x.re.is_finite() && x.im.is_finite()));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Indexed loops mirror the textbook statements of the numerical
 // algorithms (banded elimination, butterflies, stencils); iterator
 // rewrites of these kernels obscure the maths without helping codegen.
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::type_complexity)]
 
+pub mod batch;
 pub mod corner;
 pub mod dense;
 pub mod general;
 pub mod scalar;
 pub mod testmat;
 
+pub use batch::{BatchedFactor, RhsPanel, LANES};
 pub use corner::{CornerBanded, CornerLu};
 pub use dense::DenseLu;
 pub use general::{BandedLu, BandedMatrix};

@@ -85,6 +85,12 @@ impl CollocationOps {
     pub fn b2(&self) -> &CornerBanded {
         &self.b2
     }
+    /// The factored `B0` interpolation operator — the shared-operator
+    /// solve behind [`CollocationOps::interpolate_complex`], exposed so
+    /// the batched hot path can sweep whole panels against it.
+    pub fn b0_lu(&self) -> &CornerLu {
+        &self.b0_lu
+    }
 
     /// Coefficients interpolating real `values` at the collocation points.
     pub fn interpolate(&self, values: &[f64]) -> Vec<f64> {

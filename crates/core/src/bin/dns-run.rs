@@ -162,6 +162,11 @@ const FLAGS: &[Flag] = &[
         help: "start from the laminar profile instead",
     },
     Flag {
+        name: "--no-batched",
+        value: None,
+        help: "per-mode scalar wall-normal solves instead of batched panels (oracle path)",
+    },
+    Flag {
         name: "--grid",
         value: Some("PAxPB"),
         help: "process grid, e.g. 2x2 (default 1x1; ranks are threads)",
@@ -313,6 +318,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--turbulent-ic" => args.turb_ic = Some(num(&flag, take(&mut i)?)?),
             "--laminar-ic" => args.turb_ic = None,
+            "--no-batched" => args.params.batched = false,
             "--grid" => {
                 let v = take(&mut i)?;
                 let (pa, pb) = v
@@ -734,5 +740,110 @@ fn main() {
             path.display(),
             snap.span_count()
         );
+    }
+}
+
+#[cfg(test)]
+mod flag_drift {
+    //! The `--help` text is generated from [`FLAGS`], so help and table
+    //! cannot drift — but the parser's `match` arms still could. These
+    //! tests pin all three views of the flag set (parser, table/help,
+    //! README examples) to each other.
+    use super::{usage, FLAGS};
+
+    const SRC: &str = include_str!("dns-run.rs");
+    const README: &str = include_str!("../../../../README.md");
+
+    /// Flags the parser actually matches: string literals opening a
+    /// `match` arm (`"--foo" => ...` or `"--help" | "-h" => ...`).
+    fn parser_arm_flags() -> Vec<&'static str> {
+        let mut v = Vec::new();
+        for line in SRC.lines() {
+            let t = line.trim_start();
+            if !t.starts_with("\"--") || !t.contains("=>") {
+                continue;
+            }
+            let rest = &t[1..];
+            if let Some(end) = rest.find('"') {
+                v.push(&rest[..end]);
+            }
+        }
+        v
+    }
+
+    /// Flags passed to `dns-run` in the README's command examples
+    /// (joining backslash-continued shell lines first).
+    fn readme_dns_run_flags() -> Vec<String> {
+        let mut commands = Vec::new();
+        let mut cur = String::new();
+        for line in README.lines() {
+            let t = line.trim();
+            if let Some(stem) = t.strip_suffix('\\') {
+                cur.push_str(stem);
+                cur.push(' ');
+            } else {
+                cur.push_str(t);
+                commands.push(std::mem::take(&mut cur));
+            }
+        }
+        let mut flags = Vec::new();
+        for cmd in commands {
+            if !cmd.contains("--bin dns-run") {
+                continue;
+            }
+            let Some((_, tail)) = cmd.split_once(" -- ") else {
+                continue;
+            };
+            for tok in tail.split_whitespace() {
+                if tok.starts_with("--") {
+                    flags.push(tok.to_string());
+                }
+            }
+        }
+        flags
+    }
+
+    #[test]
+    fn every_parsed_flag_is_documented_in_help() {
+        let arms = parser_arm_flags();
+        assert!(arms.len() >= 30, "arm scan looks broken: {arms:?}");
+        let help = usage();
+        for flag in &arms {
+            assert!(
+                FLAGS.iter().any(|f| f.name == *flag),
+                "parser accepts {flag} but the FLAGS table does not list it"
+            );
+            assert!(
+                help.contains(&format!("{flag} ")) || help.contains(&format!("{flag}\n")),
+                "parser accepts {flag} but --help does not mention it"
+            );
+        }
+    }
+
+    #[test]
+    fn every_documented_flag_has_a_parser_arm() {
+        let arms = parser_arm_flags();
+        for f in FLAGS {
+            assert!(
+                arms.contains(&f.name),
+                "--help documents {} but the parser has no arm for it",
+                f.name
+            );
+        }
+    }
+
+    #[test]
+    fn readme_examples_only_use_real_flags() {
+        let flags = readme_dns_run_flags();
+        assert!(
+            !flags.is_empty(),
+            "README no longer shows any dns-run invocations — update this scan"
+        );
+        for flag in &flags {
+            assert!(
+                FLAGS.iter().any(|f| f.name == flag),
+                "README example passes {flag}, which dns-run does not accept"
+            );
+        }
     }
 }

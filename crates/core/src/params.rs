@@ -52,6 +52,12 @@ pub struct Params {
     /// On-node worker threads for the transform line loops (the paper's
     /// OpenMP threading, section 4.2). 1 = serial.
     pub fft_threads: usize,
+    /// Route the implicit wall-normal solves through the batched
+    /// multi-RHS panel path (section 4.1.1's "many right-hand sides at
+    /// once"); false falls back to per-mode scalar sweeps, kept as the
+    /// agreement oracle. An execution knob: results agree to round-off
+    /// and the choice is excluded from [`Params::state_hash`].
+    pub batched: bool,
 }
 
 impl Params {
@@ -74,7 +80,15 @@ impl Params {
             pa: 1,
             pb: 1,
             fft_threads: 1,
+            batched: true,
         }
+    }
+
+    /// Enable/disable the batched multi-RHS implicit path (on by
+    /// default; the scalar path is the agreement oracle).
+    pub fn with_batched(mut self, batched: bool) -> Params {
+        self.batched = batched;
+        self
     }
 
     /// Use `n` on-node threads for the transform line loops.
@@ -143,8 +157,8 @@ impl Params {
     /// basis, nonlinearity. Checkpoints store it so a restart under
     /// different physics is rejected instead of silently continuing a
     /// different simulation. Pure execution knobs (`pa`, `pb`,
-    /// `fft_threads`) are excluded: the decomposition is validated
-    /// separately, and results are layout-independent.
+    /// `fft_threads`, `batched`) are excluded: the decomposition is
+    /// validated separately, and results are layout-independent.
     pub fn state_hash(&self) -> u64 {
         fn mix(h: u64, v: u64) -> u64 {
             let mut z = h.wrapping_add(v).wrapping_add(0x9E37_79B9_7F4A_7C15);
@@ -197,6 +211,7 @@ mod tests {
             p.state_hash(),
             p.clone().with_grid(2, 2).with_fft_threads(4).state_hash()
         );
+        assert_eq!(p.state_hash(), p.clone().with_batched(false).state_hash());
         // physics does
         assert_ne!(p.state_hash(), p.clone().with_dt(2e-3).state_hash());
         assert_ne!(

@@ -18,7 +18,7 @@ use crate::nonlinear::{self, HFields};
 use crate::solver::ChannelDns;
 use crate::wallnormal::row_dot_complex;
 use crate::C64;
-use dns_banded::CornerLu;
+use dns_banded::{BatchedFactor, CornerBanded, CornerLu, RhsPanel};
 
 /// Spline coefficients of the pressure for every locally-owned mode
 /// (y-pencil layout), gauge-fixed so the mean pressure vanishes at the
@@ -28,57 +28,110 @@ pub fn pressure_coefficients(dns: &ChannelDns) -> Vec<C64> {
     pressure_from_h(dns, &h)
 }
 
-/// Pressure solve from precomputed convective fluxes.
+/// Pressure solve from precomputed convective fluxes. Routes every
+/// non-mean mode through one batched multi-RHS panel solve when
+/// `Params::batched` is on; [`pressure_from_h_scalar`] is the per-mode
+/// oracle (results agree to round-off).
 pub fn pressure_from_h(dns: &ChannelDns, h: &HFields) -> Vec<C64> {
+    if !dns.params().batched {
+        return pressure_from_h_scalar(dns, h);
+    }
     let ops = dns.ops();
     let ny = ops.n();
-    let nu = dns.params().nu;
     let mut out = vec![C64::new(0.0, 0.0); dns.field_len()];
-    let mut dy_vals = vec![C64::new(0.0, 0.0); ny];
-    let mut lap_v = vec![C64::new(0.0, 0.0); ny];
-    let mut b0v = vec![C64::new(0.0, 0.0); ny];
+    // the batched panel covers the regular modes; the mean mode's gauge
+    // row gives it a different boundary-row structure, so it stays on
+    // the scalar path (one mode, not worth a panel)
+    let batched: Vec<usize> = (0..dns.local_modes())
+        .filter(|&m| !dns.is_nyquist(m) && !dns.is_mean(m))
+        .collect();
+    for m in 0..dns.local_modes() {
+        if dns.is_mean(m) {
+            let r = dns.line_range(m);
+            let (rhs, op) = mode_system(dns, h, m);
+            let lu = CornerLu::factor(op).expect("pressure operator nonsingular");
+            let mut rhs = rhs;
+            lu.solve_complex(&mut rhs);
+            out[r].copy_from_slice(&rhs);
+        }
+    }
+    if batched.is_empty() {
+        return out;
+    }
+    let mut mats = Vec::with_capacity(batched.len());
+    let mut panel = RhsPanel::new(ny, batched.len());
+    for (r, &m) in batched.iter().enumerate() {
+        let (rhs, op) = mode_system(dns, h, m);
+        panel.load_col(r, &rhs);
+        mats.push(op);
+    }
+    let batch = BatchedFactor::factor(mats).expect("pressure operators nonsingular");
+    batch.solve_panel(&mut panel);
+    for (r, &m) in batched.iter().enumerate() {
+        panel.store_col(r, &mut out[dns.line_range(m)]);
+    }
+    out
+}
+
+/// Per-mode scalar pressure solve (the batched path's agreement oracle).
+pub fn pressure_from_h_scalar(dns: &ChannelDns, h: &HFields) -> Vec<C64> {
+    let mut out = vec![C64::new(0.0, 0.0); dns.field_len()];
     for m in 0..dns.local_modes() {
         if dns.is_nyquist(m) {
             continue;
         }
         let r = dns.line_range(m);
-        let (ikx, ikz, k2) = dns.mode_wavenumbers(m);
-
-        // RHS = div H = ikx Hx + d/dy Hy + ikz Hz (values)
-        let hy_coef = ops.interpolate_complex(&h.hy[r.clone()]);
-        ops.b1().matvec_complex(&hy_coef, &mut dy_vals);
-        let mut rhs: Vec<C64> = (0..ny)
-            .map(|j| ikx * h.hx[r.start + j] + dy_vals[j] + ikz * h.hz[r.start + j])
-            .collect();
-
-        // operator (B2 - k^2 B0) with Neumann rows; the mean mode gets a
-        // Dirichlet gauge row at the lower wall instead (Neumann-Neumann
-        // is singular at k = 0)
-        let mut op = ops.combine(-k2, 0.0, 1.0);
-        if dns.is_mean(m) {
-            ops.set_boundary_row(&mut op, 0, -1.0, 0);
-        } else {
-            ops.set_boundary_row(&mut op, 0, -1.0, 1);
-        }
-        ops.set_boundary_row(&mut op, ny - 1, 1.0, 1);
-
-        // Neumann data: dp/dy = H_y + nu (D2 - k^2) v at the walls
-        let cv = &dns.state().v()[r.clone()];
-        ops.b2().matvec_complex(cv, &mut lap_v);
-        ops.b0().matvec_complex(cv, &mut b0v);
-        let bc = |row: usize| h.hy[r.start + row] + nu * (lap_v[row] - k2 * b0v[row]);
-        rhs[0] = if dns.is_mean(m) {
-            C64::new(0.0, 0.0) // gauge p(-1) = 0
-        } else {
-            bc(0)
-        };
-        rhs[ny - 1] = bc(ny - 1);
-
+        let (mut rhs, op) = mode_system(dns, h, m);
         let lu = CornerLu::factor(op).expect("pressure operator nonsingular");
         lu.solve_complex(&mut rhs);
         out[r].copy_from_slice(&rhs);
     }
     out
+}
+
+/// Assemble mode `m`'s pressure Poisson system: the right-hand side
+/// (divergence of `H` with the wall rows overwritten by the Neumann /
+/// gauge data) and the boundary-conditioned `B2 - k^2 B0` operator.
+fn mode_system(dns: &ChannelDns, h: &HFields, m: usize) -> (Vec<C64>, CornerBanded) {
+    let ops = dns.ops();
+    let ny = ops.n();
+    let nu = dns.params().nu;
+    let r = dns.line_range(m);
+    let (ikx, ikz, k2) = dns.mode_wavenumbers(m);
+
+    // RHS = div H = ikx Hx + d/dy Hy + ikz Hz (values)
+    let hy_coef = ops.interpolate_complex(&h.hy[r.clone()]);
+    let mut dy_vals = vec![C64::new(0.0, 0.0); ny];
+    ops.b1().matvec_complex(&hy_coef, &mut dy_vals);
+    let mut rhs: Vec<C64> = (0..ny)
+        .map(|j| ikx * h.hx[r.start + j] + dy_vals[j] + ikz * h.hz[r.start + j])
+        .collect();
+
+    // operator (B2 - k^2 B0) with Neumann rows; the mean mode gets a
+    // Dirichlet gauge row at the lower wall instead (Neumann-Neumann
+    // is singular at k = 0)
+    let mut op = ops.combine(-k2, 0.0, 1.0);
+    if dns.is_mean(m) {
+        ops.set_boundary_row(&mut op, 0, -1.0, 0);
+    } else {
+        ops.set_boundary_row(&mut op, 0, -1.0, 1);
+    }
+    ops.set_boundary_row(&mut op, ny - 1, 1.0, 1);
+
+    // Neumann data: dp/dy = H_y + nu (D2 - k^2) v at the walls
+    let cv = &dns.state().v()[r.clone()];
+    let mut lap_v = vec![C64::new(0.0, 0.0); ny];
+    let mut b0v = vec![C64::new(0.0, 0.0); ny];
+    ops.b2().matvec_complex(cv, &mut lap_v);
+    ops.b0().matvec_complex(cv, &mut b0v);
+    let bc = |row: usize| h.hy[r.start + row] + nu * (lap_v[row] - k2 * b0v[row]);
+    rhs[0] = if dns.is_mean(m) {
+        C64::new(0.0, 0.0) // gauge p(-1) = 0
+    } else {
+        bc(0)
+    };
+    rhs[ny - 1] = bc(ny - 1);
+    (rhs, op)
 }
 
 /// Mean-pressure profile and pressure-fluctuation variance at the
@@ -200,6 +253,27 @@ mod tests {
             worst
         });
         assert!(worst < 1e-9, "Poisson residual {worst}");
+    }
+
+    #[test]
+    fn batched_pressure_matches_scalar_oracle() {
+        let p = Params::channel(16, 25, 16, 80.0).with_dt(1e-3);
+        let worst = run_serial(p, |dns| {
+            dns.set_laminar(0.5);
+            dns.add_perturbation(0.3, 17);
+            for _ in 0..2 {
+                dns.step();
+            }
+            let h = nonlinear::quadratic_h(dns);
+            let batched = pressure_from_h(dns, &h);
+            let scalar = pressure_from_h_scalar(dns, &h);
+            batched
+                .iter()
+                .zip(&scalar)
+                .map(|(b, s)| (b - s).norm() / (1.0 + s.norm()))
+                .fold(0.0f64, f64::max)
+        });
+        assert!(worst < 1e-12, "batched pressure deviates: {worst}");
     }
 
     #[test]

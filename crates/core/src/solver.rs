@@ -11,8 +11,12 @@ use dns_telemetry as telemetry;
 use crate::nonlinear::{self, NlTerms, NlWorkspace};
 use crate::params::Params;
 use crate::rk3;
-use crate::wallnormal::{dy_coefficients, dy_coefficients_into, MeanSolver, ModeSolver};
+use crate::wallnormal::{
+    dy_coefficients, dy_coefficients_into, dy_coefficients_panel, BatchNormalSolver, MeanSolver,
+    ModeSolver,
+};
 use crate::C64;
+use dns_banded::RhsPanel;
 
 /// Classification of a locally-owned horizontal wavenumber.
 enum ModeKind {
@@ -20,8 +24,12 @@ enum ModeKind {
     Mean,
     /// The structurally-zero spanwise Nyquist slot.
     NyquistZ,
-    /// A regular mode with its factored wall-normal operators.
+    /// A regular mode with its factored wall-normal operators (scalar
+    /// per-mode path, `Params::batched = false`).
     Normal(Box<ModeSolver>),
+    /// A regular mode whose solves run through the rank-wide
+    /// [`BatchNormalSolver`] panels.
+    Batched,
 }
 
 /// Prognostic and derived spectral fields, stored as B-spline
@@ -86,6 +94,15 @@ struct StepScratch {
     r4: Vec<f64>,
     c0: Vec<C64>,
     c1: Vec<C64>,
+    /// Batched-path panels (sized on first use, grow-only thereafter):
+    /// prognostic columns, new/old nonlinear terms, `B0 c`/`B2 c` matvec
+    /// scratch, and the recovered `v` columns.
+    pc: RhsPanel,
+    pn: RhsPanel,
+    po: RhsPanel,
+    pb0: RhsPanel,
+    pb2: RhsPanel,
+    pv: RhsPanel,
 }
 
 /// A distributed channel DNS bound to one rank of a `pa x pb` grid.
@@ -94,6 +111,12 @@ pub struct ChannelDns {
     pfft: ParallelFft,
     ops: CollocationOps,
     modes: Vec<ModeKind>,
+    /// The rank-wide batched wall-normal solver (`Params::batched`);
+    /// `None` when every normal mode carries its own [`ModeSolver`], or
+    /// when the rank owns no normal modes.
+    batch: Option<BatchNormalSolver>,
+    /// Local mode indices behind `batch`, in panel-column order.
+    batch_modes: Vec<usize>,
     mean: MeanSolver,
     state: State,
     ns_seconds: f64,
@@ -129,6 +152,8 @@ impl ChannelDns {
         let kxb = pfft.kx_block();
         let kzb = pfft.kz_block();
         let mut modes = Vec::with_capacity(kxb.len * kzb.len);
+        let mut batch_modes = Vec::new();
+        let mut batch_k2 = Vec::new();
         for kzl in 0..kzb.len {
             let kz_g = kzb.global(kzl);
             for kxl in 0..kxb.len {
@@ -141,11 +166,19 @@ impl ChannelDns {
                     let kx = params.alpha() * kx_g as f64;
                     let kz = params.beta() * signed(kz_g, params.nz) as f64;
                     let k2 = kx * kx + kz * kz;
-                    ModeKind::Normal(Box::new(ModeSolver::new(&ops, k2, params.nu, params.dt)))
+                    if params.batched {
+                        batch_modes.push(modes.len());
+                        batch_k2.push(k2);
+                        ModeKind::Batched
+                    } else {
+                        ModeKind::Normal(Box::new(ModeSolver::new(&ops, k2, params.nu, params.dt)))
+                    }
                 };
                 modes.push(kind);
             }
         }
+        let batch = (!batch_k2.is_empty())
+            .then(|| BatchNormalSolver::new(&ops, &batch_k2, params.nu, params.dt));
         let mean = MeanSolver::new(&ops, params.nu, params.dt);
         let y_weights = integration_weights(&ops);
         let dyn_force = match params.forcing {
@@ -159,6 +192,8 @@ impl ChannelDns {
             pfft,
             ops,
             modes,
+            batch,
+            batch_modes,
             mean,
             state: State {
                 u: zero.clone(),
@@ -343,7 +378,7 @@ impl ChannelDns {
         let nz = self.params.nz;
         let kxlen = self.pfft.kx_block().len;
         for m in 0..self.local_modes() {
-            if !matches!(self.modes[m], ModeKind::Normal(_)) {
+            if !matches!(self.modes[m], ModeKind::Normal(_) | ModeKind::Batched) {
                 continue;
             }
             let kx_g = self.pfft.kx_block().global(m % kxlen);
@@ -400,7 +435,7 @@ impl ChannelDns {
         let kxlen = self.pfft.kx_block().len;
         let nz = self.params.nz;
         for m in 0..self.local_modes() {
-            if !matches!(self.modes[m], ModeKind::Normal(_)) {
+            if !matches!(self.modes[m], ModeKind::Normal(_) | ModeKind::Batched) {
                 continue;
             }
             let kx_g = self.pfft.kx_block().global(m % kxlen);
@@ -524,10 +559,86 @@ impl ChannelDns {
         let f = self.dyn_force;
         let ops = &self.ops;
         let state = &mut self.state;
+        // Batched path: all normal modes advance as multi-RHS panels —
+        // gather the y-lines into SoA panels, sweep each banded system
+        // once across every mode, scatter back. Same per-mode arithmetic
+        // as the scalar arm below, vectorised over the mode index.
+        if let Some(batch) = &self.batch {
+            let w = batch.width();
+            sc.pc.reset(ny, w);
+            sc.pn.reset(ny, w);
+            sc.po.reset(ny, w);
+            sc.pb0.reset(ny, w);
+            sc.pb2.reset(ny, w);
+            sc.pv.reset(ny, w);
+            // omega_y: advance through the substep's Helmholtz solve
+            for (r, &m) in self.batch_modes.iter().enumerate() {
+                let rng = m * ny..(m + 1) * ny;
+                sc.pc.load_col(r, &state.omega_y[rng.clone()]);
+                sc.pn.load_col(r, &nl.h_g[rng.clone()]);
+                sc.po.load_col(r, &n_old.h_g[rng]);
+            }
+            batch.advance_panel(
+                ops,
+                i,
+                &mut sc.pc,
+                &sc.pn,
+                &sc.po,
+                nu,
+                dt,
+                &mut sc.pb0,
+                &mut sc.pb2,
+            );
+            for (r, &m) in self.batch_modes.iter().enumerate() {
+                sc.pc.store_col(r, &mut state.omega_y[m * ny..(m + 1) * ny]);
+            }
+            // phi: advance, then recover v with the influence correction
+            for (r, &m) in self.batch_modes.iter().enumerate() {
+                let rng = m * ny..(m + 1) * ny;
+                sc.pc.load_col(r, &state.phi[rng.clone()]);
+                sc.pn.load_col(r, &nl.h_v[rng.clone()]);
+                sc.po.load_col(r, &n_old.h_v[rng]);
+            }
+            batch.advance_panel(
+                ops,
+                i,
+                &mut sc.pc,
+                &sc.pn,
+                &sc.po,
+                nu,
+                dt,
+                &mut sc.pb0,
+                &mut sc.pb2,
+            );
+            batch.solve_v_panel(ops, i, &mut sc.pc, &mut sc.pv);
+            for (r, &m) in self.batch_modes.iter().enumerate() {
+                sc.pc.store_col(r, &mut state.phi[m * ny..(m + 1) * ny]);
+                sc.pv.store_col(r, &mut state.v[m * ny..(m + 1) * ny]);
+            }
+            // u, w recovery: dv/dy for the whole panel, then per-mode
+            // combination with omega_y
+            dy_coefficients_panel(ops, &sc.pv, &mut sc.pb0);
+            let kxlen = self.pfft.kx_block().len;
+            for (r, &m) in self.batch_modes.iter().enumerate() {
+                let kx_g = self.pfft.kx_block().global(m % kxlen);
+                let kz_g = self.pfft.kz_block().global(m / kxlen);
+                let kx = self.params.alpha() * kx_g as f64;
+                let kz = self.params.beta() * signed(kz_g, self.params.nz) as f64;
+                let (ikx, ikz, k2) = (C64::new(0.0, kx), C64::new(0.0, kz), kx * kx + kz * kz);
+                let base = m * ny;
+                for j in 0..ny {
+                    let vy = sc.pb0.at(j, r);
+                    let om = state.omega_y[base + j];
+                    state.u[base + j] = (ikx * vy - ikz * om) / k2;
+                    state.w[base + j] = (ikz * vy + ikx * om) / k2;
+                }
+            }
+        }
         for (m, kind) in self.modes.iter().enumerate() {
             let r = m * ny..(m + 1) * ny;
             match kind {
                 ModeKind::NyquistZ => {}
+                ModeKind::Batched => {}
                 ModeKind::Mean => {
                     // <u>: forced by the pressure gradient and -d<uv>/dy
                     sc.r0.clear();
@@ -866,6 +977,40 @@ mod tests {
         });
         let drift = (e1 - e0).abs() / e0;
         assert!(drift < 2e-3, "energy drift {drift} (e0={e0}, e1={e1})");
+    }
+
+    #[test]
+    fn batched_step_matches_scalar_oracle() {
+        // the batched panels and the per-mode scalar sweeps must produce
+        // the same trajectory to round-off (they differ only in memory
+        // layout and division-vs-reciprocal rounding)
+        let run = |batched: bool| {
+            run_serial(tiny_params().with_batched(batched), |dns| {
+                dns.set_laminar(1.0);
+                dns.add_perturbation(0.05, 9);
+                for _ in 0..3 {
+                    dns.step();
+                }
+                let s = dns.state();
+                [
+                    s.u().to_vec(),
+                    s.v().to_vec(),
+                    s.w().to_vec(),
+                    s.omega_y().to_vec(),
+                    s.phi().to_vec(),
+                ]
+            })
+        };
+        let batched = run(true);
+        let scalar = run(false);
+        for (f, (bf, sf)) in batched.iter().zip(&scalar).enumerate() {
+            for (j, (b, s)) in bf.iter().zip(sf).enumerate() {
+                assert!(
+                    (b - s).norm() < 1e-12 * (1.0 + s.norm()),
+                    "field {f} slot {j}: batched {b} vs scalar {s}"
+                );
+            }
+        }
     }
 
     #[test]

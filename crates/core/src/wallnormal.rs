@@ -8,7 +8,7 @@
 
 use crate::rk3;
 use crate::C64;
-use dns_banded::{CornerBanded, CornerLu};
+use dns_banded::{BatchedFactor, CornerBanded, CornerLu, RhsPanel, LANES};
 use dns_bspline::CollocationOps;
 
 /// Dot product of one stored row of a banded operator with a complex
@@ -217,6 +217,212 @@ impl ModeSolver {
     }
 }
 
+/// Panel analogue of [`dy_coefficients_into`]: derivative coefficients
+/// of every column at once (`B0 c' = B1 c` swept as one panel against
+/// the shared `B0` factors). `out` is overwritten.
+pub fn dy_coefficients_panel(ops: &CollocationOps, c: &RhsPanel, out: &mut RhsPanel) {
+    ops.b1().matvec_panel(c, out);
+    ops.b0_lu().solve_panel(out);
+}
+
+/// The influence-matrix columns of a whole batch of modes, lane-packed:
+/// `c_phi_a[(block*n + j)*LANES + lane]` mirrors the [`RhsPanel`]
+/// layout so the correction loop is elementwise over lanes.
+struct BatchGreens {
+    c_phi_a: Vec<f64>,
+    c_phi_b: Vec<f64>,
+    c_v_a: Vec<f64>,
+    c_v_b: Vec<f64>,
+    /// Per-lane 2x2 inverse wall-slope matrices (identity in the padded
+    /// lanes, whose slopes are always zero).
+    minv: Vec<[[f64; 2]; 2]>,
+}
+
+/// The batched counterpart of a rank's worth of [`ModeSolver`]s: every
+/// normal `(kx, kz)` mode's Helmholtz/Poisson factors packed into
+/// [`BatchedFactor`]s (one per RK substep plus one Poisson), advanced by
+/// whole-panel sweeps instead of per-mode scalar solves — the paper's
+/// "many right-hand sides at once" amortisation (section 4.1.1) applied
+/// to the DNS hot path.
+pub struct BatchNormalSolver {
+    width: usize,
+    blocks: usize,
+    /// Per-lane `k^2`, padded with 1.0 (padded lanes are never read back).
+    k2: Vec<f64>,
+    helm: [BatchedFactor; 3],
+    pois: BatchedFactor,
+    greens: [BatchGreens; 3],
+}
+
+impl BatchNormalSolver {
+    /// Build and pack the apparatus for the given squared wavenumbers
+    /// (one [`ModeSolver`] is constructed transiently per mode, so the
+    /// factors and Green's functions are *identical* to the scalar
+    /// path's; only their memory layout changes).
+    pub fn new(ops: &CollocationOps, k2s: &[f64], nu: f64, dt: f64) -> BatchNormalSolver {
+        assert!(!k2s.is_empty(), "empty batch");
+        let n = ops.n();
+        let width = k2s.len();
+        let blocks = width.div_ceil(LANES);
+        let solvers: Vec<ModeSolver> = k2s
+            .iter()
+            .map(|&k2| ModeSolver::new(ops, k2, nu, dt))
+            .collect();
+        let helm: [BatchedFactor; 3] = std::array::from_fn(|i| {
+            let refs: Vec<&CornerLu> = solvers.iter().map(|s| &s.helm[i]).collect();
+            BatchedFactor::pack(&refs)
+        });
+        let pois = {
+            let refs: Vec<&CornerLu> = solvers.iter().map(|s| &s.pois).collect();
+            BatchedFactor::pack(&refs)
+        };
+        let greens: [BatchGreens; 3] = std::array::from_fn(|i| {
+            let mut g = BatchGreens {
+                c_phi_a: vec![0.0; blocks * n * LANES],
+                c_phi_b: vec![0.0; blocks * n * LANES],
+                c_v_a: vec![0.0; blocks * n * LANES],
+                c_v_b: vec![0.0; blocks * n * LANES],
+                minv: vec![[[1.0, 0.0], [0.0, 1.0]]; blocks * LANES],
+            };
+            for (r, s) in solvers.iter().enumerate() {
+                let (b, l) = (r / LANES, r % LANES);
+                let sg = &s.greens[i];
+                for j in 0..n {
+                    let o = (b * n + j) * LANES + l;
+                    g.c_phi_a[o] = sg.c_phi_a[j];
+                    g.c_phi_b[o] = sg.c_phi_b[j];
+                    g.c_v_a[o] = sg.c_v_a[j];
+                    g.c_v_b[o] = sg.c_v_b[j];
+                }
+                g.minv[r] = sg.minv;
+            }
+            g
+        });
+        let mut k2 = vec![1.0; blocks * LANES];
+        k2[..width].copy_from_slice(k2s);
+        BatchNormalSolver {
+            width,
+            blocks,
+            k2,
+            helm,
+            pois,
+            greens,
+        }
+    }
+
+    /// Number of batched modes (= panel width of every solve).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Panel analogue of [`ModeSolver::advance_in`]: advance one
+    /// prognostic panel (`omega_y` or `phi` columns) through RK substep
+    /// `i`. `b0c`/`b2c` are overwritten matvec scratch panels of the
+    /// same shape.
+    #[allow(clippy::too_many_arguments)]
+    pub fn advance_panel(
+        &self,
+        ops: &CollocationOps,
+        i: usize,
+        c: &mut RhsPanel,
+        n_new: &RhsPanel,
+        n_old: &RhsPanel,
+        nu: f64,
+        dt: f64,
+        b0c: &mut RhsPanel,
+        b2c: &mut RhsPanel,
+    ) {
+        let n = ops.n();
+        ops.b0().matvec_panel(c, b0c);
+        ops.b2().matvec_panel(c, b2c);
+        let a = nu * dt * rk3::ALPHA[i];
+        let g = dt * rk3::GAMMA[i];
+        let z = dt * rk3::ZETA[i];
+        for b in 0..self.blocks {
+            let k2 = &self.k2[b * LANES..][..LANES];
+            for j in 0..n {
+                let (b0r, b0i) = b0c.row(b, j);
+                let (b2r, b2i) = b2c.row(b, j);
+                let (nr, ni) = n_new.row(b, j);
+                let (zr, zi) = n_old.row(b, j);
+                let (cr, ci) = c.row_mut(b, j);
+                for l in 0..LANES {
+                    cr[l] = b0r[l] + a * (b2r[l] - k2[l] * b0r[l]) + g * nr[l] + z * zr[l];
+                    ci[l] = b0i[l] + a * (b2i[l] - k2[l] * b0i[l]) + g * ni[l] + z * zi[l];
+                }
+            }
+        }
+        c.zero_row(0);
+        c.zero_row(n - 1);
+        self.helm[i].solve_panel(c);
+    }
+
+    /// Panel analogue of [`ModeSolver::solve_v_into`]: recover the `v`
+    /// panel from the `phi` panel after substep `i`, applying the
+    /// per-lane influence-matrix corrections so every column satisfies
+    /// `v(+-1) = v'(+-1) = 0`. `c_phi` is corrected in place.
+    pub fn solve_v_panel(
+        &self,
+        ops: &CollocationOps,
+        i: usize,
+        c_phi: &mut RhsPanel,
+        c_v: &mut RhsPanel,
+    ) {
+        let n = ops.n();
+        ops.b0().matvec_panel(c_phi, c_v);
+        c_v.zero_row(0);
+        c_v.zero_row(n - 1);
+        self.pois.solve_panel(c_v);
+        let b1 = ops.b1();
+        let g = &self.greens[i];
+        for b in 0..self.blocks {
+            // residual wall slopes of every lane: rows 0 and n-1 of B1 c_v
+            let mut s0 = [0.0f64; 2 * LANES]; // re | im
+            let mut s1 = [0.0f64; 2 * LANES];
+            for (row, s) in [(0, &mut s0), (n - 1, &mut s1)] {
+                let ci = b1.col_start(row);
+                for j in ci..(ci + b1.width()).min(n) {
+                    let a = b1.get(row, j);
+                    let (vr, vi) = c_v.row(b, j);
+                    for l in 0..LANES {
+                        s[l] += a * vr[l];
+                        s[LANES + l] += a * vi[l];
+                    }
+                }
+            }
+            // correction amplitudes, lane-wise
+            let mut ar = [0.0f64; LANES];
+            let mut ai = [0.0f64; LANES];
+            let mut br = [0.0f64; LANES];
+            let mut bi = [0.0f64; LANES];
+            for l in 0..LANES {
+                let m = &g.minv[b * LANES + l];
+                ar[l] = -(m[0][0] * s0[l] + m[0][1] * s1[l]);
+                ai[l] = -(m[0][0] * s0[LANES + l] + m[0][1] * s1[LANES + l]);
+                br[l] = -(m[1][0] * s0[l] + m[1][1] * s1[l]);
+                bi[l] = -(m[1][0] * s0[LANES + l] + m[1][1] * s1[LANES + l]);
+            }
+            for j in 0..n {
+                let o = (b * n + j) * LANES;
+                let pa = &g.c_phi_a[o..o + LANES];
+                let pb = &g.c_phi_b[o..o + LANES];
+                let va = &g.c_v_a[o..o + LANES];
+                let vb = &g.c_v_b[o..o + LANES];
+                let (pr, pi) = c_phi.row_mut(b, j);
+                for l in 0..LANES {
+                    pr[l] += ar[l] * pa[l] + br[l] * pb[l];
+                    pi[l] += ai[l] * pa[l] + bi[l] * pb[l];
+                }
+                let (vr, vi) = c_v.row_mut(b, j);
+                for l in 0..LANES {
+                    vr[l] += ar[l] * va[l] + br[l] * vb[l];
+                    vi[l] += ai[l] * va[l] + bi[l] * vb[l];
+                }
+            }
+        }
+    }
+}
+
 /// Solver for the `(kx, kz) = (0, 0)` mean-flow modes: real Helmholtz
 /// advances of `<u>(y)` and `<w>(y)` with Dirichlet walls.
 pub struct MeanSolver {
@@ -397,6 +603,89 @@ mod tests {
             .map(|(a, b)| (a - b).norm())
             .sum();
         assert!(delta_norm > 1e-12, "influence correction must engage");
+    }
+
+    #[test]
+    fn batched_solver_matches_per_mode_solvers() {
+        let ops = make_ops(33);
+        let n = ops.n();
+        let (nu, dt) = (0.02, 2e-3);
+        // enough modes to exercise a partial last block
+        let k2s: Vec<f64> = (0..11).map(|m| 0.5 + 1.7 * m as f64).collect();
+        let batch = BatchNormalSolver::new(&ops, &k2s, nu, dt);
+        let scalars: Vec<ModeSolver> = k2s
+            .iter()
+            .map(|&k2| ModeSolver::new(&ops, k2, nu, dt))
+            .collect();
+        let line = |r: usize, salt: f64| -> Vec<C64> {
+            (0..n)
+                .map(|j| {
+                    let x = j as f64 * 0.29 + r as f64 * 1.3 + salt;
+                    C64::new(x.sin(), (1.7 * x).cos())
+                })
+                .collect()
+        };
+        for i in 0..3 {
+            let w = k2s.len();
+            let mut pc = RhsPanel::new(n, w);
+            let mut pn = RhsPanel::new(n, w);
+            let mut po = RhsPanel::new(n, w);
+            let mut pb0 = RhsPanel::new(n, w);
+            let mut pb2 = RhsPanel::new(n, w);
+            let mut pv = RhsPanel::new(n, w);
+            for r in 0..w {
+                pc.load_col(r, &line(r, 0.0));
+                pn.load_col(r, &line(r, 0.4));
+                po.load_col(r, &line(r, 0.8));
+            }
+            batch.advance_panel(&ops, i, &mut pc, &pn, &po, nu, dt, &mut pb0, &mut pb2);
+            batch.solve_v_panel(&ops, i, &mut pc, &mut pv);
+            for (r, ms) in scalars.iter().enumerate() {
+                let mut c = line(r, 0.0);
+                ms.advance(&ops, i, &mut c, &line(r, 0.4), &line(r, 0.8), nu, dt);
+                let v = ms.solve_v(&ops, i, &mut c);
+                for j in 0..n {
+                    let scale = 1.0 + c[j].norm();
+                    assert!(
+                        (pc.at(j, r) - c[j]).norm() < 1e-12 * scale,
+                        "substep {i} phi col {r} row {j}"
+                    );
+                    assert!(
+                        (pv.at(j, r) - v[j]).norm() < 1e-12 * (1.0 + v[j].norm()),
+                        "substep {i} v col {r} row {j}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dy_panel_matches_scalar_derivative() {
+        let ops = make_ops(28);
+        let n = ops.n();
+        let w = 5;
+        let mut c = RhsPanel::new(n, w);
+        let mut out = RhsPanel::new(n, w);
+        let cols: Vec<Vec<C64>> = (0..w)
+            .map(|r| {
+                (0..n)
+                    .map(|j| C64::new((j as f64 + r as f64).sin(), (j as f64 * 0.3).cos()))
+                    .collect()
+            })
+            .collect();
+        for (r, col) in cols.iter().enumerate() {
+            c.load_col(r, col);
+        }
+        dy_coefficients_panel(&ops, &c, &mut out);
+        for (r, col) in cols.iter().enumerate() {
+            let want = dy_coefficients(&ops, col);
+            for j in 0..n {
+                assert!(
+                    (out.at(j, r) - want[j]).norm() < 1e-12 * (1.0 + want[j].norm()),
+                    "col {r} row {j}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@
 //! assert_eq!(sums, vec![0.0, 2.0, 0.0, 2.0]);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Indexed loops mirror the textbook statements of the numerical
 // algorithms (banded elimination, butterflies, stencils); iterator
 // rewrites of these kernels obscure the maths without helping codegen.

@@ -13,7 +13,7 @@
 //!   with both exchange strategies the FFTW planner would choose between
 //!   (`MPI_alltoall` vs pairwise `MPI_sendrecv`).
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Indexed loops mirror the textbook statements of the numerical
 // algorithms (banded elimination, butterflies, stencils); iterator
 // rewrites of these kernels obscure the maths without helping codegen.

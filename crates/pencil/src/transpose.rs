@@ -57,6 +57,31 @@ impl TransposePlan {
     ///   not taking part in this transpose);
     /// * `nf` — global length of the input-distributed axis;
     /// * `nt` — global length of the input-full axis.
+    ///
+    /// # Example
+    ///
+    /// A 4x4 plane distributed over two ranks, transposed and brought
+    /// back by the inverse plan:
+    ///
+    /// ```
+    /// use dns_pencil::{ExchangeStrategy, TransposePlan};
+    ///
+    /// let ok = dns_minimpi::run(2, |world| {
+    ///     let plan = TransposePlan::new(&world, 1, 4, 4, ExchangeStrategy::AllToAll);
+    ///     // input [f_loc][t]: entry (f, t) holds f*4 + t
+    ///     let f0 = plan.f_block().start;
+    ///     let input: Vec<f64> = (0..plan.input_len())
+    ///         .map(|i| ((f0 + i / 4) * 4 + i % 4) as f64)
+    ///         .collect();
+    ///     let out = plan.run(&world, &input); // out [t_loc][f]
+    ///     let t0 = plan.t_block().start;
+    ///     for (i, &v) in out.iter().enumerate() {
+    ///         assert_eq!(v, ((i % 4) * 4 + t0 + i / 4) as f64);
+    ///     }
+    ///     plan.inverse(&world).run(&world, &out) == input
+    /// });
+    /// assert!(ok.into_iter().all(|b| b));
+    /// ```
     pub fn new(
         comm: &Communicator,
         rows: usize,

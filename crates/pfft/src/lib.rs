@@ -27,7 +27,7 @@
 //! | communication buffers | reused, 1x | allocated per call, 3x |
 //! | threading | caller-side (rayon over lines) | none |
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // Indexed loops mirror the textbook statements of the numerical
 // algorithms (banded elimination, butterflies, stencils); iterator
 // rewrites of these kernels obscure the maths without helping codegen.

@@ -546,6 +546,54 @@ impl ParallelFft {
     /// time. Line groups are threaded over the configured pool with
     /// per-worker scratch; the serial path runs entirely out of `ws` and
     /// performs zero heap allocations once warm (single rank).
+    ///
+    /// # Example
+    ///
+    /// Constant velocities make every product a known constant, so the
+    /// fused pipeline can be checked against forward transforms of those
+    /// constants:
+    ///
+    /// ```
+    /// use dns_pfft::{ParallelFft, PfftConfig, Workspace, C64, NL_FIELDS, NL_PRODUCTS};
+    ///
+    /// let worst = dns_minimpi::run(1, |world| {
+    ///     let p = ParallelFft::new(world, PfftConfig::customized(8, 5, 8, 1, 1));
+    ///     // u = 2, v = 1, w = 0 everywhere
+    ///     let fields = [2.0, 1.0, 0.0].map(|c| p.forward(&vec![c; p.x_pencil_len()]));
+    ///     // stack the three spectra as [kz][field][kx][ny]
+    ///     let (sxl, nzl) = (p.kx_block().len, p.kz_block().len);
+    ///     let ny = p.config().ny;
+    ///     let mut uvw = vec![C64::new(0.0, 0.0); NL_FIELDS * p.y_pencil_len()];
+    ///     for kz in 0..nzl {
+    ///         for (fi, f) in fields.iter().enumerate() {
+    ///             let (src, dst) = (kz * sxl * ny, (kz * NL_FIELDS + fi) * sxl * ny);
+    ///             uvw[dst..dst + sxl * ny].copy_from_slice(&f[src..src + sxl * ny]);
+    ///         }
+    ///     }
+    ///
+    ///     let (mut out, mut ws) = (Vec::new(), Workspace::new());
+    ///     p.nonlinear_products(&uvw, &mut out, &mut ws);
+    ///
+    ///     // uu - vv = 3, uv = 2, uw = 0, vw = 0, ww - vv = -1
+    ///     let expect: Vec<Vec<f64>> = [3.0, 2.0, 0.0, 0.0, -1.0]
+    ///         .iter()
+    ///         .map(|&c| vec![c; p.x_pencil_len()])
+    ///         .collect();
+    ///     let refs: Vec<&[f64]> = expect.iter().map(|e| e.as_slice()).collect();
+    ///     let oracle = p.forward_batch(&refs);
+    ///     let mut worst = 0.0f64;
+    ///     for kz in 0..nzl {
+    ///         for (f, spec) in oracle.iter().enumerate() {
+    ///             for i in 0..sxl * ny {
+    ///                 let got = out[((kz * NL_PRODUCTS + f) * sxl) * ny + i];
+    ///                 worst = worst.max((got - spec[kz * sxl * ny + i]).norm());
+    ///             }
+    ///         }
+    ///     }
+    ///     worst
+    /// });
+    /// assert!(worst[0] < 1e-12);
+    /// ```
     pub fn nonlinear_products(&self, uvw: &[C64], out: &mut Vec<C64>, ws: &mut Workspace) {
         assert_eq!(uvw.len(), NL_FIELDS * self.y_pencil_len());
         let _fused = telemetry::span("nonlinear_products", Phase::Other);

@@ -80,7 +80,7 @@ impl<R> Report<R> {
         self.results.is_some()
     }
 
-    /// The timeline as a JSON document (see [`crate::events`]).
+    /// The timeline as a JSON document (see [`events_to_json`]).
     pub fn events_json(&self) -> String {
         events_to_json(&self.events)
     }

@@ -120,10 +120,17 @@ pub enum Counter {
     /// the per-rank wait share that the run-health imbalance report
     /// splits out from busy time.
     ExchangeWaitUs = 9,
+    /// Right-hand sides carried through banded solves, counting each
+    /// column of a multi-RHS panel once (scalar solves count 1), so the
+    /// batched and scalar implicit paths are directly comparable.
+    SolveRhs = 10,
+    /// Multi-RHS panel sweeps executed by the batched banded solver; the
+    /// ratio `SolveRhs / SolvePanels` is the achieved mean panel width.
+    SolvePanels = 11,
 }
 
 /// Number of [`Counter`] variants (array-table sizing).
-pub const NUM_COUNTERS: usize = 10;
+pub const NUM_COUNTERS: usize = 12;
 
 impl Counter {
     pub const ALL: [Counter; NUM_COUNTERS] = [
@@ -137,6 +144,8 @@ impl Counter {
         Counter::FaultsInjected,
         Counter::Restarts,
         Counter::ExchangeWaitUs,
+        Counter::SolveRhs,
+        Counter::SolvePanels,
     ];
 
     pub fn label(self) -> &'static str {
@@ -151,6 +160,8 @@ impl Counter {
             Counter::FaultsInjected => "faults_injected",
             Counter::Restarts => "restarts",
             Counter::ExchangeWaitUs => "exchange_wait_us",
+            Counter::SolveRhs => "solve_rhs",
+            Counter::SolvePanels => "solve_panels",
         }
     }
 }
