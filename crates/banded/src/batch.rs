@@ -414,11 +414,13 @@ impl BatchedFactor {
     fn count_panel(&self) {
         if dns_telemetry::enabled() {
             let per_row = 2 * self.kl + 2 * (self.kl + self.ku) + 1;
-            dns_telemetry::count(dns_telemetry::Counter::SolvePanels, 1);
-            dns_telemetry::count(dns_telemetry::Counter::SolveRhs, self.width as u64);
+            use dns_telemetry::{count_phase, Counter, Phase};
+            count_phase(Phase::NsAdvance, Counter::SolvePanels, 1);
+            count_phase(Phase::NsAdvance, Counter::SolveRhs, self.width as u64);
             // complex RHS against real factors: two real solves per column
-            dns_telemetry::count(
-                dns_telemetry::Counter::Flops,
+            count_phase(
+                Phase::NsAdvance,
+                Counter::Flops,
                 2 * (self.n * per_row * self.width) as u64,
             );
         }
@@ -607,10 +609,12 @@ impl CornerLu {
         assert_eq!(p.n(), n, "panel rows must match the operator");
         if dns_telemetry::enabled() {
             let per_row = 2 * kl + 2 * (kl + ku) + 1;
-            dns_telemetry::count(dns_telemetry::Counter::SolvePanels, 1);
-            dns_telemetry::count(dns_telemetry::Counter::SolveRhs, p.width() as u64);
-            dns_telemetry::count(
-                dns_telemetry::Counter::Flops,
+            use dns_telemetry::{count_phase, Counter, Phase};
+            count_phase(Phase::NsAdvance, Counter::SolvePanels, 1);
+            count_phase(Phase::NsAdvance, Counter::SolveRhs, p.width() as u64);
+            count_phase(
+                Phase::NsAdvance,
+                Counter::Flops,
                 2 * (n * per_row * p.width()) as u64,
             );
         }

@@ -218,7 +218,11 @@ impl CornerLu {
     pub fn solve(&self, b: &mut [f64]) {
         let _solve = dns_telemetry::detail_span("corner_solve", dns_telemetry::Phase::NsAdvance);
         if dns_telemetry::enabled() {
-            dns_telemetry::count(dns_telemetry::Counter::Flops, self.solve_flops());
+            dns_telemetry::count_phase(
+                dns_telemetry::Phase::NsAdvance,
+                dns_telemetry::Counter::Flops,
+                self.solve_flops(),
+            );
         }
         match (self.m.kl, self.m.ku) {
             (3, 3) => solve_kernel(&self.m, b, 3, 3),
@@ -234,7 +238,11 @@ impl CornerLu {
             dns_telemetry::detail_span("corner_solve_complex", dns_telemetry::Phase::NsAdvance);
         if dns_telemetry::enabled() {
             // complex RHS against real factors: two real solves' worth
-            dns_telemetry::count(dns_telemetry::Counter::Flops, 2 * self.solve_flops());
+            dns_telemetry::count_phase(
+                dns_telemetry::Phase::NsAdvance,
+                dns_telemetry::Counter::Flops,
+                2 * self.solve_flops(),
+            );
         }
         // pure tridiagonal factors with no corner rows take the classic
         // two-sweep Thomas path (no window bookkeeping at all)

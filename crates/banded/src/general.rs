@@ -228,7 +228,11 @@ impl<T: Scalar> BandedLu<T> {
             // forward elimination (2 kl) + back substitution (2 (kl+ku) + 1)
             // multiply-adds per row, the GBTRS nominal count
             let per_row = 2 * self.kl + 2 * (self.kl + self.ku) + 1;
-            dns_telemetry::count(dns_telemetry::Counter::Flops, (n * per_row) as u64);
+            dns_telemetry::count_phase(
+                dns_telemetry::Phase::NsAdvance,
+                dns_telemetry::Counter::Flops,
+                (n * per_row) as u64,
+            );
         }
         for k in 0..n {
             b.swap(k, self.piv[k]);

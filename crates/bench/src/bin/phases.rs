@@ -22,6 +22,7 @@ struct Opts {
     ny: usize,
     nz: usize,
     steps: usize,
+    json: Option<String>,
 }
 
 fn parse(argv: &[String]) -> Result<Opts, String> {
@@ -30,6 +31,7 @@ fn parse(argv: &[String]) -> Result<Opts, String> {
         ny: 65,
         nz: 32,
         steps: 10,
+        json: None,
     };
     let mut i = 1;
     while i < argv.len() {
@@ -46,10 +48,19 @@ fn parse(argv: &[String]) -> Result<Opts, String> {
             "--ny" => o.ny = val(&mut i)?,
             "--nz" => o.nz = val(&mut i)?,
             "--steps" => o.steps = val(&mut i)?,
+            "--json" => {
+                i += 1;
+                o.json = Some(
+                    argv.get(i)
+                        .ok_or_else(|| "--json needs a file path".to_string())?
+                        .clone(),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "phases: measured-vs-modelled per-phase RK3 breakdown\n\n\
-                     usage: phases [--nx N] [--ny N] [--nz N] [--steps N]"
+                     usage: phases [--nx N] [--ny N] [--nz N] [--steps N] [--json FILE]\n\n\
+                     --json FILE  write the telemetry counter export (counts schema v1)"
                 );
                 std::process::exit(0);
             }
@@ -236,4 +247,18 @@ fn main() {
          (modelled at stream bandwidth) and comm counters are zero; span \
          attribution is exclusive (innermost span wins)."
     );
+
+    if let Some(path) = &o.json {
+        let meta = telemetry::CountsMeta {
+            bench: "phases".to_string(),
+            nx: o.nx,
+            ny: o.ny,
+            nz: o.nz,
+            ranks: 1,
+            threads: 1,
+            steps,
+        };
+        std::fs::write(path, telemetry::counts_json(&snap, &meta)).expect("write counts JSON");
+        println!("\nwrote counter export to {path}");
+    }
 }

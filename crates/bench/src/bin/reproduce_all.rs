@@ -3,6 +3,12 @@
 //! quantitative artefacts (the figure binaries are separate because they
 //! run the real DNS for minutes each).
 //!
+//! The sequence ends with the `dns-scaling` campaign harness, which
+//! probes the real stack, calibrates the machine model from harvested
+//! counts, and writes `BENCH_table6.json` … `BENCH_table11.json` plus
+//! `BENCH_scalinglab.json` into the report directory (failing the whole
+//! reproduction if any overlap-region model error exceeds the bound).
+//!
 //! ```text
 //! cargo run --release -p dns-bench --bin reproduce_all
 //! ```
@@ -11,30 +17,38 @@ use std::path::Path;
 use std::process::Command;
 
 fn main() {
-    let bins = [
-        "table1",
-        "table2",
-        "table3",
-        "table4",
-        "table5",
-        "table6",
-        "table9",
-        "table10",
-        "table11",
-        "conclusions",
-    ];
     let out_dir = Path::new("target/reports");
     std::fs::create_dir_all(out_dir).expect("create report directory");
+    let campaign_args = vec![
+        "--smoke".to_string(),
+        "--check".to_string(),
+        "--out-dir".to_string(),
+        out_dir.display().to_string(),
+    ];
+    let bins: Vec<(&str, Vec<String>)> = vec![
+        ("table1", vec![]),
+        ("table2", vec![]),
+        ("table3", vec![]),
+        ("table4", vec![]),
+        ("table5", vec![]),
+        ("table6", vec![]),
+        ("table9", vec![]),
+        ("table10", vec![]),
+        ("table11", vec![]),
+        ("conclusions", vec![]),
+        ("dns-scaling", campaign_args),
+    ];
     // locate sibling binaries next to this executable
     let me = std::env::current_exe().expect("current exe");
     let bin_dir = me.parent().expect("bin dir");
     let mut failed = Vec::new();
-    for b in bins {
+    for (b, args) in &bins {
         print!("running {b:>12} ... ");
         use std::io::Write;
         std::io::stdout().flush().ok();
         let exe = bin_dir.join(b);
         let output = Command::new(&exe)
+            .args(args)
             .output()
             .unwrap_or_else(|e| panic!("launch {}: {e}", exe.display()));
         let path = out_dir.join(format!("{b}.txt"));
@@ -43,12 +57,25 @@ fn main() {
             println!("ok -> {}", path.display());
         } else {
             println!("FAILED (exit {:?})", output.status.code());
-            failed.push(b);
+            failed.push(*b);
         }
     }
+    // the campaign must have produced every table's JSON artefact
+    for t in [6, 7, 8, 9, 10, 11] {
+        let f = out_dir.join(format!("BENCH_table{t}.json"));
+        if !f.exists() {
+            println!("missing campaign artefact: {}", f.display());
+            failed.push("BENCH_table json");
+        }
+    }
+    if !out_dir.join("BENCH_scalinglab.json").exists() {
+        println!("missing campaign artefact: BENCH_scalinglab.json");
+        failed.push("BENCH_scalinglab.json");
+    }
     if failed.is_empty() {
-        println!("\nall table reproductions complete; see EXPERIMENTS.md for the");
-        println!("paper-vs-model commentary and target/reports/ for the raw rows.");
+        println!("\nall table reproductions complete (campaign included); see");
+        println!("EXPERIMENTS.md for the paper-vs-model commentary, target/reports/");
+        println!("for the raw rows and the BENCH_table*.json campaign artefacts.");
     } else {
         panic!("failed: {failed:?}");
     }

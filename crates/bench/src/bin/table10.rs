@@ -2,6 +2,7 @@
 //! the streamwise resolution Nx grows with the core count while Ny, Nz
 //! stay fixed (the paper's Table 8 configurations).
 
+use dns_bench::measured;
 use dns_bench::paper;
 use dns_bench::report::{pct, secs, Table};
 use dns_netmodel::dnscost::{timestep_phases, Grid, Parallelism};
@@ -102,4 +103,15 @@ fn main() {
     println!("the FFT degrades with Nx (O(N log N) flops plus loss of cache");
     println!("residency for the long x-lines); the transpose drives the remaining");
     println!("efficiency loss, severely so on Blue Waters.");
+
+    // real weak-scaled timesteps on the host: Nx grows with the rank
+    // count, counts harvested from telemetry calibrate the overlap rows
+    println!();
+    let mut points = measured::rk3_points(16, 17, 16, &[(1, 1, 1)], 1, 3);
+    points.extend(measured::rk3_points(32, 17, 16, &[(2, 1, 1)], 1, 3));
+    points.extend(measured::rk3_points(64, 17, 16, &[(2, 2, 1)], 1, 3));
+    measured::print_section(
+        "host measurement (weak scaling, Nx = 16 x ranks, measured counts)",
+        &points,
+    );
 }

@@ -2,6 +2,7 @@
 //! and the MPI/hybrid ratio, for both the strong- and weak-scaling
 //! series.
 
+use dns_bench::measured;
 use dns_bench::paper;
 use dns_bench::report::{secs, Table};
 use dns_netmodel::dnscost::{timestep_phases, Grid, Parallelism};
@@ -96,6 +97,15 @@ fn main() {
     println!("production code sustaining 271 Tflops aggregate, ~2.7% of peak, with");
     println!("on-node compute at ~9% of peak — both limited by communication and");
     println!("memory bandwidth rather than flops.)");
+
+    // host analogue of the MPI-vs-hybrid comparison: same DOF count run
+    // as 2 MPI ranks vs 1 rank with 2 FFT threads, counts-calibrated
+    println!();
+    let points = measured::rk3_points(32, 33, 32, &[(2, 1, 1), (1, 1, 2)], 1, 3);
+    measured::print_section(
+        "host measurement (MPI 2x1 ranks vs hybrid 1 rank x 2 threads, measured counts)",
+        &points,
+    );
 }
 
 fn g_full() -> Grid {

@@ -7,12 +7,11 @@
 //! scale, demonstrating the Nyquist-elision and planning differences
 //! functionally.
 
+use dns_bench::measured;
 use dns_bench::paper::{self, T6Row};
 use dns_bench::report::{opt_secs, pct, Table};
-use dns_minimpi as mpi;
 use dns_netmodel::dnscost::{pfft_cycle, Grid};
 use dns_netmodel::Machine;
-use dns_pfft::{ParallelFft, PfftConfig};
 
 fn section(name: &str, m: &Machine, g: Grid, rows: &[T6Row]) {
     println!("\n{name} (grid {} x {} x {}):", g.nx, g.ny, g.nz);
@@ -109,31 +108,14 @@ fn main() {
     println!("loses at scale everywhere; the customized kernel wins at every");
     println!("count on Mira, where its threading exploits the 4 hardware threads.");
 
-    // real measured cycle at laptop scale (both kernels, 4 rank threads)
-    println!("\nhost measurement (4 ranks, 64 x 32 x 64, one full cycle):");
-    for (label, baseline) in [("customized", false), ("p3dfft-like", true)] {
-        let times = mpi::run(4, move |world| {
-            let cfg = if baseline {
-                PfftConfig::p3dfft_baseline(64, 32, 64, 2, 2)
-            } else {
-                PfftConfig::customized(64, 32, 64, 2, 2)
-            };
-            let p = ParallelFft::new(world, cfg);
-            let x = vec![1.0f64; p.x_pencil_len()];
-            p.comm_a().barrier();
-            let t0 = std::time::Instant::now();
-            let reps = 10;
-            for _ in 0..reps {
-                std::hint::black_box(p.cycle(&x));
-            }
-            let dt = t0.elapsed().as_secs_f64() / reps as f64;
-            let dt = p.comm_a().allreduce_max(dt);
-            (p.comm_b().allreduce_max(dt), p.buffer_bytes())
-        });
-        println!(
-            "  {label:12}: {:.2} ms per cycle, {} buffer bytes per rank",
-            times[0].0 * 1e3,
-            times[0].1
+    // real measured cycles at laptop scale, counts-calibrated (the same
+    // harvest-and-fit discipline as the dns-scaling campaign)
+    println!();
+    for (label, customized) in [("customized", true), ("p3dfft-like baseline", false)] {
+        let points = measured::pfft_points(64, 33, 64, &[(1, 1), (2, 1), (2, 2)], customized, 1, 5);
+        measured::print_section(
+            &format!("host measurement ({label} kernel, 64 x 33 x 64, measured counts)"),
+            &points,
         );
     }
 }

@@ -6,9 +6,9 @@
 //! operation counts; a real timestep additionally runs on the host (1 and
 //! 4 rank threads) with the same phase instrumentation.
 
+use dns_bench::measured;
 use dns_bench::paper::{self, T9Row};
 use dns_bench::report::{pct, secs, Table};
-use dns_core::{run_parallel, Params};
 use dns_netmodel::dnscost::{timestep_phases, Grid, Parallelism};
 use dns_netmodel::Machine;
 
@@ -114,46 +114,12 @@ fn main() {
     println!("Blue Waters' Gemini transpose collapses to ~25% efficiency;");
     println!("the on-node phases (FFT, N-S) scale essentially perfectly everywhere.");
 
-    // real timestep on the host with phase instrumentation
-    println!("\nhost measurement: one RK3 timestep, grid 32 x 33 x 32, phase split:");
-    for ranks in [(1usize, 1usize), (2, 2)] {
-        let p = Params::channel(32, 33, 32, 180.0).with_grid(ranks.0, ranks.1);
-        let timers = run_parallel(p, |dns| {
-            dns.set_laminar(1.0);
-            dns.add_perturbation(0.1, 1);
-            dns.step(); // warm-up (plans, caches)
-            dns.reset_timers();
-            dns.pfft().comm_a().reset_stats();
-            dns.pfft().comm_b().reset_stats();
-            let t0 = std::time::Instant::now();
-            let reps = 3;
-            for _ in 0..reps {
-                dns.step();
-            }
-            let wall = t0.elapsed().as_secs_f64() / reps as f64;
-            let t = dns.timers();
-            let sa = dns.pfft().comm_a().stats();
-            let sb = dns.pfft().comm_b().stats();
-            (
-                t.transpose / reps as f64,
-                t.fft / reps as f64,
-                t.ns_advance / reps as f64,
-                wall,
-                (sa.messages_sent + sb.messages_sent) / reps as u64,
-                (sa.bytes_sent + sb.bytes_sent) / reps as u64,
-            )
-        });
-        let (tr, fft, ns, wall, msgs, bytes) = timers[0];
-        println!(
-            "  {} x {} ranks: transpose {}  fft {}  N-S {}  total/step {}  ({} msgs, {:.1} MB sent/rank/step)",
-            ranks.0,
-            ranks.1,
-            secs(tr),
-            secs(fft),
-            secs(ns),
-            secs(wall),
-            msgs,
-            bytes as f64 / 1e6,
-        );
-    }
+    // real timesteps on the host: telemetry-harvested counts calibrate
+    // the overlap rows (same discipline as the dns-scaling campaign)
+    println!();
+    let points = measured::rk3_points(32, 33, 32, &[(1, 1, 1), (2, 1, 1), (2, 2, 1)], 1, 3);
+    measured::print_section(
+        "host measurement (RK3 step, grid 32 x 33 x 32, measured counts)",
+        &points,
+    );
 }

@@ -15,6 +15,7 @@
 #![allow(clippy::type_complexity)]
 
 pub mod channel_run;
+pub mod measured;
 pub mod paper;
 pub mod report;
 

@@ -1,0 +1,135 @@
+//! Host measurement sections for the table bins: run the real stack
+//! through `dns_core::headless` probes, harvest the telemetry counters,
+//! and print a measured-vs-calibrated overlap table — the same
+//! counts-driven discipline as the `dns-scaling` campaign, so a table
+//! bin's small-core rows and a campaign report can never disagree.
+
+use dns_core::headless::{probe_pfft_cycle, probe_rk3, Probe};
+use dns_core::Params;
+use dns_netmodel::calibration::{Calibration, Observation, StepCounts, StepSeconds};
+use dns_telemetry::{Counter, Phase};
+
+/// One host-measured overlap point: measured per-step phase seconds
+/// (critical path over ranks) plus harvested per-step counts (summed
+/// over ranks and threads).
+pub struct HostPoint {
+    /// minimpi ranks.
+    pub ranks: usize,
+    /// FFT threads per rank.
+    pub threads: usize,
+    /// Measured per-step phase seconds.
+    pub seconds: StepSeconds,
+    /// Harvested per-step counts.
+    pub counts: StepCounts,
+    /// Wall seconds per step.
+    pub wall_s: f64,
+}
+
+impl HostPoint {
+    fn from_probe(p: &Probe) -> HostPoint {
+        let by = p.snapshot.total_counters_by_phase();
+        let n = p.steps as f64;
+        HostPoint {
+            ranks: p.ranks,
+            threads: p.threads,
+            seconds: StepSeconds {
+                transpose: p.seconds_per_step.transpose,
+                fft: p.seconds_per_step.fft,
+                ns_advance: p.seconds_per_step.ns_advance,
+            },
+            counts: StepCounts {
+                fft_flops: by[Phase::Fft as usize].get(Counter::Flops) as f64 / n,
+                ns_flops: by[Phase::NsAdvance as usize].get(Counter::Flops) as f64 / n,
+                transpose_bytes: by[Phase::Transpose as usize].get(Counter::DdrBytes) as f64 / n,
+            },
+            wall_s: p.wall_s_per_step,
+        }
+    }
+
+    /// The point as a calibration observation.
+    pub fn observation(&self) -> Observation {
+        Observation {
+            ranks: self.ranks,
+            threads: self.threads,
+            counts: self.counts,
+            seconds: self.seconds,
+        }
+    }
+}
+
+/// Probe full RK3 steps at each `(pa, pb, threads)` configuration.
+pub fn rk3_points(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    configs: &[(usize, usize, usize)],
+    warmup: usize,
+    steps: usize,
+) -> Vec<HostPoint> {
+    configs
+        .iter()
+        .map(|&(pa, pb, threads)| {
+            let params = Params::channel(nx, ny, nz, 180.0)
+                .with_dt(1e-4)
+                .with_grid(pa, pb)
+                .with_fft_threads(threads);
+            HostPoint::from_probe(&probe_rk3(params, warmup, steps))
+        })
+        .collect()
+}
+
+/// Probe bare pfft cycles at each `(pa, pb)` configuration.
+pub fn pfft_points(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    configs: &[(usize, usize)],
+    customized: bool,
+    warmup: usize,
+    cycles: usize,
+) -> Vec<HostPoint> {
+    configs
+        .iter()
+        .map(|&(pa, pb)| {
+            HostPoint::from_probe(&probe_pfft_cycle(
+                nx, ny, nz, pa, pb, 1, customized, warmup, cycles,
+            ))
+        })
+        .collect()
+}
+
+/// Print the measured-vs-calibrated overlap table for a set of host
+/// points: fit one pooled [`Calibration`] from their harvested counts,
+/// predict each point back, and show the per-point relative error plus
+/// the pooled RMS residual.
+pub fn print_section(title: &str, points: &[HostPoint]) {
+    let obs: Vec<Observation> = points.iter().map(|p| p.observation()).collect();
+    let Some(cal) = Calibration::fit(&obs) else {
+        println!("{title}: no usable counts harvested");
+        return;
+    };
+    println!("{title}:");
+    println!(
+        "  {:>5} {:>3} {:>12} {:>12} {:>8}   (per step, counts-calibrated)",
+        "ranks", "thr", "measured_s", "modelled_s", "err_rel"
+    );
+    for p in points {
+        let predicted = cal.predict(&p.counts).total();
+        let err = cal.errors(&p.observation()).total;
+        println!(
+            "  {:>5} {:>3} {:>12.4e} {:>12.4e} {:>7.1}%",
+            p.ranks,
+            p.threads,
+            p.seconds.total(),
+            predicted,
+            err * 100.0
+        );
+    }
+    println!(
+        "  calibration: fft {:.2} Gflop/s, ns {:.2} Gflop/s, stream {:.2} GB/s; residual {:.1}%",
+        cal.fft_flop_rate / 1e9,
+        cal.ns_flop_rate / 1e9,
+        cal.stream_bw / 1e9,
+        cal.residual(&obs) * 100.0
+    );
+}

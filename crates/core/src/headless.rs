@@ -1,0 +1,221 @@
+//! Headless fixed-step workload probes for the scaling campaign.
+//!
+//! The dns-scaling harness needs to run the *real* stack — the full RK3
+//! step and the bare pfft cycle — at many rank/thread configurations
+//! and come back with two things per configuration: measured per-phase
+//! wall seconds, and the telemetry counter totals that produced them.
+//! These probes package the measurement-window protocol so every
+//! harness and bench measures the same way:
+//!
+//! 1. telemetry off, registry reset (driver, before spawning ranks);
+//! 2. warmup steps (plans built, scratch allocated, pools spun up);
+//! 3. barrier; rank 0 enables phase-level telemetry; barrier;
+//! 4. timed steps, each rank clocking its own wall time;
+//! 5. barrier; rank 0 disables telemetry; per-rank timers returned;
+//! 6. driver snapshots the registry after every rank has flushed.
+//!
+//! Flipping the global level at a barrier (rather than resetting
+//! mid-run) keeps warmup work out of the counters even when it ran on
+//! rayon pool threads, whose buffers cannot be flushed from the rank
+//! thread.
+
+use crate::params::Params;
+use crate::solver::{run_parallel, PhaseTimers};
+use dns_pfft::{ParallelFft, PfftConfig};
+use dns_telemetry as telemetry;
+use std::time::Instant;
+
+/// One probed configuration: measured per-step phase seconds plus the
+/// telemetry snapshot covering exactly the timed steps.
+pub struct Probe {
+    /// minimpi ranks the probe ran on.
+    pub ranks: usize,
+    /// FFT threads per rank.
+    pub threads: usize,
+    /// Timed steps (or cycles) the measurements cover.
+    pub steps: usize,
+    /// Critical-path wall seconds per step (max over ranks).
+    pub wall_s_per_step: f64,
+    /// Critical-path per-phase seconds per step (max over ranks of each
+    /// phase accumulator). `ns_advance` is zero for pfft-cycle probes.
+    pub seconds_per_step: PhaseTimers,
+    /// Telemetry snapshot of the timed window — feed to
+    /// [`dns_telemetry::counts_json`] for the machine-readable export.
+    pub snapshot: telemetry::Snapshot,
+}
+
+fn max_timers(per_rank: &[PhaseTimers]) -> PhaseTimers {
+    let mut out = PhaseTimers::default();
+    for t in per_rank {
+        out.transpose = out.transpose.max(t.transpose);
+        out.fft = out.fft.max(t.fft);
+        out.ns_advance = out.ns_advance.max(t.ns_advance);
+    }
+    out
+}
+
+/// Run `steps` timed RK3 steps of the full solver after `warmup`
+/// untimed ones, on the `pa x pb` rank grid and thread count in
+/// `params`, and return the measured phase seconds and counters.
+///
+/// The field is seeded with the laminar profile plus a deterministic
+/// perturbation so the nonlinear terms, dealiasing passes, and banded
+/// solves all do representative work.
+pub fn probe_rk3(params: Params, warmup: usize, steps: usize) -> Probe {
+    assert!(steps >= 1, "need at least one timed step");
+    let ranks = params.pa * params.pb;
+    let threads = params.fft_threads;
+    telemetry::set_level(telemetry::Level::Off);
+    telemetry::reset();
+    let per_rank = run_parallel(params, move |dns| {
+        dns.set_laminar(1.0);
+        dns.add_perturbation(1e-3, 42);
+        for _ in 0..warmup {
+            dns.step();
+        }
+        dns.reset_timers();
+        // sync the 2D grid, then let one rank open the telemetry window
+        let root = dns.pfft().comm_a().rank() == 0 && dns.pfft().comm_b().rank() == 0;
+        dns.pfft().comm_b().barrier();
+        dns.pfft().comm_a().barrier();
+        if root {
+            telemetry::set_level(telemetry::Level::Phases);
+        }
+        dns.pfft().comm_a().barrier();
+        dns.pfft().comm_b().barrier();
+        let t0 = Instant::now();
+        for _ in 0..steps {
+            dns.step();
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        dns.pfft().comm_b().barrier();
+        dns.pfft().comm_a().barrier();
+        if root {
+            telemetry::set_level(telemetry::Level::Off);
+        }
+        (wall, dns.timers())
+    });
+    let wall = per_rank.iter().map(|(w, _)| *w).fold(0.0, f64::max);
+    let timers: Vec<PhaseTimers> = per_rank.iter().map(|(_, t)| *t).collect();
+    let mut seconds = max_timers(&timers);
+    seconds.transpose /= steps as f64;
+    seconds.fft /= steps as f64;
+    seconds.ns_advance /= steps as f64;
+    Probe {
+        ranks,
+        threads,
+        steps,
+        wall_s_per_step: wall / steps as f64,
+        seconds_per_step: seconds,
+        snapshot: telemetry::snapshot(),
+    }
+}
+
+/// Run `cycles` timed forward+inverse pfft cycles after `warmup`
+/// untimed ones. `customized` selects the paper's kernel
+/// ([`PfftConfig::customized`]) vs the P3DFFT-style baseline; the
+/// probe's `ns_advance` phase is always zero.
+#[allow(clippy::too_many_arguments)]
+pub fn probe_pfft_cycle(
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    pa: usize,
+    pb: usize,
+    threads: usize,
+    customized: bool,
+    warmup: usize,
+    cycles: usize,
+) -> Probe {
+    assert!(cycles >= 1, "need at least one timed cycle");
+    let ranks = pa * pb;
+    telemetry::set_level(telemetry::Level::Off);
+    telemetry::reset();
+    let per_rank = dns_minimpi::run(ranks, move |world| {
+        let cfg = if customized {
+            PfftConfig::customized(nx, ny, nz, pa, pb).with_threads(threads)
+        } else {
+            PfftConfig::p3dfft_baseline(nx, ny, nz, pa, pb).with_threads(threads)
+        };
+        let root = world.rank() == 0;
+        let p = ParallelFft::new(world, cfg);
+        let n = p.x_pencil_len();
+        let x: Vec<f64> = (0..n).map(|i| (i % 13) as f64 - 6.0).collect();
+        for _ in 0..warmup {
+            let _ = p.cycle(&x);
+        }
+        p.reset_timers();
+        // sync the 2D grid, then open/close the telemetry window
+        p.comm_b().barrier();
+        p.comm_a().barrier();
+        if root {
+            telemetry::set_level(telemetry::Level::Phases);
+        }
+        p.comm_a().barrier();
+        p.comm_b().barrier();
+        let t0 = Instant::now();
+        for _ in 0..cycles {
+            let _ = p.cycle(&x);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        p.comm_b().barrier();
+        p.comm_a().barrier();
+        if root {
+            telemetry::set_level(telemetry::Level::Off);
+        }
+        let t = p.timers();
+        (
+            wall,
+            PhaseTimers {
+                transpose: t.transpose,
+                fft: t.fft,
+                ns_advance: 0.0,
+            },
+        )
+    });
+    let wall = per_rank.iter().map(|(w, _)| *w).fold(0.0, f64::max);
+    let timers: Vec<PhaseTimers> = per_rank.iter().map(|(_, t)| *t).collect();
+    let mut seconds = max_timers(&timers);
+    seconds.transpose /= cycles as f64;
+    seconds.fft /= cycles as f64;
+    Probe {
+        ranks,
+        threads,
+        steps: cycles,
+        wall_s_per_step: wall / cycles as f64,
+        seconds_per_step: seconds,
+        snapshot: telemetry::snapshot(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rk3_probe_measures_time_and_counts() {
+        let p = Params::channel(16, 17, 16, 180.0).with_dt(1e-4);
+        let probe = probe_rk3(p, 1, 2);
+        assert_eq!(probe.ranks, 1);
+        assert_eq!(probe.steps, 2);
+        assert!(probe.wall_s_per_step > 0.0);
+        assert!(probe.seconds_per_step.fft > 0.0);
+        assert!(probe.seconds_per_step.ns_advance > 0.0);
+        let by_phase = probe.snapshot.total_counters_by_phase();
+        use telemetry::{Counter, Phase};
+        assert!(by_phase[Phase::Fft as usize].get(Counter::Flops) > 0);
+        assert!(by_phase[Phase::NsAdvance as usize].get(Counter::Flops) > 0);
+    }
+
+    #[test]
+    fn pfft_probe_counts_fft_flops_and_transpose_bytes() {
+        let probe = probe_pfft_cycle(16, 9, 16, 2, 1, 1, true, 1, 2);
+        assert_eq!(probe.ranks, 2);
+        assert!(probe.wall_s_per_step > 0.0);
+        assert!(probe.seconds_per_step.ns_advance == 0.0);
+        let by_phase = probe.snapshot.total_counters_by_phase();
+        use telemetry::{Counter, Phase};
+        assert!(by_phase[Phase::Fft as usize].get(Counter::Flops) > 0);
+        assert!(by_phase[Phase::Transpose as usize].get(Counter::DdrBytes) > 0);
+    }
+}

@@ -55,6 +55,7 @@
 
 pub mod budget;
 pub mod checkpoint;
+pub mod headless;
 pub mod health;
 pub mod io;
 pub mod nonlinear;

@@ -101,7 +101,8 @@ impl CfftPlan {
     pub fn execute(&self, data: &mut [C64], scratch: &mut [C64]) {
         let _line = dns_telemetry::detail_span("cfft_line", dns_telemetry::Phase::Fft);
         if dns_telemetry::enabled() {
-            dns_telemetry::count(
+            dns_telemetry::count_phase(
+                dns_telemetry::Phase::Fft,
                 dns_telemetry::Counter::Flops,
                 crate::cfft_flops(self.n) as u64,
             );
@@ -193,7 +194,8 @@ impl CfftPlan {
         let _batch = dns_telemetry::detail_span("cfft_batch", dns_telemetry::Phase::Fft);
         if dns_telemetry::enabled() {
             let lines = (data.len() / self.n) as u64;
-            dns_telemetry::count(
+            dns_telemetry::count_phase(
+                dns_telemetry::Phase::Fft,
                 dns_telemetry::Counter::Flops,
                 lines * crate::cfft_flops(self.n) as u64,
             );

@@ -104,7 +104,8 @@ impl RfftPlan {
         // and the O(n) split/merge (the inner complex kernel is the
         // telemetry-free path, so nothing is double-counted per line)
         if dns_telemetry::enabled() {
-            dns_telemetry::count(
+            dns_telemetry::count_phase(
+                dns_telemetry::Phase::Fft,
                 dns_telemetry::Counter::Flops,
                 crate::rfft_flops(self.n) as u64,
             );
@@ -140,7 +141,8 @@ impl RfftPlan {
         assert_eq!(input.len(), self.spectrum_len());
         assert_eq!(output.len(), self.n);
         if dns_telemetry::enabled() {
-            dns_telemetry::count(
+            dns_telemetry::count_phase(
+                dns_telemetry::Phase::Fft,
                 dns_telemetry::Counter::Flops,
                 crate::rfft_flops(self.n) as u64,
             );

@@ -7,6 +7,7 @@
 //! tests.
 
 use crate::schema::{FlightEvent, HealthEvent};
+use dns_netmodel::calibration::{rel_err, Calibration, Observation, StepCounts, StepSeconds};
 use dns_netmodel::dnscost::{step_workload, Grid};
 use dns_telemetry::{fmt_seconds, Histogram};
 use std::collections::BTreeMap;
@@ -268,7 +269,7 @@ impl Replay {
     }
 
     fn model_comparison(&self, out: &mut String) {
-        let Some((grid, _, _, _)) = &self.run else {
+        let Some((grid, pa, pb, _)) = &self.run else {
             return;
         };
         if self.step_critical.is_empty() {
@@ -291,6 +292,33 @@ impl Replay {
             fmt_seconds(mean_step),
             attained / 1e9
         ));
+        // Fit the run's own calibration (dns-netmodel's measured-counts
+        // layer): analytic workload counts over the recorded per-phase
+        // seconds, one observation per flight-recorder file.
+        let obs = Observation {
+            ranks: pa * pb,
+            threads: 1,
+            counts: StepCounts::from_workload(&w),
+            seconds: StepSeconds {
+                transpose: self.transpose.mean(),
+                fft: self.fft.mean(),
+                ns_advance: self.ns.mean(),
+            },
+        };
+        if let Some(cal) = Calibration::fit(std::slice::from_ref(&obs)) {
+            out.push_str(&format!(
+                "calibration fit: fft {:.3} Gflop/s, ns {:.3} Gflop/s, transpose {:.3} GB/s\n",
+                cal.fft_flop_rate / 1e9,
+                cal.ns_flop_rate / 1e9,
+                cal.stream_bw / 1e9
+            ));
+            let predicted = cal.predict(&obs.counts).total();
+            out.push_str(&format!(
+                "phase-sum vs critical path: predicted {} per step, rel err {:.1}% (untimed work + waits)\n",
+                fmt_seconds(predicted),
+                rel_err(mean_step, predicted) * 100.0
+            ));
+        }
         out.push_str(&format!(
             "measured comm payload: {:.3e} bytes/step across all ranks\n",
             measured_bytes
@@ -385,6 +413,8 @@ mod tests {
             "recovery converged",
             "measured vs dnscost model",
             "Gflop/s",
+            "calibration fit",
+            "phase-sum vs critical path",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

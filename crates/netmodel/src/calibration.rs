@@ -1,0 +1,293 @@
+//! Closed-loop calibration: fit host rates from *measured* telemetry
+//! counts and per-phase seconds, predict phase times back from the same
+//! counts, and report per-point relative errors plus a per-curve
+//! residual.
+//!
+//! This is the layer that turns the machine model from an open-loop
+//! estimate into a verified instrument: the dns-scaling campaign
+//! harness harvests `(counts, seconds)` pairs from live minimpi runs,
+//! fits one [`Calibration`] for the host, and then checks — point by
+//! point — that the fitted model reproduces every measured point within
+//! a stated bound. The dns-health report consumes the *same* residual
+//! definitions, so a live run's health log and a campaign report can
+//! never disagree about model error.
+
+use crate::dnscost::StepWorkload;
+
+/// Per-phase operation counts of one measured workload unit (one RK3
+/// timestep or one pfft cycle) — the measured analogue of
+/// [`StepWorkload`], normally harvested from a
+/// `dns-telemetry` counts snapshot rather than re-derived analytically.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepCounts {
+    /// Floating-point operations attributed to the FFT phase.
+    pub fft_flops: f64,
+    /// Floating-point operations attributed to the N-S advance phase.
+    pub ns_flops: f64,
+    /// DRAM bytes streamed by the transpose phase (pack/unpack/reorder).
+    pub transpose_bytes: f64,
+}
+
+impl StepCounts {
+    /// The analytic counts of [`crate::dnscost::step_workload`] in
+    /// measured-counts form, for round-trip checks between harvested and
+    /// derived workloads.
+    pub fn from_workload(w: &StepWorkload) -> Self {
+        StepCounts {
+            fft_flops: w.fft_flops,
+            ns_flops: w.ns_flops,
+            transpose_bytes: w.transpose_bytes,
+        }
+    }
+}
+
+/// Measured per-phase seconds of one workload unit.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct StepSeconds {
+    /// Transpose phase (pack + exchange + unpack).
+    pub transpose: f64,
+    /// FFT phase.
+    pub fft: f64,
+    /// Navier-Stokes advance phase.
+    pub ns_advance: f64,
+}
+
+impl StepSeconds {
+    /// Total of the three modelled phases.
+    pub fn total(&self) -> f64 {
+        self.transpose + self.fft + self.ns_advance
+    }
+}
+
+/// One calibration point: a workload run at a concrete rank/thread
+/// configuration with its harvested counts and measured phase seconds.
+#[derive(Clone, Debug)]
+pub struct Observation {
+    /// minimpi ranks the point ran on.
+    pub ranks: usize,
+    /// FFT threads per rank.
+    pub threads: usize,
+    /// Harvested per-unit operation counts.
+    pub counts: StepCounts,
+    /// Measured per-unit phase seconds.
+    pub seconds: StepSeconds,
+}
+
+/// Per-phase and total relative model error at one observation,
+/// `|modelled - measured| / measured` (phases with no measured time
+/// report zero rather than dividing by zero).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PointError {
+    /// Transpose-phase relative error.
+    pub transpose: f64,
+    /// FFT-phase relative error.
+    pub fft: f64,
+    /// N-S-advance relative error.
+    pub ns_advance: f64,
+    /// Relative error of the total step time — the quantity the
+    /// `--check` gate bounds.
+    pub total: f64,
+}
+
+/// Relative error helper shared by the scaling lab and the health
+/// report: `|modelled - measured| / measured`, zero when nothing was
+/// measured.
+pub fn rel_err(measured: f64, modelled: f64) -> f64 {
+    if measured <= 0.0 {
+        return 0.0;
+    }
+    (modelled - measured).abs() / measured
+}
+
+/// Effective host rates fitted from measured observations: the single
+/// set of throughputs that best explains every `(counts, seconds)` pair
+/// at once. Fitting pools all observations (total counts over total
+/// seconds per phase), so no point can be reproduced exactly by
+/// construction — the per-point error is a real consistency check.
+#[derive(Clone, Copy, Debug)]
+pub struct Calibration {
+    /// Achieved FFT flop rate (flops/s, all ranks and threads pooled).
+    pub fft_flop_rate: f64,
+    /// Achieved N-S-advance flop rate (flops/s).
+    pub ns_flop_rate: f64,
+    /// Achieved transpose streaming bandwidth (bytes/s).
+    pub stream_bw: f64,
+}
+
+impl Calibration {
+    /// Fit pooled host rates from one or more observations. Returns
+    /// `None` when no phase has both nonzero counts and nonzero
+    /// measured time (nothing to fit).
+    pub fn fit(obs: &[Observation]) -> Option<Calibration> {
+        let mut flops_fft = 0.0;
+        let mut s_fft = 0.0;
+        let mut flops_ns = 0.0;
+        let mut s_ns = 0.0;
+        let mut bytes_tr = 0.0;
+        let mut s_tr = 0.0;
+        for o in obs {
+            flops_fft += o.counts.fft_flops;
+            s_fft += o.seconds.fft;
+            flops_ns += o.counts.ns_flops;
+            s_ns += o.seconds.ns_advance;
+            bytes_tr += o.counts.transpose_bytes;
+            s_tr += o.seconds.transpose;
+        }
+        let rate = |work: f64, secs: f64| {
+            if work > 0.0 && secs > 0.0 {
+                work / secs
+            } else {
+                0.0
+            }
+        };
+        let cal = Calibration {
+            fft_flop_rate: rate(flops_fft, s_fft),
+            ns_flop_rate: rate(flops_ns, s_ns),
+            stream_bw: rate(bytes_tr, s_tr),
+        };
+        if cal.fft_flop_rate == 0.0 && cal.ns_flop_rate == 0.0 && cal.stream_bw == 0.0 {
+            None
+        } else {
+            Some(cal)
+        }
+    }
+
+    /// Predict per-phase seconds for a workload with the given counts.
+    /// A phase whose rate could not be fitted (zero) predicts zero
+    /// seconds for it.
+    pub fn predict(&self, counts: &StepCounts) -> StepSeconds {
+        let over = |work: f64, rate: f64| if rate > 0.0 { work / rate } else { 0.0 };
+        StepSeconds {
+            transpose: over(counts.transpose_bytes, self.stream_bw),
+            fft: over(counts.fft_flops, self.fft_flop_rate),
+            ns_advance: over(counts.ns_flops, self.ns_flop_rate),
+        }
+    }
+
+    /// Per-phase and total relative error of the model at one
+    /// observation.
+    pub fn errors(&self, o: &Observation) -> PointError {
+        let p = self.predict(&o.counts);
+        PointError {
+            transpose: rel_err(o.seconds.transpose, p.transpose),
+            fft: rel_err(o.seconds.fft, p.fft),
+            ns_advance: rel_err(o.seconds.ns_advance, p.ns_advance),
+            total: rel_err(o.seconds.total(), p.total()),
+        }
+    }
+
+    /// Root-mean-square of the total-time relative error over a curve's
+    /// observations — the per-curve calibration residual reported in
+    /// `BENCH_scalinglab.json`.
+    pub fn residual(&self, obs: &[Observation]) -> f64 {
+        if obs.is_empty() {
+            return 0.0;
+        }
+        let ss: f64 = obs
+            .iter()
+            .map(|o| {
+                let e = self.errors(o).total;
+                e * e
+            })
+            .sum();
+        (ss / obs.len() as f64).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(scale: f64, noise: f64) -> Observation {
+        // synthetic host: 1 Gflop/s fft, 0.5 Gflop/s ns, 4 GB/s stream
+        let counts = StepCounts {
+            fft_flops: 2.0e8 * scale,
+            ns_flops: 1.0e8 * scale,
+            transpose_bytes: 8.0e8 * scale,
+        };
+        let seconds = StepSeconds {
+            transpose: counts.transpose_bytes / 4.0e9 * noise,
+            fft: counts.fft_flops / 1.0e9 * noise,
+            ns_advance: counts.ns_flops / 0.5e9 * noise,
+        };
+        Observation {
+            ranks: 1,
+            threads: 1,
+            counts,
+            seconds,
+        }
+    }
+
+    #[test]
+    fn fit_recovers_exact_rates_from_clean_data() {
+        let points = vec![obs(1.0, 1.0), obs(2.0, 1.0), obs(4.0, 1.0)];
+        let cal = Calibration::fit(&points).unwrap();
+        assert!((cal.fft_flop_rate - 1.0e9).abs() / 1.0e9 < 1e-12);
+        assert!((cal.ns_flop_rate - 0.5e9).abs() / 0.5e9 < 1e-12);
+        assert!((cal.stream_bw - 4.0e9).abs() / 4.0e9 < 1e-12);
+        for p in &points {
+            assert!(cal.errors(p).total < 1e-12);
+        }
+        assert!(cal.residual(&points) < 1e-12);
+    }
+
+    #[test]
+    fn noisy_points_produce_bounded_errors_and_residual() {
+        // one point 10% slow, one 10% fast: pooled fit splits the
+        // difference, each point lands within ~10%, residual ~10%
+        let points = vec![obs(1.0, 1.1), obs(1.0, 0.9)];
+        let cal = Calibration::fit(&points).unwrap();
+        for p in &points {
+            let e = cal.errors(p);
+            assert!(e.total > 0.05 && e.total < 0.15, "{e:?}");
+        }
+        let r = cal.residual(&points);
+        assert!(r > 0.05 && r < 0.15, "{r}");
+    }
+
+    #[test]
+    fn predict_matches_counts_over_rate() {
+        let cal = Calibration {
+            fft_flop_rate: 2.0e9,
+            ns_flop_rate: 1.0e9,
+            stream_bw: 8.0e9,
+        };
+        let s = cal.predict(&StepCounts {
+            fft_flops: 4.0e9,
+            ns_flops: 3.0e9,
+            transpose_bytes: 16.0e9,
+        });
+        assert!((s.fft - 2.0).abs() < 1e-12);
+        assert!((s.ns_advance - 3.0).abs() < 1e-12);
+        assert!((s.transpose - 2.0).abs() < 1e-12);
+        assert!((s.total() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_graceful() {
+        assert!(Calibration::fit(&[]).is_none());
+        let dead = Observation {
+            ranks: 1,
+            threads: 1,
+            counts: StepCounts::default(),
+            seconds: StepSeconds::default(),
+        };
+        assert!(Calibration::fit(&[dead]).is_none());
+        assert_eq!(rel_err(0.0, 1.0), 0.0);
+        assert!((rel_err(2.0, 1.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_workload_mirrors_step_workload() {
+        let g = crate::dnscost::Grid {
+            nx: 32,
+            ny: 33,
+            nz: 32,
+        };
+        let w = crate::dnscost::step_workload(&g);
+        let c = StepCounts::from_workload(&w);
+        assert_eq!(c.fft_flops, w.fft_flops);
+        assert_eq!(c.ns_flops, w.ns_flops);
+        assert_eq!(c.transpose_bytes, w.transpose_bytes);
+    }
+}

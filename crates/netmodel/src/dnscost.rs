@@ -251,10 +251,56 @@ pub fn timestep_phases(m: &Machine, g: &Grid, cores: usize, mode: Parallelism) -
     }
 }
 
+/// Decomposed pfft-cycle prediction: the three independently scalable
+/// parts of [`pfft_cycle`]. The scaling lab multiplies `node` and
+/// `reorder` by measured-vs-analytic count ratios before summing, so
+/// extrapolations are driven by harvested counts rather than purely
+/// analytic ones.
+#[derive(Clone, Copy, Debug)]
+pub struct PfftParts {
+    /// Network time of the four all-to-all exchanges.
+    pub comm: f64,
+    /// Transform arithmetic (x pass + z pass, forward and inverse).
+    pub node: f64,
+    /// DRAM streaming of the transpose reorder (pack/unpack).
+    pub reorder: f64,
+}
+
+impl PfftParts {
+    /// Total cycle time.
+    pub fn total(&self) -> f64 {
+        self.comm + self.node + self.reorder
+    }
+}
+
+/// Machine-independent workload totals of one pfft forward+inverse
+/// cycle (whole machine): transform flops and nominal reorder DRAM
+/// traffic. The measured counterpart is a pfft-cycle probe's telemetry
+/// snapshot; their ratio calibrates [`pfft_cycle`] extrapolations.
+pub fn pfft_cycle_workload(g: &Grid, customized: bool) -> StepWorkload {
+    let sx = g.nx / 2 + usize::from(!customized);
+    let elems = (sx * g.ny * g.nz) as f64;
+    StepWorkload {
+        fft_flops: 2.0
+            * ((sx * g.ny) as f64 * dns_fft_cfft_flops(g.nz)
+                + (g.nz * g.ny) as f64 * dns_fft_rfft_flops(g.nx)),
+        ns_flops: 0.0,
+        // four transposes, each packing and unpacking every 16-byte
+        // element with a read and a write on both sides
+        transpose_bytes: 4.0 * 4.0 * 16.0 * elems,
+    }
+}
+
 /// Parallel-FFT cycle prediction for Table 6 (four transposes + four
-/// transform passes, no dealiasing, no y transform). Returns `None` when
-/// the kernel does not fit in memory ("N/A" in the paper's table).
-pub fn pfft_cycle(m: &Machine, g: &Grid, cores: usize, customized: bool) -> Option<f64> {
+/// transform passes, no dealiasing, no y transform), decomposed into
+/// its comm/node/reorder parts. Returns `None` when the kernel does not
+/// fit in memory ("N/A" in the paper's table).
+pub fn pfft_cycle_parts(
+    m: &Machine,
+    g: &Grid,
+    cores: usize,
+    customized: bool,
+) -> Option<PfftParts> {
     let nodes = m.nodes(cores);
     // Memory gate (the paper's "N/A denotes inadequate memory"): the
     // customized kernel needs the field plus one exchange buffer
@@ -329,7 +375,18 @@ pub fn pfft_cycle(m: &Machine, g: &Grid, cores: usize, customized: bool) -> Opti
     let reorder_bytes = 4.0 * 2.0 * 16.0 * (sx * g.ny * g.nz) as f64 / nodes as f64;
     let t_reorder = nm.stream_time(reorder_bytes, threads.min(m.cores_per_node));
 
-    Some(comm.total() + t_node + t_reorder)
+    Some(PfftParts {
+        comm: comm.total(),
+        node: t_node,
+        reorder: t_reorder,
+    })
+}
+
+/// Total parallel-FFT cycle prediction (the sum of
+/// [`pfft_cycle_parts`]); `None` when the kernel does not fit in
+/// memory.
+pub fn pfft_cycle(m: &Machine, g: &Grid, cores: usize, customized: bool) -> Option<f64> {
+    pfft_cycle_parts(m, g, cores, customized).map(|p| p.total())
 }
 
 /// Aggregate sustained flop rates of the full timestep (section 5.3's

@@ -26,6 +26,7 @@
 #![allow(clippy::needless_range_loop)]
 #![allow(clippy::type_complexity)]
 
+pub mod calibration;
 pub mod dnscost;
 pub mod eventsim;
 pub mod machines;

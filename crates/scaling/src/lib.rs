@@ -1,0 +1,27 @@
+//! Measured-vs-modelled scaling campaign harness.
+//!
+//! `dns-scaling` closes the loop between the repository's two halves:
+//! dns-telemetry *counts* everything the real kernels do, and
+//! dns-netmodel *models* everything the paper's machines did. The
+//! campaign (a) runs the real stack — full RK3 steps and bare pfft
+//! cycles on minimpi — at every rank/thread configuration the build
+//! machine can hold, harvesting per-phase wall seconds and the
+//! machine-readable counter export ([`dns_telemetry::counts_json`]);
+//! (b) fits a host [`dns_netmodel::calibration::Calibration`] from
+//! those *measured* counts and validates it point-by-point in the
+//! overlap region; and (c) feeds the measured counts into the machine
+//! models (and [`dns_netmodel::eventsim`]) to extrapolate each curve to
+//! the paper's core counts, 786,432 on Mira included.
+//!
+//! Output: `BENCH_table6.json` … `BENCH_table11.json` (rows tagged
+//! `measured`, `modelled`, or `both`, each overlap row carrying
+//! `measured_s`, `modelled_s`, and `err_rel`) plus a
+//! `BENCH_scalinglab.json` campaign summary. Under `--check` the binary
+//! exits non-zero if any overlap point's model error exceeds the bound.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod tables;
+
+pub use campaign::{run, Bench, Campaign, CampaignConfig, Point};

@@ -1,7 +1,33 @@
 //! Exporters over [`Snapshot`]: phase aggregation, human table, CSV,
 //! JSON, and Chrome trace-event output.
 
-use crate::{Counter, Phase, RankSnapshot, Snapshot, NUM_PHASES};
+use crate::{Counter, CounterSet, Phase, RankSnapshot, Snapshot, NUM_PHASES};
+
+/// Version stamp of the machine-readable counts schema emitted by
+/// [`counts_json`]. Bump whenever the field layout changes; consumers
+/// (dns-scaling, the `phases` bench `--json` mode) check it on read.
+pub const COUNTS_SCHEMA_VERSION: u64 = 1;
+
+/// Run description embedded in a [`counts_json`] document so a counts
+/// file is self-describing: which workload produced it, at what grid,
+/// rank count, and thread count.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CountsMeta {
+    /// Workload label, e.g. `"rk3_step"` or `"pfft_cycle"`.
+    pub bench: String,
+    /// Grid points in x (streamwise).
+    pub nx: usize,
+    /// Grid points in y (wall-normal).
+    pub ny: usize,
+    /// Grid points in z (spanwise).
+    pub nz: usize,
+    /// minimpi ranks the workload ran on.
+    pub ranks: usize,
+    /// FFT worker threads per rank.
+    pub threads: usize,
+    /// Measured steps (or cycles) the counters cover.
+    pub steps: usize,
+}
 
 /// Seconds attributed to each phase — the measured counterpart of
 /// `dns-netmodel::dnscost::PhaseTimes`.
@@ -347,6 +373,115 @@ impl Snapshot {
     }
 }
 
+// -- versioned counts export ------------------------------------------------
+
+fn counters_json(set: &CounterSet) -> String {
+    let mut out = String::from("{");
+    for (j, c) in Counter::ALL.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", c.label(), set.get(*c)));
+    }
+    out.push('}');
+    out
+}
+
+fn phase_counters_json(by_phase: &[CounterSet; NUM_PHASES]) -> String {
+    let mut out = String::from("{");
+    for (j, p) in Phase::ALL.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\"{}\":{}",
+            p.label(),
+            counters_json(&by_phase[*p as usize])
+        ));
+    }
+    out.push('}');
+    out
+}
+
+fn phase_seconds_json(ps: &PhaseSeconds) -> String {
+    let mut out = String::from("{");
+    for (j, p) in Phase::ALL.iter().enumerate() {
+        if j > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{:.9}", p.label(), ps.get(*p)));
+    }
+    out.push('}');
+    out
+}
+
+/// Serialize a [`Snapshot`]'s per-phase counters and seconds as a
+/// versioned, machine-readable JSON document (schema
+/// [`COUNTS_SCHEMA_VERSION`]).
+///
+/// The output is byte-deterministic for a given snapshot: counters are
+/// emitted in [`Counter::ALL`] order (all twelve, zeros included),
+/// phases in [`Phase::ALL`] order, and seconds with nine fractional
+/// digits. Layout:
+///
+/// ```json
+/// {"schema":1,"kind":"counts",
+///  "meta":{"bench":"rk3_step","nx":32,...,"steps":4},
+///  "ranks":[{"rank":0,
+///            "phase_seconds":{"transpose":...,...},
+///            "phase_counters":{"transpose":{"flops":...,...},...},
+///            "counters":{"flops":...,...}},...],
+///  "totals":{"phase_seconds_mean":{...},"phase_seconds_max":{...},
+///            "phase_counters":{...},"counters":{...}}}
+/// ```
+///
+/// `totals.counters` (and `totals.phase_counters`) sum over every rank
+/// track; `phase_seconds_mean`/`_max` aggregate the exclusive
+/// innermost-span attribution the same way
+/// [`Snapshot::phase_seconds_mean`] and [`Snapshot::phase_seconds_max`]
+/// do.
+pub fn counts_json(snap: &Snapshot, meta: &CountsMeta) -> String {
+    let mut out = String::with_capacity(4096);
+    out.push_str(&format!(
+        "{{\"schema\":{COUNTS_SCHEMA_VERSION},\"kind\":\"counts\",\"meta\":{{\
+         \"bench\":\"{}\",\"nx\":{},\"ny\":{},\"nz\":{},\"ranks\":{},\
+         \"threads\":{},\"steps\":{}}},\n\"ranks\":[",
+        escape_json(&meta.bench),
+        meta.nx,
+        meta.ny,
+        meta.nz,
+        meta.ranks,
+        meta.threads,
+        meta.steps
+    ));
+    for (i, r) in snap.ranks.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let rank = r
+            .rank
+            .map(|x| x.to_string())
+            .unwrap_or_else(|| "null".into());
+        let ps = PhaseSeconds::from_table(phase_exclusive_seconds(r));
+        out.push_str(&format!(
+            "\n{{\"rank\":{rank},\"phase_seconds\":{},\"phase_counters\":{},\
+             \"counters\":{}}}",
+            phase_seconds_json(&ps),
+            phase_counters_json(&r.by_phase),
+            counters_json(&r.counters)
+        ));
+    }
+    out.push_str(&format!(
+        "],\n\"totals\":{{\"phase_seconds_mean\":{},\"phase_seconds_max\":{},\
+         \"phase_counters\":{},\"counters\":{}}}}}\n",
+        phase_seconds_json(&snap.phase_seconds_mean()),
+        phase_seconds_json(&snap.phase_seconds_max()),
+        phase_counters_json(&snap.total_counters_by_phase()),
+        counters_json(&snap.total_counters())
+    ));
+    out
+}
+
 fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for ch in s.chars() {
@@ -382,6 +517,10 @@ mod tests {
         c0.add(Counter::Flops, 1_000_000);
         c0.add(Counter::MessagesSent, 12);
         c0.add(Counter::CommBytes, 4096);
+        let mut by_phase0 = [CounterSet::new(); NUM_PHASES];
+        by_phase0[Phase::Fft as usize].add(Counter::Flops, 1_000_000);
+        by_phase0[Phase::Transpose as usize].add(Counter::MessagesSent, 12);
+        by_phase0[Phase::Transpose as usize].add(Counter::CommBytes, 4096);
         let r0 = RankSnapshot {
             rank: Some(0),
             spans: vec![
@@ -394,6 +533,7 @@ mod tests {
                 span("ns_advance", Phase::NsAdvance, 700.0, 300.0, 1),
             ],
             counters: c0,
+            by_phase: by_phase0,
             decisions: vec![Decision {
                 topic: "transpose.plan",
                 text: "alltoall won (1.25x vs pairwise)".into(),
@@ -407,6 +547,7 @@ mod tests {
                 span("fft_x", Phase::Fft, 500.0, 250.0, 0),
             ],
             counters: CounterSet::new(),
+            by_phase: [CounterSet::new(); NUM_PHASES],
             decisions: vec![],
             dropped: 0,
         };
@@ -455,6 +596,7 @@ mod tests {
                     },
                 ],
                 counters: CounterSet::new(),
+                by_phase: [CounterSet::new(); NUM_PHASES],
                 decisions: vec![],
                 dropped: 0,
             }],

@@ -37,7 +37,7 @@
 mod export;
 mod hist;
 
-pub use export::PhaseSeconds;
+pub use export::{counts_json, CountsMeta, PhaseSeconds, COUNTS_SCHEMA_VERSION};
 pub use hist::{fmt_seconds, Histogram};
 
 use std::cell::RefCell;
@@ -239,6 +239,10 @@ const UNRANKED: i64 = -1;
 struct RankData {
     spans: Vec<SpanRecord>,
     counters: CounterSet,
+    /// Counter totals keyed by the phase they were attributed to
+    /// ([`count`] uses the innermost open span's phase; [`count_phase`]
+    /// names it explicitly). Element-wise `counters == sum(by_phase)`.
+    by_phase: [CounterSet; NUM_PHASES],
     decisions: Vec<Decision>,
     dropped: u64,
 }
@@ -249,6 +253,9 @@ static REGISTRY: LazyLock<Mutex<BTreeMap<i64, RankData>>> =
 struct ThreadBuf {
     rank: Option<usize>,
     depth: u16,
+    /// Phases of the currently open spans on this thread, innermost
+    /// last; [`count`] attributes counters to the top of this stack.
+    phase_stack: Vec<Phase>,
     data: RankData,
 }
 
@@ -266,6 +273,7 @@ thread_local! {
     static BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
         rank: None,
         depth: 0,
+        phase_stack: Vec::new(),
         data: RankData::default(),
     });
 }
@@ -350,7 +358,11 @@ pub fn detail_span(name: &'static str, phase: Phase) -> Span {
 
 #[cold]
 fn open_span(name: &'static str, phase: Phase) -> Span {
-    BUF.with(|b| b.borrow_mut().depth += 1);
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        b.depth += 1;
+        b.phase_stack.push(phase);
+    });
     Span {
         name,
         phase,
@@ -368,6 +380,7 @@ impl Drop for Span {
         BUF.with(|b| {
             let mut b = b.borrow_mut();
             b.depth = b.depth.saturating_sub(1);
+            b.phase_stack.pop();
             let depth = b.depth;
             if b.data.spans.len() < SPAN_CAP {
                 b.data.spans.push(SpanRecord {
@@ -388,13 +401,38 @@ impl Drop for Span {
 // counters and decisions
 // ---------------------------------------------------------------------------
 
-/// Accumulate `n` onto a typed counter for the current thread.
+/// Accumulate `n` onto a typed counter for the current thread,
+/// attributed to the phase of the innermost open span (or
+/// [`Phase::Other`] when no span is open — e.g. thread-pool workers,
+/// which should prefer [`count_phase`]).
 #[inline]
 pub fn count(counter: Counter, n: u64) {
     if !enabled() {
         return;
     }
-    BUF.with(|b| b.borrow_mut().data.counters.add(counter, n));
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        let phase = b.phase_stack.last().copied().unwrap_or(Phase::Other);
+        b.data.counters.add(counter, n);
+        b.data.by_phase[phase as usize].add(counter, n);
+    });
+}
+
+/// Accumulate `n` onto a typed counter with an explicit phase
+/// attribution. Kernel crates whose work can run on pool threads with
+/// no span open (FFT lines, banded panel blocks) use this so their
+/// counts land on the right phase regardless of which thread executes
+/// them.
+#[inline]
+pub fn count_phase(phase: Phase, counter: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    BUF.with(|b| {
+        let mut b = b.borrow_mut();
+        b.data.counters.add(counter, n);
+        b.data.by_phase[phase as usize].add(counter, n);
+    });
 }
 
 /// Record a planner/strategy decision (e.g. "alltoall beat pairwise by
@@ -466,6 +504,9 @@ fn deposit(key: i64, data: RankData) {
     let slot = reg.entry(key).or_default();
     slot.spans.extend(data.spans);
     slot.counters.merge(&data.counters);
+    for (a, b) in slot.by_phase.iter_mut().zip(&data.by_phase) {
+        a.merge(b);
+    }
     slot.decisions.extend(data.decisions);
     slot.dropped += data.dropped;
 }
@@ -493,6 +534,9 @@ pub struct RankSnapshot {
     /// Spans sorted by start time.
     pub spans: Vec<SpanRecord>,
     pub counters: CounterSet,
+    /// Counter totals split by attributed [`Phase`], indexed by
+    /// `phase as usize`; sums element-wise to `counters`.
+    pub by_phase: [CounterSet; NUM_PHASES],
     pub decisions: Vec<Decision>,
     /// Spans discarded after the per-thread cap was hit.
     pub dropped: u64,
@@ -518,6 +562,7 @@ pub fn snapshot() -> Snapshot {
                 rank: (key >= 0).then_some(key as usize),
                 spans,
                 counters: data.counters,
+                by_phase: data.by_phase,
                 decisions: data.decisions.clone(),
                 dropped: data.dropped,
             }
@@ -532,6 +577,18 @@ impl Snapshot {
         let mut total = CounterSet::new();
         for r in &self.ranks {
             total.merge(&r.counters);
+        }
+        total
+    }
+
+    /// Per-phase counter totals merged across every rank, indexed by
+    /// `phase as usize`.
+    pub fn total_counters_by_phase(&self) -> [CounterSet; NUM_PHASES] {
+        let mut total = [CounterSet::new(); NUM_PHASES];
+        for r in &self.ranks {
+            for (a, b) in total.iter_mut().zip(&r.by_phase) {
+                a.merge(b);
+            }
         }
         total
     }
@@ -609,6 +666,40 @@ mod tests {
         }
         set_level(Level::Off);
         assert_eq!(snapshot().span_count(), 1);
+    }
+
+    #[test]
+    fn counters_attribute_to_innermost_span_phase() {
+        let _x = exclusive();
+        reset();
+        set_level(Level::Phases);
+        {
+            let _t = span("transpose", Phase::Transpose);
+            count(Counter::DdrBytes, 100);
+            {
+                let _f = span("fft_x", Phase::Fft);
+                count(Counter::Flops, 40);
+                count_phase(Phase::NsAdvance, Counter::Flops, 2);
+            }
+            count(Counter::DdrBytes, 11);
+        }
+        count(Counter::CommBytes, 7); // no open span: lands on Other
+        set_level(Level::Off);
+        let snap = snapshot();
+        let by_phase = snap.total_counters_by_phase();
+        assert_eq!(
+            by_phase[Phase::Transpose as usize].get(Counter::DdrBytes),
+            111
+        );
+        assert_eq!(by_phase[Phase::Fft as usize].get(Counter::Flops), 40);
+        assert_eq!(by_phase[Phase::NsAdvance as usize].get(Counter::Flops), 2);
+        assert_eq!(by_phase[Phase::Other as usize].get(Counter::CommBytes), 7);
+        // phase split sums to the untyped totals
+        let total = snap.total_counters();
+        for c in Counter::ALL {
+            let split: u64 = by_phase.iter().map(|s| s.get(c)).sum();
+            assert_eq!(split, total.get(c), "{}", c.label());
+        }
     }
 
     #[test]

@@ -7,7 +7,9 @@
 //! To update the golden file after an *intentional* format change:
 //! `UPDATE_GOLDEN=1 cargo test -p dns-telemetry --test chrome_trace_golden`
 
-use dns_telemetry::{Counter, CounterSet, Decision, Phase, RankSnapshot, Snapshot, SpanRecord};
+use dns_telemetry::{
+    Counter, CounterSet, Decision, Phase, RankSnapshot, Snapshot, SpanRecord, NUM_PHASES,
+};
 
 fn span(name: &'static str, phase: Phase, start_us: f64, dur_us: f64, depth: u16) -> SpanRecord {
     SpanRecord {
@@ -38,6 +40,7 @@ fn fixture() -> Snapshot {
                     span("ns_advance", Phase::NsAdvance, 700.0, 200.0, 1),
                 ],
                 counters: c0,
+                by_phase: [CounterSet::new(); NUM_PHASES],
                 decisions: vec![Decision {
                     topic: "transpose.plan",
                     text: "alltoall \"won\"".into(),
@@ -51,6 +54,7 @@ fn fixture() -> Snapshot {
                     span("fft_x_fwd", Phase::Fft, 500.0, 250.25, 0),
                 ],
                 counters: CounterSet::new(),
+                by_phase: [CounterSet::new(); NUM_PHASES],
                 decisions: vec![],
                 dropped: 2,
             },
@@ -58,6 +62,7 @@ fn fixture() -> Snapshot {
                 rank: None,
                 spans: vec![span("rk3_step", Phase::Other, 0.0, 1000.0, 0)],
                 counters: CounterSet::new(),
+                by_phase: [CounterSet::new(); NUM_PHASES],
                 decisions: vec![],
                 dropped: 0,
             },

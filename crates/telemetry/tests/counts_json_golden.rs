@@ -1,0 +1,129 @@
+//! Golden-file test of the versioned counts export: a hand-built
+//! snapshot with fixed timestamps must serialize byte-for-byte to the
+//! committed `tests/golden/counts.json`. The counts schema is the wire
+//! format between live runs and the dns-scaling campaign harness (and
+//! the `phases` bench `--json` mode), so accidental drift would break
+//! downstream readers silently.
+//!
+//! To update the golden file after an *intentional* schema change
+//! (bump `COUNTS_SCHEMA_VERSION` too):
+//! `UPDATE_GOLDEN=1 cargo test -p dns-telemetry --test counts_json_golden`
+
+use dns_telemetry::{counts_json, CountsMeta, COUNTS_SCHEMA_VERSION};
+use dns_telemetry::{Counter, CounterSet, Phase, RankSnapshot, Snapshot, SpanRecord, NUM_PHASES};
+
+fn span(name: &'static str, phase: Phase, start_us: f64, dur_us: f64, depth: u16) -> SpanRecord {
+    SpanRecord {
+        name,
+        phase,
+        start_us,
+        dur_us,
+        depth,
+    }
+}
+
+/// Two ranked tracks with phase-attributed counters, mirroring what a
+/// small rk3 harvest produces: transpose bytes/messages, fft flops,
+/// ns_advance solve counters.
+fn fixture() -> Snapshot {
+    let mut c0 = CounterSet::new();
+    c0.add(Counter::Flops, 1_500_000);
+    c0.add(Counter::DdrBytes, 262_144);
+    c0.add(Counter::MessagesSent, 12);
+    c0.add(Counter::CommBytes, 4096);
+    c0.add(Counter::SolveRhs, 64);
+    c0.add(Counter::SolvePanels, 2);
+    let mut b0 = [CounterSet::new(); NUM_PHASES];
+    b0[Phase::Fft as usize].add(Counter::Flops, 1_000_000);
+    b0[Phase::NsAdvance as usize].add(Counter::Flops, 500_000);
+    b0[Phase::NsAdvance as usize].add(Counter::SolveRhs, 64);
+    b0[Phase::NsAdvance as usize].add(Counter::SolvePanels, 2);
+    b0[Phase::Transpose as usize].add(Counter::DdrBytes, 262_144);
+    b0[Phase::Transpose as usize].add(Counter::MessagesSent, 12);
+    b0[Phase::Transpose as usize].add(Counter::CommBytes, 4096);
+
+    let mut c1 = CounterSet::new();
+    c1.add(Counter::Flops, 1_400_000);
+    c1.add(Counter::MessagesRecvd, 12);
+    c1.add(Counter::BytesRecvd, 4096);
+    let mut b1 = [CounterSet::new(); NUM_PHASES];
+    b1[Phase::Fft as usize].add(Counter::Flops, 1_400_000);
+    b1[Phase::Transpose as usize].add(Counter::MessagesRecvd, 12);
+    b1[Phase::Transpose as usize].add(Counter::BytesRecvd, 4096);
+
+    Snapshot {
+        ranks: vec![
+            RankSnapshot {
+                rank: Some(0),
+                spans: vec![
+                    span("rk3_substep", Phase::Other, 0.0, 1000.0, 0),
+                    span("transpose_xz", Phase::Transpose, 0.0, 400.0, 1),
+                    span("fft_x", Phase::Fft, 400.0, 300.0, 1),
+                    span("ns_advance", Phase::NsAdvance, 700.0, 300.0, 1),
+                ],
+                counters: c0,
+                by_phase: b0,
+                decisions: vec![],
+                dropped: 0,
+            },
+            RankSnapshot {
+                rank: Some(1),
+                spans: vec![
+                    span("transpose_xz", Phase::Transpose, 0.0, 500.0, 0),
+                    span("fft_x", Phase::Fft, 500.0, 250.5, 0),
+                ],
+                counters: c1,
+                by_phase: b1,
+                decisions: vec![],
+                dropped: 0,
+            },
+        ],
+    }
+}
+
+fn meta() -> CountsMeta {
+    CountsMeta {
+        bench: "rk3_step".into(),
+        nx: 32,
+        ny: 33,
+        nz: 32,
+        ranks: 2,
+        threads: 1,
+        steps: 4,
+    }
+}
+
+#[test]
+fn counts_json_matches_golden_file() {
+    let got = counts_json(&fixture(), &meta());
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/counts.json");
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(path, &got).expect("write golden file");
+        return;
+    }
+    let want = std::fs::read_to_string(path).expect("golden file present");
+    assert_eq!(
+        got, want,
+        "counts_json output drifted from tests/golden/counts.json; if the \
+         change is intentional, bump COUNTS_SCHEMA_VERSION and regenerate \
+         with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn counts_json_shape_invariants() {
+    let out = counts_json(&fixture(), &meta());
+    assert!(out.starts_with(&format!(
+        "{{\"schema\":{COUNTS_SCHEMA_VERSION},\"kind\":\"counts\""
+    )));
+    // every rank block and the totals block carry all 12 counters in
+    // canonical order, zeros included
+    assert_eq!(out.matches("\"flops\":").count(), 2 * 5 + 5);
+    assert!(out.contains("\"bench\":\"rk3_step\""));
+    assert!(out.contains("\"phase_seconds_mean\""));
+    assert!(out.contains("\"phase_seconds_max\""));
+    // totals sum over ranks: 1.5M + 1.4M flops
+    assert!(out.contains("\"flops\":2900000"));
+    // phase split survives aggregation: fft flops 1.0M + 1.4M
+    assert!(out.contains("\"flops\":2400000"));
+}
