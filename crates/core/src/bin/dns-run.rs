@@ -167,6 +167,11 @@ const FLAGS: &[Flag] = &[
         help: "per-mode scalar wall-normal solves instead of batched panels (oracle path)",
     },
     Flag {
+        name: "--pipeline",
+        value: Some("K"),
+        help: "overlap depth of the fused x-stage transposes (0 = blocking; default 4)",
+    },
+    Flag {
         name: "--grid",
         value: Some("PAxPB"),
         help: "process grid, e.g. 2x2 (default 1x1; ranks are threads)",
@@ -319,6 +324,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--turbulent-ic" => args.turb_ic = Some(num(&flag, take(&mut i)?)?),
             "--laminar-ic" => args.turb_ic = None,
             "--no-batched" => args.params.batched = false,
+            "--pipeline" => args.params.pipeline = num(&flag, take(&mut i)?)?,
             "--grid" => {
                 let v = take(&mut i)?;
                 let (pa, pb) = v

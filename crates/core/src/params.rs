@@ -58,6 +58,13 @@ pub struct Params {
     /// agreement oracle. An execution knob: results agree to round-off
     /// and the choice is excluded from [`Params::state_hash`].
     pub batched: bool,
+    /// Overlap depth of the fused nonlinear x-stage: split the local y
+    /// rows into up to this many batches and keep the CommA transpose
+    /// for the next batch in flight behind the current batch's FFT
+    /// kernel. `0`/`1` = blocking transposes. An execution knob —
+    /// pipelined and blocking schedules are bitwise identical, so it is
+    /// excluded from [`Params::state_hash`].
+    pub pipeline: usize,
 }
 
 impl Params {
@@ -81,6 +88,7 @@ impl Params {
             pb: 1,
             fft_threads: 1,
             batched: true,
+            pipeline: 4,
         }
     }
 
@@ -88,6 +96,13 @@ impl Params {
     /// default; the scalar path is the agreement oracle).
     pub fn with_batched(mut self, batched: bool) -> Params {
         self.batched = batched;
+        self
+    }
+
+    /// Set the overlap depth of the fused x-stage transposes (default 4;
+    /// `0` restores blocking exchanges).
+    pub fn with_pipeline(mut self, k: usize) -> Params {
+        self.pipeline = k;
         self
     }
 
@@ -157,7 +172,7 @@ impl Params {
     /// basis, nonlinearity. Checkpoints store it so a restart under
     /// different physics is rejected instead of silently continuing a
     /// different simulation. Pure execution knobs (`pa`, `pb`,
-    /// `fft_threads`, `batched`) are excluded: the decomposition is
+    /// `fft_threads`, `batched`, `pipeline`) are excluded: the decomposition is
     /// validated separately, and results are layout-independent.
     pub fn state_hash(&self) -> u64 {
         fn mix(h: u64, v: u64) -> u64 {
@@ -212,6 +227,7 @@ mod tests {
             p.clone().with_grid(2, 2).with_fft_threads(4).state_hash()
         );
         assert_eq!(p.state_hash(), p.clone().with_batched(false).state_hash());
+        assert_eq!(p.state_hash(), p.clone().with_pipeline(0).state_hash());
         // physics does
         assert_ne!(p.state_hash(), p.clone().with_dt(2e-3).state_hash());
         assert_ne!(

@@ -252,6 +252,64 @@ fn transport_level_chaos_recovers_bitwise() {
 }
 
 #[test]
+fn pipelined_chaos_recovers_bitwise_to_blocking_reference() {
+    // the strongest statement of "overlap is a pure scheduling change":
+    // the reference trajectory runs *blocking* transposes, the chaos run
+    // keeps the pipelined x-stage on (the default) and takes a seeded
+    // operation-level crash while exchanges are in flight — recovery
+    // must land bit-for-bit on the blocking trajectory
+    let total = 6u64;
+    let every = 2u64;
+
+    let reference = run_parallel(chaos_params().with_pipeline(0), move |dns| {
+        seed_ic(dns);
+        for _ in 0..total {
+            dns.step();
+        }
+        state_bits(dns)
+    });
+
+    let dir = test_dir("dns_chaos_pipelined");
+    let stem = dir.join("state");
+    // an op-indexed crash on a 2x2 grid lands inside the transform
+    // pipeline, where up to three pipelined exchanges are outstanding;
+    // the surviving ranks must surface RankDead, not hang
+    let plan = FaultPlan::seeded(19, 4, 4000);
+
+    let report = supervise(
+        SupervisorConfig {
+            ranks: 4,
+            max_restarts: 2,
+            recv_timeout: Duration::from_secs(5),
+        },
+        move |attempt| {
+            if attempt == 0 {
+                plan.clone()
+            } else {
+                FaultPlan::none()
+            }
+        },
+        move |world, attempt| {
+            let ctl = world.dup();
+            let mut dns = ChannelDns::new(world, chaos_params().with_pipeline(4));
+            supervised_body(&mut dns, &ctl, attempt.index > 0, &stem, total, every)
+        },
+    );
+
+    assert!(
+        report.succeeded(),
+        "supervisor failed to recover the pipelined run:\n{}",
+        report.events_json()
+    );
+    for (rank, bits) in report.results.unwrap().iter().enumerate() {
+        assert_eq!(
+            bits, &reference[rank],
+            "rank {rank}: pipelined recovery diverged from the blocking reference"
+        );
+    }
+}
+
+#[test]
 fn unrecoverable_chaos_reports_clean_failure() {
     let dir = test_dir("dns_chaos_unrecoverable");
     let stem = dir.join("state");

@@ -130,6 +130,7 @@ mod tests {
             fft_s: 0.003,
             ns_s: 0.002,
             recv_wait_s: 0.001,
+            overlap_s: 0.0005,
             busy_s: 0.009,
             msgs: 4,
             bytes: 1024,

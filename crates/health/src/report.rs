@@ -25,10 +25,22 @@ pub struct Replay {
     pub ns: Histogram,
     /// Whole-step critical path: max wall over ranks, per step.
     pub step_critical: Histogram,
-    /// Per-rank totals: (steps, busy_s, wait_s, wall_s, msgs, bytes).
-    per_rank: BTreeMap<usize, (u64, f64, f64, f64, u64, u64)>,
+    /// Per-rank running totals over every step record.
+    per_rank: BTreeMap<usize, RankTotals>,
     distinct_steps: usize,
     total_bytes: u64,
+}
+
+/// Sums of one rank's step records, for the imbalance heat rows.
+#[derive(Default)]
+struct RankTotals {
+    steps: u64,
+    busy_s: f64,
+    wait_s: f64,
+    overlap_s: f64,
+    wall_s: f64,
+    msgs: u64,
+    bytes: u64,
 }
 
 impl Replay {
@@ -81,6 +93,7 @@ impl Replay {
                     fft_s,
                     ns_s,
                     recv_wait_s,
+                    overlap_s,
                     busy_s,
                     msgs,
                     bytes,
@@ -91,13 +104,14 @@ impl Replay {
                     r.ns.record(*ns_s);
                     let worst = critical.entry(*step).or_insert(0.0);
                     *worst = worst.max(*wall_s);
-                    let slot = r.per_rank.entry(*rank).or_insert((0, 0.0, 0.0, 0.0, 0, 0));
-                    slot.0 += 1;
-                    slot.1 += *busy_s;
-                    slot.2 += *recv_wait_s;
-                    slot.3 += *wall_s;
-                    slot.4 += *msgs;
-                    slot.5 += *bytes;
+                    let slot = r.per_rank.entry(*rank).or_default();
+                    slot.steps += 1;
+                    slot.busy_s += *busy_s;
+                    slot.wait_s += *recv_wait_s;
+                    slot.overlap_s += *overlap_s;
+                    slot.wall_s += *wall_s;
+                    slot.msgs += *msgs;
+                    slot.bytes += *bytes;
                     r.total_bytes += *bytes;
                 }
                 _ => {}
@@ -180,16 +194,24 @@ impl Replay {
         if self.per_rank.is_empty() {
             return;
         }
-        out.push_str("\n-- per-rank imbalance (busy = wall - recv wait) --\n");
+        out.push_str(
+            "\n-- per-rank imbalance (busy = wall - recv wait; \
+             ovl = exchange time hidden behind compute) --\n",
+        );
         let means: BTreeMap<usize, f64> = self
             .per_rank
             .iter()
-            .map(|(&r, &(n, busy, ..))| (r, if n > 0 { busy / n as f64 } else { 0.0 }))
+            .map(|(&r, t)| {
+                let n = t.steps;
+                (r, if n > 0 { t.busy_s / n as f64 } else { 0.0 })
+            })
             .collect();
         let grand = means.values().sum::<f64>() / means.len() as f64;
         let peak = means.values().cloned().fold(0.0, f64::max);
         const WIDTH: usize = 24;
-        for (&rank, &(n, _busy, wait, wall, msgs, bytes)) in &self.per_rank {
+        for (&rank, t) in &self.per_rank {
+            let (n, wait, overlap, wall) = (t.steps, t.wait_s, t.overlap_s, t.wall_s);
+            let (msgs, bytes) = (t.msgs, t.bytes);
             let mean_busy = means[&rank];
             let bar_len = if peak > 0.0 {
                 ((mean_busy / peak) * WIDTH as f64).round() as usize
@@ -198,10 +220,19 @@ impl Replay {
             };
             let bar: String = "#".repeat(bar_len) + &".".repeat(WIDTH - bar_len.min(WIDTH));
             let wait_share = if wall > 0.0 { wait / wall * 100.0 } else { 0.0 };
+            // Overlap fraction per step: share of this rank's exchange
+            // exposure (hidden + still-blocking wait) that the pipelined
+            // transposes hid behind compute. 0% under blocking exchanges.
+            let exchange = overlap + wait;
+            let ovl_share = if exchange > 0.0 {
+                overlap / exchange * 100.0
+            } else {
+                0.0
+            };
             let vs_mean = if grand > 0.0 { mean_busy / grand } else { 0.0 };
             out.push_str(&format!(
                 "rank {rank:>3} |{bar}| busy {}/step ({vs_mean:.2}x mean)  wait {wait_share:>4.1}%  \
-                 {msgs} msgs {bytes} B over {n} steps\n",
+                 ovl {ovl_share:>4.1}%  {msgs} msgs {bytes} B over {n} steps\n",
                 fmt_seconds(mean_busy)
             ));
         }
@@ -355,6 +386,8 @@ mod tests {
                     fft_s: 0.003,
                     ns_s: 0.002,
                     recv_wait_s: 0.042 - busy,
+                    // ranks 0..3 hide half their exchange exposure, rank 3 none
+                    overlap_s: if rank == 3 { 0.0 } else { 0.042 - busy },
                     busy_s: busy,
                     msgs: 12,
                     bytes: 4096,
@@ -412,6 +445,8 @@ mod tests {
             "checkpoint committed",
             "recovery converged",
             "measured vs dnscost model",
+            "ovl 50.0%",
+            "ovl  0.0%",
             "Gflop/s",
             "calibration fit",
             "phase-sum vs critical path",

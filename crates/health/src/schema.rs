@@ -13,7 +13,12 @@ use std::fmt;
 
 /// Schema version stamped on every line. Bump on any incompatible field
 /// change and teach [`FlightEvent::parse_line`] the old versions.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added `overlap_s` to `step` (seconds of communication hidden
+/// behind computation by the pipelined transposes); v1 lines parse with
+/// `overlap_s = 0.0` — a v1 recorder predates the overlap clock, so
+/// zero is the faithful reading, not a guess.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Which physics quantity a sentinel event is about.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -124,6 +129,10 @@ pub enum FlightEvent {
         ns_s: f64,
         /// Seconds blocked in receives during the step.
         recv_wait_s: f64,
+        /// Seconds of communication hidden behind computation during the
+        /// step (the in-flight transpose overlap clock; 0.0 under
+        /// blocking transposes and in schema-v1 recordings).
+        overlap_s: f64,
         /// `wall_s - recv_wait_s`: the straggler-detection signal.
         busy_s: f64,
         /// Messages sent on the pencil communicators during the step.
@@ -212,18 +221,20 @@ impl FlightEvent {
                 fft_s,
                 ns_s,
                 recv_wait_s,
+                overlap_s,
                 busy_s,
                 msgs,
                 bytes,
             } => format!(
                 "\"kind\":\"step\",\"step\":{step},\"rank\":{rank},\"wall_s\":{},\
                  \"transpose_s\":{},\"fft_s\":{},\"ns_s\":{},\"recv_wait_s\":{},\
-                 \"busy_s\":{},\"msgs\":{msgs},\"bytes\":{bytes}",
+                 \"overlap_s\":{},\"busy_s\":{},\"msgs\":{msgs},\"bytes\":{bytes}",
                 num(*wall_s),
                 num(*transpose_s),
                 num(*fft_s),
                 num(*ns_s),
                 num(*recv_wait_s),
+                num(*overlap_s),
                 num(*busy_s),
             ),
             FlightEvent::Sentinel {
@@ -290,9 +301,11 @@ impl FlightEvent {
             .get("schema")
             .and_then(Json::as_u64)
             .ok_or("missing schema field")?;
-        if schema != SCHEMA_VERSION {
+        // v1 is read back-compatibly (its `step` lines simply predate
+        // `overlap_s`); anything newer than this build is refused
+        if schema == 0 || schema > SCHEMA_VERSION {
             return Err(format!(
-                "unsupported schema version {schema} (expected {SCHEMA_VERSION})"
+                "unsupported schema version {schema} (expected <= {SCHEMA_VERSION})"
             ));
         }
         let kind = v.get("kind").and_then(Json::as_str).ok_or("missing kind")?;
@@ -332,6 +345,9 @@ impl FlightEvent {
                 fft_s: f("fft_s")?,
                 ns_s: f("ns_s")?,
                 recv_wait_s: f("recv_wait_s")?,
+                // absent in v1 recordings: those predate the overlap
+                // clock, so zero is the faithful reading
+                overlap_s: if schema >= 2 { f("overlap_s")? } else { 0.0 },
                 busy_s: f("busy_s")?,
                 msgs: u("msgs")?,
                 bytes: u("bytes")?,
@@ -419,6 +435,7 @@ mod tests {
                 fft_s: 0.003,
                 ns_s: 0.002,
                 recv_wait_s: 0.001,
+                overlap_s: 0.0005,
                 busy_s: 0.0113,
                 msgs: 48,
                 bytes: 65536,
@@ -463,9 +480,26 @@ mod tests {
     fn every_event_round_trips() {
         for ev in samples() {
             let line = ev.to_json_line();
-            assert!(line.contains("\"schema\":1"), "{line}");
+            assert!(line.contains("\"schema\":2"), "{line}");
             let back = FlightEvent::parse_line(&line).unwrap_or_else(|e| panic!("{e}: {line}"));
             assert_eq!(back, ev, "round-trip mismatch for {line}");
+        }
+    }
+
+    #[test]
+    fn v1_step_lines_parse_with_zero_overlap() {
+        // a line exactly as a schema-1 recorder wrote it: no overlap_s
+        let line = "{\"schema\":1,\"kind\":\"step\",\"step\":1,\"rank\":2,\"wall_s\":0.0123,\
+                    \"transpose_s\":0.004,\"fft_s\":0.003,\"ns_s\":0.002,\"recv_wait_s\":0.001,\
+                    \"busy_s\":0.0113,\"msgs\":48,\"bytes\":65536}";
+        match FlightEvent::parse_line(line).unwrap() {
+            FlightEvent::Step {
+                overlap_s, busy_s, ..
+            } => {
+                assert_eq!(overlap_s, 0.0);
+                assert_eq!(busy_s, 0.0113);
+            }
+            other => panic!("parsed wrong kind: {other:?}"),
         }
     }
 
@@ -482,10 +516,10 @@ mod tests {
     #[test]
     fn future_schema_versions_are_rejected() {
         let err = FlightEvent::parse_line(
-            "{\"schema\":2,\"kind\":\"run_end\",\"steps_run\":1,\"wall_s\":0.5}",
+            "{\"schema\":3,\"kind\":\"run_end\",\"steps_run\":1,\"wall_s\":0.5}",
         )
         .unwrap_err();
-        assert!(err.contains("unsupported schema version 2"), "{err}");
+        assert!(err.contains("unsupported schema version 3"), "{err}");
     }
 
     #[test]

@@ -32,6 +32,7 @@ fn fixture() -> Vec<FlightEvent> {
             fft_s: 0.0032,
             ns_s: 0.0021,
             recv_wait_s: 0.0009,
+            overlap_s: 0.0018,
             busy_s: 0.0116,
             msgs: 48,
             bytes: 65536,
@@ -44,6 +45,7 @@ fn fixture() -> Vec<FlightEvent> {
             fft_s: 0.004,
             ns_s: 0.003,
             recv_wait_s: 0.005,
+            overlap_s: 0.0,
             busy_s: 0.008,
             msgs: 48,
             bytes: 65536,
@@ -122,7 +124,7 @@ fn every_golden_line_is_schema_stamped() {
     let text = std::fs::read_to_string(path).expect("golden file present");
     for (i, line) in text.lines().enumerate() {
         assert!(
-            line.starts_with("{\"schema\":1,"),
+            line.starts_with("{\"schema\":2,"),
             "line {} lacks the schema stamp: {line}",
             i + 1
         );

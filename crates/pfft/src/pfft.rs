@@ -5,7 +5,7 @@ use std::cell::Cell;
 use dns_fft::dealias::{pad_full, pad_half, truncate_full, truncate_half};
 use dns_fft::{CfftPlan, Direction, RealLayout, RfftPlan};
 use dns_minimpi::{CartComm, Communicator};
-use dns_pencil::{Block, ExchangeStrategy, RowsPlacement, TransposePlan};
+use dns_pencil::{Block, ExchangeStrategy, InflightTranspose, RowsPlacement, TransposePlan};
 
 use dns_telemetry as telemetry;
 use dns_telemetry::Phase;
@@ -59,6 +59,15 @@ pub struct PfftConfig {
     /// On-node worker threads for the serial-FFT line loops (the paper's
     /// OpenMP threading, section 4.2). 1 = serial; P3DFFT has none.
     pub threads: usize,
+    /// Communication/computation overlap depth of the fused nonlinear
+    /// x-stage: split the local y rows into up to `pipeline` batches and
+    /// keep the CommA exchange for the next batch in flight while the
+    /// current batch runs its inverse-FFT -> five-product -> forward-FFT
+    /// kernel. `0` or `1` = blocking monolithic transposes (the
+    /// pre-overlap schedule); values above the local y count are clamped.
+    /// Only multi-rank CommA groups pipeline — a single rank has no
+    /// exchange to hide.
+    pub pipeline: usize,
 }
 
 impl PfftConfig {
@@ -75,6 +84,7 @@ impl PfftConfig {
             elide_nyquist: true,
             strategy: None,
             threads: 1,
+            pipeline: 4,
         }
     }
 
@@ -92,6 +102,7 @@ impl PfftConfig {
             elide_nyquist: false,
             strategy: Some(ExchangeStrategy::AllToAll),
             threads: 1,
+            pipeline: 0,
         }
     }
 
@@ -104,6 +115,13 @@ impl PfftConfig {
     /// Use `n` on-node threads for the transform line loops.
     pub fn with_threads(mut self, n: usize) -> Self {
         self.threads = n.max(1);
+        self
+    }
+
+    /// Set the overlap depth of the fused x-stage (see
+    /// [`PfftConfig::pipeline`]); `0` restores blocking transposes.
+    pub fn with_pipeline(mut self, k: usize) -> Self {
+        self.pipeline = k;
         self
     }
 
@@ -218,7 +236,7 @@ impl ParallelFft {
         } else {
             None
         };
-        ParallelFft {
+        let pfft = ParallelFft {
             cfg,
             comm_a,
             comm_b,
@@ -236,13 +254,24 @@ impl ParallelFft {
             t_yz,
             timers: Cell::new(PfftTimers::default()),
             batch_plans: std::cell::RefCell::new(std::collections::HashMap::new()),
-        }
+        };
+        // Pre-warm the batch widths the fused nonlinear pipeline uses so
+        // the lazy-init `borrow_mut` never fires inside the RK3 hot loop
+        // (batch planning inherits strategies — no collectives involved).
+        drop(pfft.batch_plans(NL_FIELDS));
+        drop(pfft.batch_plans(NL_PRODUCTS));
+        pfft
     }
 
     /// Plans for a `k`-field batch (constructed on first use; strategies
     /// are inherited from the single-field planning step, so no further
     /// collective measurement is needed).
     fn batch_plans(&self, k: usize) -> std::cell::Ref<'_, BatchPlans> {
+        // Fast path: widths used by the fused pipeline are pre-warmed in
+        // `new`, so steady-state calls take a shared borrow only.
+        if let Ok(hit) = std::cell::Ref::filter_map(self.batch_plans.borrow(), |m| m.get(&k)) {
+            return hit;
+        }
         {
             let mut map = self.batch_plans.borrow_mut();
             map.entry(k).or_insert_with(|| {
@@ -614,11 +643,25 @@ impl ParallelFft {
             spec_px,
             out_z,
             send,
+            zp_px,
+            pack_inv,
+            pack_fwd,
             serial,
         } = ws;
         serial.ensure(px, pz, fft_len);
 
-        // --- inverse leg: 3 velocity fields to x-pencil spectra ---
+        // Overlap depth for the CommA x-stage. Every rank of a CommA
+        // group shares the same y_block (same CommB coordinate), so the
+        // batch partition below agrees collectively; a single-rank CommA
+        // group has no exchange to hide and keeps the monolithic
+        // (zero-allocation) route.
+        let nb = if self.comm_a.size() > 1 && cfg.pipeline >= 2 {
+            cfg.pipeline.min(nyl)
+        } else {
+            1
+        };
+
+        // --- inverse leg: 3 velocity fields to the z-pencil ---
         {
             let plans = self.batch_plans(NL_FIELDS);
             let t0 = std::time::Instant::now();
@@ -643,71 +686,209 @@ impl ParallelFft {
             );
             self.add_fft(t0.elapsed().as_secs_f64());
             drop(fft_z);
-
-            let t0 = std::time::Instant::now();
-            plans.t_zx.run_with(&self.comm_a, zp, send, spec_x);
-            self.add_transpose(t0.elapsed().as_secs_f64());
         }
 
-        // --- fused x-stage: per (y, z) group, velocities to physical
-        // space, products in cache, products back to x spectra ---
-        {
-            let fused = telemetry::span("fused_products", Phase::Fft);
-            let t0 = std::time::Instant::now();
-            spec_px.resize(nyl * NL_PRODUCTS * zpl * sx, zero);
-            let src = &*spec_x;
-            let rfft = &self.rfft_x;
-            let inv_px = 1.0 / px as f64;
-            self.for_lines_init(
-                spec_px,
-                NL_PRODUCTS * zpl * sx,
-                serial,
-                || LineScratch::sized(px, pz, fft_len),
-                |sc, y, ychunk| {
-                    for z in 0..zpl {
-                        for fi in 0..NL_FIELDS {
-                            let s = ((y * NL_FIELDS + fi) * zpl + z) * sx;
-                            pad_half(&src[s..s + sx], &mut sc.cline);
-                            rfft.inverse(
-                                &sc.cline,
-                                &mut sc.phys[fi * px..(fi + 1) * px],
-                                &mut sc.fft,
-                            );
+        // The fused x-stage body: inverse-transform the three velocity
+        // x-lines of one y row, form the five products in cache, forward
+        // transform them. `src` and `ychunk` are y-aligned slices (same
+        // first y row), so the row index the line loop hands back works
+        // for both.
+        let rfft = &self.rfft_x;
+        let inv_px = 1.0 / px as f64;
+        let fused_row = |sc: &mut LineScratch, y: usize, src: &[C64], ychunk: &mut [C64]| {
+            for z in 0..zpl {
+                for fi in 0..NL_FIELDS {
+                    let s = ((y * NL_FIELDS + fi) * zpl + z) * sx;
+                    pad_half(&src[s..s + sx], &mut sc.cline);
+                    rfft.inverse(&sc.cline, &mut sc.phys[fi * px..(fi + 1) * px], &mut sc.fft);
+                }
+                for (f, &(i, j, sub_vv)) in PRODUCTS.iter().enumerate() {
+                    for x in 0..px {
+                        let mut p = sc.phys[i * px + x] * sc.phys[j * px + x];
+                        if sub_vv {
+                            p -= sc.phys[px + x] * sc.phys[px + x];
                         }
-                        for (f, &(i, j, sub_vv)) in PRODUCTS.iter().enumerate() {
-                            for x in 0..px {
-                                let mut p = sc.phys[i * px + x] * sc.phys[j * px + x];
-                                if sub_vv {
-                                    p -= sc.phys[px + x] * sc.phys[px + x];
-                                }
-                                sc.prod[x] = p;
-                            }
-                            rfft.forward(&sc.prod, &mut sc.cline, &mut sc.fft);
-                            let d = (f * zpl + z) * sx;
-                            truncate_half(&sc.cline, &mut ychunk[d..d + sx]);
-                            for v in ychunk[d..d + sx].iter_mut() {
-                                *v *= inv_px;
-                            }
-                        }
+                        sc.prod[x] = p;
                     }
-                },
-            );
-            self.add_fft(t0.elapsed().as_secs_f64());
-            drop(fused);
+                    rfft.forward(&sc.prod, &mut sc.cline, &mut sc.fft);
+                    let d = (f * zpl + z) * sx;
+                    truncate_half(&sc.cline, &mut ychunk[d..d + sx]);
+                    for v in ychunk[d..d + sx].iter_mut() {
+                        *v *= inv_px;
+                    }
+                }
+            }
+        };
+
+        if nb >= 2 {
+            // --- pipelined x-stage: the CommA exchange for batch k+1 is
+            // posted before batch k's completion blocks, so it is in
+            // flight through batch k's fused kernel; likewise batch k's
+            // forward exchange flies through batch k+1's kernel. The
+            // per-y-row strided scatter is identical to the monolithic
+            // plans', so the result is bitwise identical. Forward
+            // completions land in `zp_px` (not `zp`): inverse posts of
+            // later batches still read `zp`, and the 3-field vs
+            // 5-product row strides overlap from the second batch on.
+            let inv_in = NL_FIELDS * sxl * pz; // zp stride per y row
+            let inv_out = NL_FIELDS * zpl * sx; // spec_x stride per y row
+            let fwd_in = NL_PRODUCTS * zpl * sx; // spec_px stride per y row
+            let fwd_out = NL_PRODUCTS * sxl * pz; // zp_px stride per y row
+            spec_x.resize(nyl * inv_out, zero);
+            spec_px.resize(nyl * fwd_in, zero);
+            zp_px.resize(nyl * fwd_out, zero);
+            // Batch sub-plans share the measured strategies of the full
+            // plans; construction is local arithmetic (no collectives,
+            // no heap), so building them per call is cheap.
+            let inv_plan = |rows: usize| {
+                TransposePlan::with_placement(
+                    &self.comm_a,
+                    rows * NL_FIELDS,
+                    sx,
+                    pz,
+                    self.t_zx.strategy(),
+                    RowsPlacement::Outer,
+                )
+            };
+            let fwd_plan = |rows: usize| {
+                TransposePlan::with_placement(
+                    &self.comm_a,
+                    rows * NL_PRODUCTS,
+                    pz,
+                    sx,
+                    self.t_xz.strategy(),
+                    RowsPlacement::Outer,
+                )
+            };
+            fn fail(e: dns_minimpi::CommError) -> ! {
+                panic!("pipelined transpose exchange failed: {e}")
+            }
+            // Distinct sequence numbers keep simultaneously in-flight
+            // exchanges on disjoint tags (message matching is FIFO only
+            // per identical tag): inverse batch k uses 2k, forward 2k+1.
+            let zp_src: &[C64] = zp;
+            let b0 = Block::of(nyl, nb, 0);
+            let t0 = std::time::Instant::now();
+            let mut inv_fly = Some(inv_plan(b0.len).post(
+                &self.comm_a,
+                &zp_src[b0.start * inv_in..(b0.start + b0.len) * inv_in],
+                &mut pack_inv[0],
+                0,
+            ));
+            self.add_transpose(t0.elapsed().as_secs_f64());
+            let mut fwd_fly: Option<(Block, InflightTranspose<C64>)> = None;
+            for k in 0..nb {
+                let b = Block::of(nyl, nb, k);
+                // post the next inverse exchange before blocking on this
+                // one, so it flies through this batch's kernel
+                let inv_next = if k + 1 < nb {
+                    let bn = Block::of(nyl, nb, k + 1);
+                    let t0 = std::time::Instant::now();
+                    let fly = inv_plan(bn.len).post(
+                        &self.comm_a,
+                        &zp_src[bn.start * inv_in..(bn.start + bn.len) * inv_in],
+                        &mut pack_inv[(k + 1) % 2],
+                        2 * (k as u64 + 1),
+                    );
+                    self.add_transpose(t0.elapsed().as_secs_f64());
+                    Some(fly)
+                } else {
+                    None
+                };
+                let t0 = std::time::Instant::now();
+                inv_fly
+                    .take()
+                    .expect("inverse exchange in flight")
+                    .complete_into(
+                        &self.comm_a,
+                        &mut spec_x[b.start * inv_out..(b.start + b.len) * inv_out],
+                    )
+                    .unwrap_or_else(|e| fail(e));
+                self.add_transpose(t0.elapsed().as_secs_f64());
+                inv_fly = inv_next;
+
+                {
+                    let fused = telemetry::span("fused_products", Phase::Fft);
+                    let t0 = std::time::Instant::now();
+                    let src = &spec_x[b.start * inv_out..(b.start + b.len) * inv_out];
+                    self.for_lines_init(
+                        &mut spec_px[b.start * fwd_in..(b.start + b.len) * fwd_in],
+                        fwd_in,
+                        serial,
+                        || LineScratch::sized(px, pz, fft_len),
+                        |sc, y, ychunk| fused_row(sc, y, src, ychunk),
+                    );
+                    self.add_fft(t0.elapsed().as_secs_f64());
+                    drop(fused);
+                }
+
+                let t0 = std::time::Instant::now();
+                let fly = fwd_plan(b.len).post(
+                    &self.comm_a,
+                    &spec_px[b.start * fwd_in..(b.start + b.len) * fwd_in],
+                    &mut pack_fwd[k % 2],
+                    2 * k as u64 + 1,
+                );
+                // retire the previous forward exchange — it has been in
+                // flight for this entire batch's kernel
+                if let Some((bp, prev)) = fwd_fly.take() {
+                    prev.complete_into(
+                        &self.comm_a,
+                        &mut zp_px[bp.start * fwd_out..(bp.start + bp.len) * fwd_out],
+                    )
+                    .unwrap_or_else(|e| fail(e));
+                }
+                fwd_fly = Some((b, fly));
+                self.add_transpose(t0.elapsed().as_secs_f64());
+            }
+            let (bp, last) = fwd_fly.take().expect("final forward exchange in flight");
+            let t0 = std::time::Instant::now();
+            last.complete_into(
+                &self.comm_a,
+                &mut zp_px[bp.start * fwd_out..(bp.start + bp.len) * fwd_out],
+            )
+            .unwrap_or_else(|e| fail(e));
+            self.add_transpose(t0.elapsed().as_secs_f64());
+        } else {
+            // --- blocking x-stage: monolithic transposes around one
+            // full-pencil fused kernel (single rank, or pipeline off) ---
+            {
+                let plans = self.batch_plans(NL_FIELDS);
+                let t0 = std::time::Instant::now();
+                plans.t_zx.run_with(&self.comm_a, zp, send, spec_x);
+                self.add_transpose(t0.elapsed().as_secs_f64());
+            }
+            {
+                let fused = telemetry::span("fused_products", Phase::Fft);
+                let t0 = std::time::Instant::now();
+                spec_px.resize(nyl * NL_PRODUCTS * zpl * sx, zero);
+                let src = &*spec_x;
+                self.for_lines_init(
+                    spec_px,
+                    NL_PRODUCTS * zpl * sx,
+                    serial,
+                    || LineScratch::sized(px, pz, fft_len),
+                    |sc, y, ychunk| fused_row(sc, y, src, ychunk),
+                );
+                self.add_fft(t0.elapsed().as_secs_f64());
+                drop(fused);
+            }
+            {
+                let plans = self.batch_plans(NL_PRODUCTS);
+                let t0 = std::time::Instant::now();
+                plans.t_xz.run_with(&self.comm_a, spec_px, send, zp);
+                self.add_transpose(t0.elapsed().as_secs_f64());
+            }
         }
 
         // --- forward leg: 5 product fields back to the y-pencil ---
         {
             let plans = self.batch_plans(NL_PRODUCTS);
-            let t0 = std::time::Instant::now();
-            plans.t_xz.run_with(&self.comm_a, spec_px, send, zp);
-            self.add_transpose(t0.elapsed().as_secs_f64());
-
             let fft_z = telemetry::span("fft_z_fwd", Phase::Fft);
             let t0 = std::time::Instant::now();
             let lines_z = nyl * NL_PRODUCTS * sxl;
             out_z.resize(lines_z * nz, zero);
-            let src = &*zp;
+            let src: &[C64] = if nb >= 2 { &zp_px[..] } else { &zp[..] };
             let zfwd = &self.zfwd;
             let inv_pz = 1.0 / pz as f64;
             self.for_lines_init(
@@ -1388,13 +1569,14 @@ mod tests {
         fused_case(2, false, 4, 2, 2);
     }
 
-    #[test]
-    fn fused_cycle_shares_exchange_economics_with_batches() {
-        // the fused path must send exactly the batched message count:
-        // one 3-field exchange per inverse hop, one 5-field exchange per
-        // forward hop — never per-field messages
-        let results = mpi::run(4, |world| {
-            let p = ParallelFft::new(world, PfftConfig::customized(16, 6, 8, 2, 2));
+    /// One warm fused cycle at the given overlap depth; returns this
+    /// rank's `(comm_a, comm_b)` message counts.
+    fn fused_cycle_messages(pipeline: usize) -> Vec<(u64, u64)> {
+        mpi::run(4, move |world| {
+            let p = ParallelFft::new(
+                world,
+                PfftConfig::customized(16, 6, 8, 2, 2).with_pipeline(pipeline),
+            );
             let f = fill_x_pencil(&p);
             let u = p.forward(&f);
             let mut uvw = vec![C64::new(0.0, 0.0); NL_FIELDS * p.y_pencil_len()];
@@ -1413,13 +1595,74 @@ mod tests {
             p.comm_a().reset_stats();
             p.comm_b().reset_stats();
             p.nonlinear_products(&uvw, &mut out, &mut ws);
-            let msgs = p.comm_a().stats().messages_sent + p.comm_b().stats().messages_sent;
-            // 4 transposes, each one message per off-rank peer (1 peer on
-            // each 2-rank sub-communicator)
-            msgs
-        });
-        for msgs in results {
-            assert_eq!(msgs, 4, "fused cycle must batch each exchange");
+            (
+                p.comm_a().stats().messages_sent,
+                p.comm_b().stats().messages_sent,
+            )
+        })
+    }
+
+    #[test]
+    fn fused_cycle_shares_exchange_economics_with_batches() {
+        // blocking: the fused path must send exactly the batched message
+        // count — one 3-field exchange per inverse hop, one 5-field
+        // exchange per forward hop (4 transposes, each one message per
+        // off-rank peer on a 2-rank sub-communicator), never per-field
+        for (a, b) in fused_cycle_messages(0) {
+            assert_eq!(a + b, 4, "blocking fused cycle must batch each exchange");
+        }
+        // pipelined: the CommB hops are untouched (one message each) and
+        // each CommA hop deliberately splits into one message per y
+        // batch — the price of keeping an exchange in flight behind the
+        // kernel. ny=6 over pb=2 gives 3 local rows, so depth 3 fills.
+        for (a, b) in fused_cycle_messages(3) {
+            assert_eq!(b, 2, "pipelining must not touch the CommB hops");
+            assert_eq!(a, 6, "each CommA hop must split into 3 batch messages");
+        }
+    }
+
+    #[test]
+    fn pipelined_nonlinear_products_match_blocking_bitwise() {
+        let run = |pipeline: usize| {
+            mpi::run(4, move |world| {
+                let p = ParallelFft::new(
+                    world,
+                    PfftConfig::customized(16, 6, 8, 2, 2).with_pipeline(pipeline),
+                );
+                let f = fill_x_pencil(&p);
+                let base = p.forward(&f);
+                let mut uvw = vec![C64::new(0.0, 0.0); NL_FIELDS * p.y_pencil_len()];
+                let (sxl, nzl) = (p.kx_block().len, p.kz_block().len);
+                let ny = p.config().ny;
+                for kz in 0..nzl {
+                    for fi in 0..NL_FIELDS {
+                        let src = kz * sxl * ny;
+                        let dst = ((kz * NL_FIELDS + fi) * sxl) * ny;
+                        uvw[dst..dst + sxl * ny].copy_from_slice(&base[src..src + sxl * ny]);
+                    }
+                }
+                let mut ws = Workspace::new();
+                let mut out = Vec::new();
+                p.nonlinear_products(&uvw, &mut out, &mut ws);
+                p.nonlinear_products(&uvw, &mut out, &mut ws); // warm buffers
+                out
+            })
+        };
+        // overlap must be a pure scheduling change: same unpack order per
+        // y row, so bit-for-bit the blocking result at every depth
+        // (including depths that clamp to the 3 local rows)
+        let blocking = run(0);
+        for pipeline in [2, 3, 16] {
+            let piped = run(pipeline);
+            for (a, b) in blocking.iter().zip(&piped) {
+                assert_eq!(a.len(), b.len());
+                for (x, y) in a.iter().zip(b) {
+                    assert!(
+                        x.re.to_bits() == y.re.to_bits() && x.im.to_bits() == y.im.to_bits(),
+                        "pipeline={pipeline}: {x} != {y} bitwise"
+                    );
+                }
+            }
         }
     }
 

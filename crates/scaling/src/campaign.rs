@@ -70,6 +70,12 @@ pub struct Point {
     pub counts: StepCounts,
     /// Filename (within the out dir) of the full counts export.
     pub counts_file: String,
+    /// Active transpose exchange mode: `"pipelined"` when the point ran
+    /// the nonblocking overlapped x-stage (multi-rank CommA group with a
+    /// pipeline depth of at least two), `"blocking"` otherwise (single
+    /// rank, or the P3DFFT-style baseline which pins blocking
+    /// monolithic transposes).
+    pub exchange_mode: &'static str,
 }
 
 impl Point {
@@ -267,6 +273,15 @@ fn record(cfg: &CampaignConfig, bench: Bench, grid: Grid, probe: &Probe) -> std:
         probe.threads
     );
     std::fs::write(cfg.out_dir.join(&file), counts_json(&probe.snapshot, &meta))?;
+    // the solver and the customized pfft kernel default to the pipelined
+    // x-stage, which engages only on multi-rank CommA groups; the
+    // P3DFFT-style baseline pins blocking monolithic transposes
+    let (pa, _) = host_grid(probe.ranks);
+    let exchange_mode = if pa > 1 && bench != Bench::PfftBaseline {
+        "pipelined"
+    } else {
+        "blocking"
+    };
     Ok(Point {
         bench,
         grid,
@@ -278,6 +293,7 @@ fn record(cfg: &CampaignConfig, bench: Bench, grid: Grid, probe: &Probe) -> std:
         wall_s: probe.wall_s_per_step,
         counts: per_step_counts(probe),
         counts_file: file,
+        exchange_mode,
     })
 }
 

@@ -80,10 +80,11 @@ fn scaled_pfft(c: &Campaign, m: &Machine, g: &Grid, cores: usize, customized: bo
 fn host_total_row(c: &Campaign, p: &Point) -> String {
     let modelled = c.modelled(p);
     format!(
-        "      {{\"source\": \"both\", \"cores\": {}, \"ranks\": {}, \"threads\": {}, \"measured_s\": {}, \"modelled_s\": {}, \"err_rel\": {:.4}}}",
+        "      {{\"source\": \"both\", \"cores\": {}, \"ranks\": {}, \"threads\": {}, \"exchange_mode\": \"{}\", \"measured_s\": {}, \"modelled_s\": {}, \"err_rel\": {:.4}}}",
         p.cores,
         p.ranks,
         p.threads,
+        p.exchange_mode,
         num(p.seconds.total()),
         num(modelled.total()),
         c.err_rel(p)
@@ -95,6 +96,7 @@ fn host_phase_row(c: &Campaign, p: &Point) -> String {
     let m = c.modelled(p);
     format!(
         "      {{\"source\": \"both\", \"cores\": {}, \"ranks\": {}, \"threads\": {}, \"nx\": {}, \
+         \"exchange_mode\": \"{}\", \
          \"measured_transpose_s\": {}, \"measured_fft_s\": {}, \"measured_ns_s\": {}, \"measured_s\": {}, \
          \"modelled_transpose_s\": {}, \"modelled_fft_s\": {}, \"modelled_ns_s\": {}, \"modelled_s\": {}, \
          \"err_rel\": {:.4}}}",
@@ -102,6 +104,7 @@ fn host_phase_row(c: &Campaign, p: &Point) -> String {
         p.ranks,
         p.threads,
         p.grid.nx,
+        p.exchange_mode,
         num(p.seconds.transpose),
         num(p.seconds.fft),
         num(p.seconds.ns_advance),
@@ -544,7 +547,8 @@ pub fn table11_json(c: &Campaign) -> String {
             let modelled = c.modelled(p);
             format!(
                 "      {{\"source\": \"both\", \"cores\": {}, \"ranks\": {}, \"threads\": {}, \
-                 \"mode\": \"{}\", \"measured_s\": {}, \"modelled_s\": {}, \"err_rel\": {:.4}}}",
+                 \"mode\": \"{}\", \"exchange_mode\": \"{}\", \"measured_s\": {}, \
+                 \"modelled_s\": {}, \"err_rel\": {:.4}}}",
                 p.cores,
                 p.ranks,
                 p.threads,
@@ -553,6 +557,7 @@ pub fn table11_json(c: &Campaign) -> String {
                 } else {
                     "mpi"
                 },
+                p.exchange_mode,
                 num(p.seconds.total()),
                 num(modelled.total()),
                 c.err_rel(p)

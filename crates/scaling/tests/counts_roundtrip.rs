@@ -46,7 +46,10 @@ fn harvested_counts_match_analytic_workload_within_tolerance() {
     let text = counts_json(&probe.snapshot, &meta);
     let doc = parse(&text).expect("counts export must parse as JSON");
 
-    assert_eq!(doc.get("schema").and_then(|j| j.as_u64()), Some(1));
+    assert_eq!(
+        doc.get("schema").and_then(|j| j.as_u64()),
+        Some(dns_telemetry::COUNTS_SCHEMA_VERSION)
+    );
     assert_eq!(
         doc.get("kind").and_then(|j| j.as_str()),
         Some("counts"),

@@ -127,10 +127,23 @@ pub enum Counter {
     /// Multi-RHS panel sweeps executed by the batched banded solver; the
     /// ratio `SolveRhs / SolvePanels` is the achieved mean panel width.
     SolvePanels = 11,
+    /// Microseconds a posted transpose exchange spent in flight while the
+    /// rank was *not* blocked in receives — communication genuinely
+    /// hidden behind computation by the pipelined nonlinear path. The
+    /// per-step overlap fraction is
+    /// `ExchangeOverlapUs / (ExchangeOverlapUs + ExchangeWaitUs)`.
+    ExchangeOverlapUs = 12,
+    /// Nonblocking send/receive requests posted by the transpose layer
+    /// (blocking exchanges post too — they complete immediately after).
+    RequestsPosted = 13,
+    /// Nonblocking requests retired (send at post under the buffering
+    /// transport, receive when its message is claimed). A quiesced run
+    /// has `RequestsCompleted == RequestsPosted`.
+    RequestsCompleted = 14,
 }
 
 /// Number of [`Counter`] variants (array-table sizing).
-pub const NUM_COUNTERS: usize = 12;
+pub const NUM_COUNTERS: usize = 15;
 
 impl Counter {
     pub const ALL: [Counter; NUM_COUNTERS] = [
@@ -146,6 +159,9 @@ impl Counter {
         Counter::ExchangeWaitUs,
         Counter::SolveRhs,
         Counter::SolvePanels,
+        Counter::ExchangeOverlapUs,
+        Counter::RequestsPosted,
+        Counter::RequestsCompleted,
     ];
 
     pub fn label(self) -> &'static str {
@@ -162,6 +178,9 @@ impl Counter {
             Counter::ExchangeWaitUs => "exchange_wait_us",
             Counter::SolveRhs => "solve_rhs",
             Counter::SolvePanels => "solve_panels",
+            Counter::ExchangeOverlapUs => "exchange_overlap_us",
+            Counter::RequestsPosted => "requests_posted",
+            Counter::RequestsCompleted => "requests_completed",
         }
     }
 }
