@@ -5,32 +5,43 @@
 //! ```text
 //! dns-run --nx 32 --ny 65 --nz 32 --steps 1000 --stats-every 100
 //! dns-run --steps 20 --trace target/trace.json   # Perfetto timeline
+//! dns-run --spec campaign.json --out target/run7 # serialized RunSpec
 //! ```
 //!
 //! Runs the simulation, prints live statistics, writes profile/spectra
 //! CSVs and (optionally) checkpoints and a Chrome trace of the run.
 //!
-//! The RK3 loop runs under the [`dns_resilience`] supervisor: with
-//! `--checkpoint-every N --max-restarts K` an injected (or real) rank
-//! crash is caught, the world is relaunched, and the run resumes from
-//! the last committed checkpoint manifest. `--crash-at-step S` injects a
-//! deterministic crash for chaos demos:
+//! The binary is a thin front end over [`dns_core::run`]: flags build a
+//! [`RunSpec`] + [`RunConfig`], a [`CliObserver`] hooks the engine's
+//! step loop for live statistics and data products, and
+//! [`dns_core::run::execute`] drives the supervised RK3 loop — the same
+//! engine the `dns-server` campaign scheduler runs jobs through.
+//!
+//! With `--checkpoint-every N --max-restarts K` an injected (or real)
+//! rank crash is caught, the world is relaunched, and the run resumes
+//! from the last committed checkpoint manifest. `--crash-at-step S`
+//! injects a deterministic crash for chaos demos:
 //!
 //! ```text
 //! dns-run --steps 12 --checkpoint-every 4 --max-restarts 2 \
 //!         --crash-at-step 6 --recovery-log target/recovery.json
 //! ```
 
-use std::path::{Path, PathBuf};
+use std::cell::RefCell;
+use std::path::PathBuf;
 use std::sync::Arc;
 
-use dns_core::health::{MonitorConfig, StepMonitor};
+use dns_core::health::MonitorConfig;
+use dns_core::run::{
+    execute, InitialCondition, ResumePolicy, RunConfig, RunControl, RunObserver, RunSpec,
+    RunStatus, RunSummary, StepCtx,
+};
 use dns_core::solver::ChannelDns;
 use dns_core::stats::{profiles, RunningStats};
-use dns_core::{checkpoint, io, spectra, Forcing, Params};
+use dns_core::{io, spectra, Forcing, Params};
 use dns_health::{SentinelConfig, StragglerConfig};
-use dns_minimpi::{Communicator, FaultPlan};
-use dns_resilience::{supervise, SupervisorConfig};
+use dns_minimpi::FaultPlan;
+use dns_resilience::events_to_json;
 use dns_telemetry as telemetry;
 
 struct Args {
@@ -41,7 +52,7 @@ struct Args {
     ckpt: Option<PathBuf>,
     resume: Option<PathBuf>,
     out: PathBuf,
-    turb_ic: Option<f64>,
+    ic: InitialCondition,
     trace: Option<PathBuf>,
     metrics_every: usize,
     max_restarts: usize,
@@ -66,6 +77,11 @@ struct Flag {
 }
 
 const FLAGS: &[Flag] = &[
+    Flag {
+        name: "--spec",
+        value: Some("FILE.json"),
+        help: "load a serialized run spec (params, steps, ic); later flags override",
+    },
     Flag {
         name: "--nx",
         value: Some("N"),
@@ -271,7 +287,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         ckpt: None,
         resume: None,
         out: PathBuf::from("target/channel-dns"),
-        turb_ic: Some(0.5),
+        ic: InitialCondition::Turbulent {
+            amplitude: 0.5,
+            seed: 2024,
+        },
         trace: None,
         metrics_every: 0,
         max_restarts: 0,
@@ -298,6 +317,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     while i < argv.len() {
         let flag = argv[i].clone();
         match flag.as_str() {
+            "--spec" => {
+                let path = take(&mut i)?;
+                let text = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("--spec: cannot read {path}: {e}"))?;
+                let spec = RunSpec::from_json(&text).map_err(|e| format!("--spec {path}: {e}"))?;
+                args.params = spec.params;
+                args.steps = spec.steps as usize;
+                args.ckpt_every = spec.ckpt_every as usize;
+                args.ic = spec.ic;
+            }
             "--nx" => args.params.nx = num(&flag, take(&mut i)?)?,
             "--ny" => args.params.ny = num(&flag, take(&mut i)?)?,
             "--nz" => args.params.nz = num(&flag, take(&mut i)?)?,
@@ -321,8 +350,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--gradient" => {
                 args.params.forcing = Forcing::PressureGradient(num(&flag, take(&mut i)?)?)
             }
-            "--turbulent-ic" => args.turb_ic = Some(num(&flag, take(&mut i)?)?),
-            "--laminar-ic" => args.turb_ic = None,
+            "--turbulent-ic" => {
+                args.ic = InitialCondition::Turbulent {
+                    amplitude: num(&flag, take(&mut i)?)?,
+                    seed: 2024,
+                }
+            }
+            "--laminar-ic" => args.ic = InitialCondition::Laminar { scale: 1.0 },
             "--no-batched" => args.params.batched = false,
             "--pipeline" => args.params.pipeline = num(&flag, take(&mut i)?)?,
             "--grid" => {
@@ -379,119 +413,59 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     Ok(args)
 }
 
-/// Restore from `stem`'s newest committed manifest, falling back to a
-/// plain (manifest-less) per-rank checkpoint. `None` when there is
-/// nothing to restore — the caller starts from initial conditions.
-fn try_resume(dns: &mut ChannelDns, stem: &Path) -> Option<u64> {
-    match checkpoint::load_latest(dns, stem) {
-        Ok(step) => Some(step),
-        Err(checkpoint::CheckpointError::NoManifest { .. }) => match checkpoint::load(dns, stem) {
-            Ok(()) => Some(dns.state().steps),
-            Err(checkpoint::CheckpointError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
-                None
-            }
-            Err(e) => panic!("cannot resume from {}: {e}", stem.display()),
-        },
-        Err(e) => panic!("cannot resume from {}: {e}", stem.display()),
-    }
+thread_local! {
+    /// Per-rank running mean of the wall statistics, exactly as the old
+    /// monolithic driver kept one `RunningStats` per rank body. Rank
+    /// threads are distinct, so thread-local storage gives each rank its
+    /// own accumulator through the shared observer.
+    static ACC: RefCell<RunningStats> = RefCell::new(RunningStats::new());
 }
 
-/// One supervised attempt: build the solver, restore state if this is a
-/// restart (or an explicit `--resume`), run the RK3 loop to `a.steps`,
-/// write data products. Returns the trace path so `main` can export
-/// after all rank threads have flushed.
-fn attempt_body(
-    world: Communicator,
-    attempt: dns_resilience::Attempt,
-    a: &Args,
-) -> Option<PathBuf> {
-    // keep a control handle for fault polling; the solver owns `world`
-    let ctl = world.dup();
-    // the run-health monitor allgathers on its own world-wide
-    // communicator so its traffic never mixes with the solver's
-    let health_comm = world.dup();
-    let mut dns = ChannelDns::new(world, a.params.clone());
-    let root = dns.pfft().comm_a().rank() == 0 && dns.pfft().comm_b().rank() == 0;
-    let stem = a.ckpt.clone().unwrap_or_else(|| a.out.join("state"));
+/// The engine hooks that make `dns-run` feel like `dns-run`: live
+/// statistics lines, windowed telemetry reports, and the final
+/// profile/spectra/slice data products. Runs on every rank; printing is
+/// root-gated.
+struct CliObserver {
+    stats_every: u64,
+    metrics_every: u64,
+    /// With `--trace` the telemetry registry must keep the whole run, so
+    /// windowed reports become cumulative instead of flush-and-reset.
+    cumulative_metrics: bool,
+    out: PathBuf,
+}
 
-    let resume_stem = a.resume.clone().unwrap_or_else(|| stem.clone());
-    let restored = if a.resume.is_some() || attempt.index > 0 {
-        try_resume(&mut dns, &resume_stem)
-    } else {
-        None
-    };
-    match restored {
-        Some(step) => {
+impl RunObserver for CliObserver {
+    fn on_start(&self, dns: &ChannelDns, resumed_from: Option<u64>, attempt: usize) {
+        ACC.with_borrow_mut(|acc| *acc = RunningStats::new());
+        let root = dns.pfft().comm_a().rank() == 0 && dns.pfft().comm_b().rank() == 0;
+        if let Some(step) = resumed_from {
             if root {
                 println!(
                     "resumed from step {step} (t = {:.3}){}",
                     dns.state().time,
-                    if attempt.index > 0 {
-                        format!(" after crash, attempt {}", attempt.index + 1)
+                    if attempt > 0 {
+                        format!(" after crash, attempt {}", attempt + 1)
                     } else {
                         String::new()
                     }
                 );
             }
         }
-        None => {
-            if a.resume.is_some() && attempt.index == 0 {
-                panic!("--resume: no checkpoint at {}", resume_stem.display());
-            }
-            match a.turb_ic {
-                Some(amp) => {
-                    dns.set_turbulent_mean(1.0);
-                    dns.add_perturbation(amp, 2024);
-                }
-                None => dns.set_laminar(1.0),
-            }
+        let cfl = dns.cfl();
+        if root {
+            println!("initial CFL = {cfl:.3}");
         }
     }
 
-    let cfl = dns.cfl();
-    if root {
-        println!("initial CFL = {cfl:.3}");
-    }
-    let mut monitor = if a.health_log.is_some() {
-        let cfg = MonitorConfig {
-            log: a.health_log.clone(),
-            sentinel_every: a.health_every,
-            straggler: StragglerConfig {
-                factor: a.straggler_factor,
-                consecutive: a.straggler_steps,
-            },
-            sentinels: SentinelConfig::default(),
-        };
-        Some(
-            StepMonitor::new(health_comm, &dns, cfg, attempt.index, a.steps as u64)
-                .expect("open flight recorder"),
-        )
-    } else {
-        None
-    };
-    let mut acc = RunningStats::new();
-    let t0 = std::time::Instant::now();
-    let first_step = dns.state().steps;
-    while dns.state().steps < a.steps as u64 {
-        let t_step = std::time::Instant::now();
-        dns.step();
-        let step_wall = t_step.elapsed().as_secs_f64();
-        let s = dns.state().steps;
-        if let Some(mon) = monitor.as_mut() {
-            if let Err(abort) = mon.observe_step(&dns, step_wall) {
-                // collective verdict: every rank panics identically and
-                // the supervisor reports the reason instead of retrying
-                // a run that physics has already lost
-                panic!("{abort}");
-            }
-        }
-        if s.is_multiple_of(a.stats_every as u64) {
-            let p = profiles(&dns);
-            acc.add(&p);
+    fn on_step(&self, dns: &ChannelDns, ctx: StepCtx) {
+        if ctx.step.is_multiple_of(self.stats_every) {
+            let p = profiles(dns);
+            ACC.with_borrow_mut(|acc| acc.add(&p));
             let cfl = dns.cfl();
-            if root {
+            if ctx.root {
                 println!(
-                    "step {s:6}  t = {:7.3}  u_tau = {:.3}  Re_tau = {:6.1}  bulk = {:6.2}  CFL = {cfl:.2}",
+                    "step {:6}  t = {:7.3}  u_tau = {:.3}  Re_tau = {:6.1}  bulk = {:6.2}  CFL = {cfl:.2}",
+                    ctx.step,
                     dns.state().time,
                     p.u_tau,
                     p.re_tau,
@@ -499,11 +473,11 @@ fn attempt_body(
                 );
             }
         }
-        if root {
+        if ctx.root {
             if let Some((w0, w1)) =
-                dns_health::metrics_window(s, a.metrics_every as u64, first_step)
+                dns_health::metrics_window(ctx.step, self.metrics_every, ctx.first_step)
             {
-                if a.trace.is_none() {
+                if !self.cumulative_metrics {
                     // windowed report: flush this rank's buffers, print,
                     // and clear so each report covers only its own window
                     // (clipped at the resume point on a restarted run).
@@ -520,85 +494,70 @@ fn attempt_body(
                 }
             }
         }
-        if a.ckpt_every > 0 && s.is_multiple_of(a.ckpt_every as u64) {
-            checkpoint::save_with_manifest(&dns, &stem).expect("write checkpoint");
-            if let Some(mon) = monitor.as_mut() {
-                mon.record_checkpoint(s);
-            }
-        }
-        // injected chaos fires only after the step (and any checkpoint)
-        // committed, modelling a crash between iterations
-        ctl.poll_step_faults(s);
-    }
-    // commit the final state so a recovered run leaves the same last
-    // generation as an uninterrupted one
-    if a.ckpt_every > 0 && !(a.steps as u64).is_multiple_of(a.ckpt_every as u64) {
-        checkpoint::save_with_manifest(&dns, &stem).expect("write final checkpoint");
-        if let Some(mon) = monitor.as_mut() {
-            mon.record_checkpoint(dns.state().steps);
-        }
-    }
-    let wall = t0.elapsed().as_secs_f64();
-    let ran = dns.state().steps - first_step;
-    if let Some(mon) = monitor.as_mut() {
-        mon.finish(ran, wall);
-    }
-    if root && ran > 0 {
-        println!(
-            "\n{ran} steps in {:.1} s ({:.0} ms/step)",
-            wall,
-            wall / ran as f64 * 1e3
-        );
     }
 
-    // final data products
-    let p = if acc.count() > 0 {
-        acc.mean()
-    } else {
-        profiles(&dns)
-    };
-    let sp = spectra::spectra(&dns);
-    let phys = io::gather_physical(&dns, dns.state().u());
-    if root {
-        let yp = p.y_plus();
-        let up = p.u_plus();
-        io::write_csv(
-            &a.out.join("profiles.csv"),
-            &[
-                ("y", &p.y[..]),
-                ("y_plus", &yp[..]),
-                ("u_mean", &p.u_mean[..]),
-                ("u_plus", &up[..]),
-                ("uu", &p.uu[..]),
-                ("vv", &p.vv[..]),
-                ("ww", &p.ww[..]),
-                ("uv", &p.uv[..]),
-            ],
-        )
-        .expect("write profiles");
-        let kx: Vec<f64> = sp.kx.iter().map(|&k| k as f64).collect();
-        io::write_csv(
-            &a.out.join("spectra_kx.csv"),
-            &[
-                ("kx", &kx[..]),
-                ("euu", &sp.euu_kx[..]),
-                ("evv", &sp.evv_kx[..]),
-                ("eww", &sp.eww_kx[..]),
-            ],
-        )
-        .expect("write spectra");
+    fn on_finish(&self, dns: &ChannelDns, summary: RunSummary) {
+        if summary.root && summary.steps_ran > 0 {
+            println!(
+                "\n{} steps in {:.1} s ({:.0} ms/step)",
+                summary.steps_ran,
+                summary.wall_s,
+                summary.wall_s / summary.steps_ran as f64 * 1e3
+            );
+        }
+        // final data products; the mean-profile fallback is collective,
+        // and every rank took the same stats steps, so all ranks agree
+        // on which branch runs
+        let p = ACC.with_borrow(|acc| {
+            if acc.count() > 0 {
+                Some(acc.mean())
+            } else {
+                None
+            }
+        });
+        let p = p.unwrap_or_else(|| profiles(dns));
+        let sp = spectra::spectra(dns);
+        let phys = io::gather_physical(dns, dns.state().u());
+        if summary.root {
+            let yp = p.y_plus();
+            let up = p.u_plus();
+            io::write_csv(
+                &self.out.join("profiles.csv"),
+                &[
+                    ("y", &p.y[..]),
+                    ("y_plus", &yp[..]),
+                    ("u_mean", &p.u_mean[..]),
+                    ("u_plus", &up[..]),
+                    ("uu", &p.uu[..]),
+                    ("vv", &p.vv[..]),
+                    ("ww", &p.ww[..]),
+                    ("uv", &p.uv[..]),
+                ],
+            )
+            .expect("write profiles");
+            let kx: Vec<f64> = sp.kx.iter().map(|&k| k as f64).collect();
+            io::write_csv(
+                &self.out.join("spectra_kx.csv"),
+                &[
+                    ("kx", &kx[..]),
+                    ("euu", &sp.euu_kx[..]),
+                    ("evv", &sp.evv_kx[..]),
+                    ("eww", &sp.eww_kx[..]),
+                ],
+            )
+            .expect("write spectra");
+        }
+        if let Some(f) = phys {
+            let (w, h, slice) = f.slice_xy(f.nz / 2);
+            io::write_pgm(&self.out.join("u_slice.pgm"), w, h, &slice).expect("write slice");
+        }
+        if summary.root {
+            println!(
+                "wrote {}/profiles.csv, spectra_kx.csv, u_slice.pgm",
+                self.out.display()
+            );
+        }
     }
-    if let Some(f) = phys {
-        let (w, h, slice) = f.slice_xy(f.nz / 2);
-        io::write_pgm(&a.out.join("u_slice.pgm"), w, h, &slice).expect("write slice");
-    }
-    if root {
-        println!(
-            "wrote {}/profiles.csv, spectra_kx.csv, u_slice.pgm",
-            a.out.display()
-        );
-    }
-    a.trace.clone()
 }
 
 fn main() {
@@ -631,7 +590,6 @@ fn main() {
         1.0 / a.params.nu,
         a.params.dt
     );
-    let ranks = a.params.pa * a.params.pb;
     let mut crash_plan = match a.crash_at_step {
         Some(step) => FaultPlan::none().crash_at_step(a.crash_rank, step),
         None => FaultPlan::none(),
@@ -647,14 +605,45 @@ fn main() {
         crash_plan =
             crash_plan.delay_every(r, 0, 32, count, std::time::Duration::from_millis(a.slow_ms));
     }
-    let a = Arc::new(a);
-    let body_args = Arc::clone(&a);
-    let report = supervise(
-        SupervisorConfig {
-            ranks,
-            max_restarts: a.max_restarts,
-            recv_timeout: dns_minimpi::RECV_TIMEOUT,
+
+    let spec = RunSpec {
+        name: "dns-run".into(),
+        params: a.params.clone(),
+        steps: a.steps as u64,
+        ckpt_every: a.ckpt_every as u64,
+        ic: a.ic,
+    };
+    let cfg = RunConfig {
+        ckpt_stem: a.ckpt.clone().unwrap_or_else(|| a.out.join("state")),
+        resume: match &a.resume {
+            Some(stem) => ResumePolicy::Require(stem.clone()),
+            None => ResumePolicy::Fresh,
         },
+        final_checkpoint: a.ckpt_every > 0,
+        max_restarts: a.max_restarts,
+        recv_timeout: dns_minimpi::RECV_TIMEOUT,
+        health: a.health_log.as_ref().map(|log| MonitorConfig {
+            log: Some(log.clone()),
+            sentinel_every: a.health_every,
+            straggler: StragglerConfig {
+                factor: a.straggler_factor,
+                consecutive: a.straggler_steps,
+            },
+            sentinels: SentinelConfig::default(),
+        }),
+        health_attempt_base: 0,
+    };
+    let observer = Arc::new(CliObserver {
+        stats_every: a.stats_every as u64,
+        metrics_every: a.metrics_every as u64,
+        cumulative_metrics: a.trace.is_some(),
+        out: a.out.clone(),
+    });
+    let outcome = execute(
+        &spec,
+        &cfg,
+        Arc::new(RunControl::new()),
+        observer,
         // chaos only on the first launch; restarts run clean
         move |attempt| {
             if attempt == 0 {
@@ -663,13 +652,13 @@ fn main() {
                 FaultPlan::none()
             }
         },
-        move |world, attempt| attempt_body(world, attempt, &body_args),
     );
-    if report.restarts > 0 {
+
+    if outcome.restarts > 0 {
         println!(
             "supervisor: {} restart(s) issued, run {}",
-            report.restarts,
-            if report.succeeded() {
+            outcome.restarts,
+            if outcome.status == RunStatus::Done {
                 "recovered"
             } else {
                 "abandoned"
@@ -677,36 +666,15 @@ fn main() {
         );
     }
     if let Some(path) = &a.recovery_log {
-        if let Err(e) = std::fs::write(path, report.events_json()) {
+        if let Err(e) = std::fs::write(path, events_to_json(&outcome.events)) {
             eprintln!("dns-run: cannot write recovery log {}: {e}", path.display());
         } else {
             println!("wrote recovery log {}", path.display());
         }
     }
     if let Some(path) = &a.health_log {
-        // fold the supervisor's recovery timeline into the same JSONL
-        // artifact, so one file interleaves steps, checkpoints, and
-        // crash-recovery markers
-        if !report.events.is_empty() {
-            use std::io::Write;
-            match std::fs::OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(path)
-            {
-                Ok(mut f) => {
-                    for e in dns_health::recovery_to_flight(&report.events) {
-                        let _ = writeln!(f, "{}", e.to_json_line());
-                    }
-                }
-                Err(e) => {
-                    eprintln!(
-                        "dns-run: cannot append to health log {}: {e}",
-                        path.display()
-                    );
-                }
-            }
-        }
+        // the engine has already folded the supervisor's recovery
+        // timeline into the JSONL artifact; report where it went
         if let Some((step_h, _phases)) = dns_health::step_histograms() {
             println!(
                 "step latency (all ranks, n = {}): p50 {}  p90 {}  p99 {}  max {}",
@@ -723,19 +691,19 @@ fn main() {
             path.display()
         );
     }
-    let Some(results) = report.results else {
+    if outcome.status != RunStatus::Done {
         eprintln!(
             "dns-run: run failed after {} restart(s); see recovery events",
-            report.restarts
+            outcome.restarts
         );
         std::process::exit(1);
-    };
-    let trace = results.into_iter().next().flatten();
-    // export after the rank thread has flushed (its RankScope drops when
-    // run_serial returns), so the trace holds the complete timeline
-    if let Some(path) = trace {
+    }
+    // export after the rank threads have flushed (their RankScopes drop
+    // when the supervised world winds down), so the trace holds the
+    // complete timeline
+    if let Some(path) = &a.trace {
         let snap = telemetry::snapshot();
-        if let Err(e) = std::fs::write(&path, snap.chrome_trace()) {
+        if let Err(e) = std::fs::write(path, snap.chrome_trace()) {
             eprintln!("dns-run: cannot write trace {}: {e}", path.display());
             std::process::exit(1);
         }

@@ -64,6 +64,7 @@ pub mod params;
 pub mod pressure;
 pub mod refine;
 pub mod rk3;
+pub mod run;
 pub mod solver;
 pub mod spectra;
 pub mod stats;

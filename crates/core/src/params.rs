@@ -18,7 +18,7 @@ pub enum Forcing {
 }
 
 /// Physical and numerical configuration of a channel DNS.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Params {
     /// Streamwise Fourier modes (multiple of 4: the 3/2-rule grid must
     /// stay even).

@@ -1,0 +1,126 @@
+//! The contract the campaign scheduler's preemption rests on: pausing a
+//! run mid-flight (checkpoint + wind the world down) and resuming it in
+//! a fresh world produces **bitwise-identical** final state to the same
+//! run left uninterrupted — both the per-rank checkpoint payload and the
+//! manifest that seals it.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dns_core::run::{InitialCondition, RunConfig, RunHandle, RunSpec, RunStatus};
+use dns_core::Params;
+
+const STEPS: u64 = 40;
+
+fn spec() -> RunSpec {
+    RunSpec {
+        name: "roundtrip".into(),
+        params: Params::channel(16, 25, 16, 50.0).with_dt(1e-3),
+        steps: STEPS,
+        ckpt_every: 0,
+        ic: InitialCondition::Turbulent {
+            amplitude: 0.3,
+            seed: 11,
+        },
+    }
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dns-rt-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn final_generation(dir: &Path) -> (Vec<u8>, Vec<u8>) {
+    let ckpt = std::fs::read(dir.join(format!("state.s{STEPS}.r0x0.ckpt"))).unwrap();
+    let manifest = std::fs::read(dir.join(format!("state.s{STEPS}.manifest"))).unwrap();
+    (ckpt, manifest)
+}
+
+#[test]
+fn preempted_run_matches_uninterrupted_run_bitwise() {
+    // control: the same spec, never interrupted
+    let control_dir = fresh_dir("control");
+    let control = RunHandle::spawn(spec(), RunConfig::in_dir(&control_dir));
+    let outcome = control.join();
+    assert_eq!(outcome.status, RunStatus::Done);
+    assert_eq!(outcome.steps_done, STEPS);
+
+    // preempted: pause mid-flight, then resume in a fresh world
+    let dir = fresh_dir("preempted");
+    let mut h = RunHandle::spawn(spec(), RunConfig::in_dir(&dir));
+    let deadline = Instant::now() + Duration::from_secs(60);
+    while h.current_step() < 3 {
+        assert!(Instant::now() < deadline, "run never reached step 3");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    h.pause();
+    h.wait_not_running();
+    assert_eq!(
+        h.status(),
+        RunStatus::Paused,
+        "run outpaced the pause request"
+    );
+    let paused_at = h.current_step();
+    assert!(
+        (3..STEPS).contains(&paused_at),
+        "pause landed at step {paused_at}"
+    );
+    // the pause committed a restorable generation at the pause step
+    assert!(dir.join(format!("state.s{paused_at}.manifest")).exists());
+
+    h.resume().unwrap();
+    let outcome = h.join();
+    assert_eq!(outcome.status, RunStatus::Done);
+    assert_eq!(outcome.steps_done, STEPS);
+
+    // the headline guarantee: final states agree byte for byte
+    let (ckpt_a, manifest_a) = final_generation(&control_dir);
+    let (ckpt_b, manifest_b) = final_generation(&dir);
+    assert_eq!(
+        ckpt_a, ckpt_b,
+        "preempted final checkpoint diverged bitwise"
+    );
+    assert_eq!(manifest_a, manifest_b, "preempted final manifest diverged");
+
+    let _ = std::fs::remove_dir_all(&control_dir);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_refuses_runs_that_are_not_paused() {
+    let dir = fresh_dir("not-paused");
+    let mut s = spec();
+    s.steps = 2;
+    let mut h = RunHandle::spawn(s, RunConfig::in_dir(&dir));
+    h.wait_not_running();
+    assert_eq!(h.status(), RunStatus::Done);
+    assert!(h.resume().is_err());
+    assert_eq!(h.join().status, RunStatus::Done);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn observer_hooks_see_every_step() {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    struct CountSteps(AtomicU64);
+    impl dns_core::run::RunObserver for CountSteps {
+        fn on_step(&self, _dns: &dns_core::ChannelDns, ctx: dns_core::run::StepCtx) {
+            if ctx.root {
+                self.0.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    let dir = fresh_dir("observer");
+    let mut s = spec();
+    s.steps = 5;
+    let counter = Arc::new(CountSteps(AtomicU64::new(0)));
+    let h = RunHandle::spawn_observed(s, RunConfig::in_dir(&dir), counter.clone());
+    assert_eq!(h.join().status, RunStatus::Done);
+    assert_eq!(counter.0.load(Ordering::SeqCst), 5);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,547 @@
+//! # dns-json — the shared hand-rolled JSON layer
+//!
+//! The workspace vendors no serde; every line protocol in the stack
+//! (health flight-recorder replay, the campaign server's request/response
+//! wire format, run-spec files, the queue journal) hand-rolls its JSON.
+//! This crate is the one shared implementation: a dynamic [`Json`] value,
+//! a recursive-descent [`parse`]r (promoted verbatim from `dns-health`,
+//! which re-exports it for compatibility), and the matching deterministic
+//! serializer [`Json::dump`] the reader did not previously have.
+//!
+//! Determinism matters more than speed here: object keys live in a
+//! [`BTreeMap`], so a value always serializes to the same bytes — which
+//! is what lets the queue journal CRC a record's canonical serialization
+//! and verify it byte-for-byte on replay. Numbers are `f64` (every value
+//! the protocols emit fits in the 2^53 exact-integer range; 64-bit
+//! digests travel as hex strings instead).
+
+#![deny(missing_docs)]
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number; integers are exact up to 2^53.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; `BTreeMap` keeps serialization canonical.
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Field lookup on an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// Exact non-negative integer value, if this is one.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    /// String slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Build a string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Build a number from anything convertible to `f64` without loss
+    /// concerns at the call site (`u32`, small `u64`s, `f64`, ...).
+    pub fn num(n: impl Into<f64>) -> Json {
+        Json::Num(n.into())
+    }
+
+    /// Start an object builder.
+    pub fn obj() -> ObjBuilder {
+        ObjBuilder(BTreeMap::new())
+    }
+
+    /// Serialize to the canonical compact form: object keys in sorted
+    /// (`BTreeMap`) order, no whitespace, integers (in the exact `f64`
+    /// range) without a fractional part, other numbers in Rust's
+    /// shortest round-trip form. Non-finite numbers, which JSON cannot
+    /// represent, serialize as `null`.
+    ///
+    /// ```
+    /// use dns_json::Json;
+    /// let v = Json::obj().put("b", Json::num(2)).put("a", Json::str("x")).build();
+    /// assert_eq!(v.dump(), r#"{"a":"x","b":2}"#);
+    /// assert_eq!(dns_json::parse(&v.dump()).unwrap(), v);
+    /// ```
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        self.write_into(&mut out);
+        out
+    }
+
+    fn write_into(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Num(n) => out.push_str(&fmt_f64(*n)),
+            Json::Str(s) => {
+                out.push('"');
+                escape_into(s, out);
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_into(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    escape_into(k, out);
+                    out.push_str("\":");
+                    v.write_into(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Incremental object construction for the writer side.
+///
+/// ```
+/// use dns_json::Json;
+/// let v = Json::obj().put("ok", Json::Bool(true)).build();
+/// assert_eq!(v.dump(), r#"{"ok":true}"#);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct ObjBuilder(BTreeMap<String, Json>);
+
+impl ObjBuilder {
+    /// Insert a field (replacing any previous value under the key).
+    pub fn put(mut self, key: impl Into<String>, value: Json) -> ObjBuilder {
+        self.0.insert(key.into(), value);
+        self
+    }
+
+    /// Insert a field only when `value` is `Some`.
+    pub fn put_opt(self, key: impl Into<String>, value: Option<Json>) -> ObjBuilder {
+        match value {
+            Some(v) => self.put(key, v),
+            None => self,
+        }
+    }
+
+    /// Finish into a [`Json::Obj`].
+    pub fn build(self) -> Json {
+        Json::Obj(self.0)
+    }
+}
+
+/// Render an `f64` the way the serializer does: exact integers in the
+/// `±2^53` range without a fractional part, everything else in Rust's
+/// shortest round-trip decimal form, non-finite values as `null`.
+pub fn fmt_f64(n: f64) -> String {
+    if !n.is_finite() {
+        return "null".into();
+    }
+    if n == 0.0 && n.is_sign_negative() {
+        // the integer fast path below would drop the sign bit
+        return "-0.0".into();
+    }
+    if n.fract() == 0.0 && n.abs() <= 9_007_199_254_740_992.0 {
+        format!("{}", n as i64)
+    } else {
+        format!("{n}")
+    }
+}
+
+/// JSON string escaping (the same rules every writer in the workspace
+/// uses: the two mandatory escapes plus readable control-character forms,
+/// `\u` for the rest of C0).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    escape_into(s, &mut out);
+    out
+}
+
+fn escape_into(s: &str, out: &mut String) {
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Parse failure with a byte offset into the input.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JsonError {
+    /// What went wrong.
+    pub msg: String,
+    /// Byte offset of the failure.
+    pub at: usize,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at byte {}", self.msg, self.at)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse a complete JSON document; trailing non-whitespace is an error.
+pub fn parse(input: &str) -> Result<Json, JsonError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> JsonError {
+        JsonError {
+            msg: msg.to_string(),
+            at: self.pos,
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn eat_word(&mut self, word: &str, v: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.eat_word("true", Json::Bool(true)),
+            Some(b'f') => self.eat_word("false", Json::Bool(false)),
+            Some(b'n') => self.eat_word("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'{')?;
+        let mut map = BTreeMap::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            map.insert(key, val);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, JsonError> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            if self.pos + 5 > self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos + 1..self.pos + 5])
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            // Surrogate pairs are not needed for the
+                            // protocols' ASCII-escaped output; reject
+                            // rather than mis-decode.
+                            let c = char::from_u32(code)
+                                .ok_or_else(|| self.err("\\u escape outside the BMP"))?;
+                            out.push(c);
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // advance one UTF-8 scalar
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = s.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| self.err("bad number"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_scalars_and_structures() {
+        assert_eq!(parse("null").unwrap(), Json::Null);
+        assert_eq!(parse("true").unwrap(), Json::Bool(true));
+        assert_eq!(parse("-2.5e3").unwrap(), Json::Num(-2500.0));
+        assert_eq!(parse("\"a\\nb\"").unwrap(), Json::Str("a\nb".into()));
+        let v = parse(r#"{"k": [1, 2, {"x": "y"}], "n": null}"#).unwrap();
+        assert_eq!(v.get("n"), Some(&Json::Null));
+        match v.get("k") {
+            Some(Json::Arr(items)) => {
+                assert_eq!(items[0].as_u64(), Some(1));
+                assert_eq!(items[2].get("x").and_then(Json::as_str), Some("y"));
+            }
+            other => panic!("bad array: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "\"unterminated",
+            "{\"a\" 1}",
+            "12 34",
+            "tru",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn roundtrips_escapes() {
+        let v = parse(r#""quote \" slash \\ tab \t unicode A""#).unwrap();
+        assert_eq!(v.as_str(), Some("quote \" slash \\ tab \t unicode A"));
+    }
+
+    #[test]
+    fn integers_are_exact() {
+        let v = parse("9007199254740992").unwrap(); // 2^53
+        assert_eq!(v.as_u64(), Some(9007199254740992));
+        assert_eq!(parse("1.5").unwrap().as_u64(), None);
+        assert_eq!(parse("-1").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn dump_is_canonical_and_roundtrips() {
+        let v = Json::obj()
+            .put("z", Json::num(3))
+            .put("a", Json::Arr(vec![Json::Null, Json::Bool(false)]))
+            .put("s", Json::str("tab\there"))
+            .put("f", Json::Num(0.125))
+            .build();
+        let text = v.dump();
+        // keys in sorted order, integers without fraction
+        assert_eq!(
+            text,
+            r#"{"a":[null,false],"f":0.125,"s":"tab\there","z":3}"#
+        );
+        assert_eq!(parse(&text).unwrap(), v);
+        // canonical: dump(parse(dump(x))) == dump(x)
+        assert_eq!(parse(&text).unwrap().dump(), text);
+    }
+
+    #[test]
+    fn numbers_round_trip_bit_exactly() {
+        for x in [
+            0.0,
+            -0.0,
+            1.0,
+            -17.0,
+            0.1,
+            1e-9,
+            2.5e17,
+            9_007_199_254_740_992.0,
+            -9_007_199_254_740_992.0,
+            std::f64::consts::PI,
+            f64::MIN_POSITIVE,
+        ] {
+            let text = fmt_f64(x);
+            let back = parse(&text).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn builder_put_opt_and_helpers() {
+        let v = Json::obj()
+            .put_opt("present", Some(Json::num(1)))
+            .put_opt("absent", None)
+            .build();
+        assert_eq!(v.dump(), r#"{"present":1}"#);
+        assert_eq!(v.get("absent"), None);
+        assert_eq!(Json::str("x").as_str(), Some("x"));
+        assert_eq!(Json::num(4u32).as_u64(), Some(4));
+    }
+
+    #[test]
+    fn escape_matches_writer() {
+        assert_eq!(escape("a\"b\\c\nd\u{1}"), "a\\\"b\\\\c\\nd\\u0001");
+    }
+}

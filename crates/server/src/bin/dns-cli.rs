@@ -1,0 +1,332 @@
+//! The campaign client: submit runs to a `dns-server` daemon, inspect
+//! the queue, stream a job's health telemetry, cancel, and drain.
+//!
+//! ```text
+//! dns-cli submit --nx 16 --ny 25 --nz 16 --re 80 --steps 200 \
+//!                --ckpt-every 50 --tenant acme --priority 20
+//! dns-cli status
+//! dns-cli watch 1
+//! dns-cli drain
+//! ```
+//!
+//! The server address comes from `--server HOST:PORT`, or is read from
+//! `DATA_DIR/addr` (`--data-dir`, default `target/dns-server`) — the
+//! file the daemon writes as soon as its socket is bound.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+use dns_core::run::{InitialCondition, RunSpec};
+use dns_core::Params;
+use dns_json::Json;
+use dns_server::proto::{JobRow, Request};
+
+const USAGE: &str = "\
+dns-cli: client for the dns-server campaign daemon
+
+usage: dns-cli <command> [flags]
+
+commands:
+  submit                   queue a run (from --spec FILE.json or inline flags)
+  status                   show the queue
+  watch ID                 stream a job's health JSONL until it finishes
+  cancel ID                cancel a job
+  drain                    checkpoint everything running, stop scheduling
+  undrain                  lift a drain
+  ping                     liveness probe
+  shutdown                 stop the daemon
+
+connection flags (all commands):
+  --server HOST:PORT       daemon address (default: read DATA_DIR/addr)
+  --data-dir DIR           where the daemon keeps its addr file (default target/dns-server)
+
+submit flags:
+  --spec FILE.json         serialized run spec (inline flags below override it)
+  --name NAME              display name (default cli-run)
+  --nx N --ny N --nz N     grid (default 16 x 25 x 16)
+  --re RE                  friction Reynolds number (default 80)
+  --dt DT                  timestep (default 1e-3)
+  --steps N                timesteps (default 100)
+  --ckpt-every N           checkpoint cadence (default 25)
+  --grid PAxPB             process grid (default 1x1)
+  --threads N              worker threads per rank (default 1)
+  --turbulent-ic AMP       perturbed turbulent initial condition (default, amp 0.5)
+  --laminar-ic             laminar initial condition instead
+  --tenant T               owning tenant (default 'default')
+  --priority P             higher runs first (default 10)
+";
+
+fn fail(msg: &str) -> ! {
+    eprintln!("dns-cli: {msg}");
+    std::process::exit(1);
+}
+
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: &str) -> Client {
+        let stream = TcpStream::connect(addr)
+            .unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+        let writer = stream.try_clone().expect("clone stream");
+        Client {
+            reader: BufReader::new(stream),
+            writer,
+        }
+    }
+
+    fn send(&mut self, req: &Request) {
+        let line = req.to_line();
+        self.writer
+            .write_all(format!("{line}\n").as_bytes())
+            .unwrap_or_else(|e| fail(&format!("send failed: {e}")));
+    }
+
+    fn recv(&mut self) -> Json {
+        let mut line = String::new();
+        let n = self
+            .reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| fail(&format!("recv failed: {e}")));
+        if n == 0 {
+            fail("server closed the connection");
+        }
+        dns_json::parse(line.trim_end())
+            .unwrap_or_else(|e| fail(&format!("bad response {line:?}: {e}")))
+    }
+
+    /// Send, receive one response, and die loudly on `{"ok":false}`.
+    fn call(&mut self, req: &Request) -> Json {
+        self.send(req);
+        let v = self.recv();
+        if v.get("ok").and_then(Json::as_bool) != Some(true) {
+            let msg = v
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("unknown error");
+            fail(msg);
+        }
+        v
+    }
+}
+
+/// Shared connection flags, stripped out of the argument list before the
+/// per-command parsing sees it.
+fn split_conn_flags(args: &mut Vec<String>) -> String {
+    let mut server: Option<String> = None;
+    let mut data_dir = PathBuf::from("target/dns-server");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--server" => {
+                args.remove(i);
+                if i >= args.len() {
+                    fail("--server needs a value");
+                }
+                server = Some(args.remove(i));
+            }
+            "--data-dir" => {
+                args.remove(i);
+                if i >= args.len() {
+                    fail("--data-dir needs a value");
+                }
+                data_dir = PathBuf::from(args.remove(i));
+            }
+            _ => i += 1,
+        }
+    }
+    server.unwrap_or_else(|| {
+        let addr_file = data_dir.join("addr");
+        std::fs::read_to_string(&addr_file)
+            .map(|s| s.trim().to_string())
+            .unwrap_or_else(|e| {
+                fail(&format!(
+                    "no --server given and cannot read {}: {e} (is the daemon running?)",
+                    addr_file.display()
+                ))
+            })
+    })
+}
+
+fn parse_submit(args: &[String]) -> (RunSpec, String, u8) {
+    let mut spec = RunSpec {
+        name: "cli-run".into(),
+        params: Params::channel(16, 25, 16, 80.0).with_dt(1e-3),
+        steps: 100,
+        ckpt_every: 25,
+        ic: InitialCondition::Turbulent {
+            amplitude: 0.5,
+            seed: 2024,
+        },
+    };
+    let mut tenant = "default".to_string();
+    let mut priority: u8 = 10;
+    let mut i = 0;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .unwrap_or_else(|| fail(&format!("{} needs a value", args[*i - 1])))
+    };
+    fn num<T: std::str::FromStr>(flag: &str, v: String) -> T {
+        v.parse()
+            .unwrap_or_else(|_| fail(&format!("{flag}: cannot parse {v:?}")))
+    }
+    while i < args.len() {
+        let flag = args[i].clone();
+        match flag.as_str() {
+            "--spec" => {
+                let path = take(&mut i);
+                let text = std::fs::read_to_string(&path)
+                    .unwrap_or_else(|e| fail(&format!("--spec: cannot read {path}: {e}")));
+                spec = RunSpec::from_json(&text)
+                    .unwrap_or_else(|e| fail(&format!("--spec {path}: {e}")));
+            }
+            "--name" => spec.name = take(&mut i),
+            "--nx" => spec.params.nx = num(&flag, take(&mut i)),
+            "--ny" => spec.params.ny = num(&flag, take(&mut i)),
+            "--nz" => spec.params.nz = num(&flag, take(&mut i)),
+            "--re" => spec.params.nu = 1.0 / num::<f64>(&flag, take(&mut i)),
+            "--dt" => spec.params.dt = num(&flag, take(&mut i)),
+            "--steps" => spec.steps = num(&flag, take(&mut i)),
+            "--ckpt-every" => spec.ckpt_every = num(&flag, take(&mut i)),
+            "--threads" => spec.params.fft_threads = num::<usize>(&flag, take(&mut i)).max(1),
+            "--grid" => {
+                let v = take(&mut i);
+                let Some((pa, pb)) = v.split_once('x') else {
+                    fail(&format!("--grid: expected PAxPB, got {v:?}"));
+                };
+                spec.params.pa = num(&flag, pa.to_string());
+                spec.params.pb = num(&flag, pb.to_string());
+            }
+            "--turbulent-ic" => {
+                spec.ic = InitialCondition::Turbulent {
+                    amplitude: num(&flag, take(&mut i)),
+                    seed: 2024,
+                }
+            }
+            "--laminar-ic" => spec.ic = InitialCondition::Laminar { scale: 1.0 },
+            "--tenant" => tenant = take(&mut i),
+            "--priority" => priority = num(&flag, take(&mut i)),
+            other => fail(&format!("submit: unknown argument {other}")),
+        }
+        i += 1;
+    }
+    if let Err(e) = spec.validate() {
+        fail(&format!("invalid spec: {e}"));
+    }
+    (spec, tenant, priority)
+}
+
+fn take_id(args: &[String], cmd: &str) -> u64 {
+    let id = args
+        .first()
+        .unwrap_or_else(|| fail(&format!("{cmd} needs a job id")));
+    id.parse()
+        .unwrap_or_else(|_| fail(&format!("{cmd}: bad job id {id:?}")))
+}
+
+fn print_status(v: &Json) {
+    let rows: Vec<JobRow> = v
+        .get("jobs")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(JobRow::from_json).collect())
+        .unwrap_or_default();
+    println!(
+        "{:>4}  {:<16} {:<10} {:>4} {:>6}  {:<11} {:>11}",
+        "ID", "NAME", "TENANT", "PRI", "CORES", "STATE", "STEP"
+    );
+    for r in rows {
+        println!(
+            "{:>4}  {:<16} {:<10} {:>4} {:>6}  {:<11} {:>5}/{}",
+            r.id, r.name, r.tenant, r.priority, r.cores, r.state, r.step, r.steps
+        );
+    }
+    let free = v.get("free_cores").and_then(Json::as_u64).unwrap_or(0);
+    let total = v.get("total_cores").and_then(Json::as_u64).unwrap_or(0);
+    let draining = v.get("draining").and_then(Json::as_bool).unwrap_or(false);
+    println!(
+        "free cores {free}/{total}{}",
+        if draining { ", draining" } else { "" }
+    );
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        print!("{USAGE}");
+        return;
+    }
+    // strip connection flags before taking the command, so
+    // `dns-cli --data-dir DIR status` and `dns-cli status --data-dir DIR`
+    // both work
+    let addr = split_conn_flags(&mut args);
+    if args.is_empty() {
+        fail("missing command (run dns-cli --help)");
+    }
+    let cmd = args.remove(0);
+    let mut client = Client::connect(&addr);
+    match cmd.as_str() {
+        "submit" => {
+            let (spec, tenant, priority) = parse_submit(&args);
+            let v = client.call(&Request::Submit {
+                spec,
+                tenant,
+                priority,
+            });
+            let id = v.get("id").and_then(Json::as_u64).unwrap_or(0);
+            println!("submitted job {id}");
+        }
+        "status" => {
+            let v = client.call(&Request::Status);
+            print_status(&v);
+        }
+        "watch" => {
+            let id = take_id(&args, "watch");
+            client.call(&Request::Watch { id });
+            // from here the server streams health JSONL lines, then a
+            // done marker, then closes
+            loop {
+                let mut line = String::new();
+                let n = client.reader.read_line(&mut line).unwrap_or(0);
+                if n == 0 {
+                    break;
+                }
+                let line = line.trim_end();
+                if let Ok(v) = dns_json::parse(line) {
+                    if v.get("done").and_then(Json::as_bool) == Some(true) {
+                        let state = v.get("state").and_then(Json::as_str).unwrap_or("?");
+                        println!("job {id}: {state}");
+                        break;
+                    }
+                }
+                println!("{line}");
+            }
+        }
+        "cancel" => {
+            let id = take_id(&args, "cancel");
+            client.call(&Request::Cancel { id });
+            println!("cancel requested for job {id}");
+        }
+        "drain" => {
+            client.call(&Request::Drain);
+            println!("draining: running jobs are checkpointing");
+        }
+        "undrain" => {
+            client.call(&Request::Undrain);
+            println!("scheduling resumed");
+        }
+        "ping" => {
+            client.call(&Request::Ping);
+            println!("ok");
+        }
+        "shutdown" => {
+            client.call(&Request::Shutdown);
+            println!("server shutting down");
+        }
+        other => fail(&format!("unknown command {other}\n\n{USAGE}")),
+    }
+}

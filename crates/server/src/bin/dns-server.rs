@@ -1,0 +1,73 @@
+//! The campaign daemon binary: a thin flag parser over
+//! [`dns_server::daemon::serve`].
+//!
+//! ```text
+//! dns-server --data-dir target/campaign --cores 4 --tenant-quota 2
+//! ```
+//!
+//! The daemon prints `listening on 127.0.0.1:PORT` once the socket is
+//! bound (port 0 — the default — picks a free port) and also writes the
+//! address to `DATA_DIR/addr`, which is where `dns-cli` finds it.
+
+use std::time::Duration;
+
+use dns_server::daemon::{serve, ServerConfig};
+
+const USAGE: &str = "\
+dns-server: multi-tenant campaign server for the channel DNS
+
+usage: dns-server [flags]
+
+flags:
+  --addr HOST:PORT         listen address (default 127.0.0.1:0 = any free port)
+  --data-dir DIR           journal, addr file, and job state root (default target/dns-server)
+  --cores N                total cores jobs may occupy at once (default 4)
+  --tenant-quota N         max cores one tenant may occupy at once (default: no quota)
+  --tick-ms MS             poll-loop tick (default 3)
+  --help                   print this help and exit
+";
+
+fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    let mut cfg = ServerConfig::new("target/dns-server");
+    let mut i = 1;
+    let take = |i: &mut usize| -> String {
+        *i += 1;
+        argv.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("dns-server: {} needs a value", argv[*i - 1]);
+            std::process::exit(2);
+        })
+    };
+    fn num<T: std::str::FromStr>(flag: &str, v: String) -> T {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("dns-server: {flag}: cannot parse {v:?}");
+            std::process::exit(2);
+        })
+    }
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--addr" => cfg.addr = take(&mut i),
+            "--data-dir" => cfg.data_dir = take(&mut i).into(),
+            "--cores" => cfg.total_cores = num("--cores", take(&mut i)),
+            "--tenant-quota" => cfg.tenant_quota = Some(num("--tenant-quota", take(&mut i))),
+            "--tick-ms" => cfg.tick = Duration::from_millis(num("--tick-ms", take(&mut i))),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("dns-server: unknown argument {other}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if cfg.total_cores == 0 {
+        eprintln!("dns-server: --cores must be positive");
+        std::process::exit(2);
+    }
+    if let Err(e) = serve(cfg) {
+        eprintln!("dns-server: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # dns-server — the multi-tenant campaign server
+//!
+//! A job-queue daemon for the channel DNS: clients submit serialized
+//! [`dns_core::run::RunSpec`]s over a newline-delimited JSON protocol on
+//! a local TCP socket ([`proto`]); a deterministic scheduler packs them
+//! onto a configurable core budget with per-tenant quotas and priorities
+//! ([`scheduler`]); every transition is CRC-sealed in an append-only
+//! journal before it is acted on ([`journal`]); and a single-threaded
+//! poll loop executes runs in-process through supervised
+//! [`dns_core::run::RunHandle`] worlds ([`daemon`]).
+//!
+//! The headline move is **preemptive checkpoint/restore scheduling**: a
+//! higher-priority submission checkpoints a running lower-priority job
+//! through the v2 manifest path, takes its cores, and the victim later
+//! resumes bitwise-identically — the same guarantee the checkpoint
+//! format proved for crash recovery, now doing scheduling work. Because
+//! the journal is flushed before every action, a SIGKILLed server
+//! restarts from the journal with every in-flight run recovered
+//! (`tests/server_chaos.rs` proves it the hard way).
+//!
+//! Two binaries ship with the crate: `dns-server` (the daemon) and
+//! `dns-cli` (submit / status / watch / cancel / drain). See the README
+//! section "Running a campaign server" for a copy-pasteable session and
+//! DESIGN.md §9 for the protocol grammar, scheduler state machine, and
+//! journal format.
+
+#![deny(missing_docs)]
+
+pub mod daemon;
+pub mod journal;
+pub mod proto;
+pub mod scheduler;

@@ -1,0 +1,242 @@
+//! The newline-delimited JSON protocol between `dns-cli` and the
+//! campaign daemon: one request object per line in, one (or, for
+//! `watch`, a stream of) response line(s) out. The grammar is specified
+//! in DESIGN.md §9; both sides share these encode/decode helpers, so
+//! client and server cannot drift.
+
+use dns_core::run::RunSpec;
+use dns_json::Json;
+
+use crate::scheduler::JobId;
+
+/// One client request.
+// Submit carries the whole spec inline by design — requests are decoded,
+// handled, and dropped, never stored in bulk
+#[allow(clippy::large_enum_variant)]
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Queue a run under `tenant` at `priority`.
+    Submit {
+        /// The run to schedule.
+        spec: RunSpec,
+        /// Owning tenant.
+        tenant: String,
+        /// Higher runs first.
+        priority: u8,
+    },
+    /// Snapshot of the whole queue.
+    Status,
+    /// Stream a job's health JSONL (and completion marker).
+    Watch {
+        /// Job to follow.
+        id: JobId,
+    },
+    /// Cancel a job.
+    Cancel {
+        /// Job to cancel.
+        id: JobId,
+    },
+    /// Checkpoint everything running and stop scheduling.
+    Drain,
+    /// Lift a drain.
+    Undrain,
+    /// Stop the daemon (it finishes journal writes and exits).
+    Shutdown,
+}
+
+impl Request {
+    /// Encode as one protocol line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let cmd = |c: &str| Json::obj().put("cmd", Json::str(c));
+        match self {
+            Request::Ping => cmd("ping").build(),
+            Request::Submit {
+                spec,
+                tenant,
+                priority,
+            } => cmd("submit")
+                .put(
+                    "spec",
+                    dns_json::parse(&spec.to_json()).expect("spec serializes"),
+                )
+                .put("tenant", Json::str(tenant))
+                .put("priority", Json::num(*priority as u32))
+                .build(),
+            Request::Status => cmd("status").build(),
+            Request::Watch { id } => cmd("watch").put("id", Json::num(*id as f64)).build(),
+            Request::Cancel { id } => cmd("cancel").put("id", Json::num(*id as f64)).build(),
+            Request::Drain => cmd("drain").build(),
+            Request::Undrain => cmd("undrain").build(),
+            Request::Shutdown => cmd("shutdown").build(),
+        }
+        .dump()
+    }
+
+    /// Decode one protocol line. `Err` carries the refusal message the
+    /// server sends back.
+    pub fn from_line(line: &str) -> Result<Request, String> {
+        let v = dns_json::parse(line).map_err(|e| format!("bad request JSON: {e}"))?;
+        let id = || {
+            v.get("id")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| "missing job id".to_string())
+        };
+        match v.get("cmd").and_then(Json::as_str) {
+            Some("ping") => Ok(Request::Ping),
+            Some("submit") => {
+                let spec_v = v.get("spec").ok_or("submit: missing spec")?;
+                let spec =
+                    RunSpec::from_json(&spec_v.dump()).map_err(|e| format!("submit: {e}"))?;
+                Ok(Request::Submit {
+                    spec,
+                    tenant: v
+                        .get("tenant")
+                        .and_then(Json::as_str)
+                        .unwrap_or("default")
+                        .to_string(),
+                    priority: v.get("priority").and_then(Json::as_u64).unwrap_or(10) as u8,
+                })
+            }
+            Some("status") => Ok(Request::Status),
+            Some("watch") => Ok(Request::Watch { id: id()? }),
+            Some("cancel") => Ok(Request::Cancel { id: id()? }),
+            Some("drain") => Ok(Request::Drain),
+            Some("undrain") => Ok(Request::Undrain),
+            Some("shutdown") => Ok(Request::Shutdown),
+            Some(other) => Err(format!("unknown command {other:?}")),
+            None => Err("missing cmd".into()),
+        }
+    }
+}
+
+/// `{"ok":true,...}` response line with optional extra fields.
+pub fn ok_line(extra: &[(&str, Json)]) -> String {
+    let mut b = Json::obj().put("ok", Json::Bool(true));
+    for (k, v) in extra {
+        b = b.put(*k, v.clone());
+    }
+    b.build().dump()
+}
+
+/// `{"ok":false,"error":...}` response line.
+pub fn err_line(msg: &str) -> String {
+    Json::obj()
+        .put("ok", Json::Bool(false))
+        .put("error", Json::str(msg))
+        .build()
+        .dump()
+}
+
+/// One job row in a `status` response.
+#[derive(Clone, Debug, PartialEq)]
+pub struct JobRow {
+    /// Stable id.
+    pub id: JobId,
+    /// Spec display name.
+    pub name: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Scheduling priority.
+    pub priority: u8,
+    /// Cores occupied while running.
+    pub cores: usize,
+    /// Lifecycle label (see [`crate::scheduler::JobState::label`]).
+    pub state: String,
+    /// Last completed step.
+    pub step: u64,
+    /// Step budget.
+    pub steps: u64,
+}
+
+impl JobRow {
+    /// Encode as the JSON object embedded in a status response.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .put("id", Json::num(self.id as f64))
+            .put("name", Json::str(&self.name))
+            .put("tenant", Json::str(&self.tenant))
+            .put("priority", Json::num(self.priority as u32))
+            .put("cores", Json::num(self.cores as u32))
+            .put("state", Json::str(&self.state))
+            .put("step", Json::num(self.step as f64))
+            .put("steps", Json::num(self.steps as f64))
+            .build()
+    }
+
+    /// Decode one row from a status response.
+    pub fn from_json(v: &Json) -> Option<JobRow> {
+        Some(JobRow {
+            id: v.get("id")?.as_u64()?,
+            name: v.get("name")?.as_str()?.to_string(),
+            tenant: v.get("tenant")?.as_str()?.to_string(),
+            priority: v.get("priority")?.as_u64()? as u8,
+            cores: v.get("cores")?.as_u64()? as usize,
+            state: v.get("state")?.as_str()?.to_string(),
+            step: v.get("step")?.as_u64()?,
+            steps: v.get("steps")?.as_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dns_core::run::InitialCondition;
+    use dns_core::Params;
+
+    #[test]
+    fn requests_round_trip() {
+        let spec = RunSpec {
+            name: "rt".into(),
+            params: Params::channel(16, 25, 16, 50.0).with_dt(1e-3),
+            steps: 8,
+            ckpt_every: 2,
+            ic: InitialCondition::Laminar { scale: 1.0 },
+        };
+        let reqs = [
+            Request::Ping,
+            Request::Submit {
+                spec,
+                tenant: "acme".into(),
+                priority: 7,
+            },
+            Request::Status,
+            Request::Watch { id: 3 },
+            Request::Cancel { id: 9 },
+            Request::Drain,
+            Request::Undrain,
+            Request::Shutdown,
+        ];
+        for r in &reqs {
+            assert_eq!(Request::from_line(&r.to_line()).as_ref(), Ok(r));
+        }
+    }
+
+    #[test]
+    fn malformed_requests_are_typed_refusals() {
+        assert!(Request::from_line("not json").is_err());
+        assert!(Request::from_line("{\"cmd\":\"frobnicate\"}").is_err());
+        assert!(Request::from_line("{\"cmd\":\"watch\"}").is_err());
+        // a submit whose spec fails validation is refused at the
+        // protocol layer, before it ever reaches the scheduler
+        let bad = "{\"cmd\":\"submit\",\"spec\":{\"kind\":\"run_spec\"}}";
+        assert!(Request::from_line(bad).is_err());
+    }
+
+    #[test]
+    fn job_rows_round_trip() {
+        let row = JobRow {
+            id: 4,
+            name: "n".into(),
+            tenant: "t".into(),
+            priority: 3,
+            cores: 2,
+            state: "running".into(),
+            step: 17,
+            steps: 40,
+        };
+        assert_eq!(JobRow::from_json(&row.to_json()), Some(row));
+    }
+}

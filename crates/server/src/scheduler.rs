@@ -1,0 +1,489 @@
+//! The pure campaign scheduler: a deterministic state machine that maps
+//! (core budget, tenant quotas, job priorities) to actions, with no
+//! sockets, threads, or clocks — every edge case is unit-testable.
+//!
+//! ## Model
+//!
+//! Jobs occupy `cores` from a fixed `total_cores` budget while running.
+//! A tenant may never occupy more than its quota at once. The scheduler
+//! picks runnable jobs in **priority order** (higher first), FIFO within
+//! a priority. When the best runnable job does not fit, it may
+//! **preempt** strictly-lower-priority running jobs; preemption is
+//! two-phase, because checkpointing takes time:
+//!
+//! ```text
+//! plan() -> Preempt(id)      scheduler marks the victim Preempting
+//!                            (still holding its cores)
+//! daemon pauses the run, the checkpoint commits, the world winds down
+//! preempted(id)              victim becomes Preempted, cores come free
+//! plan() -> Resume/Start     the high-priority job launches
+//! ```
+//!
+//! [`Scheduler::plan`] is idempotent between confirmations: calling it
+//! twice issues no duplicate actions.
+
+use std::collections::BTreeMap;
+
+/// Stable identifier of a submitted job (assigned at submit, preserved
+/// across server restarts by the journal).
+pub type JobId = u64;
+
+/// Lifecycle of a scheduled job.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for cores.
+    Queued,
+    /// Occupying cores, stepping.
+    Running,
+    /// Asked to checkpoint and stop; still occupying cores until the
+    /// daemon confirms with [`Scheduler::preempted`].
+    Preempting,
+    /// Checkpointed and descheduled; runnable again (resumes from its
+    /// checkpoint).
+    Preempted,
+    /// Completed its step budget.
+    Done,
+    /// All supervised attempts failed.
+    Failed,
+    /// Cancelled by the owner.
+    Cancelled,
+}
+
+impl JobState {
+    /// Terminal states never leave the table again.
+    pub fn is_terminal(self) -> bool {
+        matches!(
+            self,
+            JobState::Done | JobState::Failed | JobState::Cancelled
+        )
+    }
+
+    /// Wire label used in status responses and the journal.
+    pub fn label(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Preempting => "preempting",
+            JobState::Preempted => "preempted",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+        }
+    }
+
+    /// Inverse of [`JobState::label`].
+    pub fn from_label(s: &str) -> Option<JobState> {
+        Some(match s {
+            "queued" => JobState::Queued,
+            "running" => JobState::Running,
+            "preempting" => JobState::Preempting,
+            "preempted" => JobState::Preempted,
+            "done" => JobState::Done,
+            "failed" => JobState::Failed,
+            "cancelled" => JobState::Cancelled,
+            _ => return None,
+        })
+    }
+}
+
+/// One scheduled job as the scheduler sees it (the daemon keeps the
+/// spec and the run handle; the scheduler only needs the shape).
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Stable id.
+    pub id: JobId,
+    /// Owning tenant (quota accounting key).
+    pub tenant: String,
+    /// Higher runs first; strictly-lower-priority running jobs are
+    /// preemptable.
+    pub priority: u8,
+    /// Cores occupied while running.
+    pub cores: usize,
+    /// Submission order within the server's lifetime (FIFO tiebreak).
+    pub seq: u64,
+    /// Current lifecycle state.
+    pub state: JobState,
+}
+
+/// Budget and quota configuration.
+#[derive(Clone, Debug)]
+pub struct SchedulerConfig {
+    /// Total cores the server may occupy at once.
+    pub total_cores: usize,
+    /// Max cores one tenant may occupy at once (`None` = no quota).
+    pub tenant_quota: Option<usize>,
+}
+
+/// Why a submission was refused.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The job wants more cores than the whole server has.
+    BudgetExceeded {
+        /// Cores the job asked for.
+        need: usize,
+        /// The server's total budget.
+        budget: usize,
+    },
+    /// The job wants more cores than its tenant's quota allows.
+    QuotaExceeded {
+        /// The owning tenant.
+        tenant: String,
+        /// Cores the job asked for.
+        need: usize,
+        /// The tenant's quota.
+        quota: usize,
+    },
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::BudgetExceeded { need, budget } => {
+                write!(
+                    f,
+                    "job needs {need} cores but the server budget is {budget}"
+                )
+            }
+            SubmitError::QuotaExceeded {
+                tenant,
+                need,
+                quota,
+            } => {
+                write!(
+                    f,
+                    "job needs {need} cores but tenant {tenant} has a quota of {quota}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// What the daemon must do next, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// Launch a queued job (it now occupies its cores).
+    Start(JobId),
+    /// Checkpoint-and-stop a running job; confirm with
+    /// [`Scheduler::preempted`] once its world has wound down.
+    Preempt(JobId),
+    /// Relaunch a preempted job from its checkpoint (it now occupies
+    /// its cores again).
+    Resume(JobId),
+}
+
+/// The deterministic scheduling state machine. See the module docs for
+/// the model; see `tests/scheduler_edge.rs` for the edge cases it pins.
+#[derive(Debug)]
+pub struct Scheduler {
+    cfg: SchedulerConfig,
+    jobs: BTreeMap<JobId, Job>,
+    next_id: JobId,
+    next_seq: u64,
+    free_cores: usize,
+    draining: bool,
+}
+
+impl Scheduler {
+    /// Empty scheduler over the given budget.
+    pub fn new(cfg: SchedulerConfig) -> Scheduler {
+        let free = cfg.total_cores;
+        Scheduler {
+            cfg,
+            jobs: BTreeMap::new(),
+            next_id: 1,
+            next_seq: 0,
+            free_cores: free,
+            draining: false,
+        }
+    }
+
+    /// Admit a job into the queue. Refuses (typed) jobs that could never
+    /// run: wider than the whole budget, or wider than their tenant's
+    /// quota.
+    pub fn submit(
+        &mut self,
+        tenant: &str,
+        priority: u8,
+        cores: usize,
+    ) -> Result<JobId, SubmitError> {
+        let cores = cores.max(1);
+        if cores > self.cfg.total_cores {
+            return Err(SubmitError::BudgetExceeded {
+                need: cores,
+                budget: self.cfg.total_cores,
+            });
+        }
+        if let Some(quota) = self.cfg.tenant_quota {
+            if cores > quota {
+                return Err(SubmitError::QuotaExceeded {
+                    tenant: tenant.to_string(),
+                    need: cores,
+                    quota,
+                });
+            }
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.jobs.insert(
+            id,
+            Job {
+                id,
+                tenant: tenant.to_string(),
+                priority,
+                cores,
+                seq,
+                state: JobState::Queued,
+            },
+        );
+        Ok(id)
+    }
+
+    /// Re-seed a job recovered from the journal with its original id,
+    /// seq, and state (terminal states are kept for the status view).
+    /// Running/Preempting at recovery time must be re-admitted as
+    /// [`JobState::Preempted`] by the caller — their worlds died with
+    /// the old process.
+    pub fn restore(&mut self, job: Job) {
+        assert!(
+            !matches!(job.state, JobState::Running | JobState::Preempting),
+            "restore cannot re-admit live states; map them to Preempted first"
+        );
+        self.next_id = self.next_id.max(job.id + 1);
+        self.next_seq = self.next_seq.max(job.seq + 1);
+        self.jobs.insert(job.id, job);
+    }
+
+    /// Stop scheduling and checkpoint everything running. The next
+    /// [`Scheduler::plan`] calls emit the preemptions; nothing starts
+    /// until [`Scheduler::resume_scheduling`].
+    pub fn drain(&mut self) {
+        self.draining = true;
+    }
+
+    /// Lift a drain; queued and preempted jobs become schedulable again
+    /// in priority-then-FIFO order.
+    pub fn resume_scheduling(&mut self) {
+        self.draining = false;
+    }
+
+    /// Whether a drain is in effect.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Cores not currently reserved by running/preempting jobs.
+    pub fn free_cores(&self) -> usize {
+        self.free_cores
+    }
+
+    /// Look up one job.
+    pub fn job(&self, id: JobId) -> Option<&Job> {
+        self.jobs.get(&id)
+    }
+
+    /// All jobs in id order (the status view).
+    pub fn jobs(&self) -> impl Iterator<Item = &Job> {
+        self.jobs.values()
+    }
+
+    /// Cores tenant `t` currently occupies (running + preempting: a
+    /// checkpointing job still holds its cores).
+    fn tenant_usage(&self, t: &str) -> usize {
+        self.jobs
+            .values()
+            .filter(|j| {
+                j.tenant == t && matches!(j.state, JobState::Running | JobState::Preempting)
+            })
+            .map(|j| j.cores)
+            .sum()
+    }
+
+    fn quota_headroom(&self, tenant: &str) -> usize {
+        match self.cfg.tenant_quota {
+            Some(q) => q.saturating_sub(self.tenant_usage(tenant)),
+            None => usize::MAX,
+        }
+    }
+
+    /// Compute the next batch of actions. Pure planning plus the state
+    /// transitions the actions imply (started jobs are marked Running
+    /// and reserve cores immediately; preemption victims are marked
+    /// Preempting), so repeated calls never duplicate an action.
+    pub fn plan(&mut self) -> Vec<Action> {
+        let mut actions = Vec::new();
+        if self.draining {
+            // checkpoint everything running; start nothing
+            let victims: Vec<JobId> = self
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Running)
+                .map(|j| j.id)
+                .collect();
+            for id in victims {
+                self.jobs.get_mut(&id).unwrap().state = JobState::Preempting;
+                actions.push(Action::Preempt(id));
+            }
+            return actions;
+        }
+        // best runnable candidate each round: priority desc, then FIFO
+        while let Some((id, priority, cores, tenant)) = self
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Queued | JobState::Preempted))
+            .max_by(|a, b| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)))
+            .map(|j| (j.id, j.priority, j.cores, j.tenant.clone()))
+        {
+            if cores > self.quota_headroom(&tenant) {
+                // the tenant is using its whole quota; this must not
+                // block other tenants' jobs, so plan the next-best
+                // candidate among the rest
+                if let Some(a) = self.plan_skipping(&tenant) {
+                    actions.extend(a);
+                }
+                break;
+            }
+            if cores <= self.free_cores {
+                actions.push(self.launch(id));
+                continue;
+            }
+            // does not fit: preempt strictly-lower-priority running jobs
+            let deficit = cores - self.free_cores;
+            let incoming: usize = self
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Preempting)
+                .map(|j| j.cores)
+                .sum();
+            if incoming >= deficit {
+                // enough cores already on their way back
+                break;
+            }
+            let mut victims: Vec<&Job> = self
+                .jobs
+                .values()
+                .filter(|j| j.state == JobState::Running && j.priority < priority)
+                .collect();
+            // cheapest victims first: lowest priority, newest within it
+            victims.sort_by(|a, b| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)));
+            let mut freed = incoming;
+            let mut chosen = Vec::new();
+            for v in victims {
+                if freed >= deficit {
+                    break;
+                }
+                freed += v.cores;
+                chosen.push(v.id);
+            }
+            if freed < deficit {
+                // even preempting everything preemptable cannot seat the
+                // candidate; strict priority order — nothing jumps past
+                // a blocked higher-priority job
+                break;
+            }
+            for id in chosen {
+                self.jobs.get_mut(&id).unwrap().state = JobState::Preempting;
+                actions.push(Action::Preempt(id));
+            }
+            // the candidate starts on a later plan(), once preempted()
+            // confirmations free the cores
+            break;
+        }
+        self.check_accounting();
+        actions
+    }
+
+    /// Plan starts among jobs not owned by `blocked_tenant` (used when
+    /// the best candidate is quota-blocked: its tenant must not stall
+    /// the rest of the queue, but no preemption happens on its behalf).
+    fn plan_skipping(&mut self, blocked_tenant: &str) -> Option<Vec<Action>> {
+        let mut actions = Vec::new();
+        while let Some((id, cores, tenant)) = self
+            .jobs
+            .values()
+            .filter(|j| {
+                matches!(j.state, JobState::Queued | JobState::Preempted)
+                    && j.tenant != blocked_tenant
+            })
+            .max_by(|a, b| a.priority.cmp(&b.priority).then(b.seq.cmp(&a.seq)))
+            .map(|j| (j.id, j.cores, j.tenant.clone()))
+        {
+            if cores > self.quota_headroom(&tenant) || cores > self.free_cores {
+                break;
+            }
+            actions.push(self.launch(id));
+        }
+        (!actions.is_empty()).then_some(actions)
+    }
+
+    /// Mark `id` Running, reserve its cores, and emit the right action.
+    fn launch(&mut self, id: JobId) -> Action {
+        let job = self.jobs.get_mut(&id).unwrap();
+        let was_preempted = job.state == JobState::Preempted;
+        job.state = JobState::Running;
+        self.free_cores -= job.cores;
+        if was_preempted {
+            Action::Resume(id)
+        } else {
+            Action::Start(id)
+        }
+    }
+
+    /// Daemon confirmation: the preemption checkpoint committed and the
+    /// job's world wound down; its cores come back to the pool.
+    pub fn preempted(&mut self, id: JobId) {
+        let job = self.jobs.get_mut(&id).expect("preempted: unknown job");
+        assert_eq!(
+            job.state,
+            JobState::Preempting,
+            "preempted: job {id} not preempting"
+        );
+        job.state = JobState::Preempted;
+        self.free_cores += job.cores;
+        self.check_accounting();
+    }
+
+    /// Daemon confirmation: the job's world wound down on its own —
+    /// completed (`ok`) or failed.
+    pub fn finished(&mut self, id: JobId, ok: bool) {
+        let job = self.jobs.get_mut(&id).expect("finished: unknown job");
+        if matches!(job.state, JobState::Running | JobState::Preempting) {
+            self.free_cores += job.cores;
+        }
+        job.state = if ok { JobState::Done } else { JobState::Failed };
+        self.check_accounting();
+    }
+
+    /// Cancel a job. Queued/preempted jobs cancel immediately; for a
+    /// running (or preempting) job the daemon stops the world first and
+    /// confirms here afterwards, so the cores free exactly once.
+    pub fn cancelled(&mut self, id: JobId) {
+        let job = self.jobs.get_mut(&id).expect("cancelled: unknown job");
+        if matches!(job.state, JobState::Running | JobState::Preempting) {
+            self.free_cores += job.cores;
+        }
+        job.state = JobState::Cancelled;
+        self.check_accounting();
+    }
+
+    /// The invariant the whole daemon leans on: reserved cores of live
+    /// jobs plus the free pool always equals the budget (so the free
+    /// pool can never go negative or leak).
+    fn check_accounting(&self) {
+        let reserved: usize = self
+            .jobs
+            .values()
+            .filter(|j| matches!(j.state, JobState::Running | JobState::Preempting))
+            .map(|j| j.cores)
+            .sum();
+        assert!(
+            reserved + self.free_cores == self.cfg.total_cores,
+            "core accounting broken: reserved {reserved} + free {} != budget {}",
+            self.free_cores,
+            self.cfg.total_cores
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Pure scheduler edge cases — no sockets, no threads, no clocks. Each
+//! test drives the [`Scheduler`] state machine through one of the
+//! situations the daemon relies on it to get right.
+
+use dns_server::scheduler::{Action, JobState, Scheduler, SchedulerConfig, SubmitError};
+
+fn sched(total: usize, quota: Option<usize>) -> Scheduler {
+    Scheduler::new(SchedulerConfig {
+        total_cores: total,
+        tenant_quota: quota,
+    })
+}
+
+#[test]
+fn quota_exhaustion_is_a_typed_error() {
+    let mut s = sched(8, Some(2));
+    // wider than the tenant's quota: refused at submit with the typed
+    // error, even though the budget could hold it
+    match s.submit("acme", 10, 4) {
+        Err(SubmitError::QuotaExceeded {
+            tenant,
+            need,
+            quota,
+        }) => {
+            assert_eq!((tenant.as_str(), need, quota), ("acme", 4, 2));
+        }
+        other => panic!("expected QuotaExceeded, got {other:?}"),
+    }
+    // wider than the whole budget: the other typed refusal
+    match s.submit("acme", 10, 9) {
+        Err(SubmitError::BudgetExceeded { need, budget }) => {
+            assert_eq!((need, budget), (9, 8));
+        }
+        other => panic!("expected BudgetExceeded, got {other:?}"),
+    }
+    // within quota: admitted, and the quota caps *concurrent* use — a
+    // second job from the same tenant queues instead of starting
+    let a = s.submit("acme", 10, 2).unwrap();
+    let b = s.submit("acme", 10, 2).unwrap();
+    let c = s.submit("rival", 10, 2).unwrap();
+    assert_eq!(s.plan(), vec![Action::Start(a), Action::Start(c)]);
+    assert_eq!(s.job(b).unwrap().state, JobState::Queued);
+    // quota headroom returns when the first job finishes
+    s.finished(a, true);
+    assert_eq!(s.plan(), vec![Action::Start(b)]);
+}
+
+#[test]
+fn priority_inversion_is_resolved_by_preemption() {
+    let mut s = sched(2, None);
+    let low = s.submit("bulk", 1, 2).unwrap();
+    assert_eq!(s.plan(), vec![Action::Start(low)]);
+    // a high-priority job arrives: the scheduler asks for the victim's
+    // cores via a two-phase preemption
+    let high = s.submit("urgent", 9, 2).unwrap();
+    assert_eq!(s.plan(), vec![Action::Preempt(low)]);
+    assert_eq!(s.job(low).unwrap().state, JobState::Preempting);
+    // planning again while the checkpoint is in flight issues nothing
+    assert_eq!(s.plan(), vec![]);
+    assert_eq!(s.free_cores(), 0);
+    // the daemon confirms the checkpoint landed: cores free, high runs
+    s.preempted(low);
+    assert_eq!(s.free_cores(), 2);
+    assert_eq!(s.plan(), vec![Action::Start(high)]);
+    // when the high-priority job finishes, the victim resumes from its
+    // checkpoint
+    s.finished(high, true);
+    assert_eq!(s.plan(), vec![Action::Resume(low)]);
+    assert_eq!(s.job(low).unwrap().state, JobState::Running);
+    // an equal-priority job never preempts: it waits
+    let peer = s.submit("bulk", 1, 1).unwrap();
+    assert_eq!(s.plan(), vec![]);
+    assert_eq!(s.job(peer).unwrap().state, JobState::Queued);
+}
+
+#[test]
+fn resume_after_drain_orders_by_priority_then_fifo() {
+    let mut s = sched(2, None);
+    let a = s.submit("t", 5, 1).unwrap();
+    let b = s.submit("t", 5, 1).unwrap();
+    assert_eq!(s.plan(), vec![Action::Start(a), Action::Start(b)]);
+    // drain: everything running checkpoints, nothing new starts
+    s.drain();
+    let actions = s.plan();
+    assert!(actions.contains(&Action::Preempt(a)) && actions.contains(&Action::Preempt(b)));
+    s.preempted(a);
+    s.preempted(b);
+    // jobs submitted during the drain queue up behind it
+    let urgent = s.submit("t", 9, 1).unwrap();
+    let late = s.submit("t", 5, 1).unwrap();
+    assert_eq!(s.plan(), vec![]);
+    assert_eq!(s.free_cores(), 2);
+    // lifting the drain reschedules by priority first, FIFO within a
+    // priority: urgent (new, pri 9) beats a (preempted, pri 5, seq 0),
+    // which beats b (seq 1); late (seq 3) waits for a slot
+    s.resume_scheduling();
+    assert_eq!(s.plan(), vec![Action::Start(urgent), Action::Resume(a)]);
+    s.finished(urgent, true);
+    assert_eq!(s.plan(), vec![Action::Resume(b)]);
+    s.finished(a, true);
+    assert_eq!(s.plan(), vec![Action::Start(late)]);
+}
+
+#[test]
+fn core_budget_accounting_never_goes_negative() {
+    // a stress mix of starts, preemptions, finishes, and cancels; the
+    // scheduler asserts `reserved + free == total` after every
+    // transition, so any accounting leak panics the test
+    let mut s = sched(4, Some(3));
+    let a = s.submit("t1", 2, 2).unwrap();
+    let b = s.submit("t2", 2, 2).unwrap();
+    s.plan();
+    assert_eq!(s.free_cores(), 0);
+    // two high-priority jobs force a double preemption
+    let c = s.submit("t3", 8, 2).unwrap();
+    let d = s.submit("t4", 8, 2).unwrap();
+    let preempts = s.plan();
+    assert_eq!(
+        preempts.len(),
+        1,
+        "one victim frees enough for c: {preempts:?}"
+    );
+    // one pass seats c on the freed cores and immediately asks for a's
+    // cores on d's behalf
+    s.preempted(b);
+    assert_eq!(s.plan(), vec![Action::Start(c), Action::Preempt(a)]);
+    s.preempted(a);
+    assert_eq!(s.plan(), vec![Action::Start(d)]);
+    assert_eq!(s.free_cores(), 0);
+    // cancel one running, one preempted, finish the other running
+    s.cancelled(c);
+    assert_eq!(s.free_cores(), 2);
+    s.cancelled(b);
+    assert_eq!(s.free_cores(), 2);
+    s.finished(d, false);
+    assert_eq!(s.free_cores(), 4);
+    // the preempted survivor resumes and the pool balances
+    assert_eq!(s.plan(), vec![Action::Resume(a)]);
+    assert_eq!(s.free_cores(), 2);
+    s.finished(a, true);
+    assert_eq!(s.free_cores(), 4);
+    for j in s.jobs() {
+        assert!(
+            j.state.is_terminal() || j.id == a,
+            "job {} leaked: {:?}",
+            j.id,
+            j.state
+        );
+    }
+}

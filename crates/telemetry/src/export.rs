@@ -10,7 +10,11 @@ use crate::{Counter, CounterSet, Phase, RankSnapshot, Snapshot, NUM_PHASES};
 /// v2 appended the nonblocking-exchange counters `exchange_overlap_us`,
 /// `requests_posted`, and `requests_completed` to every counter block
 /// (see BENCHMARKS.md for the overlap accounting they encode).
-pub const COUNTS_SCHEMA_VERSION: u64 = 2;
+///
+/// v3 appended the campaign-server counters `jobs_submitted`,
+/// `jobs_preempted`, `jobs_resumed`, and `queue_wait_us` (queue/
+/// preemption accounting for `dns-server`).
+pub const COUNTS_SCHEMA_VERSION: u64 = 3;
 
 /// Run description embedded in a [`counts_json`] document so a counts
 /// file is self-describing: which workload produced it, at what grid,
@@ -424,12 +428,12 @@ fn phase_seconds_json(ps: &PhaseSeconds) -> String {
 /// [`COUNTS_SCHEMA_VERSION`]).
 ///
 /// The output is byte-deterministic for a given snapshot: counters are
-/// emitted in [`Counter::ALL`] order (all fifteen, zeros included),
+/// emitted in [`Counter::ALL`] order (all nineteen, zeros included),
 /// phases in [`Phase::ALL`] order, and seconds with nine fractional
 /// digits. Layout:
 ///
 /// ```json
-/// {"schema":2,"kind":"counts",
+/// {"schema":3,"kind":"counts",
 ///  "meta":{"bench":"rk3_step","nx":32,...,"steps":4},
 ///  "ranks":[{"rank":0,
 ///            "phase_seconds":{"transpose":...,...},

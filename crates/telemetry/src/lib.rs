@@ -140,10 +140,21 @@ pub enum Counter {
     /// transport, receive when its message is claimed). A quiesced run
     /// has `RequestsCompleted == RequestsPosted`.
     RequestsCompleted = 14,
+    /// Simulation jobs accepted into the campaign server's queue.
+    JobsSubmitted = 15,
+    /// Running jobs checkpointed and descheduled to free cores for a
+    /// higher-priority submission (or a drain).
+    JobsPreempted = 16,
+    /// Preempted jobs relaunched from their checkpoint manifest.
+    JobsResumed = 17,
+    /// Microseconds jobs spent queued (or parked preempted) before a
+    /// launch handed them cores — the campaign server's analogue of the
+    /// per-rank `ExchangeWaitUs` blocked time.
+    QueueWaitUs = 18,
 }
 
 /// Number of [`Counter`] variants (array-table sizing).
-pub const NUM_COUNTERS: usize = 15;
+pub const NUM_COUNTERS: usize = 19;
 
 impl Counter {
     pub const ALL: [Counter; NUM_COUNTERS] = [
@@ -162,6 +173,10 @@ impl Counter {
         Counter::ExchangeOverlapUs,
         Counter::RequestsPosted,
         Counter::RequestsCompleted,
+        Counter::JobsSubmitted,
+        Counter::JobsPreempted,
+        Counter::JobsResumed,
+        Counter::QueueWaitUs,
     ];
 
     pub fn label(self) -> &'static str {
@@ -181,6 +196,10 @@ impl Counter {
             Counter::ExchangeOverlapUs => "exchange_overlap_us",
             Counter::RequestsPosted => "requests_posted",
             Counter::RequestsCompleted => "requests_completed",
+            Counter::JobsSubmitted => "jobs_submitted",
+            Counter::JobsPreempted => "jobs_preempted",
+            Counter::JobsResumed => "jobs_resumed",
+            Counter::QueueWaitUs => "queue_wait_us",
         }
     }
 }

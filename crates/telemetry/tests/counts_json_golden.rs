@@ -116,7 +116,7 @@ fn counts_json_shape_invariants() {
     assert!(out.starts_with(&format!(
         "{{\"schema\":{COUNTS_SCHEMA_VERSION},\"kind\":\"counts\""
     )));
-    // every rank block and the totals block carry all 12 counters in
+    // every rank block and the totals block carry all 19 counters in
     // canonical order, zeros included
     assert_eq!(out.matches("\"flops\":").count(), 2 * 5 + 5);
     assert!(out.contains("\"bench\":\"rk3_step\""));
