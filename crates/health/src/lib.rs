@@ -28,6 +28,7 @@ pub mod recorder;
 pub mod report;
 pub mod schema;
 pub mod sentinel;
+pub mod sse;
 pub mod straggler;
 pub mod window;
 

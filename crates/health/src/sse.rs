@@ -1,0 +1,96 @@
+//! Server-Sent Events framing for health JSONL streams.
+//!
+//! The campaign server's observability facade streams a run's flight
+//! record (`health.jsonl`) to browsers over
+//! `GET /api/v1/jobs/{id}/health` as `text/event-stream`. SSE framing
+//! has two hazards for JSONL payloads: a payload line may never contain
+//! a raw newline (it would terminate the event early), and carriage
+//! returns also act as line terminators in the SSE parser. These helpers
+//! make any text — including a multi-line chunk of JSONL — safe by
+//! emitting one `data:` line per payload line and stripping `\r`.
+//!
+//! Framing reference: WHATWG HTML "Server-sent events" — an event is a
+//! block of `field: value` lines terminated by a blank line; consecutive
+//! `data:` lines concatenate with `\n` on the client.
+
+/// Frame one payload as an SSE `data:` event block (terminated by the
+/// required blank line). Every line of the payload becomes its own
+/// `data:` line; carriage returns are stripped. An empty payload still
+/// produces a valid single-line event.
+pub fn sse_data(payload: &str) -> String {
+    let cleaned: String = payload.chars().filter(|&c| c != '\r').collect();
+    // one trailing newline is a line *terminator* (JSONL convention),
+    // not an extra empty line
+    let body = cleaned.strip_suffix('\n').unwrap_or(&cleaned);
+    let mut out = String::with_capacity(body.len() + 16);
+    for line in body.split('\n') {
+        out.push_str("data: ");
+        out.push_str(line);
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Frame a payload under a named event type (`event: name` line first),
+/// e.g. `sse_event("done", "{\"state\":\"done\"}")` so browser clients
+/// can `addEventListener("done", …)`.
+pub fn sse_event(name: &str, payload: &str) -> String {
+    let clean_name: String = name.chars().filter(|c| !matches!(c, '\n' | '\r')).collect();
+    format!("event: {clean_name}\n{}", sse_data(payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_event() {
+        assert_eq!(sse_data("{\"a\":1}"), "data: {\"a\":1}\n\n");
+    }
+
+    #[test]
+    fn multiline_payload_splits_into_data_lines() {
+        let framed = sse_data("{\"a\":1}\n{\"b\":2}");
+        assert_eq!(framed, "data: {\"a\":1}\ndata: {\"b\":2}\n\n");
+    }
+
+    #[test]
+    fn trailing_newline_does_not_add_empty_data_line() {
+        let framed = sse_data("{\"a\":1}\n");
+        assert_eq!(framed, "data: {\"a\":1}\n\n");
+    }
+
+    #[test]
+    fn carriage_returns_stripped() {
+        let framed = sse_data("{\"a\":1}\r\n{\"b\":2}\r");
+        assert_eq!(framed, "data: {\"a\":1}\ndata: {\"b\":2}\n\n");
+    }
+
+    #[test]
+    fn empty_payload_is_still_an_event() {
+        assert_eq!(sse_data(""), "data: \n\n");
+    }
+
+    #[test]
+    fn named_events() {
+        let framed = sse_event("done", "{\"state\":\"done\"}");
+        assert_eq!(framed, "event: done\ndata: {\"state\":\"done\"}\n\n");
+        // newline smuggling in the event name is neutralised
+        assert_eq!(sse_event("a\nb", "x"), "event: ab\ndata: x\n\n");
+    }
+
+    #[test]
+    fn jsonl_block_replays_cleanly() {
+        // what the facade actually does: frame a freshly appended chunk
+        // of health JSONL (complete lines, trailing newline)
+        let chunk = "{\"step\":1}\n{\"step\":2}\n{\"step\":3}\n";
+        let framed = sse_data(chunk);
+        let datas: Vec<&str> = framed
+            .lines()
+            .filter_map(|l| l.strip_prefix("data: "))
+            .collect();
+        assert_eq!(datas, ["{\"step\":1}", "{\"step\":2}", "{\"step\":3}"]);
+        assert!(framed.ends_with("\n\n"));
+    }
+}

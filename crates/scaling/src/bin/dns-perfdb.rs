@@ -1,0 +1,186 @@
+//! Cross-commit perf regression gate over the `BENCH_*.json` artifacts.
+//!
+//! ```text
+//! dns-perfdb ingest --db target/perfdb.jsonl --commit $SHA BENCH_*.json
+//! dns-perfdb check  --db target/perfdb.jsonl --report PERFDB_report.json
+//! dns-perfdb report --db target/perfdb.jsonl
+//! ```
+//!
+//! `check` exits 1 when the newest commit regresses any directional
+//! metric past its tolerance against the rolling-median baseline
+//! (window: 5 prior commits); see [`dns_scaling::perfdb`] and
+//! BENCHMARKS.md for the policy.
+
+use std::path::PathBuf;
+
+use dns_scaling::perfdb::{self, ingest_bench_file, PerfDb, DEFAULT_WINDOW};
+
+const USAGE: &str = "\
+dns-perfdb: append-only cross-commit perf store over BENCH_*.json
+
+usage:
+  dns-perfdb ingest --commit SHA [--db FILE] BENCH.json [BENCH.json ...]
+  dns-perfdb check  [--db FILE] [--commit SHA] [--window N] [--report FILE]
+  dns-perfdb report [--db FILE] [--commit SHA] [--window N] [--report FILE]
+
+`check` is `report` plus a nonzero exit when any metric regressed.
+`--check` after `report` flags is accepted as an alias for `check`.
+
+flags:
+  --db FILE        store path (default target/perfdb.jsonl)
+  --commit SHA     commit key (ingest: required; check: default newest)
+  --window N       rolling baseline width in prior commits (default 5)
+  --report FILE    where to write the JSON report (default PERFDB_report.json)
+";
+
+struct Opts {
+    db: PathBuf,
+    commit: Option<String>,
+    window: usize,
+    report: PathBuf,
+    files: Vec<PathBuf>,
+    check: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        db: PathBuf::from("target/perfdb.jsonl"),
+        commit: None,
+        window: DEFAULT_WINDOW,
+        report: PathBuf::from("PERFDB_report.json"),
+        files: Vec::new(),
+        check: false,
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--db" => {
+                i += 1;
+                o.db = PathBuf::from(need(args, i, "--db"));
+            }
+            "--commit" => {
+                i += 1;
+                o.commit = Some(need(args, i, "--commit").to_string());
+            }
+            "--window" => {
+                i += 1;
+                o.window = need(args, i, "--window").parse().unwrap_or_else(|_| {
+                    eprintln!("dns-perfdb: --window: not a number");
+                    std::process::exit(2);
+                });
+            }
+            "--report" => {
+                i += 1;
+                o.report = PathBuf::from(need(args, i, "--report"));
+            }
+            "--check" => o.check = true,
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("dns-perfdb: unknown flag {flag}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+            file => o.files.push(PathBuf::from(file)),
+        }
+        i += 1;
+    }
+    o
+}
+
+fn need<'a>(args: &'a [String], i: usize, flag: &str) -> &'a str {
+    args.get(i).map(String::as_str).unwrap_or_else(|| {
+        eprintln!("dns-perfdb: {flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first().map(String::as_str) else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let opts = parse_opts(&argv[1..]);
+    match cmd {
+        "ingest" => ingest(opts),
+        "check" => gate(opts, true),
+        "report" => {
+            let force = opts.check;
+            gate(opts, force)
+        }
+        "--help" | "-h" | "help" => print!("{USAGE}"),
+        other => {
+            eprintln!("dns-perfdb: unknown command {other}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn ingest(opts: Opts) {
+    let Some(commit) = opts.commit else {
+        eprintln!("dns-perfdb: ingest requires --commit");
+        std::process::exit(2);
+    };
+    if opts.files.is_empty() {
+        eprintln!("dns-perfdb: ingest requires at least one BENCH_*.json");
+        std::process::exit(2);
+    }
+    let mut db = PerfDb::load(&opts.db).unwrap_or_else(die);
+    for f in &opts.files {
+        let rec = ingest_bench_file(&commit, f).unwrap_or_else(die);
+        println!(
+            "dns-perfdb: {} @ {commit}: {} metrics from {}",
+            rec.bench,
+            rec.metrics.len(),
+            f.display()
+        );
+        db.append(rec).unwrap_or_else(die);
+    }
+    println!(
+        "dns-perfdb: store {} now holds {} records over {} commits",
+        opts.db.display(),
+        db.records().len(),
+        db.commits().len()
+    );
+}
+
+fn gate(opts: Opts, fail_on_regression: bool) {
+    let db = PerfDb::load(&opts.db).unwrap_or_else(die);
+    let Some(rep) = perfdb::check(&db, opts.commit.as_deref(), opts.window) else {
+        eprintln!(
+            "dns-perfdb: nothing to check in {} (empty store or unknown commit)",
+            opts.db.display()
+        );
+        std::process::exit(if fail_on_regression { 1 } else { 0 });
+    };
+    let text = perfdb::report_json(&rep, opts.window);
+    std::fs::write(&opts.report, &text).unwrap_or_else(die);
+    println!(
+        "dns-perfdb: {} vs median of {} prior commit(s): {} metrics checked, {} regression(s) -> {}",
+        rep.commit,
+        rep.baseline_commits.len(),
+        rep.deltas.len(),
+        rep.regressions.len(),
+        opts.report.display()
+    );
+    for d in &rep.regressions {
+        println!(
+            "  REGRESSION {}: {} vs baseline {} ({:+.1}%, tolerance {:.0}%)",
+            d.metric,
+            d.value,
+            d.baseline,
+            d.rel_change * 100.0,
+            d.tolerance * 100.0
+        );
+    }
+    if fail_on_regression && !rep.regressions.is_empty() {
+        std::process::exit(1);
+    }
+}
+
+fn die<T>(e: std::io::Error) -> T {
+    eprintln!("dns-perfdb: {e}");
+    std::process::exit(1);
+}

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod campaign;
+pub mod perfdb;
 pub mod tables;
 
 pub use campaign::{run, Bench, Campaign, CampaignConfig, Point};

@@ -1,0 +1,115 @@
+//! End-to-end gate test for the perf regression store: ingest the
+//! repository's real `BENCH_fusion.json` as a stable multi-commit
+//! trajectory, verify the check passes, then inject a synthetic commit
+//! with a 2x-regressed fused wall time and verify the gate trips on
+//! exactly the doctored metrics.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dns_scaling::perfdb::{self, ingest_bench_file, PerfDb, PerfRecord, DEFAULT_WINDOW};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn tmp_store(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("perfdb-gate-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir.join("perf.jsonl")
+}
+
+/// The real artifact, re-keyed to a synthetic commit, with optional
+/// multiplicative noise so the trajectory is not suspiciously flat.
+fn real_fusion_at(commit: &str, scale: f64) -> PerfRecord {
+    let path = repo_root().join("BENCH_fusion.json");
+    let mut rec = ingest_bench_file(commit, &path).expect("repo BENCH_fusion.json ingests");
+    assert_eq!(rec.bench, "fusion");
+    let mut scaled = BTreeMap::new();
+    for (k, v) in rec.metrics {
+        let leaf_is_time = k.ends_with("_s");
+        scaled.insert(k, if leaf_is_time { v * scale } else { v });
+    }
+    rec.metrics = scaled;
+    rec
+}
+
+#[test]
+fn real_trajectory_passes_and_injected_2x_regression_fails() {
+    let store = tmp_store("fusion");
+    let mut db = PerfDb::load(&store).unwrap();
+
+    // Five commits of the real artifact with +/-3% wall-time jitter:
+    // the shape of a healthy CI history.
+    for (i, jitter) in [1.00, 1.03, 0.97, 1.02, 0.99].iter().enumerate() {
+        db.append(real_fusion_at(&format!("good{i}"), *jitter))
+            .unwrap();
+    }
+
+    // The real trajectory passes: the newest good commit vs its priors.
+    let rep = perfdb::check(&db, Some("good4"), DEFAULT_WINDOW).unwrap();
+    assert!(
+        !rep.deltas.is_empty(),
+        "fusion artifact must yield directional metrics"
+    );
+    assert!(
+        rep.regressions.is_empty(),
+        "healthy trajectory must pass: {:?}",
+        rep.regressions
+            .iter()
+            .map(|d| &d.metric)
+            .collect::<Vec<_>>()
+    );
+
+    // Inject a commit where every wall time doubled (fused_s, unfused_s):
+    // the classic "someone disabled the fusion path" cliff.
+    db.append(real_fusion_at("regressed", 2.0)).unwrap();
+    let rep = perfdb::check(&db, None, DEFAULT_WINDOW).unwrap();
+    assert_eq!(rep.commit, "regressed");
+    assert!(
+        !rep.regressions.is_empty(),
+        "2x wall-time cliff must trip the gate"
+    );
+    let names: Vec<&str> = rep.regressions.iter().map(|d| d.metric.as_str()).collect();
+    assert!(
+        names.iter().any(|n| n.contains("fused_s")),
+        "the doctored fused_s metrics must be among the regressions: {names:?}"
+    );
+    // speedup = unfused/fused was untouched (both scaled), so it must NOT
+    // appear — the gate points at the doctored metrics, not everything.
+    assert!(
+        !names.iter().any(|n| n.ends_with("speedup")),
+        "unchanged ratios must not be flagged: {names:?}"
+    );
+
+    // Report file renders with the failing verdict.
+    let text = perfdb::report_json(&rep, DEFAULT_WINDOW);
+    let v = dns_json::parse(text.trim()).unwrap();
+    assert_eq!(v.get("ok").and_then(dns_json::Json::as_bool), Some(false));
+    assert_eq!(
+        v.get("commit").and_then(dns_json::Json::as_str),
+        Some("regressed")
+    );
+
+    // Reload from disk: the store is durable and the verdict identical.
+    let db2 = PerfDb::load(&store).unwrap();
+    assert_eq!(db2.records().len(), db.records().len());
+    let rep2 = perfdb::check(&db2, None, DEFAULT_WINDOW).unwrap();
+    assert_eq!(rep2.regressions.len(), rep.regressions.len());
+
+    let _ = std::fs::remove_dir_all(store.parent().unwrap());
+}
+
+#[test]
+fn table_artifacts_ingest_with_err_rel_direction() {
+    let path = repo_root().join("BENCH_table6.json");
+    let rec = ingest_bench_file("head", &path).expect("repo BENCH_table6.json ingests");
+    assert!(
+        rec.metrics.keys().any(|k| k.ends_with("err_rel")),
+        "table artifacts carry model-error metrics"
+    );
+    assert!(
+        rec.metrics.keys().any(|k| k.ends_with("measured_s")),
+        "table artifacts carry measured wall times"
+    );
+}

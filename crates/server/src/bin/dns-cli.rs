@@ -16,11 +16,13 @@
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
 use std::path::PathBuf;
+use std::time::Duration;
 
 use dns_core::run::{InitialCondition, RunSpec};
 use dns_core::Params;
 use dns_json::Json;
-use dns_server::proto::{JobRow, Request};
+use dns_server::proto::{JobRow, Request, TenantRow};
+use dns_telemetry::fmt_seconds;
 
 const USAGE: &str = "\
 dns-cli: client for the dns-server campaign daemon
@@ -29,8 +31,10 @@ usage: dns-cli <command> [flags]
 
 commands:
   submit                   queue a run (from --spec FILE.json or inline flags)
-  status                   show the queue
+  status                   show the queue (and the queue-wait percentiles)
+  tenants                  per-tenant fairness table: waits, core-seconds, Jain index
   watch ID                 stream a job's health JSONL until it finishes
+                           (typed preemption/resume events; auto-resubscribes)
   cancel ID                cancel a job
   drain                    checkpoint everything running, stop scheduling
   undrain                  lift a drain
@@ -252,6 +256,90 @@ fn print_status(v: &Json) {
         "free cores {free}/{total}{}",
         if draining { ", draining" } else { "" }
     );
+    if let Some(qw) = v.get("queue_wait") {
+        let count = qw.get("count").and_then(Json::as_u64).unwrap_or(0);
+        if count > 0 {
+            let q = |k: &str| qw.get(k).and_then(Json::as_f64).unwrap_or(0.0);
+            println!(
+                "queue wait (n={count})  p50={}  p90={}  p99={}",
+                fmt_seconds(q("p50")),
+                fmt_seconds(q("p90")),
+                fmt_seconds(q("p99"))
+            );
+        }
+    }
+}
+
+fn print_tenants(v: &Json) {
+    let rows: Vec<TenantRow> = v
+        .get("tenants")
+        .and_then(Json::as_arr)
+        .map(|a| a.iter().filter_map(TenantRow::from_json).collect())
+        .unwrap_or_default();
+    println!(
+        "{:<12} {:>4} {:>7} {:>8} {:>4} {:>10}  {:>5} {:>9} {:>9}",
+        "TENANT", "SUB", "LAUNCH", "PREEMPT", "FIN", "CORE-SEC", "WAITS", "WAIT-P50", "WAIT-P99"
+    );
+    for r in rows {
+        println!(
+            "{:<12} {:>4} {:>7} {:>8} {:>4} {:>10.1}  {:>5} {:>9} {:>9}",
+            r.tenant,
+            r.submitted,
+            r.launches,
+            r.preemptions,
+            r.finished,
+            r.core_seconds,
+            r.wait_count,
+            fmt_seconds(r.wait_p50),
+            fmt_seconds(r.wait_p99)
+        );
+    }
+    let jain = v.get("jain_fairness").and_then(Json::as_f64).unwrap_or(1.0);
+    println!("jain fairness over core-seconds: {jain:.4}");
+}
+
+/// How one pass of streaming a watch subscription ended.
+enum WatchEnd {
+    /// The server sent the `done` marker: the job is terminal.
+    Done,
+    /// The stream dropped without a marker (server restart, network);
+    /// the caller should resubscribe.
+    Dropped,
+}
+
+/// Forward one subscription's lines until the done marker or EOF,
+/// rendering typed `watch_event` lines (preemption/resume) instead of
+/// letting the stream go silently quiet.
+fn stream_watch(client: &mut Client, id: u64) -> WatchEnd {
+    loop {
+        let mut line = String::new();
+        let n = client.reader.read_line(&mut line).unwrap_or(0);
+        if n == 0 {
+            return WatchEnd::Dropped;
+        }
+        let line = line.trim_end();
+        if let Ok(v) = dns_json::parse(line) {
+            if v.get("done").and_then(Json::as_bool) == Some(true) {
+                let state = v.get("state").and_then(Json::as_str).unwrap_or("?");
+                println!("job {id}: {state}");
+                return WatchEnd::Done;
+            }
+            if let Some(ev) = v.get("watch_event").and_then(Json::as_str) {
+                match ev {
+                    "preempting" => eprintln!(
+                        "dns-cli: job {id} is being preempted (checkpointing; stream stays open)"
+                    ),
+                    "preempted" => eprintln!(
+                        "dns-cli: job {id} preempted — parked on its checkpoint, waiting for cores"
+                    ),
+                    "resumed" => eprintln!("dns-cli: job {id} resumed"),
+                    other => eprintln!("dns-cli: job {id}: {other}"),
+                }
+                continue;
+            }
+        }
+        println!("{line}");
+    }
 }
 
 fn main() {
@@ -284,26 +372,27 @@ fn main() {
             let v = client.call(&Request::Status);
             print_status(&v);
         }
+        "tenants" => {
+            let v = client.call(&Request::Tenants);
+            print_tenants(&v);
+        }
         "watch" => {
             let id = take_id(&args, "watch");
-            client.call(&Request::Watch { id });
-            // from here the server streams health JSONL lines, then a
-            // done marker, then closes
+            // from here the server streams health JSONL lines (plus
+            // typed watch_event lines), then a done marker, then closes.
+            // A drop without the marker is NOT the end of the job —
+            // resubscribe until the server reports a terminal state.
+            let mut session = Some(client);
             loop {
-                let mut line = String::new();
-                let n = client.reader.read_line(&mut line).unwrap_or(0);
-                if n == 0 {
-                    break;
-                }
-                let line = line.trim_end();
-                if let Ok(v) = dns_json::parse(line) {
-                    if v.get("done").and_then(Json::as_bool) == Some(true) {
-                        let state = v.get("state").and_then(Json::as_str).unwrap_or("?");
-                        println!("job {id}: {state}");
-                        break;
+                let mut c = session.take().unwrap_or_else(|| Client::connect(&addr));
+                c.call(&Request::Watch { id });
+                match stream_watch(&mut c, id) {
+                    WatchEnd::Done => break,
+                    WatchEnd::Dropped => {
+                        eprintln!("dns-cli: watch stream for job {id} dropped; resubscribing");
+                        std::thread::sleep(Duration::from_millis(300));
                     }
                 }
-                println!("{line}");
             }
         }
         "cancel" => {

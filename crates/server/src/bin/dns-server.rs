@@ -7,7 +7,10 @@
 //!
 //! The daemon prints `listening on 127.0.0.1:PORT` once the socket is
 //! bound (port 0 — the default — picks a free port) and also writes the
-//! address to `DATA_DIR/addr`, which is where `dns-cli` finds it.
+//! address to `DATA_DIR/addr`, which is where `dns-cli` finds it. The
+//! HTTP observability facade binds a second socket (`--http-addr`),
+//! announced in `DATA_DIR/http_addr` — point a browser or Prometheus
+//! scraper at it.
 
 use std::time::Duration;
 
@@ -20,6 +23,7 @@ usage: dns-server [flags]
 
 flags:
   --addr HOST:PORT         listen address (default 127.0.0.1:0 = any free port)
+  --http-addr HOST:PORT    HTTP facade address: /metrics, /api/v1/* (default 127.0.0.1:0)
   --data-dir DIR           journal, addr file, and job state root (default target/dns-server)
   --cores N                total cores jobs may occupy at once (default 4)
   --tenant-quota N         max cores one tenant may occupy at once (default: no quota)
@@ -47,6 +51,7 @@ fn main() {
     while i < argv.len() {
         match argv[i].as_str() {
             "--addr" => cfg.addr = take(&mut i),
+            "--http-addr" => cfg.http_addr = take(&mut i),
             "--data-dir" => cfg.data_dir = take(&mut i).into(),
             "--cores" => cfg.total_cores = num("--cores", take(&mut i)),
             "--tenant-quota" => cfg.tenant_quota = Some(num("--tenant-quota", take(&mut i))),

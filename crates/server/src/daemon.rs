@@ -28,13 +28,17 @@ use std::time::{Duration, Instant};
 
 use dns_core::health::MonitorConfig;
 use dns_core::run::{ResumePolicy, RunConfig, RunHandle, RunSpec, RunStatus};
+use dns_health::sse;
 use dns_health::{SentinelConfig, StragglerConfig};
 use dns_json::Json;
-use dns_telemetry::{count, Counter};
+use dns_telemetry::{count, count_tenant, Counter};
 
+use crate::http::{self, HttpConn, Parse, Route};
 use crate::journal::{replay, Journal, Record};
+use crate::metrics::{self, MetricsView};
 use crate::proto::{err_line, ok_line, JobRow, Request};
 use crate::scheduler::{Action, JobId, JobState, Scheduler, SchedulerConfig};
+use crate::tenants::{hist_json, TenantTable};
 
 /// Daemon configuration (see `dns-server --help` for the flag view).
 #[derive(Clone, Debug)]
@@ -42,6 +46,9 @@ pub struct ServerConfig {
     /// Listen address; port 0 picks a free port, announced on stdout
     /// and in `data_dir/addr`.
     pub addr: String,
+    /// HTTP facade listen address (`/metrics`, `/api/v1/*`); port 0
+    /// picks a free port, announced in `data_dir/http_addr`.
+    pub http_addr: String,
     /// Root of all server state: the journal, the addr file, one
     /// `job-N/` directory per job.
     pub data_dir: PathBuf,
@@ -58,6 +65,7 @@ impl ServerConfig {
     pub fn new(data_dir: impl Into<PathBuf>) -> ServerConfig {
         ServerConfig {
             addr: "127.0.0.1:0".into(),
+            http_addr: "127.0.0.1:0".into(),
             data_dir: data_dir.into(),
             total_cores: 4,
             tenant_quota: None,
@@ -80,7 +88,13 @@ enum Pending {
 struct JobRun {
     spec: RunSpec,
     handle: Option<RunHandle>,
-    submitted_at: Instant,
+    /// When the job last entered a waiting state (submission, or the
+    /// moment a preemption was confirmed); launches measure queue wait
+    /// from here.
+    waiting_since: Instant,
+    /// First time cores were handed over — terminal states record the
+    /// wall duration from here into the tenant run-duration histogram.
+    first_launch: Option<Instant>,
     pending: Pending,
     /// Times this job has been launched in this process (controls
     /// whether a fresh spawn appends to the health log).
@@ -94,6 +108,10 @@ struct Conn {
     outbuf: Vec<u8>,
     watch: Option<JobId>,
     watch_offset: u64,
+    /// Scheduler state of the watched job at the last pump, so state
+    /// transitions surface as typed `watch_event` lines instead of the
+    /// stream silently going quiet across a preemption.
+    watch_state: Option<JobState>,
     /// Close once the outbuf drains.
     closing: bool,
 }
@@ -103,6 +121,7 @@ struct Server {
     scheduler: Scheduler,
     journal: Journal,
     jobs: BTreeMap<JobId, JobRun>,
+    tenants: TenantTable,
     shutdown: bool,
 }
 
@@ -154,7 +173,7 @@ impl Server {
                         let job = self.scheduler.job(id).unwrap();
                         let rec = Record::Submitted {
                             id,
-                            tenant,
+                            tenant: tenant.clone(),
                             priority,
                             cores,
                             seq: job.seq,
@@ -170,42 +189,36 @@ impl Server {
                             JobRun {
                                 spec,
                                 handle: None,
-                                submitted_at: Instant::now(),
+                                waiting_since: Instant::now(),
+                                first_launch: None,
                                 pending: Pending::None,
                                 launches: 0,
                                 last_step: 0,
                             },
                         );
                         count(Counter::JobsSubmitted, 1);
+                        count_tenant(&tenant, Counter::JobsSubmitted, 1);
+                        self.tenants.entry(&tenant).submitted += 1;
                         conn.push_line(&ok_line(&[("id", Json::num(id as f64))]));
                     }
                     Err(e) => conn.push_line(&err_line(&e.to_string())),
                 }
             }
             Request::Status => {
-                let rows: Vec<Json> = self
-                    .scheduler
-                    .jobs()
-                    .map(|j| {
-                        let run = self.jobs.get(&j.id);
-                        JobRow {
-                            id: j.id,
-                            name: run.map(|r| r.spec.name.clone()).unwrap_or_default(),
-                            tenant: j.tenant.clone(),
-                            priority: j.priority,
-                            cores: j.cores,
-                            state: j.state.label().to_string(),
-                            step: run.map(|r| r.last_step).unwrap_or(0),
-                            steps: run.map(|r| r.spec.steps).unwrap_or(0),
-                        }
-                        .to_json()
-                    })
-                    .collect();
+                let pairs = self.status_pairs();
+                conn.push_line(&ok_line(&pairs));
+            }
+            Request::Tenants => {
+                let v = self.tenants.to_json();
                 conn.push_line(&ok_line(&[
-                    ("jobs", Json::Arr(rows)),
-                    ("free_cores", Json::num(self.scheduler.free_cores() as u32)),
-                    ("total_cores", Json::num(self.cfg.total_cores as u32)),
-                    ("draining", Json::Bool(self.scheduler.draining())),
+                    (
+                        "tenants",
+                        v.get("tenants").cloned().unwrap_or(Json::Arr(vec![])),
+                    ),
+                    (
+                        "jain_fairness",
+                        v.get("jain_fairness").cloned().unwrap_or(Json::num(1.0)),
+                    ),
                 ]));
             }
             Request::Watch { id } => match self.scheduler.job(id) {
@@ -236,6 +249,7 @@ impl Server {
                             // a preempted world has already wound down
                             run.handle = None;
                         }
+                        self.note_terminal(id);
                         conn.push_line(&ok_line(&[("cancelled", Json::num(id as f64))]));
                     }
                     _ => {
@@ -293,7 +307,13 @@ impl Server {
                         self.scheduler.preempted(id);
                         let _ = self.journal.append(&Record::Preempted { id, step });
                         count(Counter::JobsPreempted, 1);
-                        self.jobs.get_mut(&id).unwrap().pending = Pending::None;
+                        let tenant = self.tenant_of(id);
+                        count_tenant(&tenant, Counter::JobsPreempted, 1);
+                        self.tenants.entry(&tenant).preemptions += 1;
+                        let run = self.jobs.get_mut(&id).unwrap();
+                        run.pending = Pending::None;
+                        // the re-queue wait clock starts now
+                        run.waiting_since = Instant::now();
                     }
                 }
                 RunStatus::Done | RunStatus::Failed => {
@@ -311,6 +331,7 @@ impl Server {
                         Record::Failed { id }
                     };
                     let _ = self.journal.append(&rec);
+                    self.note_terminal(id);
                     self.write_outcome(id, &outcome);
                 }
                 RunStatus::Cancelled => {
@@ -322,6 +343,7 @@ impl Server {
                     self.jobs.get_mut(&id).unwrap().last_step = step.max(outcome.steps_done);
                     self.scheduler.cancelled(id);
                     let _ = self.journal.append(&Record::Cancelled { id });
+                    self.note_terminal(id);
                     self.write_outcome(id, &outcome);
                 }
             }
@@ -349,14 +371,28 @@ impl Server {
     fn launch(&mut self, id: JobId, resume: bool) {
         let dir = self.job_dir(id);
         let _ = std::fs::create_dir_all(&dir);
+        let tenant = self.tenant_of(id);
         let run = self.jobs.get_mut(&id).expect("launch: unknown job");
+        // queue wait: submission (fresh start) or preemption (resume)
+        // until this handover — the satellite the ROADMAP flagged:
+        // recorded globally *and* attributed to the owning tenant
+        let waited = run.waiting_since.elapsed();
+        let waited_us = waited.as_micros() as u64;
         if resume {
             let _ = self.journal.append(&Record::Resumed { id });
             count(Counter::JobsResumed, 1);
+            count_tenant(&tenant, Counter::JobsResumed, 1);
         } else {
             let _ = self.journal.append(&Record::Started { id });
-            let waited = run.submitted_at.elapsed().as_micros() as u64;
-            count(Counter::QueueWaitUs, waited);
+            count(Counter::QueueWaitUs, waited_us);
+        }
+        count_tenant(&tenant, Counter::QueueWaitUs, waited_us);
+        let stats = self.tenants.entry(&tenant);
+        stats.launches += 1;
+        stats.queue_wait.record(waited.as_secs_f64());
+        let run = self.jobs.get_mut(&id).unwrap();
+        if run.first_launch.is_none() {
+            run.first_launch = Some(Instant::now());
         }
         if resume {
             if let Some(h) = run.handle.as_mut() {
@@ -409,6 +445,223 @@ impl Server {
         let _ = std::fs::write(path, text + "\n");
     }
 
+    /// Owning tenant of a job (empty for unknown ids, which only happens
+    /// on internal logic errors — the scheduler never forgets a job).
+    fn tenant_of(&self, id: JobId) -> String {
+        self.scheduler
+            .job(id)
+            .map(|j| j.tenant.clone())
+            .unwrap_or_default()
+    }
+
+    /// Per-tenant bookkeeping when a job reaches a terminal state: count
+    /// it finished and, if it ever held cores, record its wall duration.
+    fn note_terminal(&mut self, id: JobId) {
+        let tenant = self.tenant_of(id);
+        let first_launch = self.jobs.get(&id).and_then(|r| r.first_launch);
+        let stats = self.tenants.entry(&tenant);
+        stats.finished += 1;
+        if let Some(t0) = first_launch {
+            stats.run_duration.record(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    /// Integrate delivered core-seconds over one tick: every job holding
+    /// cores (running or still checkpointing out) bills its tenant.
+    fn account_cores(&mut self, dt_secs: f64) {
+        if dt_secs <= 0.0 {
+            return;
+        }
+        let held: Vec<(String, usize)> = self
+            .scheduler
+            .jobs()
+            .filter(|j| matches!(j.state, JobState::Running | JobState::Preempting))
+            .map(|j| (j.tenant.clone(), j.cores))
+            .collect();
+        for (tenant, cores) in held {
+            self.tenants.entry(&tenant).core_seconds += cores as f64 * dt_secs;
+        }
+    }
+
+    /// The `status` response fields, shared verbatim between the line
+    /// protocol (`ok_line`) and `GET /api/v1/jobs`.
+    fn status_pairs(&self) -> Vec<(&'static str, Json)> {
+        let rows: Vec<Json> = self
+            .scheduler
+            .jobs()
+            .map(|j| {
+                let run = self.jobs.get(&j.id);
+                JobRow {
+                    id: j.id,
+                    name: run.map(|r| r.spec.name.clone()).unwrap_or_default(),
+                    tenant: j.tenant.clone(),
+                    priority: j.priority,
+                    cores: j.cores,
+                    state: j.state.label().to_string(),
+                    step: run.map(|r| r.last_step).unwrap_or(0),
+                    steps: run.map(|r| r.spec.steps).unwrap_or(0),
+                }
+                .to_json()
+            })
+            .collect();
+        vec![
+            ("jobs", Json::Arr(rows)),
+            ("free_cores", Json::num(self.scheduler.free_cores() as u32)),
+            ("total_cores", Json::num(self.cfg.total_cores as u32)),
+            ("draining", Json::Bool(self.scheduler.draining())),
+            ("queue_wait", hist_json(&self.tenants.queue_wait_all())),
+        ]
+    }
+
+    fn pairs_to_json(pairs: Vec<(&'static str, Json)>) -> Json {
+        let mut b = Json::obj();
+        for (k, v) in pairs {
+            b = b.put(k, v);
+        }
+        b.build()
+    }
+
+    /// `GET /api/v1/queue`: jobs waiting for cores, in scheduler order.
+    fn queue_json(&self) -> Json {
+        let waiting: Vec<Json> = self
+            .scheduler
+            .jobs()
+            .filter(|j| matches!(j.state, JobState::Queued | JobState::Preempted))
+            .map(|j| {
+                Json::obj()
+                    .put("id", Json::num(j.id as f64))
+                    .put("tenant", Json::str(&j.tenant))
+                    .put("priority", Json::num(j.priority as u32))
+                    .put("cores", Json::num(j.cores as u32))
+                    .put("state", Json::str(j.state.label()))
+                    .build()
+            })
+            .collect();
+        Json::obj()
+            .put("queue", Json::Arr(waiting))
+            .put("free_cores", Json::num(self.scheduler.free_cores() as u32))
+            .put("total_cores", Json::num(self.cfg.total_cores as u32))
+            .put("draining", Json::Bool(self.scheduler.draining()))
+            .build()
+    }
+
+    /// Assemble the `/metrics` body from live state via the pure
+    /// renderer in [`crate::metrics`].
+    fn metrics_body(&self) -> String {
+        let mut by_state = [
+            ("queued", 0usize),
+            ("running", 0),
+            ("preempting", 0),
+            ("preempted", 0),
+            ("done", 0),
+            ("failed", 0),
+            ("cancelled", 0),
+        ];
+        for j in self.scheduler.jobs() {
+            if let Some(slot) = by_state.iter_mut().find(|(l, _)| *l == j.state.label()) {
+                slot.1 += 1;
+            }
+        }
+        let snapshot = dns_telemetry::snapshot();
+        metrics::render(&MetricsView {
+            total_cores: self.cfg.total_cores,
+            free_cores: self.scheduler.free_cores(),
+            draining: self.scheduler.draining(),
+            jobs_by_state: &by_state,
+            tenants: &self.tenants,
+            snapshot: &snapshot,
+        })
+    }
+
+    /// Answer a browser/scraper connection once its request head is
+    /// complete. Never blocks: partial heads simply stay buffered.
+    fn handle_http(&mut self, conn: &mut HttpConn) {
+        if conn.responded {
+            return;
+        }
+        let commit = |conn: &mut HttpConn, bytes: Vec<u8>| {
+            conn.outbuf.extend_from_slice(&bytes);
+            conn.responded = true;
+            conn.closing = true;
+        };
+        match http::parse_request(&conn.inbuf) {
+            Parse::Incomplete => {}
+            Parse::TooLarge => commit(
+                conn,
+                http::error_response(431, "Request Header Fields Too Large"),
+            ),
+            Parse::Bad => commit(conn, http::error_response(400, "Bad Request")),
+            Parse::NotGet => commit(conn, http::error_response(405, "Method Not Allowed")),
+            Parse::Get { path } => match http::route(&path) {
+                Route::Metrics => commit(
+                    conn,
+                    http::response(
+                        200,
+                        "OK",
+                        "text/plain; version=0.0.4; charset=utf-8",
+                        &self.metrics_body(),
+                    ),
+                ),
+                Route::Jobs => {
+                    let body = Self::pairs_to_json(self.status_pairs()).dump() + "\n";
+                    commit(conn, http::response(200, "OK", "application/json", &body));
+                }
+                Route::Tenants => {
+                    let body = self.tenants.to_json().dump() + "\n";
+                    commit(conn, http::response(200, "OK", "application/json", &body));
+                }
+                Route::Queue => {
+                    let body = self.queue_json().dump() + "\n";
+                    commit(conn, http::response(200, "OK", "application/json", &body));
+                }
+                Route::JobHealth(id) => {
+                    if self.scheduler.job(id).is_none() {
+                        commit(conn, http::error_response(404, "Not Found"));
+                    } else {
+                        // stream: head now, events as the log grows
+                        conn.outbuf.extend_from_slice(&http::sse_head());
+                        conn.responded = true;
+                        conn.sse = Some((id, 0));
+                    }
+                }
+                Route::NotFound => commit(conn, http::error_response(404, "Not Found")),
+            },
+        }
+    }
+
+    /// Follow a health log for an SSE subscriber: frame freshly appended
+    /// complete lines as `data:` events; emit a named `done` event and
+    /// close once the job is terminal.
+    fn pump_http_sse(&mut self, conn: &mut HttpConn) {
+        let Some((id, offset)) = conn.sse else { return };
+        let path = self.health_log(id);
+        let mut new_offset = offset;
+        if let Ok(bytes) = std::fs::read(&path) {
+            if bytes.len() as u64 > offset {
+                let new = &bytes[offset as usize..];
+                if let Some(last_nl) = new.iter().rposition(|&b| b == b'\n') {
+                    let chunk = String::from_utf8_lossy(&new[..=last_nl]);
+                    conn.outbuf
+                        .extend_from_slice(sse::sse_data(&chunk).as_bytes());
+                    new_offset = offset + last_nl as u64 + 1;
+                }
+            }
+        }
+        conn.sse = Some((id, new_offset));
+        if let Some(s) = self.scheduler.job(id).map(|j| j.state) {
+            if s.is_terminal() {
+                let payload = Json::obj()
+                    .put("state", Json::str(s.label()))
+                    .build()
+                    .dump();
+                conn.outbuf
+                    .extend_from_slice(sse::sse_event("done", &payload).as_bytes());
+                conn.sse = None;
+                conn.closing = true;
+            }
+        }
+    }
+
     /// Send a watcher any freshly appended complete health-log lines;
     /// close the stream with a `done` marker once the job is terminal
     /// and fully drained.
@@ -429,6 +682,26 @@ impl Server {
         }
         let state = self.scheduler.job(id).map(|j| j.state);
         if let Some(s) = state {
+            // surface scheduler transitions as typed events so a watcher
+            // can tell "preempted, will resume" from "stream went quiet"
+            let prev = conn.watch_state.replace(s);
+            if prev.is_some() && prev != Some(s) {
+                let event = match s {
+                    JobState::Preempting => Some("preempting"),
+                    JobState::Preempted => Some("preempted"),
+                    JobState::Running if prev == Some(JobState::Preempted) => Some("resumed"),
+                    _ => None,
+                };
+                if let Some(ev) = event {
+                    let line = Json::obj()
+                        .put("watch_event", Json::str(ev))
+                        .put("id", Json::num(id as f64))
+                        .put("state", Json::str(s.label()))
+                        .build()
+                        .dump();
+                    conn.push_line(&line);
+                }
+            }
             if s.is_terminal() {
                 let done = Json::obj()
                     .put("done", Json::Bool(true))
@@ -538,7 +811,8 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
             JobRun {
                 spec: r.spec.clone(),
                 handle: None,
-                submitted_at: Instant::now(),
+                waiting_since: Instant::now(),
+                first_launch: None,
                 pending: Pending::None,
                 launches: 0,
                 last_step: r.last_step,
@@ -554,24 +828,41 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
         println!("dns-server: recovered {recovered_live} interrupted job(s) from the journal");
     }
 
+    // the facade's per-tenant counters flow through dns-telemetry; make
+    // sure the substrate is recording (a host embedding serve() may have
+    // already picked a deeper level — leave that alone)
+    if !dns_telemetry::enabled() {
+        dns_telemetry::set_level(dns_telemetry::Level::Phases);
+    }
+
     let listener = TcpListener::bind(&cfg.addr)?;
     listener.set_nonblocking(true)?;
     let local = listener.local_addr()?;
-    // announce the port (port 0 resolves here) on stdout and on disk
+    let http_listener = TcpListener::bind(&cfg.http_addr)?;
+    http_listener.set_nonblocking(true)?;
+    let http_local = http_listener.local_addr()?;
+    // announce the ports (port 0 resolves here) on stdout and on disk
     println!("dns-server: listening on {local}");
+    println!("dns-server: http facade on {http_local}");
     std::io::stdout().flush()?;
     let addr_tmp = cfg.data_dir.join("addr.tmp");
     std::fs::write(&addr_tmp, format!("{local}\n"))?;
     std::fs::rename(&addr_tmp, cfg.data_dir.join("addr"))?;
+    let http_tmp = cfg.data_dir.join("http_addr.tmp");
+    std::fs::write(&http_tmp, format!("{http_local}\n"))?;
+    std::fs::rename(&http_tmp, cfg.data_dir.join("http_addr"))?;
 
     let mut server = Server {
         scheduler,
         journal: Journal::open(&journal_path)?,
         jobs,
+        tenants: TenantTable::new(),
         shutdown: false,
         cfg,
     };
     let mut conns: Vec<Conn> = Vec::new();
+    let mut hconns: Vec<HttpConn> = Vec::new();
+    let mut last_tick = Instant::now();
     loop {
         // 1. accept
         if !server.shutdown {
@@ -585,8 +876,19 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
                             outbuf: Vec::new(),
                             watch: None,
                             watch_offset: 0,
+                            watch_state: None,
                             closing: false,
                         });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e) => return Err(e),
+                }
+            }
+            loop {
+                match http_listener.accept() {
+                    Ok((stream, _)) => {
+                        stream.set_nonblocking(true)?;
+                        hconns.push(HttpConn::new(stream));
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
                     Err(e) => return Err(e),
@@ -611,14 +913,36 @@ pub fn serve(cfg: ServerConfig) -> std::io::Result<()> {
                 }
             }
         }
+        // 2b. http: read, answer complete requests (never blocks on a
+        // partial head — the slowloris case just stays buffered)
+        for hc in hconns.iter_mut() {
+            if hc.closing {
+                continue;
+            }
+            if !hc.pump_read() {
+                hc.closing = true;
+            }
+            server.handle_http(hc);
+        }
         // 3. jobs
         server.pump_jobs();
-        // 4. watchers
+        // 3b. fairness ledger: bill this tick's core-seconds
+        let now = Instant::now();
+        server.account_cores(now.duration_since(last_tick).as_secs_f64());
+        last_tick = now;
+        // 4. watchers (line-protocol and SSE)
         for conn in conns.iter_mut() {
             server.pump_watch(conn);
         }
+        for hc in hconns.iter_mut() {
+            server.pump_http_sse(hc);
+        }
         // 5. flush, reap dead connections
         conns.retain_mut(|c| {
+            let alive = c.pump_write();
+            alive && !(c.closing && c.outbuf.is_empty())
+        });
+        hconns.retain_mut(|c| {
             let alive = c.pump_write();
             alive && !(c.closing && c.outbuf.is_empty())
         });

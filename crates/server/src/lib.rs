@@ -18,15 +18,28 @@
 //! restarts from the journal with every in-flight run recovered
 //! (`tests/server_chaos.rs` proves it the hard way).
 //!
+//! The daemon also carries the **observability plane** (PR 9): a
+//! hand-rolled HTTP/1.1 facade ([`http`]) in the same poll loop serving
+//! Prometheus text (`/metrics`, rendered by [`metrics`]), canonical-JSON
+//! queue/tenant views, and live health streams as Server-Sent Events;
+//! plus a per-tenant fairness ledger ([`tenants`]) of queue-wait and
+//! run-duration histograms with a Jain index over delivered
+//! core-seconds.
+//!
 //! Two binaries ship with the crate: `dns-server` (the daemon) and
-//! `dns-cli` (submit / status / watch / cancel / drain). See the README
-//! section "Running a campaign server" for a copy-pasteable session and
-//! DESIGN.md §9 for the protocol grammar, scheduler state machine, and
-//! journal format.
+//! `dns-cli` (submit / status / tenants / watch / cancel / drain). See
+//! the README sections "Running a campaign server" and "Watching a
+//! campaign in the browser" for copy-pasteable sessions, DESIGN.md §9
+//! for the protocol grammar, scheduler state machine, and journal
+//! format, and DESIGN.md §10 for the facade's endpoint grammar and
+//! metric naming convention.
 
 #![deny(missing_docs)]
 
 pub mod daemon;
+pub mod http;
 pub mod journal;
+pub mod metrics;
 pub mod proto;
 pub mod scheduler;
+pub mod tenants;

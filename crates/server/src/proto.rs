@@ -28,6 +28,8 @@ pub enum Request {
     },
     /// Snapshot of the whole queue.
     Status,
+    /// Per-tenant fairness ledger: histograms and the Jain index.
+    Tenants,
     /// Stream a job's health JSONL (and completion marker).
     Watch {
         /// Job to follow.
@@ -65,6 +67,7 @@ impl Request {
                 .put("priority", Json::num(*priority as u32))
                 .build(),
             Request::Status => cmd("status").build(),
+            Request::Tenants => cmd("tenants").build(),
             Request::Watch { id } => cmd("watch").put("id", Json::num(*id as f64)).build(),
             Request::Cancel { id } => cmd("cancel").put("id", Json::num(*id as f64)).build(),
             Request::Drain => cmd("drain").build(),
@@ -100,6 +103,7 @@ impl Request {
                 })
             }
             Some("status") => Ok(Request::Status),
+            Some("tenants") => Ok(Request::Tenants),
             Some("watch") => Ok(Request::Watch { id: id()? }),
             Some("cancel") => Ok(Request::Cancel { id: id()? }),
             Some("drain") => Ok(Request::Drain),
@@ -180,6 +184,48 @@ impl JobRow {
     }
 }
 
+/// One tenant row in a `tenants` response (the fairness ledger as the
+/// CLI table sees it; histograms are summarized to quantiles).
+#[derive(Clone, Debug, PartialEq)]
+pub struct TenantRow {
+    /// Tenant name.
+    pub tenant: String,
+    /// Jobs accepted into the queue.
+    pub submitted: u64,
+    /// Launches (fresh starts + resumes).
+    pub launches: u64,
+    /// Preemptions suffered.
+    pub preemptions: u64,
+    /// Jobs that reached a terminal state.
+    pub finished: u64,
+    /// CPU-seconds delivered.
+    pub core_seconds: f64,
+    /// Queue-wait samples recorded.
+    pub wait_count: u64,
+    /// Queue-wait p50, seconds.
+    pub wait_p50: f64,
+    /// Queue-wait p99, seconds.
+    pub wait_p99: f64,
+}
+
+impl TenantRow {
+    /// Decode one row from a `tenants` response array element.
+    pub fn from_json(v: &Json) -> Option<TenantRow> {
+        let qw = v.get("queue_wait")?;
+        Some(TenantRow {
+            tenant: v.get("tenant")?.as_str()?.to_string(),
+            submitted: v.get("submitted")?.as_u64()?,
+            launches: v.get("launches")?.as_u64()?,
+            preemptions: v.get("preemptions")?.as_u64()?,
+            finished: v.get("finished")?.as_u64()?,
+            core_seconds: v.get("core_seconds")?.as_f64()?,
+            wait_count: qw.get("count")?.as_u64()?,
+            wait_p50: qw.get("p50")?.as_f64()?,
+            wait_p99: qw.get("p99")?.as_f64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,6 +249,7 @@ mod tests {
                 priority: 7,
             },
             Request::Status,
+            Request::Tenants,
             Request::Watch { id: 3 },
             Request::Cancel { id: 9 },
             Request::Drain,

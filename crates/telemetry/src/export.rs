@@ -14,7 +14,14 @@ use crate::{Counter, CounterSet, Phase, RankSnapshot, Snapshot, NUM_PHASES};
 /// v3 appended the campaign-server counters `jobs_submitted`,
 /// `jobs_preempted`, `jobs_resumed`, and `queue_wait_us` (queue/
 /// preemption accounting for `dns-server`).
-pub const COUNTS_SCHEMA_VERSION: u64 = 3;
+///
+/// v4 added the top-level `"tenants"` block: counter totals attributed
+/// to campaign-server tenants through
+/// [`count_tenant`](crate::count_tenant), keyed by tenant name in
+/// sorted order (empty object outside server contexts). The same
+/// per-tenant totals back the `tenant="…"` labels in the Prometheus
+/// rendering ([`crate::prom`]).
+pub const COUNTS_SCHEMA_VERSION: u64 = 4;
 
 /// Run description embedded in a [`counts_json`] document so a counts
 /// file is self-describing: which workload produced it, at what grid,
@@ -481,12 +488,19 @@ pub fn counts_json(snap: &Snapshot, meta: &CountsMeta) -> String {
     }
     out.push_str(&format!(
         "],\n\"totals\":{{\"phase_seconds_mean\":{},\"phase_seconds_max\":{},\
-         \"phase_counters\":{},\"counters\":{}}}}}\n",
+         \"phase_counters\":{},\"counters\":{}}},\n\"tenants\":{{",
         phase_seconds_json(&snap.phase_seconds_mean()),
         phase_seconds_json(&snap.phase_seconds_max()),
         phase_counters_json(&snap.total_counters_by_phase()),
         counters_json(&snap.total_counters())
     ));
+    for (i, (name, set)) in snap.tenants.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\"{}\":{}", escape_json(name), counters_json(set)));
+    }
+    out.push_str("}}\n");
     out
 }
 
@@ -561,6 +575,7 @@ mod tests {
         };
         Snapshot {
             ranks: vec![r0, r1],
+            tenants: vec![],
         }
     }
 
@@ -608,6 +623,7 @@ mod tests {
                 decisions: vec![],
                 dropped: 0,
             }],
+            tenants: vec![],
         };
         let (_, ps) = snap.phase_seconds_per_rank()[0];
         assert!((ps.fft - 300e-6).abs() < 1e-12);

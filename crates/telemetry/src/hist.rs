@@ -174,6 +174,30 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
+    /// Cumulative bucket view for exposition formats (Prometheus
+    /// `le`-bucket rendering): `(upper_bound_seconds, cumulative_count)`
+    /// for every *occupied* bucket, in increasing bound order. The upper
+    /// bound of a bucket is the inclusive floor of the next bucket
+    /// rendered in seconds, so cumulative counts are exact at each
+    /// emitted bound; the final entry's count equals [`Histogram::count`].
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let mut out = Vec::new();
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            let bound_ns = if i + 1 < NUM_BUCKETS {
+                bucket_floor(i + 1)
+            } else {
+                u64::MAX
+            };
+            out.push((bound_ns as f64 * 1e-9, cum));
+        }
+        out
+    }
+
     /// One-line summary: `n=…  p50=…  p90=…  p99=…  max=…` with
     /// human-scaled units.
     pub fn summary(&self) -> String {

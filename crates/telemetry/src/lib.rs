@@ -36,6 +36,7 @@
 
 mod export;
 mod hist;
+pub mod prom;
 
 pub use export::{counts_json, CountsMeta, PhaseSeconds, COUNTS_SCHEMA_VERSION};
 pub use hist::{fmt_seconds, Histogram};
@@ -288,6 +289,13 @@ struct RankData {
 static REGISTRY: LazyLock<Mutex<BTreeMap<i64, RankData>>> =
     LazyLock::new(|| Mutex::new(BTreeMap::new()));
 
+/// Tenant-keyed counter totals. Unlike the rank registry this is written
+/// directly (no thread-local buffering): tenant attribution happens at
+/// campaign-server cadence (job submits, starts, preemptions), not in
+/// numerical hot loops, so a mutex per event is fine.
+static TENANTS: LazyLock<Mutex<BTreeMap<String, CounterSet>>> =
+    LazyLock::new(|| Mutex::new(BTreeMap::new()));
+
 struct ThreadBuf {
     rank: Option<usize>,
     depth: u16,
@@ -473,6 +481,19 @@ pub fn count_phase(phase: Phase, counter: Counter, n: u64) {
     });
 }
 
+/// Accumulate `n` onto a typed counter attributed to a **tenant** (the
+/// campaign server's per-owner accounting axis, orthogonal to the rank
+/// axis). Tenant counters appear in [`Snapshot::tenants`], in the
+/// [`counts_json`] `"tenants"` block (schema v4), and as
+/// `tenant="…"`-labelled series in the Prometheus rendering.
+pub fn count_tenant(tenant: &str, counter: Counter, n: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut map = TENANTS.lock().unwrap();
+    map.entry(tenant.to_string()).or_default().add(counter, n);
+}
+
 /// Record a planner/strategy decision (e.g. "alltoall beat pairwise by
 /// 1.31x"). Recorded at any enabled level.
 pub fn decision(topic: &'static str, text: impl Into<String>) {
@@ -558,6 +579,7 @@ pub fn reset() {
         b.data = RankData::default();
     });
     REGISTRY.lock().unwrap().clear();
+    TENANTS.lock().unwrap().clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -585,6 +607,10 @@ pub struct RankSnapshot {
 #[derive(Clone)]
 pub struct Snapshot {
     pub ranks: Vec<RankSnapshot>,
+    /// Tenant-attributed counter totals recorded through
+    /// [`count_tenant`], sorted by tenant name (the campaign server's
+    /// per-owner axis). Empty outside server contexts.
+    pub tenants: Vec<(String, CounterSet)>,
 }
 
 /// Flush the current thread, then copy the global registry.
@@ -606,7 +632,13 @@ pub fn snapshot() -> Snapshot {
             }
         })
         .collect();
-    Snapshot { ranks }
+    let tenants = TENANTS
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|(name, set)| (name.clone(), *set))
+        .collect();
+    Snapshot { ranks, tenants }
 }
 
 impl Snapshot {
@@ -738,6 +770,27 @@ mod tests {
             let split: u64 = by_phase.iter().map(|s| s.get(c)).sum();
             assert_eq!(split, total.get(c), "{}", c.label());
         }
+    }
+
+    #[test]
+    fn tenant_counters_accumulate_and_reset() {
+        let _x = exclusive();
+        reset();
+        set_level(Level::Phases);
+        count_tenant("acme", Counter::JobsSubmitted, 2);
+        count_tenant("acme", Counter::QueueWaitUs, 1500);
+        count_tenant("globex", Counter::JobsSubmitted, 1);
+        set_level(Level::Off);
+        // off: recorded nothing
+        count_tenant("acme", Counter::JobsSubmitted, 99);
+        let snap = snapshot();
+        assert_eq!(snap.tenants.len(), 2);
+        assert_eq!(snap.tenants[0].0, "acme");
+        assert_eq!(snap.tenants[0].1.get(Counter::JobsSubmitted), 2);
+        assert_eq!(snap.tenants[0].1.get(Counter::QueueWaitUs), 1500);
+        assert_eq!(snap.tenants[1].0, "globex");
+        reset();
+        assert!(snapshot().tenants.is_empty());
     }
 
     #[test]

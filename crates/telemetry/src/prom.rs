@@ -1,0 +1,282 @@
+//! Prometheus text exposition rendering for telemetry state.
+//!
+//! The campaign server's `GET /metrics` endpoint (the observability
+//! facade) serves this format; anything that can scrape Prometheus can
+//! watch a live campaign. The renderer is deliberately a pure
+//! string-builder over explicit inputs — no clocks, no global state —
+//! so a fixed [`Snapshot`](crate::Snapshot) renders to byte-identical
+//! output, which the facade's golden-file test locks.
+//!
+//! Format reference: the Prometheus *text exposition format* (version
+//! 0.0.4): one `# HELP` and `# TYPE` line per family, then one sample
+//! per line as `name{label="value",…} value`. Histograms render as
+//! cumulative `_bucket{le="…"}` series plus `_sum` and `_count`.
+
+use crate::{Counter, CounterSet, Histogram, Snapshot};
+
+/// Builder for a Prometheus text body.
+///
+/// ```
+/// use dns_telemetry::prom::PromText;
+///
+/// let mut p = PromText::new();
+/// p.header("dns_jobs_submitted_total", "Jobs accepted.", "counter");
+/// p.sample("dns_jobs_submitted_total", &[("tenant", "acme")], 3.0);
+/// let body = p.finish();
+/// assert!(body.contains("dns_jobs_submitted_total{tenant=\"acme\"} 3\n"));
+/// ```
+#[derive(Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open a metric family: `# HELP` + `# TYPE` lines. `kind` is one of
+    /// `counter`, `gauge`, or `histogram`.
+    pub fn header(&mut self, name: &str, help: &str, kind: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&escape_help(help));
+        self.out.push('\n');
+        self.out.push_str("# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Emit one sample line. Labels render in the order given; pass them
+    /// already sorted if determinism across call sites matters.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        if !labels.is_empty() {
+            self.out.push('{');
+            for (i, (k, v)) in labels.iter().enumerate() {
+                if i > 0 {
+                    self.out.push(',');
+                }
+                self.out.push_str(k);
+                self.out.push_str("=\"");
+                self.out.push_str(&escape_label(v));
+                self.out.push('"');
+            }
+            self.out.push('}');
+        }
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    /// Render a [`Histogram`] as a Prometheus histogram family body:
+    /// cumulative `_bucket{le="…"}` lines over the occupied buckets, the
+    /// mandatory `le="+Inf"` bucket, then `_sum` and `_count`. Emit the
+    /// family [`header`](Self::header) (kind `histogram`) first.
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], h: &Histogram) {
+        let bucket_name = format!("{name}_bucket");
+        for (le, cum) in h.cumulative_buckets() {
+            let le_s = fmt_value(le);
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le_s));
+            self.sample(&bucket_name, &with_le, cum as f64);
+        }
+        let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+        with_le.push(("le", "+Inf"));
+        self.sample(&bucket_name, &with_le, h.count() as f64);
+        self.sample(&format!("{name}_sum"), labels, h.sum());
+        self.sample(&format!("{name}_count"), labels, h.count() as f64);
+    }
+
+    /// Consume the builder and return the body.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Render a value the way Prometheus clients expect: integers without a
+/// trailing `.0` (counter totals stay grep-able), everything else via
+/// Rust's shortest-roundtrip float formatting. Deterministic for any
+/// given bit pattern.
+pub fn fmt_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Escape a label value per the exposition format: backslash, double
+/// quote, and newline.
+pub fn escape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a HELP text: backslash and newline (quotes are legal there).
+fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Append the counter families of a [`Snapshot`] to `p`:
+///
+/// * `dns_counter_total{counter="…"}` — totals merged across ranks;
+/// * `dns_tenant_counter_total{tenant="…",counter="…"}` — the per-tenant
+///   axis recorded through [`count_tenant`](crate::count_tenant)
+///   (schema-v4 tenant labels).
+///
+/// Zero-valued series are skipped (families can legally be empty), so a
+/// fresh process exposes headers only; output is deterministic for a
+/// fixed snapshot because both axes iterate in sorted order.
+pub fn render_counters(p: &mut PromText, snap: &Snapshot) {
+    p.header(
+        "dns_counter_total",
+        "Typed telemetry counter totals merged across all ranks.",
+        "counter",
+    );
+    let total = snap.total_counters();
+    for c in Counter::ALL {
+        let v = total.get(c);
+        if v != 0 {
+            p.sample("dns_counter_total", &[("counter", c.label())], v as f64);
+        }
+    }
+    p.header(
+        "dns_tenant_counter_total",
+        "Typed telemetry counter totals attributed to campaign-server tenants.",
+        "counter",
+    );
+    for (tenant, set) in &snap.tenants {
+        render_tenant_set(p, tenant, set);
+    }
+}
+
+fn render_tenant_set(p: &mut PromText, tenant: &str, set: &CounterSet) {
+    for c in Counter::ALL {
+        let v = set.get(c);
+        if v != 0 {
+            p.sample(
+                "dns_tenant_counter_total",
+                &[("tenant", tenant), ("counter", c.label())],
+                v as f64,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_formatting_integer_fast_path() {
+        assert_eq!(fmt_value(0.0), "0");
+        assert_eq!(fmt_value(3.0), "3");
+        assert_eq!(fmt_value(-7.0), "-7");
+        assert_eq!(fmt_value(1.5), "1.5");
+        assert_eq!(fmt_value(0.000128), "0.000128");
+        assert_eq!(fmt_value(f64::INFINITY), "inf");
+    }
+
+    #[test]
+    fn label_escaping() {
+        assert_eq!(escape_label("plain"), "plain");
+        assert_eq!(escape_label("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+
+    #[test]
+    fn sample_lines_and_headers() {
+        let mut p = PromText::new();
+        p.header("x_total", "Help with\nnewline.", "counter");
+        p.sample("x_total", &[], 2.0);
+        p.sample("x_total", &[("a", "1"), ("b", "two")], 2.5);
+        let s = p.finish();
+        assert_eq!(
+            s,
+            "# HELP x_total Help with\\nnewline.\n\
+             # TYPE x_total counter\n\
+             x_total 2\n\
+             x_total{a=\"1\",b=\"two\"} 2.5\n"
+        );
+    }
+
+    #[test]
+    fn histogram_renders_cumulative_buckets() {
+        let mut h = Histogram::new();
+        h.record(1e-3);
+        h.record(1e-3);
+        h.record(2.0);
+        let mut p = PromText::new();
+        p.header("lat_seconds", "Latency.", "histogram");
+        p.histogram("lat_seconds", &[("tenant", "t")], &h);
+        let s = p.finish();
+        // two occupied buckets, cumulative counts 2 then 3
+        let buckets: Vec<&str> = s
+            .lines()
+            .filter(|l| l.starts_with("lat_seconds_bucket"))
+            .collect();
+        assert_eq!(buckets.len(), 3, "{s}");
+        assert!(buckets[0].ends_with(" 2"), "{}", buckets[0]);
+        assert!(buckets[1].ends_with(" 3"), "{}", buckets[1]);
+        assert!(buckets[2].contains("le=\"+Inf\"") && buckets[2].ends_with(" 3"));
+        assert!(s.contains("lat_seconds_count{tenant=\"t\"} 3\n"));
+        // sum = 2.002 up to float formatting
+        assert!(s.contains("lat_seconds_sum{tenant=\"t\"} 2.002"), "{s}");
+        // le bounds increase
+        let le = |l: &str| {
+            let i = l.find("le=\"").unwrap() + 4;
+            let j = l[i..].find('"').unwrap() + i;
+            l[i..j].to_string()
+        };
+        let b0: f64 = le(buckets[0]).parse().unwrap();
+        let b1: f64 = le(buckets[1]).parse().unwrap();
+        assert!(b0 < b1);
+        // each sample's le bound brackets the recorded values
+        assert!((1e-3..1.2e-3).contains(&b0), "b0 = {b0}");
+        assert!((2.0..2.4).contains(&b1), "b1 = {b1}");
+    }
+
+    #[test]
+    fn snapshot_counters_render_with_tenant_labels() {
+        use crate::{Counter, CounterSet, Snapshot};
+        let mut acme = CounterSet::new();
+        acme.add(Counter::JobsSubmitted, 2);
+        acme.add(Counter::QueueWaitUs, 1500);
+        let snap = Snapshot {
+            ranks: vec![],
+            tenants: vec![("acme".into(), acme)],
+        };
+        let mut p = PromText::new();
+        render_counters(&mut p, &snap);
+        let s = p.finish();
+        assert!(s.contains("# TYPE dns_counter_total counter"));
+        assert!(s.contains("# TYPE dns_tenant_counter_total counter"));
+        assert!(
+            s.contains("dns_tenant_counter_total{tenant=\"acme\",counter=\"jobs_submitted\"} 2\n")
+        );
+        assert!(s.contains(
+            "dns_tenant_counter_total{tenant=\"acme\",counter=\"queue_wait_us\"} 1500\n"
+        ));
+        // zero counters skipped
+        assert!(!s.contains("counter=\"flops\""));
+    }
+}

@@ -67,6 +67,7 @@ fn fixture() -> Snapshot {
                 dropped: 0,
             },
         ],
+        tenants: vec![],
     }
 }
 

@@ -78,7 +78,20 @@ fn fixture() -> Snapshot {
                 dropped: 0,
             },
         ],
+        tenants: vec![
+            ("acme".into(), tset(3, 450_000)),
+            ("beta".into(), tset(1, 20_000)),
+        ],
     }
+}
+
+/// Tenant counter block for the v4 `"tenants"` object: submissions plus
+/// accumulated queue wait.
+fn tset(submitted: u64, wait_us: u64) -> CounterSet {
+    let mut c = CounterSet::new();
+    c.add(Counter::JobsSubmitted, submitted);
+    c.add(Counter::QueueWaitUs, wait_us);
+    c
 }
 
 fn meta() -> CountsMeta {
@@ -116,9 +129,14 @@ fn counts_json_shape_invariants() {
     assert!(out.starts_with(&format!(
         "{{\"schema\":{COUNTS_SCHEMA_VERSION},\"kind\":\"counts\""
     )));
-    // every rank block and the totals block carry all 19 counters in
-    // canonical order, zeros included
-    assert_eq!(out.matches("\"flops\":").count(), 2 * 5 + 5);
+    // every rank block, the totals block, and each v4 tenant block carry
+    // all 19 counters in canonical order, zeros included
+    assert_eq!(out.matches("\"flops\":").count(), 2 * 5 + 5 + 2);
+    // v4 tenant block present, sorted by tenant name
+    let acme = out.find("\"acme\":").expect("acme tenant block");
+    let beta = out.find("\"beta\":").expect("beta tenant block");
+    assert!(acme < beta, "tenants not in sorted order");
+    assert!(out.contains("\"queue_wait_us\":450000"));
     assert!(out.contains("\"bench\":\"rk3_step\""));
     assert!(out.contains("\"phase_seconds_mean\""));
     assert!(out.contains("\"phase_seconds_max\""));
