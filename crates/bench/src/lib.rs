@@ -18,6 +18,7 @@ pub mod channel_run;
 pub mod measured;
 pub mod paper;
 pub mod report;
+pub mod validation;
 
 /// Crude wall-clock measurement: run `f` repeatedly for at least
 /// `min_time` seconds (and at least `min_iters` times), return seconds

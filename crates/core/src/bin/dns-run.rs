@@ -48,6 +48,8 @@ struct Args {
     params: Params,
     steps: usize,
     stats_every: usize,
+    stats_sample_every: usize,
+    stats_warmup: usize,
     ckpt_every: usize,
     ckpt: Option<PathBuf>,
     resume: Option<PathBuf>,
@@ -136,6 +138,18 @@ const FLAGS: &[Flag] = &[
         name: "--stats-every",
         value: Some("N"),
         help: "print running statistics every N steps (default 100)",
+    },
+    Flag {
+        name: "--stats-sample-every",
+        value: Some("N"),
+        help: "accumulate checkpointed time-averaged turbulence statistics every N \
+               steps (default off; survives --resume and crash recovery bit-exactly)",
+    },
+    Flag {
+        name: "--stats-warmup",
+        value: Some("S"),
+        help: "steps to discard before the first statistics sample (default 0, \
+               only with --stats-sample-every)",
     },
     Flag {
         name: "--checkpoint-every",
@@ -283,6 +297,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         params,
         steps: 1000,
         stats_every: 100,
+        stats_sample_every: 0,
+        stats_warmup: 0,
         ckpt_every: 0,
         ckpt: None,
         resume: None,
@@ -338,6 +354,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             "--stretch" => args.params.grid_stretch = num(&flag, take(&mut i)?)?,
             "--steps" => args.steps = num(&flag, take(&mut i)?)?,
             "--stats-every" => args.stats_every = num(&flag, take(&mut i)?)?,
+            "--stats-sample-every" => args.stats_sample_every = num(&flag, take(&mut i)?)?,
+            "--stats-warmup" => args.stats_warmup = num(&flag, take(&mut i)?)?,
             "--checkpoint-every" => args.ckpt_every = num(&flag, take(&mut i)?)?,
             "--ckpt" => args.ckpt = Some(PathBuf::from(take(&mut i)?)),
             "--resume" => args.resume = Some(PathBuf::from(take(&mut i)?)),
@@ -436,7 +454,14 @@ struct CliObserver {
 
 impl RunObserver for CliObserver {
     fn on_start(&self, dns: &ChannelDns, resumed_from: Option<u64>, attempt: usize) {
-        ACC.with_borrow_mut(|acc| *acc = RunningStats::new());
+        // reset the per-rank print-cadence averager only on a *fresh*
+        // start: a resumed attempt keeps whatever this thread already
+        // accumulated. (The checkpointed engine accumulator behind
+        // --stats-sample-every is the authoritative cross-restart
+        // average; this one only backs the final CSV fallback.)
+        if resumed_from.is_none() {
+            ACC.with_borrow_mut(|acc| *acc = RunningStats::new());
+        }
         let root = dns.pfft().comm_a().rank() == 0 && dns.pfft().comm_b().rank() == 0;
         if let Some(step) = resumed_from {
             if root {
@@ -505,15 +530,19 @@ impl RunObserver for CliObserver {
                 summary.wall_s / summary.steps_ran as f64 * 1e3
             );
         }
-        // final data products; the mean-profile fallback is collective,
-        // and every rank took the same stats steps, so all ranks agree
-        // on which branch runs
-        let p = ACC.with_borrow(|acc| {
-            if acc.count() > 0 {
-                Some(acc.mean())
-            } else {
-                None
-            }
+        // final data products; precedence for the profile CSV: the
+        // checkpointed engine accumulator (restart-proof time average),
+        // then the print-cadence running mean, then one instantaneous
+        // snapshot. The fallbacks are collective, and every rank took
+        // the same stats steps, so all ranks agree on which branch runs
+        let p = dns.stats().and_then(|acc| acc.mean()).or_else(|| {
+            ACC.with_borrow(|acc| {
+                if acc.count() > 0 {
+                    Some(acc.mean())
+                } else {
+                    None
+                }
+            })
         });
         let p = p.unwrap_or_else(|| profiles(dns));
         let sp = spectra::spectra(dns);
@@ -632,6 +661,10 @@ fn main() {
             sentinels: SentinelConfig::default(),
         }),
         health_attempt_base: 0,
+        stats: (a.stats_sample_every > 0).then_some(dns_core::stats::StatsConfig {
+            every: a.stats_sample_every as u64,
+            warmup: a.stats_warmup as u64,
+        }),
     };
     let observer = Arc::new(CliObserver {
         stats_every: a.stats_every as u64,
@@ -802,6 +835,21 @@ mod flag_drift {
                 arms.contains(&f.name),
                 "--help documents {} but the parser has no arm for it",
                 f.name
+            );
+        }
+    }
+
+    #[test]
+    fn stats_flags_are_wired() {
+        // the checkpointed-statistics flags must stay in all three views
+        // (parser, FLAGS/help, and this scan) — they are the CLI surface
+        // of the science-gate accumulator
+        let arms = parser_arm_flags();
+        for flag in ["--stats-every", "--stats-sample-every", "--stats-warmup"] {
+            assert!(arms.contains(&flag), "no parser arm for {flag}");
+            assert!(
+                FLAGS.iter().any(|f| f.name == flag),
+                "FLAGS table lost {flag}"
             );
         }
     }

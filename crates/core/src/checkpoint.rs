@@ -19,8 +19,18 @@
 //! flux_int     f64   mass-flux controller integral state
 //! field_len    u64   complex coefficients per field on this rank
 //! 5 fields     field_len x (re f64, im f64) — u, v, w, omega_y, phi
+//! [stats]      optional statistics section (see below)
 //! crc          u32   CRC-32 of every preceding byte
 //! ```
+//!
+//! When the run collects time-averaged turbulence statistics
+//! ([`ChannelDns::stats`]), the accumulator's byte-exact serialization
+//! ([`crate::stats::StatsAccumulator::encode`], opening with its own
+//! `"DNSSTAT1"` magic) rides between the fields and the CRC, so a
+//! restart resumes averaging exactly where the crashed run stopped.
+//! Records without the section (all pre-statistics files, and runs with
+//! stats off) load unchanged — the section is strictly additive and the
+//! version word stays 2.
 //!
 //! Every header field the running solver can disagree with is validated
 //! on load and surfaced as a typed [`CheckpointError`]; the trailing CRC
@@ -236,6 +246,9 @@ fn encode(dns: &ChannelDns) -> Vec<u8> {
             put_f64(&mut buf, c.im);
         }
     }
+    if let Some(acc) = dns.stats() {
+        buf.extend_from_slice(&acc.encode());
+    }
     let crc = crc32(&buf);
     buf.extend_from_slice(&crc.to_le_bytes());
     buf
@@ -356,13 +369,26 @@ fn decode(dns: &mut ChannelDns, path: &Path, buf: &[u8]) -> Result<(), Checkpoin
             expected: expect_len as u64,
         });
     }
-    if body.len() != HEADER_U64S * 8 + 5 * len * 16 {
+    let base = HEADER_U64S * 8 + 5 * len * 16;
+    if body.len() < base {
         return Err(CheckpointError::Corrupt {
             path: path.to_path_buf(),
             stored,
             computed: stored ^ 1, // length lies even though CRC held: impossible unless crafted
         });
     }
+    // anything past the fields must be a well-formed stats section
+    // (records without one are the pre-statistics layout and load as-is)
+    let stats = match &body[base..] {
+        [] => None,
+        rest => Some(crate::stats::StatsAccumulator::decode(rest).ok_or_else(|| {
+            CheckpointError::Corrupt {
+                path: path.to_path_buf(),
+                stored,
+                computed: stored ^ 1,
+            }
+        })?),
+    };
     let mut fields = Vec::with_capacity(5);
     for _ in 0..5 {
         let mut f = Vec::with_capacity(len);
@@ -380,6 +406,9 @@ fn decode(dns: &mut ChannelDns, path: &Path, buf: &[u8]) -> Result<(), Checkpoin
     let u = fields.pop().unwrap();
     dns.restore_state(u, v, w, omega_y, phi, time, steps);
     dns.restore_controller(dyn_force, flux_integral);
+    if let Some(acc) = stats {
+        dns.restore_stats(acc);
+    }
     Ok(())
 }
 
@@ -723,6 +752,55 @@ mod tests {
         for (a, b) in reference[0].iter().zip(&resumed[0]) {
             assert!((a - b).abs() < 1e-14, "{a} vs {b}");
         }
+    }
+
+    #[test]
+    fn stats_section_rides_the_checkpoint_bitwise() {
+        use crate::stats::{StatsAccumulator, StatsConfig};
+        let stem = test_dir("dns_ckpt_stats").join("state");
+        let p = Params::channel(16, 25, 16, 80.0).with_dt(1e-3);
+
+        // run with statistics on, checkpoint mid-window
+        let stem2 = stem.clone();
+        let encoded = crate::solver::run_serial(p.clone(), move |dns| {
+            dns.set_laminar(0.5);
+            dns.add_perturbation(0.3, 21);
+            dns.enable_stats(StatsConfig {
+                every: 2,
+                warmup: 1,
+            });
+            for _ in 0..5 {
+                dns.step();
+            }
+            save(dns, &stem2).unwrap();
+            dns.stats().unwrap().encode()
+        });
+        let acc = StatsAccumulator::decode(&encoded).unwrap();
+        assert_eq!(acc.count(), 2); // steps 3 and 5
+
+        // a fresh solver without stats enabled restores the accumulator
+        // from the file alone, bit-for-bit — this is the fix for the old
+        // "averaging silently restarts from zero on resume" behavior
+        let stem3 = stem.clone();
+        let restored = crate::solver::run_serial(p.clone(), move |dns| {
+            assert!(dns.stats().is_none());
+            load(dns, &stem3).unwrap();
+            dns.stats().unwrap().encode()
+        });
+        assert_eq!(restored, encoded);
+
+        // a record without the section (stats off) still loads, and
+        // leaves the solver's stats state untouched
+        let stem4 = test_dir("dns_ckpt_stats_legacy").join("state");
+        let stem5 = stem4.clone();
+        crate::solver::run_serial(p.clone(), move |dns| {
+            save(dns, &stem5).unwrap();
+        });
+        let stem6 = stem4.clone();
+        crate::solver::run_serial(p, move |dns| {
+            load(dns, &stem6).unwrap();
+            assert!(dns.stats().is_none());
+        });
     }
 
     #[test]

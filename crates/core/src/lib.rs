@@ -58,6 +58,8 @@ pub mod checkpoint;
 pub mod headless;
 pub mod health;
 pub mod io;
+#[deny(missing_docs)]
+pub mod moser;
 pub mod nonlinear;
 pub mod orrsommerfeld;
 pub mod params;
@@ -66,7 +68,9 @@ pub mod refine;
 pub mod rk3;
 pub mod run;
 pub mod solver;
+#[deny(missing_docs)]
 pub mod spectra;
+#[deny(missing_docs)]
 pub mod stats;
 pub mod vorticity;
 pub mod wallnormal;

@@ -52,6 +52,20 @@ pub enum InitialCondition {
         /// Profile scale factor.
         scale: f64,
     },
+    /// Scaled-down laminar profile plus a seeded perturbation — the
+    /// transition recipe the figure harnesses use for the minimal
+    /// channel (the excess shear feeds the instability far more
+    /// reliably than starting from the turbulent mean; see
+    /// `dns-bench::channel_run`). Used by the `dns-validate` science
+    /// gate.
+    SeededTransition {
+        /// Laminar profile scale factor.
+        scale: f64,
+        /// Perturbation amplitude.
+        amplitude: f64,
+        /// Deterministic perturbation seed.
+        seed: u64,
+    },
 }
 
 /// A complete, serializable description of one simulation run: the
@@ -163,7 +177,9 @@ impl RunSpec {
         if self.steps == 0 {
             return bad("steps must be at least 1".into());
         }
-        if let InitialCondition::Turbulent { amplitude, .. } = self.ic {
+        if let InitialCondition::Turbulent { amplitude, .. }
+        | InitialCondition::SeededTransition { amplitude, .. } = self.ic
+        {
             if !amplitude.is_finite() || amplitude < 0.0 {
                 return bad(format!(
                     "perturbation amplitude {amplitude} must be finite and >= 0"
@@ -205,6 +221,16 @@ impl RunSpec {
                 h = mix(h, 2);
                 h = mix(h, scale.to_bits());
             }
+            InitialCondition::SeededTransition {
+                scale,
+                amplitude,
+                seed,
+            } => {
+                h = mix(h, 3);
+                h = mix(h, scale.to_bits());
+                h = mix(h, amplitude.to_bits());
+                h = mix(h, seed);
+            }
         }
         h
     }
@@ -233,6 +259,16 @@ impl RunSpec {
             InitialCondition::Laminar { scale } => Json::obj()
                 .put("kind", Json::str("laminar"))
                 .put("scale", Json::Num(scale))
+                .build(),
+            InitialCondition::SeededTransition {
+                scale,
+                amplitude,
+                seed,
+            } => Json::obj()
+                .put("kind", Json::str("seeded_transition"))
+                .put("scale", Json::Num(scale))
+                .put("amplitude", Json::Num(amplitude))
+                .put("seed", Json::Num(seed as f64))
                 .build(),
         };
         Json::obj()
@@ -300,6 +336,11 @@ impl RunSpec {
             },
             "laminar" => InitialCondition::Laminar {
                 scale: f(ic_v, "scale")?,
+            },
+            "seeded_transition" => InitialCondition::SeededTransition {
+                scale: f(ic_v, "scale")?,
+                amplitude: f(ic_v, "amplitude")?,
+                seed: u(ic_v, "seed")?,
             },
             _ => return Err(SpecError::Field("ic.kind")),
         };
@@ -384,6 +425,12 @@ pub struct RunConfig {
     /// positive base so the recorder appends to the same JSONL story
     /// instead of truncating it.
     pub health_attempt_base: usize,
+    /// Time-averaged turbulence-statistics collection
+    /// ([`crate::stats::StatsAccumulator`]). `Some` enables sampling on
+    /// a fresh start; an accumulator restored from a checkpoint always
+    /// takes precedence (with *its* checkpointed policy), so a resumed
+    /// run continues the same averaging window bit-exactly.
+    pub stats: Option<crate::stats::StatsConfig>,
 }
 
 impl RunConfig {
@@ -397,6 +444,7 @@ impl RunConfig {
             recv_timeout: dns_minimpi::RECV_TIMEOUT,
             health: None,
             health_attempt_base: 0,
+            stats: None,
         }
     }
 }
@@ -681,7 +729,21 @@ fn attempt_body(
                 dns.add_perturbation(amplitude, seed);
             }
             InitialCondition::Laminar { scale } => dns.set_laminar(scale),
+            InitialCondition::SeededTransition {
+                scale,
+                amplitude,
+                seed,
+            } => {
+                dns.set_laminar(scale);
+                dns.add_perturbation(amplitude, seed);
+            }
         }
+    }
+    // statistics: a checkpointed accumulator (installed by the restore
+    // above) wins — resume continuity. Only a start without one gets a
+    // fresh accumulator from the config.
+    if let (Some(stats_cfg), None) = (cfg.stats, dns.stats()) {
+        dns.enable_stats(stats_cfg);
     }
     observer.on_start(&dns, restored, attempt.index);
 

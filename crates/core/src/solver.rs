@@ -133,6 +133,10 @@ pub struct ChannelDns {
     nl_terms: NlTerms,
     nl_terms_old: NlTerms,
     scratch: StepScratch,
+    /// Optional time-averaged statistics accumulator, sampled at the end
+    /// of [`step`](Self::step) on its own cadence (same opt-in pattern
+    /// as the run-health hook; `None` costs one branch per step).
+    stats: Option<crate::stats::StatsAccumulator>,
 }
 
 impl ChannelDns {
@@ -213,6 +217,7 @@ impl ChannelDns {
             nl_terms: NlTerms::default(),
             nl_terms_old: NlTerms::default(),
             scratch: StepScratch::default(),
+            stats: None,
         }
     }
 
@@ -235,6 +240,28 @@ impl ChannelDns {
     pub fn restore_controller(&mut self, dyn_force: f64, flux_integral: f64) {
         self.dyn_force = dyn_force;
         self.flux_integral = flux_integral;
+    }
+
+    /// Turn on time-averaged statistics collection with the given
+    /// sampling policy (fresh accumulator). A restored accumulator
+    /// installed by [`restore_stats`](Self::restore_stats) should be
+    /// kept instead — see the resume-continuity contract there.
+    pub fn enable_stats(&mut self, cfg: crate::stats::StatsConfig) {
+        self.stats = Some(crate::stats::StatsAccumulator::new(cfg));
+    }
+
+    /// The statistics accumulator, when collection is enabled.
+    pub fn stats(&self) -> Option<&crate::stats::StatsAccumulator> {
+        self.stats.as_ref()
+    }
+
+    /// Install an accumulator restored from a checkpoint, replacing any
+    /// current one. Checkpoint restore uses this so a resumed run
+    /// continues averaging bit-exactly where the crashed run stopped —
+    /// the accumulator is part of the checkpointed trajectory, like the
+    /// mass-flux controller.
+    pub fn restore_stats(&mut self, acc: crate::stats::StatsAccumulator) {
+        self.stats = Some(acc);
     }
 
     /// Simulation parameters.
@@ -513,6 +540,16 @@ impl ChannelDns {
         self.nl_terms_old = n_old;
         self.scratch = scratch;
         self.state.steps += 1;
+        // statistics hook: sampling is collective, but `due` is a pure
+        // function of the (replicated) step counter, so every rank takes
+        // the branch identically; disabled, this is one Option check
+        if let Some(acc) = &self.stats {
+            if acc.due(self.state.steps) {
+                let mut acc = self.stats.take().expect("stats present");
+                acc.sample(self);
+                self.stats = Some(acc);
+            }
+        }
         if let Some((t0, before)) = health {
             let after = self.timers();
             dns_health::record_step(

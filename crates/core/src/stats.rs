@@ -10,6 +10,7 @@
 use crate::solver::ChannelDns;
 use crate::C64;
 use dns_bspline::integration_weights;
+use dns_telemetry as telemetry;
 
 /// One-point profiles at the collocation points.
 #[derive(Clone, Debug)]
@@ -168,6 +169,12 @@ pub fn local_finite(dns: &ChannelDns) -> bool {
 }
 
 /// Running time average of profiles.
+///
+/// This is the *ephemeral* in-process averager (used by observers that
+/// only live for one attempt). Long runs that must survive
+/// checkpoint/restore should use [`StatsAccumulator`], which rides in
+/// the checkpoint itself and therefore never silently resets when a
+/// crashed run is resumed.
 #[derive(Default)]
 pub struct RunningStats {
     n: usize,
@@ -235,9 +242,324 @@ impl RunningStats {
     }
 }
 
+/// Sampling policy for [`StatsAccumulator`].
+///
+/// ```
+/// use dns_core::stats::StatsConfig;
+/// let cfg = StatsConfig { every: 5, warmup: 100 };
+/// assert!(!cfg.due(100)); // still warming up
+/// assert!(cfg.due(105)); // first sample after warmup
+/// assert!(!cfg.due(107));
+/// assert!(cfg.due(110));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StatsConfig {
+    /// Sample the plane statistics every `every` completed steps.
+    pub every: u64,
+    /// Steps to discard before the first sample (transient washout).
+    pub warmup: u64,
+}
+
+impl StatsConfig {
+    /// Whether statistics should be sampled after completing `step`.
+    pub fn due(&self, step: u64) -> bool {
+        let every = self.every.max(1);
+        step > self.warmup && (step - self.warmup).is_multiple_of(every)
+    }
+}
+
+/// One entry of the accumulator's per-sample time series.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistorySample {
+    /// Completed timesteps at the sample.
+    pub step: u64,
+    /// Simulated time at the sample.
+    pub time: f64,
+    /// Instantaneous friction velocity.
+    pub u_tau: f64,
+    /// Instantaneous friction Reynolds number.
+    pub re_tau: f64,
+    /// Instantaneous bulk velocity.
+    pub bulk_velocity: f64,
+}
+
+/// Magic tag opening a serialized stats section (see
+/// [`StatsAccumulator::encode`]); spells `"DNSSTAT1"` in LE bytes.
+pub const STATS_SECTION_MAGIC: u64 = u64::from_le_bytes(*b"DNSSTAT1");
+
+/// Time-and-plane-averaged turbulence statistics (the content of the
+/// paper's figures 5-8), accumulated over a run.
+///
+/// Each [`sample`](Self::sample) is a *collective* call: it computes
+/// [`profiles`] (which allreduces the plane sums over both communicator
+/// axes), so after every sample the accumulator holds identical bits on
+/// every rank — the reduction *is* the rank merge. The accumulator
+/// serializes to a byte-exact section ([`encode`](Self::encode) /
+/// [`decode`](Self::decode)) that the v2 checkpoint carries, so a
+/// crashed-and-resumed run continues averaging exactly where it
+/// stopped instead of restarting from zero.
+///
+/// ```
+/// use dns_core::stats::{StatsAccumulator, StatsConfig};
+/// use dns_core::{run_serial, Params};
+///
+/// let params = Params::channel(16, 25, 16, 20.0).with_dt(1e-3);
+/// let acc = run_serial(params, |dns| {
+///     dns.enable_stats(StatsConfig { every: 1, warmup: 1 });
+///     dns.set_laminar(1.0);
+///     for _ in 0..3 {
+///         dns.step(); // samples itself after warmup
+///     }
+///     dns.stats().cloned().unwrap()
+/// });
+/// assert_eq!(acc.count(), 2); // steps 2 and 3
+/// let mean = acc.mean().unwrap();
+/// assert!((mean.u_tau - 1.0).abs() < 1e-6); // laminar balance
+/// // bitwise checkpoint round trip
+/// let restored = StatsAccumulator::decode(&acc.encode()).unwrap();
+/// assert_eq!(restored.encode(), acc.encode());
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsAccumulator {
+    cfg: StatsConfig,
+    n: u64,
+    ny: usize,
+    y: Vec<f64>,
+    /// Flat sums `[u_mean | uu | vv | ww | uv]`, each `ny` long.
+    sums: Vec<f64>,
+    u_tau_sum: f64,
+    re_tau_sum: f64,
+    bulk_sum: f64,
+    history: Vec<HistorySample>,
+}
+
+impl StatsAccumulator {
+    /// Empty accumulator with the given sampling policy.
+    pub fn new(cfg: StatsConfig) -> Self {
+        Self {
+            cfg,
+            n: 0,
+            ny: 0,
+            y: Vec::new(),
+            sums: Vec::new(),
+            u_tau_sum: 0.0,
+            re_tau_sum: 0.0,
+            bulk_sum: 0.0,
+            history: Vec::new(),
+        }
+    }
+
+    /// The sampling policy.
+    pub fn config(&self) -> StatsConfig {
+        self.cfg
+    }
+
+    /// Whether the accumulator wants a sample after completing `step`.
+    pub fn due(&self, step: u64) -> bool {
+        self.cfg.due(step)
+    }
+
+    /// Number of accumulated samples.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// The per-sample `(step, u_tau, Re_tau, bulk)` time series, in
+    /// sampling order across all resume boundaries.
+    pub fn history(&self) -> &[HistorySample] {
+        &self.history
+    }
+
+    /// Take one plane-statistics sample (collective: every rank must
+    /// call, and afterwards every rank holds identical accumulator
+    /// bits).
+    pub fn sample(&mut self, dns: &ChannelDns) {
+        let p = profiles(dns);
+        self.add_profiles(&p, dns.state().steps, dns.state().time);
+        telemetry::count(telemetry::Counter::StatsSamples, 1);
+    }
+
+    /// Fold one already-reduced snapshot into the sums (non-collective
+    /// core of [`sample`](Self::sample), also used by tests).
+    pub fn add_profiles(&mut self, p: &Profiles, step: u64, time: f64) {
+        let ny = p.y.len();
+        if self.n == 0 {
+            self.ny = ny;
+            self.y = p.y.clone();
+            self.sums = vec![0.0; 5 * ny];
+        }
+        assert_eq!(self.ny, ny, "stats sample grid changed mid-run");
+        self.n += 1;
+        for (dst, src) in [&p.u_mean, &p.uu, &p.vv, &p.ww, &p.uv]
+            .into_iter()
+            .enumerate()
+        {
+            for j in 0..ny {
+                self.sums[dst * ny + j] += src[j];
+            }
+        }
+        self.u_tau_sum += p.u_tau;
+        self.re_tau_sum += p.re_tau;
+        self.bulk_sum += p.bulk_velocity;
+        self.history.push(HistorySample {
+            step,
+            time,
+            u_tau: p.u_tau,
+            re_tau: p.re_tau,
+            bulk_velocity: p.bulk_velocity,
+        });
+    }
+
+    /// Merge another accumulator's samples into this one (e.g. windows
+    /// gathered by separate runs of the same grid). Histories
+    /// concatenate; sums add.
+    ///
+    /// # Panics
+    /// If both accumulators are non-empty on different grids.
+    pub fn merge(&mut self, other: &StatsAccumulator) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            self.ny = other.ny;
+            self.y = other.y.clone();
+            self.sums = vec![0.0; 5 * other.ny];
+        }
+        assert_eq!(self.ny, other.ny, "cannot merge stats across grids");
+        self.n += other.n;
+        for (a, b) in self.sums.iter_mut().zip(&other.sums) {
+            *a += b;
+        }
+        self.u_tau_sum += other.u_tau_sum;
+        self.re_tau_sum += other.re_tau_sum;
+        self.bulk_sum += other.bulk_sum;
+        self.history.extend_from_slice(&other.history);
+    }
+
+    /// The time-averaged profiles, or `None` before the first sample.
+    pub fn mean(&self) -> Option<Profiles> {
+        if self.n == 0 {
+            return None;
+        }
+        let ny = self.ny;
+        let inv = 1.0 / self.n as f64;
+        let scale =
+            |r: std::ops::Range<usize>| self.sums[r].iter().map(|x| x * inv).collect::<Vec<_>>();
+        Some(Profiles {
+            y: self.y.clone(),
+            u_mean: scale(0..ny),
+            uu: scale(ny..2 * ny),
+            vv: scale(2 * ny..3 * ny),
+            ww: scale(3 * ny..4 * ny),
+            uv: scale(4 * ny..5 * ny),
+            u_tau: self.u_tau_sum * inv,
+            re_tau: self.re_tau_sum * inv,
+            bulk_velocity: self.bulk_sum * inv,
+        })
+    }
+
+    /// Serialize to the byte-exact stats section carried by the v2
+    /// checkpoint: every `f64` as IEEE-754 bits, little-endian, so a
+    /// decode/encode round trip reproduces the input byte-for-byte.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(8 * (7 + self.y.len() + self.sums.len()));
+        let w64 = |v: u64, out: &mut Vec<u8>| out.extend_from_slice(&v.to_le_bytes());
+        let wf = |v: f64, out: &mut Vec<u8>| out.extend_from_slice(&v.to_bits().to_le_bytes());
+        w64(STATS_SECTION_MAGIC, &mut out);
+        w64(self.cfg.every, &mut out);
+        w64(self.cfg.warmup, &mut out);
+        w64(self.n, &mut out);
+        w64(self.ny as u64, &mut out);
+        w64(self.history.len() as u64, &mut out);
+        for &v in self.y.iter().chain(&self.sums) {
+            wf(v, &mut out);
+        }
+        wf(self.u_tau_sum, &mut out);
+        wf(self.re_tau_sum, &mut out);
+        wf(self.bulk_sum, &mut out);
+        for h in &self.history {
+            w64(h.step, &mut out);
+            wf(h.time, &mut out);
+            wf(h.u_tau, &mut out);
+            wf(h.re_tau, &mut out);
+            wf(h.bulk_velocity, &mut out);
+        }
+        out
+    }
+
+    /// Decode a section produced by [`encode`](Self::encode); `None` on
+    /// any structural mismatch (bad magic, truncation, trailing bytes).
+    pub fn decode(bytes: &[u8]) -> Option<Self> {
+        let mut pos = 0usize;
+        let r64 = |bytes: &[u8], pos: &mut usize| -> Option<u64> {
+            let b = bytes.get(*pos..*pos + 8)?;
+            *pos += 8;
+            Some(u64::from_le_bytes(b.try_into().unwrap()))
+        };
+        if r64(bytes, &mut pos)? != STATS_SECTION_MAGIC {
+            return None;
+        }
+        let every = r64(bytes, &mut pos)?;
+        let warmup = r64(bytes, &mut pos)?;
+        let n = r64(bytes, &mut pos)?;
+        let ny = usize::try_from(r64(bytes, &mut pos)?).ok()?;
+        let hist_len = usize::try_from(r64(bytes, &mut pos)?).ok()?;
+        if ny > (1 << 24) || hist_len > (1 << 32) {
+            return None;
+        }
+        let expect = 8 * (6 + 6 * ny + 3 + 5 * hist_len);
+        if bytes.len() != expect {
+            return None;
+        }
+        let rf = |bytes: &[u8], pos: &mut usize| -> Option<f64> {
+            Some(f64::from_bits(r64(bytes, pos)?))
+        };
+        let mut y = Vec::with_capacity(ny);
+        for _ in 0..ny {
+            y.push(rf(bytes, &mut pos)?);
+        }
+        let mut sums = Vec::with_capacity(5 * ny);
+        for _ in 0..5 * ny {
+            sums.push(rf(bytes, &mut pos)?);
+        }
+        let u_tau_sum = rf(bytes, &mut pos)?;
+        let re_tau_sum = rf(bytes, &mut pos)?;
+        let bulk_sum = rf(bytes, &mut pos)?;
+        let mut history = Vec::with_capacity(hist_len);
+        for _ in 0..hist_len {
+            let step = r64(bytes, &mut pos)?;
+            history.push(HistorySample {
+                step,
+                time: f64::from_bits(r64(bytes, &mut pos)?),
+                u_tau: f64::from_bits(r64(bytes, &mut pos)?),
+                re_tau: f64::from_bits(r64(bytes, &mut pos)?),
+                bulk_velocity: f64::from_bits(r64(bytes, &mut pos)?),
+            });
+        }
+        Some(Self {
+            cfg: StatsConfig { every, warmup },
+            n,
+            ny,
+            y,
+            sums,
+            u_tau_sum,
+            re_tau_sum,
+            bulk_sum,
+            history,
+        })
+    }
+}
+
 /// The Reichardt composite law-of-the-wall profile, the standard
 /// reference shape for figure 5's mean velocity:
 /// viscous sublayer `u+ = y+`, log region `u+ = ln(y+)/kappa + B`.
+///
+/// ```
+/// use dns_core::stats::reichardt_u_plus;
+/// // sublayer: u+ ≈ y+;  log region: u+ ≈ ln(y+)/0.41 + 5.2
+/// assert!((reichardt_u_plus(0.5) - 0.5).abs() < 0.05);
+/// assert!((reichardt_u_plus(150.0) - (150.0f64.ln() / 0.41 + 5.2)).abs() < 0.6);
+/// ```
 pub fn reichardt_u_plus(y_plus: f64) -> f64 {
     const KAPPA: f64 = 0.41;
     (1.0 + KAPPA * y_plus).ln() / KAPPA
@@ -292,6 +614,121 @@ mod tests {
         assert!((m.u_mean[0] - 2.0).abs() < 1e-15);
         assert!((m.u_tau - 1.5).abs() < 1e-15);
         assert!((m.uu[0] - 2.0).abs() < 1e-15);
+    }
+
+    fn toy_profiles(scale: f64) -> Profiles {
+        Profiles {
+            y: vec![-1.0, 0.0, 1.0],
+            u_mean: vec![0.0, scale, 0.0],
+            uu: vec![0.1 * scale; 3],
+            vv: vec![0.02 * scale; 3],
+            ww: vec![0.03 * scale; 3],
+            uv: vec![-0.05 * scale; 3],
+            u_tau: scale,
+            re_tau: 180.0 * scale,
+            bulk_velocity: 0.66 * scale,
+        }
+    }
+
+    #[test]
+    fn accumulator_averages_and_history() {
+        let mut acc = StatsAccumulator::new(StatsConfig {
+            every: 2,
+            warmup: 4,
+        });
+        assert!(acc.mean().is_none());
+        acc.add_profiles(&toy_profiles(1.0), 6, 0.6);
+        acc.add_profiles(&toy_profiles(3.0), 8, 0.8);
+        assert_eq!(acc.count(), 2);
+        let m = acc.mean().unwrap();
+        assert!((m.u_mean[1] - 2.0).abs() < 1e-15);
+        assert!((m.u_tau - 2.0).abs() < 1e-15);
+        assert!((m.uv[0] + 0.1).abs() < 1e-15);
+        assert_eq!(acc.history().len(), 2);
+        assert_eq!(acc.history()[1].step, 8);
+        assert!((acc.history()[1].u_tau - 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accumulator_merge_matches_single_pass() {
+        let snaps = [1.0, 2.0, 5.0, 7.0];
+        let cfg = StatsConfig {
+            every: 1,
+            warmup: 0,
+        };
+        let mut whole = StatsAccumulator::new(cfg);
+        let mut first = StatsAccumulator::new(cfg);
+        let mut second = StatsAccumulator::new(cfg);
+        for (i, &s) in snaps.iter().enumerate() {
+            whole.add_profiles(&toy_profiles(s), i as u64, i as f64);
+            let half = if i < 2 { &mut first } else { &mut second };
+            half.add_profiles(&toy_profiles(s), i as u64, i as f64);
+        }
+        first.merge(&second);
+        // summation association differs ((a+b)+(c+d) vs sequential), so
+        // the windows agree to rounding, not bitwise
+        assert_eq!(first.count(), whole.count());
+        let (fm, wm) = (first.mean().unwrap(), whole.mean().unwrap());
+        for (a, b) in fm.u_mean.iter().zip(&wm.u_mean) {
+            assert!((a - b).abs() < 1e-14);
+        }
+        assert!((fm.u_tau - wm.u_tau).abs() < 1e-14);
+        assert_eq!(first.history(), whole.history());
+        // merging into an empty accumulator is an exact clone, bitwise
+        let mut empty = StatsAccumulator::new(cfg);
+        empty.merge(&whole);
+        assert_eq!(empty.encode(), whole.encode());
+    }
+
+    #[test]
+    fn accumulator_encode_decode_bitwise() {
+        let mut acc = StatsAccumulator::new(StatsConfig {
+            every: 3,
+            warmup: 10,
+        });
+        acc.add_profiles(&toy_profiles(1.234567890123), 13, 1.3e-2);
+        acc.add_profiles(&toy_profiles(0.987654321), 16, 1.6e-2);
+        let bytes = acc.encode();
+        let back = StatsAccumulator::decode(&bytes).expect("decodes");
+        assert_eq!(back, acc);
+        assert_eq!(back.encode(), bytes);
+        // structural corruption is rejected, not misparsed
+        assert!(StatsAccumulator::decode(&bytes[..bytes.len() - 1]).is_none());
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xff;
+        assert!(StatsAccumulator::decode(&bad_magic).is_none());
+        let mut trailing = bytes.clone();
+        trailing.push(0);
+        assert!(StatsAccumulator::decode(&trailing).is_none());
+        // empty accumulator round trips too
+        let empty = StatsAccumulator::new(StatsConfig {
+            every: 1,
+            warmup: 0,
+        });
+        assert_eq!(
+            StatsAccumulator::decode(&empty.encode()).unwrap().encode(),
+            empty.encode()
+        );
+    }
+
+    #[test]
+    fn stats_config_due_schedule() {
+        let cfg = StatsConfig {
+            every: 5,
+            warmup: 20,
+        };
+        assert!(!cfg.due(0));
+        assert!(!cfg.due(20));
+        assert!(!cfg.due(24));
+        assert!(cfg.due(25));
+        assert!(!cfg.due(26));
+        assert!(cfg.due(30));
+        // every = 0 is clamped to 1 rather than dividing by zero
+        let dense = StatsConfig {
+            every: 0,
+            warmup: 0,
+        };
+        assert!(dense.due(1) && dense.due(2));
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! Resume continuity of the time-averaged statistics accumulator: a run
+//! that crashes mid-averaging-window and recovers from its checkpoint
+//! must end with an accumulator byte-for-byte identical to an
+//! uninterrupted control run's — no silently restarted averages, no
+//! dropped or duplicated samples.
+//!
+//! The accumulator rides inside the checkpoint record, so comparing the
+//! final committed generation byte-for-byte covers the flow state *and*
+//! the statistics in one assertion; the stats section is then decoded on
+//! its own to pin the expected sampling timeline.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use dns_core::stats::{StatsAccumulator, STATS_SECTION_MAGIC};
+
+fn dns_run() -> &'static str {
+    env!("CARGO_BIN_EXE_dns-run")
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn base_args(out: &Path) -> Vec<String> {
+    [
+        "--nx",
+        "16",
+        "--ny",
+        "25",
+        "--nz",
+        "16",
+        "--re",
+        "80",
+        "--dt",
+        "1e-3",
+        "--steps",
+        "8",
+        "--checkpoint-every",
+        "3",
+        "--stats-sample-every",
+        "2",
+        "--stats-warmup",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .chain(["--out".to_string(), out.display().to_string()])
+    .collect()
+}
+
+/// Extract and decode the stats section of a checkpoint record: the
+/// bytes from its `"DNSSTAT1"` magic up to the trailing CRC word.
+fn stats_section(ckpt: &[u8]) -> StatsAccumulator {
+    let magic = STATS_SECTION_MAGIC.to_le_bytes();
+    let pos = ckpt
+        .windows(8)
+        .position(|w| w == magic)
+        .expect("checkpoint carries no stats section");
+    StatsAccumulator::decode(&ckpt[pos..ckpt.len() - 4]).expect("stats section decodes")
+}
+
+#[test]
+fn crashed_run_resumes_statistics_bitwise() {
+    let ref_dir = fresh_dir("stats_continuity_ref");
+    let chaos_dir = fresh_dir("stats_continuity_chaos");
+
+    // uninterrupted control
+    let output = Command::new(dns_run())
+        .args(base_args(&ref_dir))
+        .output()
+        .expect("spawn dns-run");
+    assert!(
+        output.status.success(),
+        "reference run failed:\n{}",
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    // crash at step 7: the step-6 checkpoint already holds the samples
+    // from steps 4 and 6, so the resumed attempt *continues* a non-empty
+    // accumulator rather than replaying the whole window
+    let output = Command::new(dns_run())
+        .args(base_args(&chaos_dir))
+        .args(["--crash-at-step", "7", "--max-restarts", "2"])
+        .output()
+        .expect("spawn dns-run");
+    assert!(
+        output.status.success(),
+        "chaos run failed:\nstdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+
+    let a = std::fs::read(ref_dir.join("state.s8.r0x0.ckpt")).expect("reference checkpoint");
+    let b = std::fs::read(chaos_dir.join("state.s8.r0x0.ckpt")).expect("recovered checkpoint");
+    assert_eq!(
+        a, b,
+        "final state+stats record differs from the uninterrupted run"
+    );
+
+    // the shared timeline: warmup 2, cadence 2 over 8 steps → samples at
+    // steps 4, 6, 8, with the first two delivered through the restart
+    let acc = stats_section(&a);
+    assert_eq!(acc.count(), 3);
+    let steps: Vec<u64> = acc.history().iter().map(|h| h.step).collect();
+    assert_eq!(steps, [4, 6, 8]);
+    let mean = acc.mean().expect("averaged profiles");
+    assert!(mean.u_tau.is_finite() && mean.u_tau > 0.0);
+    assert_eq!(mean.y.len(), 25);
+}
+
+#[test]
+fn fresh_restart_without_checkpoint_starts_a_new_window() {
+    // control for the control: without --max-restarts the crashed run
+    // dies; rerunning fresh in the same dir must not inherit anything —
+    // ResumePolicy::Fresh ignores the stale generation on attempt 0
+    let dir = fresh_dir("stats_continuity_fresh");
+    let output = Command::new(dns_run())
+        .args(base_args(&dir))
+        .args(["--crash-at-step", "5"])
+        .output()
+        .expect("spawn dns-run");
+    assert!(!output.status.success(), "unbudgeted crash must fail");
+
+    let output = Command::new(dns_run())
+        .args(base_args(&dir))
+        .output()
+        .expect("spawn dns-run");
+    assert!(output.status.success());
+    let acc = stats_section(&std::fs::read(dir.join("state.s8.r0x0.ckpt")).unwrap());
+    let steps: Vec<u64> = acc.history().iter().map(|h| h.step).collect();
+    assert_eq!(steps, [4, 6, 8], "fresh run must carry only its own window");
+}

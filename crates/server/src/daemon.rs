@@ -152,6 +152,7 @@ impl Server {
                 sentinels: SentinelConfig::default(),
             }),
             health_attempt_base: attempt_base,
+            stats: None,
         }
     }
 

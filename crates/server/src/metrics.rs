@@ -4,7 +4,7 @@
 //! clocks, no global registries read here — so a fixed view renders to a
 //! byte-identical body, which `tests/http_facade.rs` locks with a golden
 //! file. The daemon assembles a view from its scheduler, the
-//! [`TenantTable`](crate::tenants::TenantTable) ledger, and a
+//! [`TenantTable`] (`crate::tenants`) ledger, and a
 //! `dns-telemetry` snapshot on every scrape.
 //!
 //! Naming convention (DESIGN.md §10): every family is prefixed `dns_`,

@@ -21,7 +21,12 @@ use crate::{Counter, CounterSet, Phase, RankSnapshot, Snapshot, NUM_PHASES};
 /// sorted order (empty object outside server contexts). The same
 /// per-tenant totals back the `tenant="…"` labels in the Prometheus
 /// rendering ([`crate::prom`]).
-pub const COUNTS_SCHEMA_VERSION: u64 = 4;
+///
+/// v5 appended the `stats_samples` counter: plane-statistics samples
+/// folded into the time-averaged turbulence-statistics accumulator
+/// (the `dns-validate` science gate's averaging window). v4 documents
+/// parse unchanged — the counter simply reads 0.
+pub const COUNTS_SCHEMA_VERSION: u64 = 5;
 
 /// Run description embedded in a [`counts_json`] document so a counts
 /// file is self-describing: which workload produced it, at what grid,
@@ -435,7 +440,7 @@ fn phase_seconds_json(ps: &PhaseSeconds) -> String {
 /// [`COUNTS_SCHEMA_VERSION`]).
 ///
 /// The output is byte-deterministic for a given snapshot: counters are
-/// emitted in [`Counter::ALL`] order (all nineteen, zeros included),
+/// emitted in [`Counter::ALL`] order (all twenty, zeros included),
 /// phases in [`Phase::ALL`] order, and seconds with nine fractional
 /// digits. Layout:
 ///

@@ -152,10 +152,15 @@ pub enum Counter {
     /// launch handed them cores — the campaign server's analogue of the
     /// per-rank `ExchangeWaitUs` blocked time.
     QueueWaitUs = 18,
+    /// Plane-statistics samples folded into a run's time-averaged
+    /// turbulence-statistics accumulator (each is one collective
+    /// `profiles` reduction; the validation gate checks the window was
+    /// actually collected, not silently skipped).
+    StatsSamples = 19,
 }
 
 /// Number of [`Counter`] variants (array-table sizing).
-pub const NUM_COUNTERS: usize = 19;
+pub const NUM_COUNTERS: usize = 20;
 
 impl Counter {
     pub const ALL: [Counter; NUM_COUNTERS] = [
@@ -178,6 +183,7 @@ impl Counter {
         Counter::JobsPreempted,
         Counter::JobsResumed,
         Counter::QueueWaitUs,
+        Counter::StatsSamples,
     ];
 
     pub fn label(self) -> &'static str {
@@ -201,6 +207,7 @@ impl Counter {
             Counter::JobsPreempted => "jobs_preempted",
             Counter::JobsResumed => "jobs_resumed",
             Counter::QueueWaitUs => "queue_wait_us",
+            Counter::StatsSamples => "stats_samples",
         }
     }
 }

@@ -4,7 +4,7 @@
 //! facade) serves this format; anything that can scrape Prometheus can
 //! watch a live campaign. The renderer is deliberately a pure
 //! string-builder over explicit inputs — no clocks, no global state —
-//! so a fixed [`Snapshot`](crate::Snapshot) renders to byte-identical
+//! so a fixed [`Snapshot`] (`crate::Snapshot`) renders to byte-identical
 //! output, which the facade's golden-file test locks.
 //!
 //! Format reference: the Prometheus *text exposition format* (version
